@@ -1,0 +1,342 @@
+package microfaas
+
+import (
+	"math/rand"
+	"testing"
+
+	"microfaas/internal/bootos"
+	"microfaas/internal/experiments"
+	"microfaas/internal/model"
+)
+
+// The benchmark harness: one benchmark per paper table/figure (plus the
+// ablations). Each regenerates its experiment end-to-end and reports the
+// headline quantities as custom metrics, so `go test -bench=. -benchmem`
+// doubles as the reproduction run. EXPERIMENTS.md records the measured
+// values next to the paper's.
+
+// BenchmarkFig1BootStages regenerates the Fig 1 boot-time development
+// timeline and reports the final ARM/x86 boot times.
+func BenchmarkFig1BootStages(b *testing.B) {
+	var rows []Fig1Row
+	for i := 0; i < b.N; i++ {
+		rows = Fig1()
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.ARMReal.Seconds(), "arm-boot-s")
+	b.ReportMetric(last.X86Real.Seconds(), "x86-boot-s")
+	b.ReportMetric(rows[0].ARMReal.Seconds(), "arm-baseline-s")
+}
+
+// BenchmarkFig3Runtimes regenerates the per-function runtime split on both
+// clusters (Fig 3) and reports the paper's 4/9/4 speed-class split.
+func BenchmarkFig3Runtimes(b *testing.B) {
+	var rows []Fig3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Fig3(Fig3Config{InvocationsPerFunction: 40, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	faster, atHalf, below := 0, 0, 0
+	for _, r := range rows {
+		switch {
+		case r.SpeedRatio > 1:
+			faster++
+		case r.SpeedRatio > 0.5:
+			atHalf++
+		default:
+			below++
+		}
+	}
+	b.ReportMetric(float64(faster), "faster-fns")
+	b.ReportMetric(float64(atHalf), "half-speed-fns")
+	b.ReportMetric(float64(below), "below-half-fns")
+}
+
+// BenchmarkFig4VMSweep regenerates the VM-count efficiency sweep (Fig 4)
+// and reports the conventional cluster's peak efficiency.
+func BenchmarkFig4VMSweep(b *testing.B) {
+	var res Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Fig4(Fig4Config{MaxVMs: 24, JobsPerVM: 150, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PeakJoules, "peak-J/func")
+	b.ReportMetric(float64(res.PeakVMs), "peak-VMs")
+	b.ReportMetric(res.MicroFaaSJoules, "microfaas-J/func")
+}
+
+// BenchmarkFig5PowerSweep regenerates the energy-proportionality power
+// sweep (Fig 5) and reports the idle offsets of both clusters.
+func BenchmarkFig5PowerSweep(b *testing.B) {
+	var pts []Fig5Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = Fig5(Fig5Config{MaxWorkers: 10, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].MicroFaaSWatts, "mf-idle-W")
+	b.ReportMetric(pts[0].ConventionalWatts, "conv-idle-W")
+	b.ReportMetric(pts[len(pts)-1].MicroFaaSWatts, "mf-full-W")
+	b.ReportMetric(pts[len(pts)-1].ConventionalWatts, "conv-full-W")
+}
+
+// BenchmarkHeadline regenerates Sec V's throughput-matched comparison.
+func BenchmarkHeadline(b *testing.B) {
+	var res HeadlineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Headline(HeadlineConfig{InvocationsPerFunction: 60, Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SBCThroughputPerMin, "sbc-func/min")
+	b.ReportMetric(res.VMThroughputPerMin, "vm-func/min")
+	b.ReportMetric(res.MicroFaaSJoules, "mf-J/func")
+	b.ReportMetric(res.ConventionalJoules, "conv-J/func")
+	b.ReportMetric(res.EfficiencyGain, "gain-x")
+}
+
+// BenchmarkTable2TCO regenerates the 5-year TCO comparison (Table II).
+func BenchmarkTable2TCO(b *testing.B) {
+	var rows []TCOComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MicroFaaS.Total(), "ideal-mf-usd")
+	b.ReportMetric(rows[0].Conventional.Total(), "ideal-conv-usd")
+	b.ReportMetric(rows[0].Savings()*100, "ideal-savings-pct")
+	b.ReportMetric(rows[1].Savings()*100, "realistic-savings-pct")
+}
+
+// BenchmarkAblationCryptoAccel measures the crypto-accelerator variant.
+func BenchmarkAblationCryptoAccel(b *testing.B) {
+	var res AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = AblationCryptoAccel(8, 5, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "throughput-gain-x")
+	b.ReportMetric(res.ModifiedJoules, "J/func")
+}
+
+// BenchmarkAblationGigE measures the Gigabit-NIC variant.
+func BenchmarkAblationGigE(b *testing.B) {
+	var res AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = AblationGigE(6, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "throughput-gain-x")
+}
+
+// BenchmarkAblationNoReboot measures the no-reboot variant (the price of
+// the Sec III-a isolation guarantee).
+func BenchmarkAblationNoReboot(b *testing.B) {
+	var res AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = AblationNoReboot(7, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "throughput-gain-x")
+	b.ReportMetric(res.ModifiedJoules, "J/func")
+}
+
+// BenchmarkRackScale simulates the Table II racks end-to-end: 989 SBCs vs
+// 41 servers × 16 VMs (1,645 concurrent simulated workers), measuring
+// whether the paper's throughput-equivalence estimate holds.
+func BenchmarkRackScale(b *testing.B) {
+	var res experiments.RackScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RackScale(experiments.RackScaleConfig{JobsPerWorker: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SBCThroughput, "sbc-rack-func/min")
+	b.ReportMetric(res.ServerThroughput, "conv-rack-func/min")
+	b.ReportMetric(res.SBCThroughput/res.ServerThroughput, "throughput-ratio")
+	b.ReportMetric(res.ServerPowerW/res.SBCPowerW, "power-ratio-x")
+}
+
+// BenchmarkLoadSweep measures the open-load energy-proportionality sweep
+// and reports the low-load J/function blowup of each cluster.
+func BenchmarkLoadSweep(b *testing.B) {
+	var pts []LoadSweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = LoadSweep(LoadSweepConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	low, high := pts[0], pts[len(pts)-1]
+	b.ReportMetric(low.ConvJoulesPer/high.ConvJoulesPer, "conv-lowload-blowup-x")
+	b.ReportMetric(low.MFJoulesPer/high.MFJoulesPer, "mf-lowload-blowup-x")
+	b.ReportMetric(low.ConvJoulesPer/low.MFJoulesPer, "gain-at-10pct-load-x")
+}
+
+// BenchmarkKeepWarm measures the warm-pool extension: latency saved and
+// energy paid relative to the paper's power-down-immediately policy.
+func BenchmarkKeepWarm(b *testing.B) {
+	var pts []KeepWarmPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = KeepWarm(KeepWarmConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	paper, warm := pts[0], pts[len(pts)-1]
+	b.ReportMetric(paper.MeanLatency.Seconds(), "paper-latency-s")
+	b.ReportMetric(warm.MeanLatency.Seconds(), "warm-latency-s")
+	b.ReportMetric(warm.JoulesPerFunc/paper.JoulesPerFunc, "warm-energy-cost-x")
+	b.ReportMetric(warm.WarmFraction*100, "warm-hit-pct")
+}
+
+// BenchmarkDiurnal replays a synthetic day (≈137k invocations) into both
+// clusters and reports the daily energy comparison.
+func BenchmarkDiurnal(b *testing.B) {
+	var res DiurnalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Diurnal(DiurnalConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Invocations), "invocations")
+	b.ReportMetric(res.MF.KWh, "mf-kWh/day")
+	b.ReportMetric(res.Conv.KWh, "conv-kWh/day")
+	b.ReportMetric(res.Conv.KWh/res.MF.KWh, "daily-energy-ratio-x")
+}
+
+// BenchmarkSensitivity runs the calibration-perturbation study and
+// reports the gain distribution under ±20% service-time noise.
+func BenchmarkSensitivity(b *testing.B) {
+	var res SensitivityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Sensitivity(SensitivityConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MinGain, "min-gain-x")
+	b.ReportMetric(res.MedianGain, "median-gain-x")
+	b.ReportMetric(res.MaxGain, "max-gain-x")
+	b.ReportMetric(float64(res.TrialsBelowParity), "flipped-trials")
+}
+
+// BenchmarkLiveInvocation measures one end-to-end live invocation: OP →
+// TCP → worker → real function → result (no reboot pause, CPU-bound
+// function) — the live runtime's floor latency.
+func BenchmarkLiveInvocation(b *testing.B) {
+	l, err := StartLiveCluster(LiveOptions{Workers: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	args := []byte(`{"rounds":100,"seed":"bench"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Orch.Submit("CascSHA", args)
+		l.Orch.Quiesce()
+	}
+	b.StopTimer()
+	if l.Orch.Collector().ErrorCount() != 0 {
+		b.Fatal("live invocations failed")
+	}
+}
+
+// BenchmarkWorkloadSuiteDirect measures the 17 real functions executed
+// back-to-back in-process (no cluster), the pure compute cost of the
+// suite's Go implementations.
+func BenchmarkWorkloadSuiteDirect(b *testing.B) {
+	l, err := StartLiveCluster(LiveOptions{Workers: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	fns := Functions()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fns[i%len(fns)]
+		if _, err := f.Run(l.Env, f.GenArgs(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw DES throughput: how many
+// simulated MicroFaaS job cycles the engine executes per wall second
+// (capacity planning for datacenter-scale runs).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	s, err := NewMicroFaaSSim(model.SBCCount, SimOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := s.Orch.Workers()
+	fns := model.Functions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Orch.SubmitTo(ids[i%len(ids)], fns[i%len(fns)].Name, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Engine.RunAll()
+	b.StopTimer()
+	if s.Orch.Pending() != 0 {
+		b.Fatal("jobs stuck")
+	}
+}
+
+// BenchmarkBootModel exercises the Fig 1 component model itself.
+func BenchmarkBootModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if bootos.BootTime(bootos.ARM) <= 0 {
+			b.Fatal("boot model broken")
+		}
+		bootos.Timeline(bootos.X86)
+	}
+}
+
+// BenchmarkBootImpact sweeps the Fig 1 OS stages at cluster level and
+// reports how much throughput the boot-time engineering bought.
+func BenchmarkBootImpact(b *testing.B) {
+	var rows []BootImpactRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = BootImpact(BootImpactConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.ThroughputPerMin, "baseline-func/min")
+	b.ReportMetric(last.ThroughputPerMin, "final-func/min")
+	b.ReportMetric(last.ThroughputPerMin/first.ThroughputPerMin, "os-work-gain-x")
+}

@@ -1,0 +1,133 @@
+// Command faasctl is the client CLI for a MicroFaaS gateway (see
+// cmd/microfaas-live).
+//
+// Usage:
+//
+//	faasctl [-gateway host:port] functions
+//	faasctl [-gateway host:port] workers
+//	faasctl [-gateway host:port] stats
+//	faasctl [-gateway host:port] invoke <function> [args-json]
+//	faasctl [-gateway host:port] -async invoke <function> [args-json]
+//	faasctl [-gateway host:port] job <id>
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	gatewayAddr := flag.String("gateway", "127.0.0.1:8080", "gateway address")
+	timeout := flag.Duration("timeout", 5*time.Minute, "invocation timeout")
+	async := flag.Bool("async", false, "submit invocations asynchronously (poll with 'job <id>')")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|invoke <function> [args-json]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *gatewayAddr, http: &http.Client{Timeout: *timeout}, out: os.Stdout, async: *async}
+	if err := c.run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "faasctl:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base  string
+	http  *http.Client
+	out   io.Writer
+	async bool
+}
+
+func (c *client) run(args []string) error {
+	switch args[0] {
+	case "functions":
+		return c.get("/functions")
+	case "workers":
+		return c.get("/workers")
+	case "stats":
+		return c.get("/stats")
+	case "invoke":
+		if len(args) < 2 {
+			return fmt.Errorf("invoke requires a function name")
+		}
+		payload := "{}"
+		if len(args) >= 3 {
+			payload = args[2]
+		}
+		return c.invoke(args[1], payload)
+	case "job":
+		if len(args) < 2 {
+			return fmt.Errorf("job requires an id")
+		}
+		return c.get("/jobs/" + args[1])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func (c *client) get(path string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return c.prettyPrint(resp.Body)
+}
+
+func (c *client) invoke(function, argsJSON string) error {
+	if !json.Valid([]byte(argsJSON)) {
+		return fmt.Errorf("arguments are not valid JSON: %s", argsJSON)
+	}
+	body, err := json.Marshal(map[string]json.RawMessage{
+		"function": json.RawMessage(fmt.Sprintf("%q", function)),
+		"args":     json.RawMessage(argsJSON),
+	})
+	if err != nil {
+		return err
+	}
+	url := c.base + "/invoke"
+	okStatus := http.StatusOK
+	if c.async {
+		url += "?async=1"
+		okStatus = http.StatusAccepted
+	}
+	resp, err := c.http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := c.prettyPrint(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != okStatus {
+		return fmt.Errorf("gateway returned %s", resp.Status)
+	}
+	return nil
+}
+
+// prettyPrint re-indents the gateway's JSON for terminal reading.
+func (c *client) prettyPrint(r io.Reader) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(raw), "", "  "); err != nil {
+		// Not JSON (e.g. a plain error page): print as-is.
+		fmt.Fprintln(c.out, string(raw))
+		return nil
+	}
+	fmt.Fprintln(c.out, buf.String())
+	return nil
+}

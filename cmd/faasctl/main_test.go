@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/gateway"
+)
+
+// startStack boots a live cluster + gateway and returns a client aimed at
+// it, capturing output.
+func startStack(t *testing.T) (*client, *strings.Builder) {
+	t.Helper()
+	l, err := cluster.StartLive(cluster.LiveOptions{Workers: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	gw, err := gateway.New(l.Orch, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	var sb strings.Builder
+	return &client{
+		base: "http://" + addr,
+		http: &http.Client{Timeout: 30 * time.Second},
+		out:  &sb,
+	}, &sb
+}
+
+func TestInvokeCommand(t *testing.T) {
+	c, out := startStack(t)
+	if err := c.run([]string{"invoke", "CascSHA", `{"rounds":2,"seed":"ctl"}`}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"digest"`) {
+		t.Fatalf("output missing digest:\n%s", out.String())
+	}
+}
+
+func TestInvokeDefaultsToEmptyArgs(t *testing.T) {
+	c, out := startStack(t)
+	// MQConsume's arguments are all optional; "{}" must be accepted.
+	if err := c.run([]string{"invoke", "MQConsume"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"offset"`) {
+		t.Fatalf("output = %s", out.String())
+	}
+}
+
+func TestInvokeRejectsBadJSON(t *testing.T) {
+	c, _ := startStack(t)
+	if err := c.run([]string{"invoke", "CascSHA", `{not json`}); err == nil {
+		t.Fatal("bad JSON args accepted")
+	}
+}
+
+func TestInvokeUnknownFunctionFails(t *testing.T) {
+	c, out := startStack(t)
+	err := c.run([]string{"invoke", "NoSuchFunction"})
+	if err == nil {
+		t.Fatal("unknown function invocation succeeded")
+	}
+	if !strings.Contains(out.String(), "error") {
+		t.Fatalf("error body not printed:\n%s", out.String())
+	}
+}
+
+func TestFunctionsCommand(t *testing.T) {
+	c, out := startStack(t)
+	if err := c.run([]string{"functions"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CascSHA", "RedisInsert", "MQConsume"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("functions output missing %s", want)
+		}
+	}
+}
+
+func TestWorkersAndStatsCommands(t *testing.T) {
+	c, out := startStack(t)
+	if err := c.run([]string{"workers"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "live-000") {
+		t.Fatalf("workers output = %s", out.String())
+	}
+	out.Reset()
+	if err := c.run([]string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"completed"`) {
+		t.Fatalf("stats output = %s", out.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	c, _ := startStack(t)
+	if err := c.run([]string{"destroy-everything"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestInvokeRequiresFunctionName(t *testing.T) {
+	c, _ := startStack(t)
+	if err := c.run([]string{"invoke"}); err == nil {
+		t.Fatal("bare invoke accepted")
+	}
+}
+
+func TestAsyncInvokeAndJobCommands(t *testing.T) {
+	c, out := startStack(t)
+	c.async = true
+	if err := c.run([]string{"invoke", "RegExMatch", `{"pattern":"a","text":"a"}`}); err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID int64 `json:"job_id"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &accepted); err != nil || accepted.JobID == 0 {
+		t.Fatalf("async invoke output %q, %v", out.String(), err)
+	}
+	// Poll the job until the result appears.
+	c.async = false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out.Reset()
+		err := c.run([]string{"job", fmt.Sprintf("%d", accepted.JobID)})
+		if err == nil && strings.Contains(out.String(), `"matched"`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job result never appeared; last output %q, err %v", out.String(), err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,203 @@
+// Command microfaas-sim regenerates the paper's tables and figures from
+// the calibrated cluster simulator.
+//
+// Usage:
+//
+//	microfaas-sim [flags] <experiment>
+//
+// Experiments: fig1, fig3, fig4, fig5, headline, table2, ablations, all.
+//
+// Flags:
+//
+//	-n     invocations per function for fig3/headline (default 100;
+//	       the paper issues 1000)
+//	-seed  simulation seed (default 1)
+//	-csv   write the raw per-invocation trace of fig3's MicroFaaS run
+//	       to the given file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/experiments"
+	"microfaas/internal/model"
+)
+
+func main() {
+	n := flag.Int("n", 100, "invocations per function (paper: 1000)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
+	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "microfaas-sim: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *n, *seed, *csvPath, *format == "csv"); err != nil {
+		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, experiment string, n int, seed int64, csvPath string, asCSV bool) error {
+	switch experiment {
+	case "fig1":
+		return experiments.WriteFig1(out)
+	case "fig3":
+		rows, err := experiments.Fig3(experiments.Fig3Config{InvocationsPerFunction: n, Seed: seed})
+		if err != nil {
+			return err
+		}
+		writeFig3 := experiments.WriteFig3
+		if asCSV {
+			writeFig3 = experiments.WriteFig3CSV
+		}
+		if err := writeFig3(out, rows); err != nil {
+			return err
+		}
+		if csvPath != "" {
+			return writeTraceCSV(csvPath, n, seed)
+		}
+		return nil
+	case "fig4":
+		res, err := experiments.Fig4(experiments.Fig4Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiments.WriteFig4CSV(out, res)
+		}
+		return experiments.WriteFig4(out, res)
+	case "fig5":
+		pts, err := experiments.Fig5(experiments.Fig5Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiments.WriteFig5CSV(out, pts)
+		}
+		return experiments.WriteFig5(out, pts)
+	case "headline":
+		res, err := experiments.Headline(experiments.HeadlineConfig{InvocationsPerFunction: n, Seed: seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteHeadline(out, res)
+	case "bootimpact":
+		rows, err := experiments.BootImpact(experiments.BootImpactConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteBootImpact(out, rows)
+	case "report":
+		return experiments.WriteReport(out, experiments.ReportConfig{InvocationsPerFunction: n, Seed: seed})
+	case "table1":
+		return experiments.WriteTable1(out)
+	case "table2":
+		return experiments.WriteTable2(out)
+	case "loadsweep":
+		pts, err := experiments.LoadSweep(experiments.LoadSweepConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiments.WriteLoadSweepCSV(out, pts)
+		}
+		return experiments.WriteLoadSweep(out, pts)
+	case "keepwarm":
+		pts, err := experiments.KeepWarm(experiments.KeepWarmConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiments.WriteKeepWarmCSV(out, pts)
+		}
+		return experiments.WriteKeepWarm(out, pts)
+	case "diurnal":
+		res, err := experiments.Diurnal(experiments.DiurnalConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteDiurnal(out, res)
+	case "sensitivity":
+		res, err := experiments.Sensitivity(experiments.SensitivityConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSensitivity(out, res)
+	case "rackscale":
+		res, err := experiments.RackScale(experiments.RackScaleConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteRackScale(out, res)
+	case "ablations":
+		return runAblations(out, seed, n)
+	case "all":
+		for _, exp := range []string{"fig1", "table1", "fig3", "fig4", "fig5", "headline", "table2", "rackscale", "loadsweep", "keepwarm", "diurnal", "sensitivity", "bootimpact", "ablations"} {
+			if err := run(out, exp, n, seed, "", false); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func runAblations(out io.Writer, seed int64, n int) error {
+	crypto, err := experiments.AblationCryptoAccel(8, seed, n)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteAblation(out, crypto); err != nil {
+		return err
+	}
+	gige, err := experiments.AblationGigE(seed, n)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteAblation(out, gige); err != nil {
+		return err
+	}
+	noreboot, err := experiments.AblationNoReboot(seed, n)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteAblation(out, noreboot)
+}
+
+// writeTraceCSV re-runs the MicroFaaS cluster and dumps its raw trace.
+func writeTraceCSV(path string, n int, seed int64) error {
+	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	coll, err := s.RunSuite(n, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := coll.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", coll.Len(), path)
+	return f.Close()
+}

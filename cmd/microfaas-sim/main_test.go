@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEachExperiment(t *testing.T) {
+	cases := map[string][]string{
+		"fig1":      {"baseline", "falcon"},
+		"fig3":      {"CascSHA", "paper: 4 / 9 / 4"},
+		"fig5":      {"workers", "60.00"},
+		"headline":  {"Efficiency gain", "200.6"},
+		"table2":    {"82451", "savings: 34.2%"},
+		"rackscale": {"throughput ratio"},
+		"ablations": {"crypto-accelerator", "gigabit NIC", "no reboot"},
+	}
+	for exp, wants := range cases {
+		exp, wants := exp, wants
+		t.Run(exp, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, exp, 20, 1, "", false); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range wants {
+				if !strings.Contains(sb.String(), w) {
+					t.Fatalf("%s output missing %q:\n%s", exp, w, sb.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig99", 10, 1, "", false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesCSVTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var sb strings.Builder
+	if err := run(&sb, "fig3", 5, 1, path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 50 {
+		t.Fatalf("CSV has only %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job_id,function,worker,attempt") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunCSVFormats(t *testing.T) {
+	cases := map[string]string{
+		"fig3":      "function,mf_working_ms",
+		"fig4":      "vms,throughput_per_min",
+		"fig5":      "active_workers,microfaas_watts",
+		"loadsweep": "load_fraction,offered_per_min",
+		"keepwarm":  "window_s,mean_latency_ms",
+	}
+	for exp, header := range cases {
+		exp, header := exp, header
+		t.Run(exp, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, exp, 10, 1, "", true); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+			if !strings.HasPrefix(lines[0], header) {
+				t.Fatalf("%s CSV header = %q, want prefix %q", exp, lines[0], header)
+			}
+			if len(lines) < 2 {
+				t.Fatalf("%s CSV has no data rows", exp)
+			}
+			wantFields := strings.Count(lines[0], ",") + 1
+			for i, line := range lines[1:] {
+				if got := strings.Count(line, ",") + 1; got != wantFields {
+					t.Fatalf("%s CSV row %d has %d fields, header has %d", exp, i+1, got, wantFields)
+				}
+			}
+		})
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "table1", 1, 1, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FloatOps*", "CascSHA", "MQConsume", "network-bound", "kvstore"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly 6 FunctionBench stars, matching the paper.
+	if got := strings.Count(out, "*"); got != 7 { // 6 function rows + 1 in the caption
+		t.Fatalf("table1 has %d asterisks, want 7 (6 functions + caption)", got)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "report", 10, 1, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# MicroFaaS reproduction report",
+		"## Headline",
+		"## Fig 1", "## Fig 3", "## Fig 4", "## Fig 5",
+		"## Table II", "## Extensions",
+		"| CascSHA |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

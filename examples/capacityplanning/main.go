@@ -1,0 +1,80 @@
+// Capacity planning: the Sec III-c cost-transparency argument as a tool.
+// Given a target sustained throughput, size both architectures from the
+// calibrated model — "simply multiplying the hardware and average energy
+// cost of a single node" for MicroFaaS — and compare acquisition cost,
+// power, and 5-year TCO.
+//
+//	go run ./examples/capacityplanning [func-per-min]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+
+	"microfaas/internal/model"
+	"microfaas/internal/power"
+	"microfaas/internal/tco"
+)
+
+func main() {
+	target := 10000.0 // func/min
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil || v <= 0 {
+			log.Fatal("usage: capacityplanning [positive func-per-min]")
+		}
+		target = v
+	}
+
+	// Per-node throughput from the calibrated model.
+	sbcPerMin := 60 / model.MeanCycleTime(model.ARM, model.DefaultWorkerLink(model.ARM)).Seconds()
+	serverPerMin := model.SaturatedThroughput() // one server packed with VMs
+
+	sbcs := int(math.Ceil(target / sbcPerMin))
+	servers := int(math.Ceil(target / serverPerMin))
+
+	fmt.Printf("target: %.0f func/min sustained\n\n", target)
+	fmt.Printf("per-node capability (calibrated model):\n")
+	fmt.Printf("  one SBC:               %6.1f func/min\n", sbcPerMin)
+	fmt.Printf("  one saturated server:  %6.1f func/min\n\n", serverPerMin)
+
+	a := tco.PaperAssumptions()
+	mfSpec := tco.ClusterSpec{Name: "microfaas", Nodes: sbcs,
+		NodeCost: a.SBCCost, NodeLoadW: a.SBCLoadW, NodeIdleW: a.SBCIdleW}
+	convSpec := tco.ClusterSpec{Name: "conventional", Nodes: servers,
+		NodeCost: a.ServerCost, NodeLoadW: a.ServerLoadW, NodeIdleW: a.ServerIdleW}
+
+	fmt.Printf("%-24s %14s %14s\n", "", "microfaas", "conventional")
+	fmt.Printf("%-24s %14d %14d\n", "nodes", sbcs, servers)
+	fmt.Printf("%-24s %14d %14d\n", "ToR switches",
+		tco.Switches(sbcs, a), tco.Switches(servers, a))
+	fmt.Printf("%-24s %13.1fkm %13.1fkm\n", "Cat6 cabling",
+		tco.CableKilometers(sbcs, a), tco.CableKilometers(servers, a))
+	fmt.Printf("%-24s %13.1fkW %13.1fkW\n", "power under full load",
+		loadKW(sbcs, a.SBCLoadW, tco.Switches(sbcs, a)),
+		loadKW(servers, a.ServerLoadW, tco.Switches(servers, a)))
+
+	for _, sc := range []tco.Scenario{tco.Ideal(), tco.Realistic()} {
+		mf, err := tco.Lifetime(mfSpec, sc, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conv, err := tco.Lifetime(convSpec, sc, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %13.0fk %13.0fk  (%.1f%% savings)\n",
+			"5y TCO, "+sc.Name, mf.Total()/1000, conv.Total()/1000,
+			(1-mf.Total()/conv.Total())*100)
+	}
+	fmt.Println("\nthe MicroFaaS estimate is a tight bound: node count × unit cost — the")
+	fmt.Println("provider-side cost transparency the paper argues for in Sec III-c.")
+}
+
+// loadKW is the full-load IT power of nodes plus switches, in kilowatts.
+func loadKW(nodes int, nodeW float64, switches int) float64 {
+	return (float64(nodes)*nodeW + float64(switches)*float64(power.DefaultSwitchModel().Power())) / 1000
+}

@@ -1,0 +1,80 @@
+// TCO what-if analysis: recompute the paper's Table II under varying
+// electricity prices and SBC costs, and find the SBC price at which the
+// MicroFaaS rack stops being cheaper.
+//
+//	go run ./examples/tcoanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microfaas/internal/tco"
+)
+
+func main() {
+	base, err := tco.TableII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (paper Appendix assumptions):\n")
+	for _, row := range base {
+		fmt.Printf("  %-9s conventional $%8.0f vs MicroFaaS $%8.0f → %.1f%% savings\n",
+			row.Scenario.Name, row.Conventional.Total(), row.MicroFaaS.Total(), row.Savings()*100)
+	}
+
+	// 1. Electricity price sweep: dearer power widens MicroFaaS's lead.
+	fmt.Printf("\nsavings vs electricity price (realistic scenario):\n")
+	for _, price := range []float64{0.05, 0.10, 0.20, 0.30, 0.40} {
+		a := tco.PaperAssumptions()
+		a.PricePerKWh = price
+		s, err := savings(a, tco.Realistic())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  $%.2f/kWh → %5.1f%%\n", price, s*100)
+	}
+
+	// 2. SBC cost sweep: the BOM driver of the MicroFaaS side.
+	fmt.Printf("\nsavings vs SBC unit cost (realistic scenario):\n")
+	for _, cost := range []float64{25, 52.5, 75, 100, 125} {
+		a := tco.PaperAssumptions()
+		a.SBCCost = cost
+		s, err := savings(a, tco.Realistic())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  $%6.2f/SBC → %5.1f%%\n", cost, s*100)
+	}
+
+	// 3. Break-even SBC price (bisection on savings = 0).
+	lo, hi := 52.5, 400.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		a := tco.PaperAssumptions()
+		a.SBCCost = mid
+		s, err := savings(a, tco.Realistic())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	fmt.Printf("\nbreak-even SBC price (realistic scenario): $%.2f (paper's BeagleBone: $52.50)\n", lo)
+}
+
+// savings computes the MicroFaaS TCO advantage under custom assumptions.
+func savings(a tco.Assumptions, sc tco.Scenario) (float64, error) {
+	conv, err := tco.Lifetime(tco.ConventionalRack(a), sc, a)
+	if err != nil {
+		return 0, err
+	}
+	mf, err := tco.Lifetime(tco.MicroFaaSRack(a), sc, a)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - mf.Total()/conv.Total(), nil
+}

@@ -1,0 +1,78 @@
+// Throughput matching: find the conventional-cluster VM count whose
+// throughput matches an N-SBC MicroFaaS cluster — the paper's procedure
+// for choosing its 6-VM configuration (Sec V) — and compare their energy
+// costs at the matched point.
+//
+//	go run ./examples/throughputmatch [sbcs]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"microfaas"
+)
+
+func main() {
+	sbcs := 10
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n <= 0 {
+			log.Fatalf("usage: throughputmatch [positive sbc count]")
+		}
+		sbcs = n
+	}
+
+	target, mfJoules := measureMicroFaaS(sbcs)
+	fmt.Printf("%d-SBC MicroFaaS cluster: %.1f func/min at %.2f J/function\n\n", sbcs, target, mfJoules)
+
+	fmt.Printf("%-5s %12s %12s\n", "vms", "func/min", "J/function")
+	matched := 0
+	var matchedJoules float64
+	for vms := 1; vms <= 32; vms++ {
+		thpt, joules := measureConventional(vms)
+		marker := ""
+		if matched == 0 && thpt >= target {
+			matched, matchedJoules = vms, joules
+			marker = "  <- first configuration to match"
+		}
+		fmt.Printf("%-5d %12.1f %12.1f%s\n", vms, thpt, joules, marker)
+		if matched != 0 && vms >= matched+2 {
+			break
+		}
+	}
+	if matched == 0 {
+		fmt.Println("\nno VM count matched — the server saturates below the target")
+		return
+	}
+	fmt.Printf("\nmatched at %d VMs; energy ratio conventional/MicroFaaS = %.1fx\n",
+		matched, matchedJoules/mfJoules)
+	fmt.Printf("(the paper matches its 10-SBC cluster with 6 VMs and measures 5.6x)\n")
+}
+
+func measureMicroFaaS(sbcs int) (throughput, joules float64) {
+	s, err := microfaas.NewMicroFaaSSim(sbcs, microfaas.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.RunSuite(30, nil); err != nil {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	return st.ThroughputPerMin, st.JoulesPerFunction
+}
+
+func measureConventional(vms int) (throughput, joules float64) {
+	s, err := microfaas.NewConventionalSim(vms, microfaas.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.RunSuite(20, nil); err != nil {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	// Measured capacity: completions over makespan (counts contention).
+	return float64(st.Completed) / (st.MakespanS / 60), st.JoulesPerFunction
+}

@@ -1,0 +1,3 @@
+module microfaas
+
+go 1.22

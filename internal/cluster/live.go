@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/kvstore"
+	"microfaas/internal/mq"
+	"microfaas/internal/node"
+	"microfaas/internal/objstore"
+	"microfaas/internal/power"
+	"microfaas/internal/sqlstore"
+	"microfaas/internal/workload"
+)
+
+// LiveOptions tunes a live cluster.
+type LiveOptions struct {
+	// Workers is the node count (default 4).
+	Workers int
+	// BootDelay simulates the per-job worker reboot (default 0 — tests
+	// and examples usually don't want to pay 1.51 s per job; pass
+	// bootos.BootTime(bootos.ARM) for paper-faithful pacing).
+	BootDelay time.Duration
+	// Seed drives the OP's random assignment.
+	Seed int64
+	// Meter enables wall-clock power accounting when true.
+	Meter bool
+}
+
+// Live is a running in-process MicroFaaS deployment: four real backing
+// services, N real TCP workers executing the real workload functions, and
+// the orchestration platform wired over them.
+type Live struct {
+	Env     *workload.Env
+	Orch    *core.Orchestrator
+	Runtime core.WallRuntime
+	Meter   *power.Meter
+	Workers []*node.LiveWorker
+
+	kv  *kvstore.Server
+	sql *sqlstore.Server
+	obj *objstore.Server
+	mqs *mq.Server
+}
+
+// StartLive boots the full stack on loopback TCP and provisions the
+// workload fixtures. Always Close a started cluster.
+func StartLive(opts LiveOptions) (*Live, error) {
+	n := opts.Workers
+	if n == 0 {
+		n = 4
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("cluster: negative worker count %d", n)
+	}
+	l := &Live{Runtime: core.NewWallRuntime()}
+	if opts.Meter {
+		l.Meter = power.NewMeter()
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			l.Close()
+		}
+	}()
+
+	l.kv = kvstore.NewServer(nil)
+	kvAddr, err := l.kv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.sql = sqlstore.NewServer(nil)
+	sqlAddr, err := l.sql.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.obj = objstore.NewServer(nil)
+	objAddr, err := l.obj.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.mqs = mq.NewServer(nil)
+	mqAddr, err := l.mqs.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.Env = &workload.Env{
+		KVStoreAddr:  kvAddr,
+		SQLStoreAddr: sqlAddr,
+		ObjStoreAddr: objAddr,
+		MQAddr:       mqAddr,
+	}
+	if err := workload.SetupBackends(l.Env); err != nil {
+		return nil, err
+	}
+
+	workers := make([]core.Worker, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := node.LiveWorkerConfig{
+			ID:        fmt.Sprintf("live-%03d", i),
+			Env:       l.Env,
+			BootDelay: opts.BootDelay,
+		}
+		if l.Meter != nil {
+			cfg.Meter = l.Meter
+			cfg.Clock = l.Runtime.Now
+		}
+		w, err := node.StartLiveWorker(cfg)
+		if err != nil {
+			return nil, err
+		}
+		l.Workers = append(l.Workers, w)
+		workers = append(workers, w)
+	}
+	if n > 0 {
+		orch, err := core.New(core.Config{
+			Runtime: l.Runtime,
+			Workers: workers,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.Orch = orch
+	}
+	ok = true
+	return l, nil
+}
+
+// Close tears down workers and services. Safe to call more than once and
+// on partially-started clusters.
+func (l *Live) Close() {
+	for _, w := range l.Workers {
+		w.Close() //nolint:errcheck
+	}
+	l.Workers = nil
+	if l.kv != nil {
+		l.kv.Close() //nolint:errcheck
+		l.kv = nil
+	}
+	if l.sql != nil {
+		l.sql.Close() //nolint:errcheck
+		l.sql = nil
+	}
+	if l.obj != nil {
+		l.obj.Close() //nolint:errcheck
+		l.obj = nil
+	}
+	if l.mqs != nil {
+		l.mqs.Close() //nolint:errcheck
+		l.mqs = nil
+	}
+}

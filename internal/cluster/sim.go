@@ -1,0 +1,318 @@
+// Package cluster assembles complete MicroFaaS and conventional clusters
+// in both execution modes, mirroring the paper's two test setups
+// (Sec IV-B and Sec V):
+//
+//   - the MicroFaaS cluster: N single-core ARM SBC workers, each with a
+//     Fast Ethernet link, orchestrated run-to-completion with
+//     reboot-between-jobs and power-down-when-idle;
+//   - the conventional cluster: N single-vCPU QEMU microVMs sharing one
+//     12-core rack server through a bridged-virtio network path.
+//
+// Sim clusters run on the discrete-event engine and scale to the paper's
+// hypothetical 989-node racks; the live cluster runs real TCP workers and
+// the real workload suite.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/gpio"
+	"microfaas/internal/model"
+	"microfaas/internal/netsim"
+	"microfaas/internal/node"
+	"microfaas/internal/power"
+	"microfaas/internal/sim"
+	"microfaas/internal/trace"
+)
+
+// SimConfig tunes a simulated cluster.
+type SimConfig struct {
+	// Seed drives all randomness (assignment, jitter); same seed → same run.
+	Seed int64
+	// Jitter is the relative service-time perturbation (default 0.03).
+	Jitter float64
+	// Link overrides the worker link (the GigE-NIC ablation).
+	Link *netsim.Link
+	// Specs overrides the function table (the crypto-accelerator ablation).
+	Specs []model.FunctionSpec
+	// DisableReboot is the no-reboot ablation.
+	DisableReboot bool
+	// Cores overrides the rack server core count (conventional only).
+	Cores int
+	// FailureRate injects per-job worker faults (see node.SimWorkerConfig).
+	FailureRate float64
+	// KeepWarm keeps workers booted-idle after a job for this long (the
+	// warm-pool extension; zero = the paper's immediate power-down).
+	KeepWarm time.Duration
+	// BootTime overrides the worker-OS boot duration (zero = the final
+	// bootos profile; the boot-stage ablation passes intermediate stages).
+	BootTime time.Duration
+	// Policy selects the OP's queue-assignment policy.
+	Policy core.AssignPolicy
+	// MaxAttempts enables OP-level retries of failed jobs.
+	MaxAttempts int
+}
+
+func (c SimConfig) jitter() float64 {
+	if c.Jitter == 0 {
+		return 0.03
+	}
+	if c.Jitter < 0 {
+		return 0
+	}
+	return c.Jitter
+}
+
+// Sim is an assembled simulated cluster.
+type Sim struct {
+	Engine  *sim.Engine
+	Meter   *power.Meter
+	Orch    *core.Orchestrator
+	Workers []*node.SimWorker
+	// Server is the rack server (conventional clusters only).
+	Server *node.RackServer
+	// GPIO is the OP's power-control plane with the cluster's power-state
+	// audit log (MicroFaaS clusters only).
+	GPIO *gpio.Controller
+}
+
+// NewMicroFaaSSim builds an n-SBC MicroFaaS cluster.
+func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one SBC, got %d", n)
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	meter := power.NewMeter()
+	controller := gpio.NewController()
+	s := &Sim{Engine: engine, Meter: meter, GPIO: controller}
+	workers := make([]core.Worker, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := node.NewSimWorker(node.SimWorkerConfig{
+			ID:            fmt.Sprintf("sbc-%03d", i),
+			Platform:      model.ARM,
+			Link:          cfg.Link,
+			Engine:        engine,
+			Meter:         meter,
+			GPIO:          controller,
+			Jitter:        cfg.jitter(),
+			BootTime:      cfg.BootTime,
+			Specs:         cfg.Specs,
+			DisableReboot: cfg.DisableReboot,
+			FailureRate:   cfg.FailureRate,
+			KeepWarm:      cfg.KeepWarm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Workers = append(s.Workers, w)
+		workers = append(workers, w)
+	}
+	orch, err := core.New(core.Config{
+		Runtime:     core.SimRuntime{Engine: engine},
+		Workers:     workers,
+		Seed:        cfg.Seed + 1,
+		Policy:      cfg.Policy,
+		MaxAttempts: cfg.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Orch = orch
+	return s, nil
+}
+
+// NewConventionalSim builds a vms-VM conventional cluster on one rack
+// server.
+func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
+	if vms <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one VM, got %d", vms)
+	}
+	cores := cfg.Cores
+	if cores == 0 {
+		cores = model.ServerCores
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	meter := power.NewMeter()
+	server := node.NewRackServer("rack-server", cores, engine, meter, power.DefaultServerModel())
+	s := &Sim{Engine: engine, Meter: meter, Server: server}
+	workers := make([]core.Worker, 0, vms)
+	for i := 0; i < vms; i++ {
+		w, err := node.NewSimWorker(node.SimWorkerConfig{
+			ID:            fmt.Sprintf("vm-%03d", i),
+			Platform:      model.X86,
+			Link:          cfg.Link,
+			Engine:        engine,
+			Meter:         meter,
+			Server:        server,
+			Jitter:        cfg.jitter(),
+			BootTime:      cfg.BootTime,
+			Specs:         cfg.Specs,
+			DisableReboot: cfg.DisableReboot,
+			FailureRate:   cfg.FailureRate,
+			KeepWarm:      cfg.KeepWarm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Workers = append(s.Workers, w)
+		workers = append(workers, w)
+	}
+	orch, err := core.New(core.Config{
+		Runtime:     core.SimRuntime{Engine: engine},
+		Workers:     workers,
+		Seed:        cfg.Seed + 1,
+		Policy:      cfg.Policy,
+		MaxAttempts: cfg.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Orch = orch
+	return s, nil
+}
+
+// NewConventionalRackSim builds a rack of several conventional servers —
+// `servers` rack servers each hosting `vmsPerServer` microVMs — in one
+// simulation, for the datacenter-scale comparison behind Table II's
+// throughput-equivalence assumption.
+func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, error) {
+	if servers <= 0 || vmsPerServer <= 0 {
+		return nil, fmt.Errorf("cluster: need positive servers (%d) and VMs per server (%d)", servers, vmsPerServer)
+	}
+	cores := cfg.Cores
+	if cores == 0 {
+		cores = model.ServerCores
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	meter := power.NewMeter()
+	s := &Sim{Engine: engine, Meter: meter}
+	workers := make([]core.Worker, 0, servers*vmsPerServer)
+	for sv := 0; sv < servers; sv++ {
+		server := node.NewRackServer(fmt.Sprintf("rack-server-%03d", sv), cores, engine, meter, power.DefaultServerModel())
+		if sv == 0 {
+			s.Server = server
+		}
+		for i := 0; i < vmsPerServer; i++ {
+			w, err := node.NewSimWorker(node.SimWorkerConfig{
+				ID:            fmt.Sprintf("vm-%03d-%03d", sv, i),
+				Platform:      model.X86,
+				Link:          cfg.Link,
+				Engine:        engine,
+				Meter:         meter,
+				Server:        server,
+				Jitter:        cfg.jitter(),
+				BootTime:      cfg.BootTime,
+				Specs:         cfg.Specs,
+				DisableReboot: cfg.DisableReboot,
+				FailureRate:   cfg.FailureRate,
+				KeepWarm:      cfg.KeepWarm,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Workers = append(s.Workers, w)
+			workers = append(workers, w)
+		}
+	}
+	orch, err := core.New(core.Config{
+		Runtime:     core.SimRuntime{Engine: engine},
+		Workers:     workers,
+		Seed:        cfg.Seed + 1,
+		Policy:      cfg.Policy,
+		MaxAttempts: cfg.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Orch = orch
+	return s, nil
+}
+
+// RunSuite issues approximately jobsPerFunction invocations of each named
+// function (default: the full 17-function suite; the count rounds to a
+// multiple of the worker count, at least one suite pass per worker) and
+// drives the simulation until every job completes. Every worker drains an
+// equal, fully-mixed queue — this measures the cluster's capacity
+// ("capable of N func/min", Sec V) without the queue-imbalance artifacts
+// a random assignment adds to short runs. The arrival-driven mode
+// (Orchestrator.StartArrivals) keeps the paper's random-sampling policy.
+func (s *Sim) RunSuite(jobsPerFunction int, functions []string) (*trace.Collector, error) {
+	if jobsPerFunction <= 0 {
+		return nil, fmt.Errorf("cluster: jobsPerFunction must be positive")
+	}
+	if functions == nil {
+		for _, f := range model.Functions() {
+			functions = append(functions, f.Name)
+		}
+	}
+	// Deal every worker an identical multiset of work — `rounds` full
+	// passes of the suite, with the pass order rotated by worker index so
+	// no two workers execute the same function simultaneously. Identical
+	// per-worker multisets make the makespan reflect cluster capacity
+	// rather than deal luck; simpler interleavings alias badly whenever
+	// the worker count shares structure with the 17-function stride
+	// (e.g. a running counter gives each of 17 workers a single function).
+	ids := s.Orch.Workers()
+	rounds := jobsPerFunction / len(ids)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for step := range functions {
+			for w, id := range ids {
+				fn := functions[(step+w)%len(functions)]
+				if _, err := s.Orch.SubmitTo(id, fn, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	s.Engine.RunAll()
+	if pending := s.Orch.Pending(); pending != 0 {
+		return nil, fmt.Errorf("cluster: %d jobs stuck after drain", pending)
+	}
+	return s.Orch.Collector(), nil
+}
+
+// SuiteStats aggregates a drained run.
+type SuiteStats struct {
+	Completed int
+	Errors    int
+	// MeanCycle is the mean boot+overhead+exec across invocations.
+	MeanCycle time.Duration
+	// ThroughputPerMin is the cluster's steady-state capacity in
+	// functions per minute (workers × 60 / mean cycle).
+	ThroughputPerMin float64
+	// TotalEnergyJ is the whole-cluster metered energy, and
+	// JoulesPerFunction the paper's headline metric.
+	TotalEnergyJ      float64
+	JoulesPerFunction float64
+	// MakespanS is the virtual time the run took.
+	MakespanS float64
+}
+
+// Stats summarizes the cluster state after RunSuite.
+func (s *Sim) Stats() SuiteStats {
+	recs := s.Orch.Collector().Records()
+	st := SuiteStats{MakespanS: s.Engine.Now().Seconds()}
+	var cycle time.Duration
+	for _, r := range recs {
+		if r.Err != "" {
+			st.Errors++
+			continue
+		}
+		st.Completed++
+		cycle += r.Total()
+	}
+	if st.Completed > 0 {
+		st.MeanCycle = cycle / time.Duration(st.Completed)
+		st.ThroughputPerMin = float64(len(s.Workers)) * 60 / st.MeanCycle.Seconds()
+	}
+	st.TotalEnergyJ = float64(s.Meter.TotalEnergy(s.Engine.Now()))
+	if st.Completed > 0 {
+		st.JoulesPerFunction = st.TotalEnergyJ / float64(st.Completed)
+	}
+	return st
+}

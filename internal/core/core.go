@@ -1,0 +1,451 @@
+// Package core implements the paper's primary contribution: the MicroFaaS
+// cluster orchestration platform (OP, Sec IV-D).
+//
+// The OP maintains a job queue per worker node. Jobs are assigned to a
+// random sampling of those queues (simulating the arrival of function
+// invocations); on assignment a powered-down worker powers on, boots its
+// worker OS, executes the job run-to-completion, and then either reboots
+// into its next queued job or powers down. The OP records per-invocation
+// timestamps for the evaluation, exactly as the paper's Python OP does.
+//
+// The same orchestrator drives two worker back-ends: discrete-event
+// simulated workers (internal/node SimWorker / VMWorker, for the paper's
+// figure-scale experiments) and live TCP workers executing real Go
+// workload functions (internal/node LiveWorker). The Runtime abstraction
+// is the only clock the OP touches, so its logic is identical in both
+// modes.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"microfaas/internal/sim"
+	"microfaas/internal/trace"
+)
+
+// Job is one queued function invocation.
+type Job struct {
+	ID          int64
+	Function    string
+	Args        []byte
+	SubmittedAt time.Duration
+	// Attempt counts retries: 0 for the first execution. The OP re-queues
+	// failed jobs onto a different worker while attempts remain (hardware
+	// isolation makes worker-local faults independent, so reassignment is
+	// the natural retry policy).
+	Attempt int
+}
+
+// Result is a completed (or failed) invocation as reported by a worker.
+type Result struct {
+	Job      Job
+	WorkerID string
+	Output   []byte
+	Err      string
+
+	// StartedAt/FinishedAt are on the cluster clock.
+	StartedAt, FinishedAt time.Duration
+	// Boot/Overhead/Exec decompose the worker's cycle (Fig 3).
+	Boot, Overhead, Exec time.Duration
+}
+
+// Worker is a single-tenant, run-to-completion worker node. RunJob carries
+// the node through one full cycle: power-on (the OP's GPIO line in the
+// prototype), worker-OS boot, input receive, execution, result return, and
+// power-down. done is invoked exactly once, and never synchronously from
+// inside RunJob itself — sim workers fire it from a scheduled event, live
+// workers from their own goroutine. The orchestrator never calls RunJob
+// concurrently on the same worker.
+type Worker interface {
+	ID() string
+	RunJob(job Job, done func(Result))
+}
+
+// Runtime abstracts the cluster clock: virtual (discrete-event) in sim
+// mode, wall-clock in live mode.
+type Runtime interface {
+	// Now returns elapsed cluster time.
+	Now() time.Duration
+	// After schedules fn after d; the returned function cancels it.
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// SimRuntime adapts a sim.Engine to the Runtime interface.
+type SimRuntime struct{ Engine *sim.Engine }
+
+// Now returns the engine's virtual time.
+func (r SimRuntime) Now() time.Duration { return r.Engine.Now() }
+
+// After schedules fn on the engine.
+func (r SimRuntime) After(d time.Duration, fn func()) func() {
+	ev := r.Engine.Schedule(d, fn)
+	return ev.Cancel
+}
+
+// WallRuntime is the live cluster's clock: time elapsed since Start.
+type WallRuntime struct{ Start time.Time }
+
+// NewWallRuntime returns a runtime anchored at the current instant.
+func NewWallRuntime() WallRuntime { return WallRuntime{Start: time.Now()} }
+
+// Now returns wall time elapsed since the runtime was anchored.
+func (r WallRuntime) Now() time.Duration { return time.Since(r.Start) }
+
+// After schedules fn on a wall-clock timer.
+func (r WallRuntime) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+// AssignPolicy selects how Submit picks a worker queue.
+type AssignPolicy int
+
+const (
+	// AssignRandom is the paper's policy: a uniformly random queue.
+	AssignRandom AssignPolicy = iota
+	// AssignRoundRobin cycles through workers in registration order.
+	AssignRoundRobin
+	// AssignLeastLoaded picks the worker with the fewest queued+running
+	// jobs (ties broken by registration order).
+	AssignLeastLoaded
+)
+
+func (p AssignPolicy) String() string {
+	switch p {
+	case AssignRandom:
+		return "random"
+	case AssignRoundRobin:
+		return "round-robin"
+	case AssignLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config assembles an Orchestrator.
+type Config struct {
+	Runtime   Runtime
+	Workers   []Worker
+	Collector *trace.Collector // optional; a fresh one is created if nil
+	// Seed drives the random queue-assignment sampling.
+	Seed int64
+	// Policy selects the queue-assignment policy (default AssignRandom,
+	// the paper's).
+	Policy AssignPolicy
+	// MaxAttempts caps executions per job (default 1 = no retries).
+	// Failed jobs are re-queued onto a different worker until the cap;
+	// every attempt is recorded in the collector, and SubmitAsync
+	// callbacks fire only on the final outcome.
+	MaxAttempts int
+}
+
+// Orchestrator is the OP: per-worker job queues, random assignment,
+// dispatch, and data collection.
+type Orchestrator struct {
+	runtime   Runtime
+	collector *trace.Collector
+
+	policy      AssignPolicy
+	maxAttempts int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	workers   []Worker
+	queues    map[string][]Job
+	busy      map[string]bool
+	callbacks map[int64]func(Result)
+	nextID    int64
+	rrNext    int // next round-robin index
+	pending   int // queued + running jobs
+	idle      *sync.Cond
+
+	arrivalCancel func()
+}
+
+// New builds an orchestrator over the given workers.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("core: a Runtime is required")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("core: at least one worker is required")
+	}
+	coll := cfg.Collector
+	if coll == nil {
+		coll = trace.NewCollector()
+	}
+	switch cfg.Policy {
+	case AssignRandom, AssignRoundRobin, AssignLeastLoaded:
+	default:
+		return nil, fmt.Errorf("core: unknown assignment policy %d", int(cfg.Policy))
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	o := &Orchestrator{
+		runtime:     cfg.Runtime,
+		collector:   coll,
+		policy:      cfg.Policy,
+		maxAttempts: maxAttempts,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		workers:     append([]Worker(nil), cfg.Workers...),
+		queues:      make(map[string][]Job, len(cfg.Workers)),
+		busy:        make(map[string]bool, len(cfg.Workers)),
+		callbacks:   make(map[int64]func(Result)),
+	}
+	o.idle = sync.NewCond(&o.mu)
+	seen := map[string]bool{}
+	for _, w := range cfg.Workers {
+		if seen[w.ID()] {
+			return nil, fmt.Errorf("core: duplicate worker id %q", w.ID())
+		}
+		seen[w.ID()] = true
+	}
+	return o, nil
+}
+
+// Collector returns the orchestrator's trace collector.
+func (o *Orchestrator) Collector() *trace.Collector { return o.collector }
+
+// Workers returns the worker ids in registration order.
+func (o *Orchestrator) Workers() []string {
+	ids := make([]string, len(o.workers))
+	for i, w := range o.workers {
+		ids[i] = w.ID()
+	}
+	return ids
+}
+
+// Submit enqueues an invocation on a uniformly random worker's queue (the
+// paper's assignment policy) and returns the job id.
+func (o *Orchestrator) Submit(function string, args []byte) int64 {
+	return o.SubmitAsync(function, args, nil)
+}
+
+// SubmitAsync is Submit with a completion callback: cb (when non-nil) is
+// invoked exactly once with the job's final result (after any retries),
+// once it is recorded in the collector. The callback runs outside the
+// orchestrator lock; sim-mode callbacks run on the engine thread.
+func (o *Orchestrator) SubmitAsync(function string, args []byte, cb func(Result)) int64 {
+	o.mu.Lock()
+	return o.enqueueLocked(o.pickWorkerLocked(), function, args, cb)
+}
+
+// pickWorkerLocked applies the assignment policy. Caller holds o.mu.
+func (o *Orchestrator) pickWorkerLocked() Worker {
+	switch o.policy {
+	case AssignRoundRobin:
+		w := o.workers[o.rrNext%len(o.workers)]
+		o.rrNext++
+		return w
+	case AssignLeastLoaded:
+		best, bestLoad := o.workers[0], int(^uint(0)>>1)
+		for _, w := range o.workers {
+			load := len(o.queues[w.ID()])
+			if o.busy[w.ID()] {
+				load++
+			}
+			if load < bestLoad {
+				best, bestLoad = w, load
+			}
+		}
+		return best
+	default: // AssignRandom, the paper's policy
+		return o.workers[o.rng.Intn(len(o.workers))]
+	}
+}
+
+// SubmitTo enqueues an invocation on a specific worker's queue.
+func (o *Orchestrator) SubmitTo(workerID, function string, args []byte) (int64, error) {
+	o.mu.Lock()
+	for _, w := range o.workers {
+		if w.ID() == workerID {
+			return o.enqueueLocked(w, function, args, nil), nil
+		}
+	}
+	o.mu.Unlock()
+	return 0, fmt.Errorf("core: unknown worker %q", workerID)
+}
+
+// enqueueLocked appends the job and kicks dispatch; it releases o.mu.
+func (o *Orchestrator) enqueueLocked(w Worker, function string, args []byte, cb func(Result)) int64 {
+	o.nextID++
+	id := o.nextID
+	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now()}
+	o.queues[w.ID()] = append(o.queues[w.ID()], job)
+	if cb != nil {
+		o.callbacks[id] = cb
+	}
+	o.pending++
+	o.maybeDispatchLocked(w)
+	o.mu.Unlock()
+	return id
+}
+
+// maybeDispatchLocked starts the worker on its next queued job if it is
+// free. Caller holds o.mu.
+func (o *Orchestrator) maybeDispatchLocked(w Worker) {
+	id := w.ID()
+	if o.busy[id] {
+		return
+	}
+	q := o.queues[id]
+	if len(q) == 0 {
+		return
+	}
+	job := q[0]
+	o.queues[id] = q[1:]
+	o.busy[id] = true
+	started := o.runtime.Now()
+	w.RunJob(job, func(res Result) {
+		o.completed(w, job, started, res)
+	})
+}
+
+// completed records a finished attempt, retries failures while attempts
+// remain, and dispatches the worker's next job.
+func (o *Orchestrator) completed(w Worker, job Job, started time.Duration, res Result) {
+	finished := o.runtime.Now()
+	o.collector.Add(trace.Record{
+		JobID:     job.ID,
+		Function:  job.Function,
+		Worker:    w.ID(),
+		Attempt:   job.Attempt,
+		Submitted: job.SubmittedAt,
+		Started:   started,
+		Finished:  finished,
+		Boot:      res.Boot,
+		Overhead:  res.Overhead,
+		Exec:      res.Exec,
+		Err:       res.Err,
+	})
+	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts
+	o.mu.Lock()
+	o.busy[w.ID()] = false
+	var cb func(Result)
+	if retry {
+		// The job stays pending: re-queue it on a different worker (a
+		// fresh hardware environment — worker-local faults don't follow).
+		next := o.pickRetryWorkerLocked(w)
+		j := job
+		j.Attempt++
+		o.queues[next.ID()] = append(o.queues[next.ID()], j)
+		o.maybeDispatchLocked(next)
+	} else {
+		o.pending--
+		cb = o.callbacks[job.ID]
+		delete(o.callbacks, job.ID)
+		if o.pending == 0 {
+			o.idle.Broadcast()
+		}
+	}
+	o.maybeDispatchLocked(w)
+	o.mu.Unlock()
+	if cb != nil {
+		res.StartedAt, res.FinishedAt = started, finished
+		cb(res)
+	}
+}
+
+// pickRetryWorkerLocked chooses a random worker other than failed (unless
+// it is the only one). Caller holds o.mu.
+func (o *Orchestrator) pickRetryWorkerLocked(failed Worker) Worker {
+	if len(o.workers) == 1 {
+		return o.workers[0]
+	}
+	for {
+		w := o.workers[o.rng.Intn(len(o.workers))]
+		if w.ID() != failed.ID() {
+			return w
+		}
+	}
+}
+
+// Pending returns queued plus running jobs.
+func (o *Orchestrator) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pending
+}
+
+// QueueDepth returns the queued (not yet running) jobs for a worker.
+func (o *Orchestrator) QueueDepth(workerID string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queues[workerID])
+}
+
+// StartArrivals begins the paper's arrival process: every interval, one
+// job is added to each of sampleSize randomly-chosen queues (with
+// replacement across ticks, without within a tick). gen produces each
+// job's function name and arguments. Call the returned stop function to
+// end the process; only one arrival process may run at a time.
+func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen func(rng *rand.Rand) (string, []byte)) (stop func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: arrival interval must be positive")
+	}
+	if sampleSize <= 0 || sampleSize > len(o.workers) {
+		return nil, fmt.Errorf("core: sample size %d outside [1,%d]", sampleSize, len(o.workers))
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.arrivalCancel != nil {
+		return nil, fmt.Errorf("core: arrival process already running")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		o.mu.Lock()
+		if stopped {
+			o.mu.Unlock()
+			return
+		}
+		// Sample without replacement within the tick.
+		perm := o.rng.Perm(len(o.workers))
+		targets := make([]Worker, 0, sampleSize)
+		for _, idx := range perm[:sampleSize] {
+			targets = append(targets, o.workers[idx])
+		}
+		fns := make([]string, len(targets))
+		argss := make([][]byte, len(targets))
+		for i := range targets {
+			fns[i], argss[i] = gen(o.rng)
+		}
+		o.mu.Unlock()
+		for i, w := range targets {
+			o.mu.Lock()
+			o.enqueueLocked(w, fns[i], argss[i], nil) // releases o.mu
+		}
+		o.mu.Lock()
+		if !stopped {
+			o.arrivalCancel = o.runtime.After(interval, tick)
+		}
+		o.mu.Unlock()
+	}
+	o.arrivalCancel = o.runtime.After(interval, tick)
+	return func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		stopped = true
+		if o.arrivalCancel != nil {
+			o.arrivalCancel()
+			o.arrivalCancel = nil
+		}
+	}, nil
+}
+
+// Quiesce blocks until no jobs are pending. Live mode only: in sim mode
+// the engine's Run drives the cluster instead, and calling Quiesce from
+// the simulation thread would deadlock.
+func (o *Orchestrator) Quiesce() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for o.pending > 0 {
+		o.idle.Wait()
+	}
+}

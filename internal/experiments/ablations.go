@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/model"
+	"microfaas/internal/netsim"
+)
+
+// This file implements the ablations the paper's discussion motivates
+// (Sec V): a cryptographic accelerator for the hash/AES kernels, a
+// Gigabit-Ethernet NIC upgrade for the SBCs, and — as the flip side of the
+// Sec III-a isolation argument — disabling the reboot between jobs.
+
+// AblationResult compares baseline and modified MicroFaaS clusters.
+type AblationResult struct {
+	Name string
+	// Baseline/Modified throughput (func/min) and energy (J/func) of the
+	// 10-SBC cluster.
+	BaselineThroughput, ModifiedThroughput float64
+	BaselineJoules, ModifiedJoules         float64
+	// FunctionDeltas lists the per-function mean runtime change for the
+	// functions the ablation targets.
+	FunctionDeltas []FunctionDelta
+}
+
+// FunctionDelta is one targeted function's before/after mean runtime.
+type FunctionDelta struct {
+	Function string
+	Before   time.Duration
+	After    time.Duration
+}
+
+// Speedup is the before/after throughput ratio (>1 = ablation helps).
+func (r AblationResult) Speedup() float64 {
+	if r.BaselineThroughput == 0 {
+		return 0
+	}
+	return r.ModifiedThroughput / r.BaselineThroughput
+}
+
+// runPair measures the baseline cluster and a modified one.
+func runPair(name string, seed int64, invocations int, modified cluster.SimConfig, targets []string) (AblationResult, error) {
+	if invocations <= 0 {
+		invocations = 40
+	}
+	base, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	baseColl, err := base.RunSuite(invocations, nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	modified.Seed = seed
+	mod, err := cluster.NewMicroFaaSSim(model.SBCCount, modified)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	modColl, err := mod.RunSuite(invocations, nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	baseSt, modSt := base.Stats(), mod.Stats()
+	res := AblationResult{
+		Name:               name,
+		BaselineThroughput: baseSt.ThroughputPerMin,
+		ModifiedThroughput: modSt.ThroughputPerMin,
+		BaselineJoules:     baseSt.JoulesPerFunction,
+		ModifiedJoules:     modSt.JoulesPerFunction,
+	}
+	beforeByFn := map[string]time.Duration{}
+	for _, st := range baseColl.ByFunction() {
+		beforeByFn[st.Function] = st.MeanTotal
+	}
+	afterByFn := map[string]time.Duration{}
+	for _, st := range modColl.ByFunction() {
+		afterByFn[st.Function] = st.MeanTotal
+	}
+	for _, fn := range targets {
+		res.FunctionDeltas = append(res.FunctionDeltas, FunctionDelta{
+			Function: fn, Before: beforeByFn[fn], After: afterByFn[fn],
+		})
+	}
+	return res, nil
+}
+
+// CryptoKernels are the functions a cryptographic accelerator offloads.
+var CryptoKernels = []string{"CascSHA", "CascMD5", "AES128"}
+
+// AblationCryptoAccel models adding a crypto accelerator to the SBC
+// (Sec V: "adding a cryptographic accelerator might significantly reduce
+// the runtime of CascSHA"): the crypto kernels' ARM compute time shrinks
+// by the given factor.
+func AblationCryptoAccel(speedup float64, seed int64, invocations int) (AblationResult, error) {
+	if speedup <= 1 {
+		return AblationResult{}, fmt.Errorf("experiments: accelerator speedup must exceed 1, got %v", speedup)
+	}
+	specs := model.Functions()
+	targetSet := map[string]bool{}
+	for _, n := range CryptoKernels {
+		targetSet[n] = true
+	}
+	for i := range specs {
+		if targetSet[specs[i].Name] {
+			specs[i].WorkARM = time.Duration(float64(specs[i].WorkARM) / speedup)
+		}
+	}
+	return runPair(fmt.Sprintf("crypto-accelerator %.0fx", speedup), seed, invocations,
+		cluster.SimConfig{Specs: specs}, CryptoKernels)
+}
+
+// BulkTransferFunctions are the functions the NIC upgrade targets.
+var BulkTransferFunctions = []string{"COSGet", "COSPut"}
+
+// AblationGigE models upgrading the SBC NIC from Fast Ethernet to Gigabit
+// (Sec V: "would likely reduce the overhead of functions like COSGet").
+func AblationGigE(seed int64, invocations int) (AblationResult, error) {
+	link := netsim.GigabitEthernet()
+	return runPair("gigabit NIC upgrade", seed, invocations,
+		cluster.SimConfig{Link: &link}, BulkTransferFunctions)
+}
+
+// AblationNoReboot disables the reboot between jobs, quantifying what the
+// hardware-reset isolation guarantee of Sec III-a costs in throughput and
+// energy. (The modified cluster sacrifices the clean-environment
+// guarantee; this is the trade the paper's design explicitly refuses.)
+func AblationNoReboot(seed int64, invocations int) (AblationResult, error) {
+	return runPair("no reboot between jobs", seed, invocations,
+		cluster.SimConfig{DisableReboot: true}, nil)
+}
+
+// WriteAblation prints one ablation's comparison.
+func WriteAblation(w io.Writer, r AblationResult) error {
+	if _, err := fmt.Fprintf(w, "Ablation: %s\n  throughput: %.1f -> %.1f func/min (%.2fx)\n  energy:     %.2f -> %.2f J/func\n",
+		r.Name, r.BaselineThroughput, r.ModifiedThroughput, r.Speedup(),
+		r.BaselineJoules, r.ModifiedJoules); err != nil {
+		return err
+	}
+	for _, d := range r.FunctionDeltas {
+		if _, err := fmt.Fprintf(w, "  %-12s %8.1f ms -> %8.1f ms\n",
+			d.Function, ms(d.Before), ms(d.After)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

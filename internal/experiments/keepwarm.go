@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/model"
+	"microfaas/internal/trace"
+)
+
+// KeepWarm quantifies the warm-pool trade the paper's design refuses
+// (Sec III-a argues for reboot-between-jobs isolation; conventional FaaS
+// platforms instead keep workers warm to cut cold-start latency). The
+// experiment drives the MicroFaaS cluster with the paper's open arrival
+// process under several keep-warm windows and measures mean latency,
+// energy per function, and the warm-start fraction.
+//
+// KeepWarm > 0 sacrifices the clean-environment guarantee for every
+// warm-started job — the point of the experiment is to price that
+// guarantee in latency and joules.
+type KeepWarmPoint struct {
+	// Window is the keep-warm duration (0 = the paper's policy).
+	Window time.Duration
+	// MeanLatency and P95Latency are end-to-end (queueing included).
+	MeanLatency, P95Latency time.Duration
+	// JoulesPerFunc is metered energy over completions.
+	JoulesPerFunc float64
+	// WarmFraction is the share of jobs that skipped the boot.
+	WarmFraction float64
+}
+
+// KeepWarmConfig sizes the experiment.
+type KeepWarmConfig struct {
+	// Windows to test; default 0, 5s, 30s, 2m, ∞ (no-reboot).
+	Windows []time.Duration
+	// LoadFraction of cluster capacity to offer (default 0.5).
+	LoadFraction float64
+	// Duration is virtual observation time (default 20 min).
+	Duration time.Duration
+	Seed     int64
+}
+
+// KeepWarm runs the sweep on the 10-SBC MicroFaaS cluster.
+func KeepWarm(cfg KeepWarmConfig) ([]KeepWarmPoint, error) {
+	windows := cfg.Windows
+	if windows == nil {
+		windows = []time.Duration{0, 5 * time.Second, 30 * time.Second, 2 * time.Minute}
+	}
+	load := cfg.LoadFraction
+	if load == 0 {
+		load = 0.5
+	}
+	if load <= 0 || load >= 1 {
+		return nil, fmt.Errorf("experiments: load fraction %v outside (0,1)", load)
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 20 * time.Minute
+	}
+	var out []KeepWarmPoint
+	for _, win := range windows {
+		pt, err := runKeepWarm(win, load, duration, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func runKeepWarm(window time.Duration, load float64, duration time.Duration, seed int64) (KeepWarmPoint, error) {
+	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed, KeepWarm: window})
+	if err != nil {
+		return KeepWarmPoint{}, err
+	}
+	rate := load * model.PaperSBCThroughput / 60 // func/s
+	interval := time.Duration(float64(time.Second) / rate)
+	fns := model.Functions()
+	stop, err := s.Orch.StartArrivals(interval, 1, func(rng *rand.Rand) (string, []byte) {
+		return fns[rng.Intn(len(fns))].Name, nil
+	})
+	if err != nil {
+		return KeepWarmPoint{}, err
+	}
+	s.Engine.Run(duration)
+	stop()
+	s.Engine.RunAll()
+
+	recs := s.Orch.Collector().Records()
+	var lats []time.Duration
+	var sum time.Duration
+	completed := 0
+	for _, r := range recs {
+		if r.Err != "" {
+			continue
+		}
+		lats = append(lats, r.Latency())
+		sum += r.Latency()
+		completed++
+	}
+	if completed == 0 {
+		return KeepWarmPoint{}, fmt.Errorf("experiments: keep-warm run completed nothing")
+	}
+	cold, warm := 0, 0
+	for _, w := range s.Workers {
+		cold += w.ColdStarts()
+		warm += w.WarmStarts()
+	}
+	return KeepWarmPoint{
+		Window:        window,
+		MeanLatency:   sum / time.Duration(completed),
+		P95Latency:    trace.Percentile(lats, 95),
+		JoulesPerFunc: float64(s.Meter.TotalEnergy(s.Engine.Now())) / float64(completed),
+		WarmFraction:  float64(warm) / float64(cold+warm),
+	}, nil
+}
+
+// WriteKeepWarm prints the sweep.
+func WriteKeepWarm(w io.Writer, pts []KeepWarmPoint) error {
+	if _, err := fmt.Fprintf(w, "Keep-warm sweep (10 SBCs, 50%% load): pricing the reboot-isolation guarantee\n%-10s %12s %12s %10s %10s\n",
+		"window", "mean-lat", "p95-lat", "J/func", "warm-%"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		label := p.Window.String()
+		if p.Window == 0 {
+			label = "off(paper)"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %12s %12s %10.2f %9.1f%%\n",
+			label,
+			p.MeanLatency.Round(time.Millisecond), p.P95Latency.Round(time.Millisecond),
+			p.JoulesPerFunc, p.WarmFraction*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "warm starts skip the 1.51 s boot (lower latency) but forfeit the clean-\nenvironment guarantee and pay idle draw while parked (higher J at low warm-hit rates).")
+	return err
+}

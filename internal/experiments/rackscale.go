@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/model"
+	"microfaas/internal/power"
+	"microfaas/internal/tco"
+)
+
+// RackScale simulates the hypothetical racks behind Table II — 989 SBCs
+// versus 41 conventional servers — and measures whether they really are
+// throughput-equivalent under this repository's calibrated model, along
+// with their power draw under load. The paper *estimates* the 989-node
+// sizing; this experiment checks the estimate end-to-end with thousands of
+// concurrently simulated workers.
+type RackScaleResult struct {
+	// MicroFaaS rack.
+	SBCs             int
+	SBCThroughput    float64 // func/min
+	SBCPowerW        float64 // mean cluster power under full load, incl. ToR switches
+	SBCJoulesPerFunc float64
+	// Conventional rack.
+	Servers             int
+	VMsPerServer        int
+	ServerThroughput    float64
+	ServerPowerW        float64
+	ServerJoulesPerFunc float64
+}
+
+// RackScaleConfig sizes the runs.
+type RackScaleConfig struct {
+	// SBCs (default 989) and Servers (default 41) follow Table II.
+	SBCs, Servers int
+	// VMsPerServer defaults to the saturation point (16).
+	VMsPerServer int
+	// JobsPerWorker sets run length (default 8).
+	JobsPerWorker int
+	Seed          int64
+}
+
+// RackScale runs both racks to completion and reports throughput and
+// power. Switch power (Appendix: 40.87 W per 48 ports) is added to both
+// racks' totals, as the paper's TCO energy row does.
+func RackScale(cfg RackScaleConfig) (RackScaleResult, error) {
+	res := RackScaleResult{
+		SBCs:         cfg.SBCs,
+		Servers:      cfg.Servers,
+		VMsPerServer: cfg.VMsPerServer,
+	}
+	if res.SBCs <= 0 {
+		res.SBCs = tco.PaperMicroFaaSNodes
+	}
+	if res.Servers <= 0 {
+		res.Servers = tco.PaperConventionalNodes
+	}
+	if res.VMsPerServer <= 0 {
+		res.VMsPerServer = 16 // the Fig 4 saturation knee
+	}
+	jobs := cfg.JobsPerWorker
+	if jobs <= 0 {
+		jobs = 8
+	}
+	assumptions := tco.PaperAssumptions()
+	switchW := func(nodes int) float64 {
+		return float64(tco.Switches(nodes, assumptions)) * float64(power.DefaultSwitchModel().Power())
+	}
+
+	mf, err := cluster.NewMicroFaaSSim(res.SBCs, cluster.SimConfig{Seed: cfg.Seed})
+	if err != nil {
+		return RackScaleResult{}, err
+	}
+	// jobs per worker ≈ jobsPerFunction×17/nodes → jobsPerFunction = jobs×nodes/17.
+	perFunction := jobs * res.SBCs / len(model.Functions())
+	if _, err := mf.RunSuite(perFunction, nil); err != nil {
+		return RackScaleResult{}, err
+	}
+	mfSt := mf.Stats()
+	res.SBCThroughput = float64(mfSt.Completed) / (mfSt.MakespanS / 60)
+	res.SBCPowerW = mfSt.TotalEnergyJ/mfSt.MakespanS + switchW(res.SBCs)
+	res.SBCJoulesPerFunc = (mfSt.TotalEnergyJ + switchW(res.SBCs)*mfSt.MakespanS) / float64(mfSt.Completed)
+
+	vms := res.Servers * res.VMsPerServer
+	conv, err := cluster.NewConventionalRackSim(res.Servers, res.VMsPerServer, cluster.SimConfig{Seed: cfg.Seed})
+	if err != nil {
+		return RackScaleResult{}, err
+	}
+	perFunction = jobs * vms / len(model.Functions())
+	if _, err := conv.RunSuite(perFunction, nil); err != nil {
+		return RackScaleResult{}, err
+	}
+	convSt := conv.Stats()
+	res.ServerThroughput = float64(convSt.Completed) / (convSt.MakespanS / 60)
+	res.ServerPowerW = convSt.TotalEnergyJ/convSt.MakespanS + switchW(res.Servers)
+	res.ServerJoulesPerFunc = (convSt.TotalEnergyJ + switchW(res.Servers)*convSt.MakespanS) / float64(convSt.Completed)
+	return res, nil
+}
+
+// WriteRackScale prints the rack-scale comparison.
+func WriteRackScale(w io.Writer, r RackScaleResult) error {
+	_, err := fmt.Fprintf(w, `Rack scale (Table II's throughput-equivalence assumption, measured):
+  MicroFaaS rack:     %4d SBCs                 %10.0f func/min  %8.0f W  %6.2f J/func
+  Conventional rack:  %4d servers × %2d VMs     %10.0f func/min  %8.0f W  %6.2f J/func
+  throughput ratio (MicroFaaS/conventional): %.2f
+  power ratio under load (conventional/MicroFaaS): %.1fx
+`,
+		r.SBCs, r.SBCThroughput, r.SBCPowerW, r.SBCJoulesPerFunc,
+		r.Servers, r.VMsPerServer, r.ServerThroughput, r.ServerPowerW, r.ServerJoulesPerFunc,
+		r.SBCThroughput/r.ServerThroughput,
+		r.ServerPowerW/r.SBCPowerW)
+	return err
+}

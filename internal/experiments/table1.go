@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"microfaas/internal/model"
+)
+
+// WriteTable1 reproduces Table I — the workload function catalog — from
+// the calibrated model, annotated with each function's class, backing
+// service, FunctionBench provenance (the paper's asterisk), and the
+// calibrated compute times this repository assigns it.
+func WriteTable1(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table I: workload functions (17; * = adapted from / inspired by FunctionBench)\n%-13s %-14s %-9s %9s %9s  %s\n",
+		"name", "class", "service", "arm-work", "x86-work", "description"); err != nil {
+		return err
+	}
+	for _, f := range model.Functions() {
+		name := f.Name
+		if f.FromFunctionBench {
+			name += "*"
+		}
+		service := f.Service
+		if service == "" {
+			service = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-13s %-14s %-9s %8.2fs %8.2fs  %s\n",
+			name, f.Class, service,
+			f.WorkARM.Seconds(), f.WorkX86.Seconds(), f.Description); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig4CSV emits the Fig 4 sweep as CSV for plotting.
+func WriteFig4CSV(w io.Writer, res Fig4Result) error {
+	if _, err := fmt.Fprintln(w, "vms,throughput_per_min,joules_per_func,microfaas_ref_joules"); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f\n",
+			p.VMs, p.ThroughputPerMin, p.JoulesPerFunc, res.MicroFaaSJoules); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig5CSV emits the Fig 5 power sweep as CSV.
+func WriteFig5CSV(w io.Writer, pts []Fig5Point) error {
+	if _, err := fmt.Fprintln(w, "active_workers,microfaas_watts,conventional_watts"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f\n",
+			p.ActiveWorkers, p.MicroFaaSWatts, p.ConventionalWatts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig3CSV emits the per-function runtime split as CSV.
+func WriteFig3CSV(w io.Writer, rows []Fig3Row) error {
+	if _, err := fmt.Fprintln(w, "function,mf_working_ms,mf_overhead_ms,conv_working_ms,conv_overhead_ms,speed_ratio"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+			r.Function, ms(r.MFWorking), ms(r.MFOverhead),
+			ms(r.ConvWorking), ms(r.ConvOverhead), r.SpeedRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLoadSweepCSV emits the load sweep as CSV.
+func WriteLoadSweepCSV(w io.Writer, pts []LoadSweepPoint) error {
+	if _, err := fmt.Fprintln(w, "load_fraction,offered_per_min,mf_mean_latency_ms,mf_p95_latency_ms,mf_joules_per,conv_mean_latency_ms,conv_p95_latency_ms,conv_joules_per"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%.3f,%.3f,%.4f,%.3f,%.3f,%.4f\n",
+			p.LoadFraction, p.OfferedPerMin,
+			msD(p.MFMeanLatency), msD(p.MFP95Latency), p.MFJoulesPer,
+			msD(p.ConvMeanLat), msD(p.ConvP95Lat), p.ConvJoulesPer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteKeepWarmCSV emits the keep-warm sweep as CSV.
+func WriteKeepWarmCSV(w io.Writer, pts []KeepWarmPoint) error {
+	if _, err := fmt.Fprintln(w, "window_s,mean_latency_ms,p95_latency_ms,joules_per,warm_fraction"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%.3f,%.4f,%.4f\n",
+			p.Window.Seconds(), msD(p.MeanLatency), msD(p.P95Latency),
+			p.JoulesPerFunc, p.WarmFraction); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func msD(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

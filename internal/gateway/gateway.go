@@ -1,0 +1,320 @@
+// Package gateway exposes a running MicroFaaS cluster as an HTTP FaaS
+// endpoint — the integration surface the paper's conclusion anticipates
+// ("integrations for widely-used FaaS orchestration software").
+//
+// Routes:
+//
+//	POST /invoke           {"function": "...", "args": {...}} → synchronous result
+//	POST /invoke?async=1   same body → 202 with {"job_id": N} immediately
+//	GET  /jobs/{id}        async job status: 200 result, 404 unknown, 202 pending
+//	GET  /functions        list of deployable function names
+//	GET  /workers          worker ids with queue depths
+//	GET  /stats            per-function runtime statistics and cluster totals
+//	GET  /healthz          liveness probe
+//
+// Async results are retained for a bounded window (RetainAsync, default
+// 10 minutes) and deleted on first successful read.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/trace"
+	"microfaas/internal/workload"
+)
+
+// InvokeRequest is the POST /invoke body.
+type InvokeRequest struct {
+	Function string          `json:"function"`
+	Args     json.RawMessage `json:"args"`
+}
+
+// InvokeResponse is the POST /invoke reply.
+type InvokeResponse struct {
+	JobID    int64           `json:"job_id"`
+	Worker   string          `json:"worker"`
+	Output   json.RawMessage `json:"output,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	BootMs   float64         `json:"boot_ms"`
+	OvhMs    float64         `json:"overhead_ms"`
+	ExecMs   float64         `json:"exec_ms"`
+	TotalMs  float64         `json:"total_ms"`
+	QueuedMs float64         `json:"queued_ms"`
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	Completed int                   `json:"completed"`
+	Errors    int                   `json:"errors"`
+	Pending   int                   `json:"pending"`
+	Functions []trace.FunctionStats `json:"functions"`
+}
+
+// asyncEntry is a completed async job's retained result.
+type asyncEntry struct {
+	resp      InvokeResponse
+	status    int
+	expiresAt time.Time
+}
+
+// RetainAsync is how long a completed async result stays fetchable.
+const RetainAsync = 10 * time.Minute
+
+// Server serves the gateway over HTTP.
+type Server struct {
+	orch    *core.Orchestrator
+	timeout time.Duration
+
+	mu      sync.Mutex
+	http    *http.Server
+	pending map[int64]bool       // async jobs in flight
+	done    map[int64]asyncEntry // async results awaiting pickup
+}
+
+// New wraps an orchestrator. timeout bounds a synchronous invocation wait
+// (default 5 minutes).
+func New(orch *core.Orchestrator, timeout time.Duration) (*Server, error) {
+	if orch == nil {
+		return nil, fmt.Errorf("gateway: orchestrator required")
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	return &Server{
+		orch:    orch,
+		timeout: timeout,
+		pending: make(map[int64]bool),
+		done:    make(map[int64]asyncEntry),
+	}, nil
+}
+
+// Handler returns the HTTP handler (useful for embedding and tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke", s.handleInvoke)
+	mux.HandleFunc("/jobs/", s.handleJobStatus)
+	mux.HandleFunc("/functions", s.handleFunctions)
+	mux.HandleFunc("/workers", s.handleWorkers)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok") //nolint:errcheck
+	})
+	return mux
+}
+
+// Listen binds addr and serves in the background, returning the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("gateway: listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.http = srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the HTTP listener down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.http
+	s.http = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Function == "" {
+		writeError(w, http.StatusBadRequest, "function name required")
+		return
+	}
+	if _, err := workload.Get(req.Function); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	args := []byte(req.Args)
+	if len(args) == 0 {
+		args = []byte("{}")
+	}
+	if r.URL.Query().Get("async") != "" {
+		s.invokeAsync(w, req.Function, args)
+		return
+	}
+	resCh := make(chan core.Result, 1)
+	jobID := s.orch.SubmitAsync(req.Function, args, func(res core.Result) {
+		resCh <- res
+	})
+	select {
+	case res := <-resCh:
+		resp := InvokeResponse{
+			JobID:    jobID,
+			Worker:   res.WorkerID,
+			Output:   json.RawMessage(res.Output),
+			Error:    res.Err,
+			BootMs:   ms(res.Boot),
+			OvhMs:    ms(res.Overhead),
+			ExecMs:   ms(res.Exec),
+			TotalMs:  ms(res.Boot + res.Overhead + res.Exec),
+			QueuedMs: ms(res.FinishedAt - res.Job.SubmittedAt),
+		}
+		status := http.StatusOK
+		if res.Err != "" {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, resp)
+	case <-time.After(s.timeout):
+		writeError(w, http.StatusGatewayTimeout, "invocation timed out")
+	case <-r.Context().Done():
+		// Client gave up; the job still completes and is recorded.
+	}
+}
+
+// invokeAsync submits without waiting and returns 202 with the job id.
+func (s *Server) invokeAsync(w http.ResponseWriter, function string, args []byte) {
+	jobID := s.orch.SubmitAsync(function, args, func(res core.Result) {
+		entry := asyncEntry{
+			resp: InvokeResponse{
+				JobID:    res.Job.ID,
+				Worker:   res.WorkerID,
+				Output:   json.RawMessage(res.Output),
+				Error:    res.Err,
+				BootMs:   ms(res.Boot),
+				OvhMs:    ms(res.Overhead),
+				ExecMs:   ms(res.Exec),
+				TotalMs:  ms(res.Boot + res.Overhead + res.Exec),
+				QueuedMs: ms(res.FinishedAt - res.Job.SubmittedAt),
+			},
+			status:    http.StatusOK,
+			expiresAt: time.Now().Add(RetainAsync),
+		}
+		if res.Err != "" {
+			entry.status = http.StatusUnprocessableEntity
+		}
+		s.mu.Lock()
+		delete(s.pending, res.Job.ID)
+		s.done[res.Job.ID] = entry
+		s.reapLocked()
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	// The callback may already have fired (live workers are fast); only
+	// mark pending if it hasn't completed.
+	if _, completed := s.done[jobID]; !completed {
+		s.pending[jobID] = true
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]int64{"job_id": jobID})
+}
+
+// reapLocked drops expired async results. Caller holds s.mu.
+func (s *Server) reapLocked() {
+	now := time.Now()
+	for id, e := range s.done {
+		if now.After(e.expiresAt) {
+			delete(s.done, id)
+		}
+	}
+}
+
+// handleJobStatus serves GET /jobs/{id}: 200/422 with the result (consumed
+// on read), 202 while pending, 404 for unknown or expired jobs.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	s.reapLocked()
+	if entry, ok := s.done[id]; ok {
+		delete(s.done, id) // results are picked up exactly once
+		s.mu.Unlock()
+		writeJSON(w, entry.status, entry.resp)
+		return
+	}
+	pending := s.pending[id]
+	s.mu.Unlock()
+	if pending {
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "pending"})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown, expired, or already-fetched job")
+}
+
+func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, workload.Names())
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	type workerInfo struct {
+		ID         string `json:"id"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	var out []workerInfo
+	for _, id := range s.orch.Workers() {
+		out = append(out, workerInfo{ID: id, QueueDepth: s.orch.QueueDepth(id)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	coll := s.orch.Collector()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Completed: coll.Len() - coll.ErrorCount(),
+		Errors:    coll.ErrorCount(),
+		Pending:   s.orch.Pending(),
+		Functions: coll.ByFunction(),
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

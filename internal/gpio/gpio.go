@@ -1,0 +1,171 @@
+// Package gpio models the prototype's power-control plane: the OP SBC's
+// GPIO header wired to every worker SBC's PWR_BUT pin (Sec IV-D), through
+// which the orchestrator powers workers on and off.
+//
+// The controller does two jobs. First, it enforces the physical wiring
+// discipline — every worker must be wired to a distinct GPIO pin before it
+// can be actuated, just as the prototype runs one jumper per node. Second,
+// it keeps the cluster's power-state audit log: every transition (who,
+// when, from→to, why), which is both the evaluation's power timeline and
+// the data behind Fig 5-style plots. SimWorkers report their transitions
+// here when a controller is attached.
+package gpio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"microfaas/internal/power"
+)
+
+// Event is one power-state transition of one worker node.
+type Event struct {
+	// At is the cluster-clock timestamp.
+	At time.Duration
+	// Node is the worker id; Pin the GPIO line that actuated it.
+	Node string
+	Pin  int
+	// From/To are the power states around the transition.
+	From, To power.State
+	// Cause describes the actuation, e.g. "PWR_BUT press (job 42)".
+	Cause string
+}
+
+// Controller is the OP's GPIO header: wiring registry plus transition log.
+// Safe for concurrent use.
+type Controller struct {
+	mu      sync.Mutex
+	pins    map[string]int // node -> pin
+	used    map[int]string // pin -> node
+	nextPin int
+	events  []Event
+}
+
+// NewController returns an empty controller whose pins number from 1.
+func NewController() *Controller {
+	return &Controller{pins: make(map[string]int), used: make(map[int]string), nextPin: 1}
+}
+
+// Wire connects a node's PWR_BUT to a specific pin. Each node and each pin
+// may be used once.
+func (c *Controller) Wire(node string, pin int) error {
+	if node == "" {
+		return fmt.Errorf("gpio: empty node name")
+	}
+	if pin <= 0 {
+		return fmt.Errorf("gpio: pin numbers start at 1, got %d", pin)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, dup := c.pins[node]; dup {
+		return fmt.Errorf("gpio: node %s already wired to pin %d", node, p)
+	}
+	if n, dup := c.used[pin]; dup {
+		return fmt.Errorf("gpio: pin %d already wired to node %s", pin, n)
+	}
+	c.pins[node] = pin
+	c.used[pin] = node
+	if pin >= c.nextPin {
+		c.nextPin = pin + 1
+	}
+	return nil
+}
+
+// WireNext wires a node to the lowest free pin and returns it.
+func (c *Controller) WireNext(node string) (int, error) {
+	c.mu.Lock()
+	pin := c.nextPin
+	c.mu.Unlock()
+	if err := c.Wire(node, pin); err != nil {
+		return 0, err
+	}
+	return pin, nil
+}
+
+// Pin returns the node's wired pin.
+func (c *Controller) Pin(node string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pin, ok := c.pins[node]
+	return pin, ok
+}
+
+// Nodes returns the wired node names, sorted.
+func (c *Controller) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.pins))
+	for n := range c.pins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transition records a power-state change for a wired node. Unwired nodes
+// are rejected: in the prototype the OP physically cannot actuate them.
+func (c *Controller) Transition(node string, at time.Duration, from, to power.State, cause string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pin, ok := c.pins[node]
+	if !ok {
+		return fmt.Errorf("gpio: node %s is not wired", node)
+	}
+	if from == to {
+		return fmt.Errorf("gpio: node %s transition %v -> %v is not a transition", node, from, to)
+	}
+	if n := len(c.events); n > 0 && c.events[n-1].At > at {
+		return fmt.Errorf("gpio: transition at %v is earlier than the last logged event (%v)", at, c.events[n-1].At)
+	}
+	c.events = append(c.events, Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
+	return nil
+}
+
+// Events returns a copy of the full transition log, in time order.
+func (c *Controller) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// EventsFor returns one node's transitions.
+func (c *Controller) EventsFor(node string) []Event {
+	var out []Event
+	for _, e := range c.Events() {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PowerOnCount returns how many times a node was powered on (Off →
+// anything) — the number of PWR_BUT presses the OP issued for it.
+func (c *Controller) PowerOnCount(node string) int {
+	n := 0
+	for _, e := range c.EventsFor(node) {
+		if e.From == power.Off {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV dumps the transition log (the cluster's power timeline).
+func (c *Controller) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_ms,node,pin,from,to,cause"); err != nil {
+		return err
+	}
+	for _, e := range c.Events() {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%s,%s,%q\n",
+			float64(e.At)/float64(time.Millisecond), e.Node, e.Pin, e.From, e.To, e.Cause); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package gpio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"microfaas/internal/power"
+)
+
+func TestWireAndPinLookup(t *testing.T) {
+	c := NewController()
+	if err := c.Wire("sbc-0", 7); err != nil {
+		t.Fatal(err)
+	}
+	pin, ok := c.Pin("sbc-0")
+	if !ok || pin != 7 {
+		t.Fatalf("Pin = %d/%v", pin, ok)
+	}
+	if _, ok := c.Pin("ghost"); ok {
+		t.Fatal("unwired node has a pin")
+	}
+}
+
+func TestWireRejectsDuplicates(t *testing.T) {
+	c := NewController()
+	if err := c.Wire("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wire("a", 2); err == nil {
+		t.Fatal("node double-wired")
+	}
+	if err := c.Wire("b", 1); err == nil {
+		t.Fatal("pin double-used")
+	}
+	if err := c.Wire("", 3); err == nil {
+		t.Fatal("empty node wired")
+	}
+	if err := c.Wire("c", 0); err == nil {
+		t.Fatal("pin 0 accepted")
+	}
+}
+
+func TestWireNextSkipsUsedPins(t *testing.T) {
+	c := NewController()
+	if err := c.Wire("manual", 3); err != nil {
+		t.Fatal(err)
+	}
+	pin, err := c.WireNext("auto")
+	if err != nil || pin != 4 {
+		t.Fatalf("WireNext = %d, %v (want 4, after the manually-used 3)", pin, err)
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0] != "auto" || nodes[1] != "manual" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestTransitionRequiresWiring(t *testing.T) {
+	c := NewController()
+	if err := c.Transition("ghost", 0, power.Off, power.Booting, "x"); err == nil {
+		t.Fatal("unwired node actuated")
+	}
+}
+
+func TestTransitionRejectsNoOp(t *testing.T) {
+	c := NewController()
+	c.Wire("a", 1) //nolint:errcheck
+	if err := c.Transition("a", 0, power.Busy, power.Busy, "x"); err == nil {
+		t.Fatal("identity transition accepted")
+	}
+}
+
+func TestTransitionRejectsTimeTravel(t *testing.T) {
+	c := NewController()
+	c.Wire("a", 1) //nolint:errcheck
+	if err := c.Transition("a", time.Second, power.Off, power.Booting, "on"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Transition("a", 500*time.Millisecond, power.Booting, power.Busy, "back"); err == nil {
+		t.Fatal("out-of-order event accepted")
+	}
+}
+
+func TestEventLogAndPowerOnCount(t *testing.T) {
+	c := NewController()
+	c.Wire("a", 1) //nolint:errcheck
+	c.Wire("b", 2) //nolint:errcheck
+	steps := []struct {
+		node     string
+		from, to power.State
+	}{
+		{"a", power.Off, power.Booting},
+		{"a", power.Booting, power.Busy},
+		{"b", power.Off, power.Booting},
+		{"a", power.Busy, power.Off},
+		{"a", power.Off, power.Booting},
+	}
+	for i, s := range steps {
+		if err := c.Transition(s.node, time.Duration(i)*time.Second, s.from, s.to, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.Events()); got != 5 {
+		t.Fatalf("%d events", got)
+	}
+	if got := len(c.EventsFor("a")); got != 4 {
+		t.Fatalf("a has %d events", got)
+	}
+	if got := c.PowerOnCount("a"); got != 2 {
+		t.Fatalf("a powered on %d times, want 2", got)
+	}
+	if got := c.PowerOnCount("b"); got != 1 {
+		t.Fatalf("b powered on %d times, want 1", got)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	c := NewController()
+	c.Wire("a", 1)                                         //nolint:errcheck
+	c.Transition("a", 0, power.Off, power.Booting, "once") //nolint:errcheck
+	evs := c.Events()
+	evs[0].Node = "tampered"
+	if c.Events()[0].Node != "a" {
+		t.Fatal("Events leaked internal storage")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := NewController()
+	c.Wire("sbc-0", 1)                                                                              //nolint:errcheck
+	c.Transition("sbc-0", 1510*time.Millisecond, power.Off, power.Booting, "PWR_BUT press (job 1)") //nolint:errcheck
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "at_ms,node,pin,from,to,cause") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1510.000,sbc-0,1,off,booting") {
+		t.Fatalf("row malformed:\n%s", out)
+	}
+}
+
+// Property: wiring N distinct nodes via WireNext yields N distinct pins.
+func TestWireNextDistinctProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		c := NewController()
+		seen := map[int]bool{}
+		for i := 0; i < int(n%64)+1; i++ {
+			pin, err := c.WireNext(strings.Repeat("x", i+1))
+			if err != nil || seen[pin] {
+				return false
+			}
+			seen[pin] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

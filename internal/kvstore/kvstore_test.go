@@ -1,0 +1,430 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// --- Store unit tests ---
+
+func TestStoreSetGet(t *testing.T) {
+	s := NewStore()
+	if existed := s.Set("k", []byte("v")); existed {
+		t.Fatal("fresh key reported as existing")
+	}
+	if existed := s.Set("k", []byte("v2")); !existed {
+		t.Fatal("overwrite not reported as existing")
+	}
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q/%v", v, ok)
+	}
+}
+
+func TestStoreGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Set("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get leaked internal storage")
+	}
+}
+
+func TestStoreSetCopiesInput(t *testing.T) {
+	s := NewStore()
+	buf := []byte("abc")
+	s.Set("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Set aliased caller's buffer")
+	}
+}
+
+func TestStoreSetNX(t *testing.T) {
+	s := NewStore()
+	if !s.SetNX("k", []byte("1")) {
+		t.Fatal("first SetNX should store")
+	}
+	if s.SetNX("k", []byte("2")) {
+		t.Fatal("second SetNX should not store")
+	}
+	v, _ := s.Get("k")
+	if string(v) != "1" {
+		t.Fatal("SetNX overwrote")
+	}
+}
+
+func TestStoreDelExists(t *testing.T) {
+	s := NewStore()
+	s.Set("a", nil)
+	s.Set("b", nil)
+	if got := s.Exists("a", "b", "c", "a"); got != 3 {
+		t.Fatalf("Exists = %d, want 3 (duplicates count)", got)
+	}
+	if got := s.Del("a", "c"); got != 1 {
+		t.Fatalf("Del = %d, want 1", got)
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestStoreIncrBy(t *testing.T) {
+	s := NewStore()
+	n, err := s.IncrBy("ctr", 5)
+	if err != nil || n != 5 {
+		t.Fatalf("IncrBy fresh = %d, %v", n, err)
+	}
+	n, err = s.IncrBy("ctr", -2)
+	if err != nil || n != 3 {
+		t.Fatalf("IncrBy = %d, %v", n, err)
+	}
+	s.Set("txt", []byte("hello"))
+	if _, err := s.IncrBy("txt", 1); err == nil {
+		t.Fatal("IncrBy on text must fail")
+	}
+}
+
+func TestStoreKeysPattern(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"user:1", "user:2", "job:9"} {
+		s.Set(k, nil)
+	}
+	got := s.Keys("user:*")
+	if len(got) != 2 || got[0] != "user:1" || got[1] != "user:2" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if all := s.Keys("*"); len(all) != 3 {
+		t.Fatalf("Keys(*) = %v", all)
+	}
+}
+
+func TestStoreFlush(t *testing.T) {
+	s := NewStore()
+	s.Set("a", nil)
+	s.Flush()
+	if s.Len() != 0 {
+		t.Fatal("Flush left keys behind")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Set(key, []byte("v"))
+				s.Get(key)
+				s.IncrBy(fmt.Sprintf("ctr%d", g), 1) //nolint:errcheck
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		n, err := s.IncrBy(fmt.Sprintf("ctr%d", g), 0)
+		if err != nil || n != 200 {
+			t.Fatalf("counter %d = %d, %v", g, n, err)
+		}
+	}
+}
+
+// Property: after Set(k,v), Get(k) returns v, for arbitrary binary values.
+func TestStoreRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	prop := func(key string, val []byte) bool {
+		s.Set(key, val)
+		got, ok := s.Get(key)
+		return ok && bytes.Equal(got, val)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- RESP parser tests ---
+
+func respRead(t *testing.T, s string) respValue {
+	t.Helper()
+	v, err := readValue(bufio.NewReader(strings.NewReader(s)))
+	if err != nil {
+		t.Fatalf("readValue(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestRESPParseKinds(t *testing.T) {
+	if v := respRead(t, "+OK\r\n"); v.kind != '+' || v.str != "OK" {
+		t.Fatalf("simple: %+v", v)
+	}
+	if v := respRead(t, ":42\r\n"); v.kind != ':' || v.num != 42 {
+		t.Fatalf("int: %+v", v)
+	}
+	if v := respRead(t, "$5\r\nhello\r\n"); string(v.bulk) != "hello" {
+		t.Fatalf("bulk: %+v", v)
+	}
+	if v := respRead(t, "$-1\r\n"); !v.null {
+		t.Fatalf("null bulk: %+v", v)
+	}
+	if v := respRead(t, "-ERR boom\r\n"); v.kind != '-' || v.str != "ERR boom" {
+		t.Fatalf("error: %+v", v)
+	}
+	v := respRead(t, "*2\r\n$1\r\na\r\n:7\r\n")
+	if len(v.array) != 2 || string(v.array[0].bulk) != "a" || v.array[1].num != 7 {
+		t.Fatalf("array: %+v", v)
+	}
+}
+
+func TestRESPBulkWithBinaryData(t *testing.T) {
+	payload := []byte{0, 1, 2, '\r', '\n', 255}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeBulk(w, payload); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	v, err := readValue(bufio.NewReader(&buf))
+	if err != nil || !bytes.Equal(v.bulk, payload) {
+		t.Fatalf("binary round trip failed: %v %v", v.bulk, err)
+	}
+}
+
+func TestRESPRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"?x\r\n", "$abc\r\n", ":x\r\n", "+no-terminator\n", "*1\r\n:1x\r\n"} {
+		if _, err := readValue(bufio.NewReader(strings.NewReader(bad))); err == nil {
+			t.Fatalf("accepted garbage %q", bad)
+		}
+	}
+}
+
+func TestRESPRejectsOversizedBulk(t *testing.T) {
+	huge := fmt.Sprintf("$%d\r\n", maxBulkLen+1)
+	if _, err := readValue(bufio.NewReader(strings.NewReader(huge))); err == nil {
+		t.Fatal("accepted oversized bulk length")
+	}
+}
+
+// Property: any command written by writeCommand parses back identically.
+func TestRESPCommandRoundTripProperty(t *testing.T) {
+	prop := func(parts [][]byte) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeCommand(w, parts...); err != nil {
+			return false
+		}
+		got, err := readCommand(bufio.NewReader(&buf))
+		if err != nil || len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- End-to-end server/client tests ---
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestEndToEndBasicOps(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("greeting", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("greeting")
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q/%v/%v", v, ok, err)
+	}
+	if _, ok, _ := c.Get("missing"); ok {
+		t.Fatal("missing key reported present")
+	}
+	n, err := c.Incr("hits")
+	if err != nil || n != 1 {
+		t.Fatalf("Incr = %d, %v", n, err)
+	}
+	n, err = c.IncrBy("hits", 9)
+	if err != nil || n != 10 {
+		t.Fatalf("IncrBy = %d, %v", n, err)
+	}
+	cnt, err := c.Del("greeting", "missing")
+	if err != nil || cnt != 1 {
+		t.Fatalf("Del = %d, %v", cnt, err)
+	}
+	sz, err := c.DBSize()
+	if err != nil || sz != 1 {
+		t.Fatalf("DBSize = %d, %v", sz, err)
+	}
+}
+
+func TestEndToEndSetNXAndExists(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	stored, err := c.SetNX("once", []byte("1"))
+	if err != nil || !stored {
+		t.Fatalf("SetNX first = %v, %v", stored, err)
+	}
+	stored, err = c.SetNX("once", []byte("2"))
+	if err != nil || stored {
+		t.Fatalf("SetNX second = %v, %v", stored, err)
+	}
+	n, err := c.Exists("once", "never")
+	if err != nil || n != 1 {
+		t.Fatalf("Exists = %d, %v", n, err)
+	}
+}
+
+func TestEndToEndKeysAndFlush(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	for i := 0; i < 5; i++ {
+		if err := c.Set(fmt.Sprintf("item:%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Keys("item:*")
+	if err != nil || len(keys) != 5 {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := c.DBSize()
+	if sz != 0 {
+		t.Fatalf("DBSize after flush = %d", sz)
+	}
+}
+
+func TestEndToEndServerError(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	c.Set("txt", []byte("abc")) //nolint:errcheck
+	if _, err := c.Incr("txt"); err == nil || !strings.Contains(err.Error(), "integer") {
+		t.Fatalf("Incr on text: err = %v, want integer error", err)
+	}
+	// The connection must survive a command error.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestEndToEndUnknownCommand(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	writeCommand(w, []byte("BOGUS")) //nolint:errcheck
+	v, err := readValue(bufio.NewReader(conn))
+	if err != nil || v.kind != '-' {
+		t.Fatalf("want error reply, got %+v, %v", v, err)
+	}
+}
+
+func TestEndToEndConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Incr("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := dial(t, addr)
+	n, err := c.IncrBy("shared", 0)
+	if err != nil || n != 400 {
+		t.Fatalf("shared counter = %d, %v, want 400", n, err)
+	}
+}
+
+func TestServerCloseIsIdempotentAndUnblocksClients(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after server close")
+	}
+}
+
+func TestWrongArityReportsError(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	writeCommand(w, []byte("SET"), []byte("only-key")) //nolint:errcheck
+	v, err := readValue(bufio.NewReader(conn))
+	if err != nil || v.kind != '-' || !strings.Contains(v.str, "wrong number of arguments") {
+		t.Fatalf("got %+v, %v", v, err)
+	}
+}

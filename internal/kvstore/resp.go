@@ -1,0 +1,167 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements the wire format: RESP2 (the protocol Redis clients
+// speak). Requests are arrays of bulk strings; responses are simple
+// strings, errors, integers, bulk strings, nulls, or arrays.
+
+// respValue is one parsed RESP value.
+type respValue struct {
+	kind  byte // '+', '-', ':', '$', '*'
+	str   string
+	num   int64
+	bulk  []byte // nil means null bulk string when kind == '$'
+	array []respValue
+	null  bool
+}
+
+var errProtocol = errors.New("kvstore: RESP protocol error")
+
+const maxBulkLen = 64 << 20 // 64 MiB guard against hostile lengths
+
+// readLine reads a CRLF-terminated line without the terminator.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// readValue parses one RESP value from the stream.
+func readValue(r *bufio.Reader) (respValue, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return respValue{}, err
+	}
+	if len(line) == 0 {
+		return respValue{}, errProtocol
+	}
+	kind, rest := line[0], string(line[1:])
+	switch kind {
+	case '+':
+		return respValue{kind: '+', str: rest}, nil
+	case '-':
+		return respValue{kind: '-', str: rest}, nil
+	case ':':
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return respValue{}, errProtocol
+		}
+		return respValue{kind: ':', num: n}, nil
+	case '$':
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || n > maxBulkLen {
+			return respValue{}, errProtocol
+		}
+		if n < 0 {
+			return respValue{kind: '$', null: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return respValue{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return respValue{}, errProtocol
+		}
+		return respValue{kind: '$', bulk: buf[:n]}, nil
+	case '*':
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || n > 1<<20 {
+			return respValue{}, errProtocol
+		}
+		if n < 0 {
+			return respValue{kind: '*', null: true}, nil
+		}
+		arr := make([]respValue, 0, n)
+		for i := int64(0); i < n; i++ {
+			v, err := readValue(r)
+			if err != nil {
+				return respValue{}, err
+			}
+			arr = append(arr, v)
+		}
+		return respValue{kind: '*', array: arr}, nil
+	default:
+		return respValue{}, errProtocol
+	}
+}
+
+// readCommand parses a client request: an array of bulk strings. The first
+// element is the command name; the rest are arguments.
+func readCommand(r *bufio.Reader) ([][]byte, error) {
+	v, err := readValue(r)
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != '*' || v.null || len(v.array) == 0 {
+		return nil, errProtocol
+	}
+	args := make([][]byte, len(v.array))
+	for i, el := range v.array {
+		if el.kind != '$' || el.null {
+			return nil, errProtocol
+		}
+		args[i] = el.bulk
+	}
+	return args, nil
+}
+
+// Writers. Each returns the first write error; callers flush once per reply.
+
+func writeSimple(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	return err
+}
+
+func writeError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+func writeInt(w *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", n)
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if b == nil {
+		_, err := w.WriteString("$-1\r\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) error {
+	_, err := fmt.Fprintf(w, "*%d\r\n", n)
+	return err
+}
+
+func writeCommand(w *bufio.Writer, args ...[]byte) error {
+	if err := writeArrayHeader(w, len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulk(w, a); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

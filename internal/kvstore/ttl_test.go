@@ -1,0 +1,183 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable clock for TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedStore() (*Store, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	return NewStoreWithClock(c.now), c
+}
+
+func TestSetWithTTLExpires(t *testing.T) {
+	s, clock := newClockedStore()
+	s.SetWithTTL("k", []byte("v"), 10*time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("key missing before expiry")
+	}
+	clock.advance(9 * time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("key expired early")
+	}
+	clock.advance(2 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key survived its TTL")
+	}
+	if s.Len() != 0 {
+		t.Fatal("expired key still counted")
+	}
+}
+
+func TestPlainSetClearsTTL(t *testing.T) {
+	s, clock := newClockedStore()
+	s.SetWithTTL("k", []byte("v1"), time.Second)
+	s.Set("k", []byte("v2"))
+	clock.advance(time.Hour)
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v2" {
+		t.Fatal("plain Set should clear the TTL")
+	}
+	if ttl, ok := s.TTL("k"); !ok || ttl >= 0 {
+		t.Fatalf("TTL = %v/%v, want -1 (no expiry)", ttl, ok)
+	}
+}
+
+func TestExpireAndTTL(t *testing.T) {
+	s, clock := newClockedStore()
+	if s.Expire("missing", time.Second) {
+		t.Fatal("Expire on missing key reported success")
+	}
+	s.Set("k", []byte("v"))
+	if !s.Expire("k", 30*time.Second) {
+		t.Fatal("Expire on live key failed")
+	}
+	ttl, ok := s.TTL("k")
+	if !ok || ttl != 30*time.Second {
+		t.Fatalf("TTL = %v/%v", ttl, ok)
+	}
+	clock.advance(10 * time.Second)
+	ttl, _ = s.TTL("k")
+	if ttl != 20*time.Second {
+		t.Fatalf("TTL after 10s = %v", ttl)
+	}
+	if _, ok := s.TTL("missing"); ok {
+		t.Fatal("TTL on missing key reported existence")
+	}
+	// Non-positive expiry deletes immediately, like Redis.
+	if !s.Expire("k", 0) {
+		t.Fatal("Expire(0) on live key failed")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Expire(0) left the key alive")
+	}
+}
+
+func TestSetNXSucceedsAfterExpiry(t *testing.T) {
+	s, clock := newClockedStore()
+	s.SetWithTTL("k", []byte("old"), time.Second)
+	clock.advance(2 * time.Second)
+	if !s.SetNX("k", []byte("new")) {
+		t.Fatal("SetNX blocked by an expired key")
+	}
+	v, _ := s.Get("k")
+	if string(v) != "new" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestExpiredKeysVanishFromKeysAndExists(t *testing.T) {
+	s, clock := newClockedStore()
+	s.SetWithTTL("gone", nil, time.Second)
+	s.Set("stays", nil)
+	clock.advance(2 * time.Second)
+	if got := s.Keys("*"); len(got) != 1 || got[0] != "stays" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if got := s.Exists("gone", "stays"); got != 1 {
+		t.Fatalf("Exists = %d", got)
+	}
+}
+
+func TestAppendStore(t *testing.T) {
+	s := NewStore()
+	if n := s.Append("k", []byte("ab")); n != 2 {
+		t.Fatalf("first append len = %d", n)
+	}
+	if n := s.Append("k", []byte("cd")); n != 4 {
+		t.Fatalf("second append len = %d", n)
+	}
+	v, _ := s.Get("k")
+	if string(v) != "abcd" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+// --- end-to-end over RESP ---
+
+func TestEndToEndTTLCommands(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.SetEX("session", []byte("tok"), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ttl, ok, err := c.TTL("session")
+	if err != nil || !ok || ttl <= 0 || ttl > 30*time.Second {
+		t.Fatalf("TTL = %v/%v/%v", ttl, ok, err)
+	}
+	existed, err := c.Expire("session", time.Minute)
+	if err != nil || !existed {
+		t.Fatalf("Expire = %v/%v", existed, err)
+	}
+	ttl, ok, _ = c.TTL("session")
+	if !ok || ttl != time.Minute {
+		t.Fatalf("TTL after Expire = %v/%v", ttl, ok)
+	}
+	c.Set("forever", []byte("x")) //nolint:errcheck
+	ttl, ok, _ = c.TTL("forever")
+	if !ok || ttl >= 0 {
+		t.Fatalf("no-expiry TTL = %v/%v, want -1", ttl, ok)
+	}
+	if _, ok, _ := c.TTL("missing"); ok {
+		t.Fatal("missing key TTL reported existence")
+	}
+	if err := c.SetEX("bad", nil, 0); err == nil {
+		t.Fatal("zero TTL accepted by SetEX")
+	}
+}
+
+func TestEndToEndMGetMSetAppend(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.MSet(map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.MGet("a", "missing", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "1" || vals[1] != nil || string(vals[2]) != "2" {
+		t.Fatalf("MGet = %q", vals)
+	}
+	n, err := c.Append("log", []byte("hello "))
+	if err != nil || n != 6 {
+		t.Fatalf("Append = %d/%v", n, err)
+	}
+	n, err = c.Append("log", []byte("world"))
+	if err != nil || n != 11 {
+		t.Fatalf("Append = %d/%v", n, err)
+	}
+	v, ok, _ := c.Get("log")
+	if !ok || !bytes.Equal(v, []byte("hello world")) {
+		t.Fatalf("log = %q", v)
+	}
+	if err := c.MSet(nil); err == nil {
+		t.Fatal("empty MSet accepted")
+	}
+}

@@ -1,0 +1,465 @@
+package mq
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// --- Broker unit tests ---
+
+func TestProduceAssignsSequentialOffsets(t *testing.T) {
+	b := NewBroker()
+	for i := int64(0); i < 5; i++ {
+		off, err := b.Produce("jobs", nil, []byte(fmt.Sprintf("m%d", i)))
+		if err != nil || off != i {
+			t.Fatalf("Produce #%d = %d, %v", i, off, err)
+		}
+	}
+	if b.End("jobs") != 5 {
+		t.Fatalf("End = %d, want 5", b.End("jobs"))
+	}
+}
+
+func TestFetchFromOffset(t *testing.T) {
+	b := NewBroker()
+	for i := 0; i < 10; i++ {
+		b.Produce("t", nil, []byte{byte(i)}) //nolint:errcheck
+	}
+	msgs, err := b.Fetch("t", 7, 100, 0)
+	if err != nil || len(msgs) != 3 {
+		t.Fatalf("Fetch = %d msgs, %v", len(msgs), err)
+	}
+	if msgs[0].Offset != 7 || msgs[2].Offset != 9 {
+		t.Fatalf("offsets = %d..%d", msgs[0].Offset, msgs[2].Offset)
+	}
+}
+
+func TestFetchHonorsMax(t *testing.T) {
+	b := NewBroker()
+	for i := 0; i < 10; i++ {
+		b.Produce("t", nil, nil) //nolint:errcheck
+	}
+	msgs, _ := b.Fetch("t", 0, 4, 0)
+	if len(msgs) != 4 {
+		t.Fatalf("len = %d, want 4", len(msgs))
+	}
+}
+
+func TestFetchPastEndReturnsEmptyImmediately(t *testing.T) {
+	b := NewBroker()
+	start := time.Now()
+	msgs, err := b.Fetch("empty", 0, 1, 0)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("Fetch = %v, %v", msgs, err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-waiting fetch blocked")
+	}
+}
+
+func TestFetchLongPollWakesOnProduce(t *testing.T) {
+	b := NewBroker()
+	done := make(chan []Message, 1)
+	go func() {
+		msgs, _ := b.Fetch("t", 0, 1, 5*time.Second)
+		done <- msgs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Produce("t", nil, []byte("wake")) //nolint:errcheck
+	select {
+	case msgs := <-done:
+		if len(msgs) != 1 || string(msgs[0].Value) != "wake" {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long poll did not wake on produce")
+	}
+}
+
+func TestFetchLongPollTimesOut(t *testing.T) {
+	b := NewBroker()
+	start := time.Now()
+	msgs, err := b.Fetch("quiet", 0, 1, 50*time.Millisecond)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("Fetch = %v, %v", msgs, err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestCommitAndCommitted(t *testing.T) {
+	b := NewBroker()
+	if b.Committed("g", "t") != 0 {
+		t.Fatal("fresh group should start at 0")
+	}
+	if err := b.Commit("g", "t", 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Committed("g", "t"); got != 42 {
+		t.Fatalf("Committed = %d", got)
+	}
+	// Groups are independent.
+	if b.Committed("other", "t") != 0 {
+		t.Fatal("groups must not share commits")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.Produce("", nil, nil); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	if _, err := b.Fetch("", 0, 1, 0); err == nil {
+		t.Fatal("empty topic accepted in fetch")
+	}
+	if _, err := b.Fetch("t", -1, 1, 0); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := b.Commit("", "t", 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if err := b.Commit("g", "t", -1); err == nil {
+		t.Fatal("negative commit accepted")
+	}
+}
+
+func TestMessagesAreCopied(t *testing.T) {
+	b := NewBroker()
+	val := []byte("original")
+	b.Produce("t", nil, val) //nolint:errcheck
+	val[0] = 'X'
+	msgs, _ := b.Fetch("t", 0, 1, 0)
+	if string(msgs[0].Value) != "original" {
+		t.Fatal("Produce aliased caller's buffer")
+	}
+}
+
+func TestTopics(t *testing.T) {
+	b := NewBroker()
+	b.Produce("zeta", nil, nil)  //nolint:errcheck
+	b.Produce("alpha", nil, nil) //nolint:errcheck
+	got := b.Topics()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Topics = %v", got)
+	}
+}
+
+func TestCloseWakesBlockedFetch(t *testing.T) {
+	b := NewBroker()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch("t", 0, 1, 10*time.Second)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("fetch on closed broker should error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake blocked fetch")
+	}
+	if _, err := b.Produce("t", nil, nil); err == nil {
+		t.Fatal("produce after Close should error")
+	}
+}
+
+func TestConcurrentProducersTotalOrder(t *testing.T) {
+	b := NewBroker()
+	var wg sync.WaitGroup
+	const producers, each = 4, 100
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := b.Produce("t", nil, []byte("m")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	msgs, err := b.Fetch("t", 0, producers*each+1, 0)
+	if err != nil || len(msgs) != producers*each {
+		t.Fatalf("fetched %d, %v", len(msgs), err)
+	}
+	for i, m := range msgs {
+		if m.Offset != int64(i) {
+			t.Fatalf("offset hole at %d: %d", i, m.Offset)
+		}
+	}
+}
+
+// Property: producing N messages then fetching from 0 returns them in
+// order with intact payloads.
+func TestProduceFetchOrderProperty(t *testing.T) {
+	prop := func(payloads [][]byte) bool {
+		b := NewBroker()
+		for _, p := range payloads {
+			if _, err := b.Produce("t", nil, p); err != nil {
+				return false
+			}
+		}
+		msgs, err := b.Fetch("t", 0, len(payloads)+1, 0)
+		if err != nil || len(msgs) != len(payloads) {
+			return len(payloads) == 0 && err == nil
+		}
+		for i, m := range msgs {
+			if !bytes.Equal(m.Value, payloads[i]) || m.Offset != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- End-to-end over TCP ---
+
+func startMQServer(t *testing.T) string {
+	t.Helper()
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func dialMQ(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func startMQ(t *testing.T) *Client {
+	t.Helper()
+	return dialMQ(t, startMQServer(t))
+}
+
+func TestEndToEndProduceConsume(t *testing.T) {
+	c := startMQ(t)
+	off, err := c.Produce("orders", []byte("k1"), []byte("order-1"))
+	if err != nil || off != 0 {
+		t.Fatalf("Produce = %d, %v", off, err)
+	}
+	off, err = c.Produce("orders", nil, []byte("order-2"))
+	if err != nil || off != 1 {
+		t.Fatalf("Produce = %d, %v", off, err)
+	}
+	msgs, err := c.Fetch("orders", 0, 10, 0)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("Fetch = %v, %v", msgs, err)
+	}
+	if string(msgs[0].Key) != "k1" || string(msgs[1].Value) != "order-2" {
+		t.Fatalf("messages corrupted: %+v", msgs)
+	}
+	end, err := c.End("orders")
+	if err != nil || end != 2 {
+		t.Fatalf("End = %d, %v", end, err)
+	}
+}
+
+func TestEndToEndConsumerGroupFlow(t *testing.T) {
+	c := startMQ(t)
+	for i := 0; i < 3; i++ {
+		c.Produce("t", nil, []byte{byte(i)}) //nolint:errcheck
+	}
+	pos, err := c.Committed("workers", "t")
+	if err != nil || pos != 0 {
+		t.Fatalf("Committed = %d, %v", pos, err)
+	}
+	msgs, err := c.Fetch("t", pos, 2, 0)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("Fetch = %v, %v", msgs, err)
+	}
+	next := msgs[len(msgs)-1].Offset + 1
+	if err := c.Commit("workers", "t", next); err != nil {
+		t.Fatal(err)
+	}
+	pos, err = c.Committed("workers", "t")
+	if err != nil || pos != 2 {
+		t.Fatalf("Committed after commit = %d, %v", pos, err)
+	}
+	msgs, err = c.Fetch("t", pos, 10, 0)
+	if err != nil || len(msgs) != 1 || msgs[0].Value[0] != 2 {
+		t.Fatalf("remaining = %v, %v", msgs, err)
+	}
+}
+
+func TestEndToEndErrorsKeepConnection(t *testing.T) {
+	c := startMQ(t)
+	if _, err := c.Produce("", nil, nil); err == nil {
+		t.Fatal("empty topic accepted over the wire")
+	}
+	if _, err := c.Produce("ok", nil, []byte("x")); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+	if _, err := c.Fetch("t", -5, 1, 0); err == nil {
+		t.Fatal("negative offset accepted over the wire")
+	}
+	if _, err := c.Topics(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndLongPollOverTCP(t *testing.T) {
+	addr := startMQServer(t)
+	c, producer := dialMQ(t, addr), dialMQ(t, addr)
+	done := make(chan []Message, 1)
+	go func() {
+		msgs, _ := c.Fetch("live", 0, 1, 5*time.Second)
+		done <- msgs
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := producer.Produce("live", nil, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msgs := <-done:
+		if len(msgs) != 1 || string(msgs[0].Value) != "ping" {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("TCP long poll did not deliver")
+	}
+}
+
+func TestConsumeGroupAdvancesCommit(t *testing.T) {
+	b := NewBroker()
+	for i := 0; i < 5; i++ {
+		b.Produce("t", nil, []byte{byte(i)}) //nolint:errcheck
+	}
+	first, err := b.ConsumeGroup("g", "t", 2, 0)
+	if err != nil || len(first) != 2 || first[0].Offset != 0 {
+		t.Fatalf("first = %v, %v", first, err)
+	}
+	second, err := b.ConsumeGroup("g", "t", 10, 0)
+	if err != nil || len(second) != 3 || second[0].Offset != 2 {
+		t.Fatalf("second = %v, %v", second, err)
+	}
+	// Caught up: immediate return with nothing.
+	third, err := b.ConsumeGroup("g", "t", 1, 0)
+	if err != nil || len(third) != 0 {
+		t.Fatalf("third = %v, %v", third, err)
+	}
+	if b.Committed("g", "t") != 5 {
+		t.Fatalf("committed = %d", b.Committed("g", "t"))
+	}
+	// A different group starts from the beginning.
+	other, _ := b.ConsumeGroup("g2", "t", 1, 0)
+	if len(other) != 1 || other[0].Offset != 0 {
+		t.Fatalf("other group = %v", other)
+	}
+}
+
+func TestConsumeGroupNoDuplicatesUnderConcurrency(t *testing.T) {
+	b := NewBroker()
+	const total = 300
+	for i := 0; i < total; i++ {
+		b.Produce("t", nil, []byte(fmt.Sprintf("%d", i))) //nolint:errcheck
+	}
+	var mu sync.Mutex
+	seen := map[int64]int{}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				msgs, err := b.ConsumeGroup("workers", "t", 7, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(msgs) == 0 {
+					return
+				}
+				mu.Lock()
+				for _, m := range msgs {
+					seen[m.Offset]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct messages, want %d", len(seen), total)
+	}
+	for off, n := range seen {
+		if n != 1 {
+			t.Fatalf("offset %d delivered %d times", off, n)
+		}
+	}
+}
+
+func TestConsumeGroupLongPoll(t *testing.T) {
+	b := NewBroker()
+	done := make(chan []Message, 1)
+	go func() {
+		msgs, _ := b.ConsumeGroup("g", "t", 1, 5*time.Second)
+		done <- msgs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Produce("t", nil, []byte("late")) //nolint:errcheck
+	select {
+	case msgs := <-done:
+		if len(msgs) != 1 || string(msgs[0].Value) != "late" {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("group long poll missed the produce")
+	}
+	if b.Committed("g", "t") != 1 {
+		t.Fatal("commit not advanced by long-polled consume")
+	}
+}
+
+func TestConsumeGroupValidation(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.ConsumeGroup("", "t", 1, 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := b.ConsumeGroup("g", "", 1, 0); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+}
+
+func TestEndToEndConsumeGroup(t *testing.T) {
+	c := startMQ(t)
+	for i := 0; i < 4; i++ {
+		c.Produce("jobs", nil, []byte{byte(i)}) //nolint:errcheck
+	}
+	msgs, err := c.ConsumeGroup("team", "jobs", 3, 0)
+	if err != nil || len(msgs) != 3 {
+		t.Fatalf("ConsumeGroup = %v, %v", msgs, err)
+	}
+	pos, err := c.Committed("team", "jobs")
+	if err != nil || pos != 3 {
+		t.Fatalf("Committed = %d, %v", pos, err)
+	}
+	msgs, err = c.ConsumeGroup("team", "jobs", 3, 0)
+	if err != nil || len(msgs) != 1 || msgs[0].Value[0] != 3 {
+		t.Fatalf("second ConsumeGroup = %v, %v", msgs, err)
+	}
+	if _, err := c.ConsumeGroup("", "jobs", 1, 0); err == nil {
+		t.Fatal("empty group accepted over the wire")
+	}
+}

@@ -1,0 +1,300 @@
+package mq
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"microfaas/internal/wire"
+)
+
+// Wire protocol: wire-framed JSON. Request op is one of "produce", "fetch",
+// "commit", "committed", "end", "topics".
+
+type request struct {
+	Op     string `json:"op"`
+	Topic  string `json:"topic,omitempty"`
+	Group  string `json:"group,omitempty"`
+	Key    []byte `json:"key,omitempty"`
+	Value  []byte `json:"value,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
+	Max    int    `json:"max,omitempty"`
+	WaitMs int64  `json:"wait_ms,omitempty"`
+}
+
+type response struct {
+	Offset   int64     `json:"offset,omitempty"`
+	Messages []Message `json:"messages,omitempty"`
+	Topics   []string  `json:"topics,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// maxFetchWait caps server-side long-poll blocking so a slow client cannot
+// pin a handler goroutine indefinitely.
+const maxFetchWait = 30 * time.Second
+
+// Server serves a Broker over TCP.
+type Server struct {
+	broker *Broker
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server backed by broker (a fresh broker if nil).
+func NewServer(broker *Broker) *Server {
+	if broker == nil {
+		broker = NewBroker()
+	}
+	return &Server{broker: broker, conns: make(map[net.Conn]struct{})}
+}
+
+// Broker returns the underlying broker.
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Listen binds to addr and serves in the background, returning the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mq: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("mq: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the server, the broker, and every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.broker.Close()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := wire.ReadJSON(r, &req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := wire.WriteJSON(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Op {
+	case "produce":
+		off, err := s.broker.Produce(req.Topic, req.Key, req.Value)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Offset: off}
+	case "fetch":
+		wait := time.Duration(req.WaitMs) * time.Millisecond
+		if wait > maxFetchWait {
+			wait = maxFetchWait
+		}
+		msgs, err := s.broker.Fetch(req.Topic, req.Offset, req.Max, wait)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Messages: msgs}
+	case "consume":
+		wait := time.Duration(req.WaitMs) * time.Millisecond
+		if wait > maxFetchWait {
+			wait = maxFetchWait
+		}
+		msgs, err := s.broker.ConsumeGroup(req.Group, req.Topic, req.Max, wait)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Messages: msgs}
+	case "commit":
+		if err := s.broker.Commit(req.Group, req.Topic, req.Offset); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{}
+	case "committed":
+		if req.Group == "" || req.Topic == "" {
+			return response{Error: "mq: group and topic required"}
+		}
+		return response{Offset: s.broker.Committed(req.Group, req.Topic)}
+	case "end":
+		if req.Topic == "" {
+			return response{Error: "mq: empty topic"}
+		}
+		return response{Offset: s.broker.End(req.Topic)}
+	case "topics":
+		return response{Topics: s.broker.Topics()}
+	default:
+		return response{Error: fmt.Sprintf("mq: unknown op %q", req.Op)}
+	}
+}
+
+// Client speaks the broker protocol over TCP. Like the other service
+// clients it is single-connection and sequential.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to an mq server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req request) (response, error) {
+	if err := wire.WriteJSON(c.w, req); err != nil {
+		return response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := wire.ReadJSON(c.r, &resp); err != nil {
+		return response{}, err
+	}
+	if resp.Error != "" {
+		return response{}, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Produce appends a message and returns its offset.
+func (c *Client) Produce(topic string, key, value []byte) (int64, error) {
+	resp, err := c.do(request{Op: "produce", Topic: topic, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Fetch reads up to max messages from offset, long-polling up to wait.
+func (c *Client) Fetch(topic string, offset int64, max int, wait time.Duration) ([]Message, error) {
+	resp, err := c.do(request{
+		Op: "fetch", Topic: topic, Offset: offset, Max: max,
+		WaitMs: int64(wait / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Messages, nil
+}
+
+// ConsumeGroup atomically fetches from the group's committed position and
+// advances the commit (at-most-once delivery), long-polling up to wait.
+func (c *Client) ConsumeGroup(group, topic string, max int, wait time.Duration) ([]Message, error) {
+	resp, err := c.do(request{
+		Op: "consume", Group: group, Topic: topic, Max: max,
+		WaitMs: int64(wait / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Messages, nil
+}
+
+// Commit stores a consumer group's position.
+func (c *Client) Commit(group, topic string, offset int64) error {
+	_, err := c.do(request{Op: "commit", Group: group, Topic: topic, Offset: offset})
+	return err
+}
+
+// Committed reads a consumer group's position.
+func (c *Client) Committed(group, topic string) (int64, error) {
+	resp, err := c.do(request{Op: "committed", Group: group, Topic: topic})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// End returns the topic's next-produce offset.
+func (c *Client) End(topic string) (int64, error) {
+	resp, err := c.do(request{Op: "end", Topic: topic})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Topics lists the broker's topics.
+func (c *Client) Topics() ([]string, error) {
+	resp, err := c.do(request{Op: "topics"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Topics, nil
+}

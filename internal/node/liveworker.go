@@ -1,0 +1,182 @@
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/power"
+	"microfaas/internal/proto"
+	"microfaas/internal/workload"
+)
+
+// LiveWorkerConfig assembles a live worker: a real TCP server executing
+// the real Go workload functions.
+type LiveWorkerConfig struct {
+	// ID names the worker (and its meter device).
+	ID string
+	// Env provides the backing-service addresses.
+	Env *workload.Env
+	// BootDelay simulates the worker-OS reboot before each job. The
+	// BeagleBone value is 1.51 s; tests usually shrink or zero it.
+	BootDelay time.Duration
+	// Meter optionally receives wall-clock power accounting using Clock.
+	Meter *power.Meter
+	// SBC is the power model used with Meter (default DefaultSBCModel).
+	SBC *power.SBCModel
+	// Clock is the cluster clock for meter timestamps (required when
+	// Meter is set); typically core.WallRuntime.Now.
+	Clock func() time.Duration
+	// InvokeTimeout bounds one invocation round trip (default 2 minutes).
+	InvokeTimeout time.Duration
+}
+
+// LiveWorker implements core.Worker by serving the invocation protocol on
+// a real TCP listener and executing internal/workload functions. Each
+// RunJob dials the worker over loopback TCP, so the full protocol path —
+// connect, framed request, execution, framed response — runs for real.
+type LiveWorker struct {
+	cfg  LiveWorkerConfig
+	sbc  power.SBCModel
+	ln   net.Listener
+	addr string
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// StartLiveWorker binds the worker's TCP endpoint and begins serving.
+func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("node: live worker needs an id")
+	}
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("node: live worker %s needs a workload env", cfg.ID)
+	}
+	if cfg.Meter != nil && cfg.Clock == nil {
+		return nil, fmt.Errorf("node: live worker %s has a meter but no clock", cfg.ID)
+	}
+	w := &LiveWorker{cfg: cfg}
+	if cfg.SBC != nil {
+		w.sbc = *cfg.SBC
+	} else {
+		w.sbc = power.DefaultSBCModel()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("node: live worker %s: %w", cfg.ID, err)
+	}
+	w.ln = ln
+	w.addr = ln.Addr().String()
+	if cfg.Meter != nil {
+		cfg.Meter.Set(cfg.ID, w.sbc.Power(power.Off), cfg.Clock())
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// ID implements core.Worker.
+func (w *LiveWorker) ID() string { return w.cfg.ID }
+
+// Addr returns the worker's TCP endpoint.
+func (w *LiveWorker) Addr() string { return w.addr }
+
+// Close stops the worker's listener and waits for in-flight handlers.
+func (w *LiveWorker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	err := w.ln.Close()
+	w.wg.Wait()
+	return err
+}
+
+func (w *LiveWorker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		w.wg.Add(1)
+		go func(c net.Conn) {
+			defer w.wg.Done()
+			defer c.Close()
+			w.serveOne(c)
+		}(conn)
+	}
+}
+
+// serveOne handles a single invocation: the simulated reboot, then the
+// protocol exchange around real function execution. The worker is
+// stateless between jobs by construction — each invocation builds all of
+// its state from scratch, the Go equivalent of the prototype's
+// reboot-to-initramfs reproducible environment.
+func (w *LiveWorker) serveOne(conn net.Conn) {
+	bootStart := time.Now()
+	if w.cfg.BootDelay > 0 {
+		time.Sleep(w.cfg.BootDelay)
+	}
+	boot := time.Since(bootStart)
+	recvStart := time.Now()
+	proto.Serve(conn, func(req proto.Request) proto.Response { //nolint:errcheck // peer gone: nothing to do
+		overheadIn := time.Since(recvStart)
+		execStart := time.Now()
+		out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
+		exec := time.Since(execStart)
+		resp := proto.Response{
+			Output:     out,
+			BootMs:     float64(boot) / float64(time.Millisecond),
+			OverheadMs: float64(overheadIn) / float64(time.Millisecond),
+			ExecMs:     float64(exec) / float64(time.Millisecond),
+		}
+		if err != nil {
+			resp.Err = err.Error()
+			resp.Output = nil
+		}
+		return resp
+	})
+}
+
+// RunJob implements core.Worker: it performs the invocation over real TCP
+// from a fresh goroutine (the OP side of the exchange).
+func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
+	timeout := w.cfg.InvokeTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	go func() {
+		var started time.Duration
+		if w.cfg.Meter != nil {
+			started = w.cfg.Clock()
+			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
+		}
+		resp, err := proto.Invoke(w.addr, proto.Request{
+			JobID: job.ID, Function: job.Function, Args: job.Args,
+		}, timeout)
+		res := core.Result{Job: job, WorkerID: w.cfg.ID, StartedAt: started}
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Output = resp.Output
+			res.Err = resp.Err
+			res.Boot = resp.Boot()
+			res.Overhead = resp.Overhead()
+			res.Exec = resp.Exec()
+		}
+		if w.cfg.Meter != nil {
+			now := w.cfg.Clock()
+			res.FinishedAt = now
+			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
+		}
+		done(res)
+	}()
+}

@@ -1,0 +1,139 @@
+// Package node implements the cluster's worker nodes in both execution
+// modes: discrete-event simulated SBC and microVM workers (with a
+// processor-sharing rack-server contention model), and live TCP workers
+// that execute the real Go workload functions.
+package node
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"microfaas/internal/power"
+	"microfaas/internal/sim"
+)
+
+// RackServer models the conventional cluster's host: a fixed number of
+// cores shared by its VMs under processor sharing, plus the utilization-
+// dependent power draw of internal/power.ServerModel.
+//
+// Each VM phase (boot, job) is a cpu task with a total CPU work amount and
+// a maximum consumption rate ("demand", at most one core for a 1-vCPU VM).
+// While total demand fits in the cores, every task runs at its demand and
+// wall time equals the calibrated uncontended duration; past saturation,
+// all tasks slow proportionally — which produces Fig 4's throughput
+// plateau without any further tuning.
+type RackServer struct {
+	id     string
+	cores  float64
+	engine *sim.Engine
+	meter  *power.Meter
+	model  power.ServerModel
+
+	tasks      map[*cpuTask]struct{}
+	lastUpdate time.Duration
+}
+
+type cpuTask struct {
+	demand    float64 // max rate in cores
+	remaining float64 // cpu-seconds left
+	rate      float64 // current rate in cores
+	done      func()
+	event     *sim.Event
+}
+
+// NewRackServer registers the server with the meter (it idles immediately).
+func NewRackServer(id string, cores int, engine *sim.Engine, meter *power.Meter, model power.ServerModel) *RackServer {
+	if cores <= 0 {
+		panic(fmt.Sprintf("node: rack server needs cores, got %d", cores))
+	}
+	rs := &RackServer{
+		id:     id,
+		cores:  float64(cores),
+		engine: engine,
+		meter:  meter,
+		model:  model,
+		tasks:  make(map[*cpuTask]struct{}),
+	}
+	if meter != nil {
+		meter.Set(id, model.Power(0), engine.Now())
+	}
+	return rs
+}
+
+// ID returns the meter device id.
+func (rs *RackServer) ID() string { return rs.id }
+
+// Utilization returns the current fraction of cores in use (capped at 1).
+func (rs *RackServer) Utilization() float64 {
+	demand := 0.0
+	for t := range rs.tasks {
+		demand += t.demand
+	}
+	return math.Min(demand, rs.cores) / rs.cores
+}
+
+// Run schedules a CPU task of cpuSeconds total work consumed at up to
+// demand cores; done fires when the work completes. A task with no CPU
+// work completes after a zero-length event (still asynchronously).
+func (rs *RackServer) Run(cpuSeconds, demand float64, done func()) {
+	if cpuSeconds < 0 || demand <= 0 {
+		panic(fmt.Sprintf("node: bad cpu task (%v cpu-s at %v cores)", cpuSeconds, demand))
+	}
+	if cpuSeconds == 0 {
+		rs.engine.Schedule(0, done)
+		return
+	}
+	rs.advance()
+	t := &cpuTask{demand: demand, remaining: cpuSeconds, done: done}
+	rs.tasks[t] = struct{}{}
+	rs.rebalance()
+}
+
+// advance banks progress for all running tasks up to now.
+func (rs *RackServer) advance() {
+	now := rs.engine.Now()
+	dt := (now - rs.lastUpdate).Seconds()
+	if dt > 0 {
+		for t := range rs.tasks {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+	}
+	rs.lastUpdate = now
+}
+
+// rebalance recomputes per-task rates, reschedules completion events, and
+// updates the power meter. Call only after advance().
+func (rs *RackServer) rebalance() {
+	demand := 0.0
+	for t := range rs.tasks {
+		demand += t.demand
+	}
+	scale := 1.0
+	if demand > rs.cores {
+		scale = rs.cores / demand
+	}
+	for t := range rs.tasks {
+		t.rate = t.demand * scale
+		if t.event != nil {
+			t.event.Cancel()
+		}
+		t := t
+		eta := time.Duration(t.remaining / t.rate * float64(time.Second))
+		t.event = rs.engine.Schedule(eta, func() { rs.complete(t) })
+	}
+	if rs.meter != nil {
+		util := math.Min(demand, rs.cores) / rs.cores
+		rs.meter.Set(rs.id, rs.model.Power(util), rs.engine.Now())
+	}
+}
+
+func (rs *RackServer) complete(t *cpuTask) {
+	rs.advance()
+	delete(rs.tasks, t)
+	rs.rebalance()
+	t.done()
+}

@@ -1,0 +1,311 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"microfaas/internal/bootos"
+	"microfaas/internal/core"
+	"microfaas/internal/gpio"
+	"microfaas/internal/model"
+	"microfaas/internal/netsim"
+	"microfaas/internal/power"
+	"microfaas/internal/sim"
+)
+
+// SimWorkerConfig assembles a discrete-event worker.
+type SimWorkerConfig struct {
+	// ID is the worker's (and meter device's) name, e.g. "sbc-03".
+	ID string
+	// Platform selects ARM (SBC) or X86 (microVM).
+	Platform model.Platform
+	// Link is the worker's last-hop network; defaults to the paper's
+	// evaluation link for the platform (Fast Ethernet / bridged virtio).
+	Link *netsim.Link
+	// Engine drives virtual time (required).
+	Engine *sim.Engine
+	// Meter receives power accounting; optional. VM workers do not report
+	// to the meter themselves — their host RackServer does.
+	Meter *power.Meter
+	// SBC is the power model for ARM workers (default power.DefaultSBCModel).
+	SBC *power.SBCModel
+	// Server hosts X86 workers; required for X86, must be nil for ARM.
+	Server *RackServer
+	// Jitter is the half-width of the uniform relative perturbation
+	// applied to each phase duration (e.g. 0.05 → ±5 %).
+	Jitter float64
+	// BootTime overrides the worker-OS boot duration (default: the
+	// bootos final profile for the platform).
+	BootTime time.Duration
+	// Specs overrides the function table (default: model.Functions()).
+	// Ablations (crypto accelerator, GigE NIC, no-reboot) pass modified
+	// copies here.
+	Specs []model.FunctionSpec
+	// DisableReboot is the no-reboot ablation: after the first job the
+	// worker stays up and skips the boot phase (sacrificing the clean-
+	// environment guarantee of Sec III-a).
+	DisableReboot bool
+	// FailureRate injects faults: each job independently fails with this
+	// probability, crashing partway through execution (the OP's retry
+	// policy is exercised against it). Zero disables injection.
+	FailureRate float64
+	// GPIO, when set, wires this worker's PWR_BUT to the OP's GPIO
+	// controller (Sec IV-D) and logs every power-state transition there.
+	// ARM workers only (the paper wires only the worker SBCs).
+	GPIO *gpio.Controller
+	// KeepWarm keeps the worker booted and idle (drawing idle power) for
+	// this long after a job, so a prompt next job skips the boot. This is
+	// the Firecracker-style warm-pool trade the paper's design refuses:
+	// it cuts latency but sacrifices both the clean-environment guarantee
+	// and some energy proportionality. Zero (the paper's policy) powers
+	// down immediately. Ignored when DisableReboot is set (always warm).
+	KeepWarm time.Duration
+}
+
+// SimWorker is a discrete-event worker node implementing core.Worker.
+type SimWorker struct {
+	cfg       SimWorkerConfig
+	link      netsim.Link
+	sbc       power.SBCModel
+	boot      time.Duration
+	specs     map[string]model.FunctionSpec
+	warm      bool        // booted state survives to the next job
+	state     power.State // current power state (ARM accounting)
+	cycles    int
+	coldStart int        // jobs that paid the boot
+	warmStart int        // jobs that skipped it
+	powerOff  *sim.Event // pending keep-warm expiry
+}
+
+// NewSimWorker validates the config and registers the worker with the
+// meter (ARM workers start powered down).
+func NewSimWorker(cfg SimWorkerConfig) (*SimWorker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("node: worker needs an id")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("node: worker %s needs an engine", cfg.ID)
+	}
+	if cfg.Platform == model.X86 && cfg.Server == nil {
+		return nil, fmt.Errorf("node: VM worker %s needs a rack server", cfg.ID)
+	}
+	if cfg.Platform == model.ARM && cfg.Server != nil {
+		return nil, fmt.Errorf("node: SBC worker %s cannot have a rack server", cfg.ID)
+	}
+	w := &SimWorker{cfg: cfg}
+	if cfg.Link != nil {
+		w.link = *cfg.Link
+	} else {
+		w.link = model.DefaultWorkerLink(cfg.Platform)
+	}
+	if cfg.SBC != nil {
+		w.sbc = *cfg.SBC
+	} else {
+		w.sbc = power.DefaultSBCModel()
+	}
+	if cfg.BootTime > 0 {
+		w.boot = cfg.BootTime
+	} else {
+		w.boot = bootos.BootTime(cfg.Platform)
+	}
+	specs := cfg.Specs
+	if specs == nil {
+		specs = model.Functions()
+	}
+	w.specs = make(map[string]model.FunctionSpec, len(specs))
+	for _, s := range specs {
+		w.specs[s.Name] = s
+	}
+	if cfg.Platform == model.X86 && cfg.GPIO != nil {
+		return nil, fmt.Errorf("node: worker %s: GPIO power control wires worker SBCs only", cfg.ID)
+	}
+	w.state = power.Off
+	if cfg.Platform == model.ARM && cfg.Meter != nil {
+		cfg.Meter.Set(cfg.ID, w.sbc.Power(power.Off), cfg.Engine.Now())
+	}
+	if cfg.GPIO != nil {
+		if _, err := cfg.GPIO.WireNext(cfg.ID); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// setState moves an ARM worker to a new power state, updating the meter
+// and the GPIO controller's audit log.
+func (w *SimWorker) setState(to power.State, cause string) {
+	if w.cfg.Platform != model.ARM || to == w.state {
+		return
+	}
+	now := w.cfg.Engine.Now()
+	if w.cfg.Meter != nil {
+		w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(to), now)
+	}
+	if w.cfg.GPIO != nil {
+		if err := w.cfg.GPIO.Transition(w.cfg.ID, now, w.state, to, cause); err != nil {
+			// Wiring and ordering are established at construction; a
+			// failure here is a programming error in the simulation.
+			panic(err)
+		}
+	}
+	w.state = to
+}
+
+// ID implements core.Worker.
+func (w *SimWorker) ID() string { return w.cfg.ID }
+
+// Cycles returns how many jobs the worker has completed.
+func (w *SimWorker) Cycles() int { return w.cycles }
+
+// jitter returns a multiplicative perturbation factor in
+// [1-Jitter, 1+Jitter], drawn from the engine's deterministic source.
+func (w *SimWorker) jitter() float64 {
+	if w.cfg.Jitter <= 0 {
+		return 1
+	}
+	return 1 + (w.cfg.Engine.Rand().Float64()*2-1)*w.cfg.Jitter
+}
+
+func perturb(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}
+
+// RunJob implements core.Worker: power-on, boot, receive input, execute,
+// return result, power down. All timing comes from the calibrated model.
+func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
+	engine := w.cfg.Engine
+	spec, ok := w.specs[job.Function]
+	if !ok {
+		engine.Schedule(0, func() {
+			done(core.Result{
+				Job: job, WorkerID: w.cfg.ID,
+				Err:        fmt.Sprintf("node: unknown function %q", job.Function),
+				StartedAt:  engine.Now(),
+				FinishedAt: engine.Now(),
+			})
+		})
+		return
+	}
+	boot := perturb(w.boot, w.jitter())
+	if w.warm && (w.cfg.DisableReboot || w.cfg.KeepWarm > 0) {
+		boot = 0
+	}
+	if w.powerOff != nil {
+		w.powerOff.Cancel()
+		w.powerOff = nil
+	}
+	if boot == 0 {
+		w.warmStart++
+	} else {
+		w.coldStart++
+	}
+	overhead := perturb(spec.OverheadTime(w.cfg.Platform, w.link), w.jitter())
+	exec := perturb(spec.ExecTime(w.cfg.Platform, w.link), w.jitter())
+	fail := w.cfg.FailureRate > 0 && engine.Rand().Float64() < w.cfg.FailureRate
+	if fail {
+		// The fault strikes partway through execution; the OP sees a dead
+		// worker and records the attempt as failed.
+		exec = time.Duration(float64(exec) * engine.Rand().Float64())
+	}
+	started := engine.Now()
+
+	finish := func() {
+		w.cycles++
+		if fail {
+			// A crashed worker cannot be trusted warm: the OP power-cycles
+			// it regardless of the keep-warm/no-reboot policy.
+			w.warm = false
+			w.setState(power.Off, "fault: forced power-off")
+		} else {
+			w.afterJob()
+		}
+		res := core.Result{
+			Job: job, WorkerID: w.cfg.ID,
+			Output:     []byte(fmt.Sprintf(`{"simulated":true,"function":%q}`, job.Function)),
+			StartedAt:  started,
+			FinishedAt: engine.Now(),
+			Boot:       boot,
+			Overhead:   overhead,
+			Exec:       exec,
+		}
+		if fail {
+			res.Err = "node: injected worker fault"
+			res.Output = nil
+		}
+		done(res)
+	}
+
+	if w.cfg.Platform == model.ARM {
+		w.runARM(job, boot, overhead, exec, finish)
+	} else {
+		w.runX86(spec, boot, overhead, exec, finish)
+	}
+}
+
+// afterJob applies the worker's post-job power policy: the paper's
+// immediate power-down, DisableReboot's stay-up, or KeepWarm's bounded
+// idle window that expires into power-off.
+func (w *SimWorker) afterJob() {
+	switch {
+	case w.cfg.DisableReboot:
+		w.warm = true
+		w.setState(power.Idle, "job done (no-reboot ablation)")
+	case w.cfg.KeepWarm > 0:
+		w.warm = true
+		w.setState(power.Idle, "job done (parked warm)")
+		w.powerOff = w.cfg.Engine.Schedule(w.cfg.KeepWarm, func() {
+			w.warm = false
+			w.powerOff = nil
+			w.setState(power.Off, "keep-warm window expired")
+		})
+	default: // the paper's policy
+		w.warm = false
+		w.setState(power.Off, "job done (power down)")
+	}
+}
+
+// ColdStarts and WarmStarts report how many jobs paid the boot versus
+// skipped it (always cold under the paper's policy).
+func (w *SimWorker) ColdStarts() int { return w.coldStart }
+
+// WarmStarts reports boot-skipping job starts (keep-warm / no-reboot).
+func (w *SimWorker) WarmStarts() int { return w.warmStart }
+
+// runARM chains the SBC's phases on the engine; nothing contends, so each
+// phase is a plain delay with the right meter state.
+func (w *SimWorker) runARM(job core.Job, boot, overhead, exec time.Duration, finish func()) {
+	engine := w.cfg.Engine
+	if boot > 0 {
+		w.setState(power.Booting, fmt.Sprintf("PWR_BUT press (job %d)", job.ID))
+		engine.Schedule(boot, func() {
+			w.setState(power.Busy, fmt.Sprintf("boot complete (job %d)", job.ID))
+			engine.Schedule(overhead+exec, finish)
+		})
+		return
+	}
+	// Warm start: already booted, straight to work.
+	w.setState(power.Busy, fmt.Sprintf("warm start (job %d)", job.ID))
+	engine.Schedule(overhead+exec, finish)
+}
+
+// runX86 runs the microVM's phases as rack-server CPU tasks: wall time
+// stretches when the host's cores are oversubscribed.
+func (w *SimWorker) runX86(spec model.FunctionSpec, boot, overhead, exec time.Duration, finish func()) {
+	bootCPU := float64(boot) / float64(time.Second) * bootos.BootCPUFraction(model.X86)
+	bootDemand := bootos.BootCPUFraction(model.X86)
+	jobWall := overhead + exec
+	jobCPU := spec.CPUTime(model.X86)
+	// Demand so that uncontended wall time equals the calibrated total.
+	demand := float64(jobCPU) / float64(jobWall)
+	if demand > 1 {
+		demand = 1 // a 1-vCPU microVM cannot exceed one core
+	}
+	cpuSeconds := demand * jobWall.Seconds()
+	if boot == 0 {
+		w.cfg.Server.Run(cpuSeconds, demand, finish)
+		return
+	}
+	w.cfg.Server.Run(bootCPU, bootDemand, func() {
+		w.cfg.Server.Run(cpuSeconds, demand, finish)
+	})
+}

@@ -1,0 +1,15 @@
+package objstore
+
+import (
+	"fmt"
+	"net"
+)
+
+// newListener wraps net.Listen with a package-tagged error.
+func newListener(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: listen: %w", err)
+	}
+	return ln, nil
+}

@@ -1,0 +1,275 @@
+package objstore
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Store unit tests ---
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	tag, err := s.Put("bkt", "k", []byte("hello"))
+	if err != nil || tag == "" {
+		t.Fatalf("Put: %q, %v", tag, err)
+	}
+	data, ok := s.Get("bkt", "k")
+	if !ok || string(data) != "hello" {
+		t.Fatalf("Get = %q/%v", data, ok)
+	}
+}
+
+func TestStorePutAutoCreatesBucket(t *testing.T) {
+	s := NewStore()
+	s.Put("auto", "k", nil) //nolint:errcheck
+	if got := s.Buckets(); len(got) != 1 || got[0] != "auto" {
+		t.Fatalf("Buckets = %v", got)
+	}
+}
+
+func TestStoreIsolation(t *testing.T) {
+	s := NewStore()
+	buf := []byte("abc")
+	s.Put("b", "k", buf) //nolint:errcheck
+	buf[0] = 'X'
+	got, _ := s.Get("b", "k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliased caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get("b", "k")
+	if string(again) != "abc" {
+		t.Fatal("Get leaked internal storage")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewStore()
+	s.Put("b", "k", nil) //nolint:errcheck
+	if !s.Delete("b", "k") {
+		t.Fatal("Delete existing = false")
+	}
+	if s.Delete("b", "k") {
+		t.Fatal("Delete missing = true")
+	}
+	if s.Delete("nope", "k") {
+		t.Fatal("Delete in missing bucket = true")
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	s := NewStore()
+	s.CreateBucket("b")                 //nolint:errcheck
+	s.Put("b", "zeta", []byte("12345")) //nolint:errcheck
+	s.Put("b", "alpha", []byte("1"))    //nolint:errcheck
+	objs, ok := s.List("b")
+	if !ok || len(objs) != 2 {
+		t.Fatalf("List = %v/%v", objs, ok)
+	}
+	if objs[0].Key != "alpha" || objs[1].Key != "zeta" || objs[1].Size != 5 {
+		t.Fatalf("List = %+v", objs)
+	}
+	if _, ok := s.List("missing"); ok {
+		t.Fatal("List on missing bucket = ok")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateBucket(""); err == nil {
+		t.Fatal("empty bucket accepted")
+	}
+	if _, err := s.Put("", "k", nil); err == nil {
+		t.Fatal("empty bucket accepted in Put")
+	}
+	if _, err := s.Put("b", "", nil); err == nil {
+		t.Fatal("empty key accepted in Put")
+	}
+}
+
+func TestETagIsContentHash(t *testing.T) {
+	s := NewStore()
+	t1, _ := s.Put("b", "a", []byte("same"))
+	t2, _ := s.Put("b", "b", []byte("same"))
+	t3, _ := s.Put("b", "c", []byte("different"))
+	if t1 != t2 {
+		t.Fatal("identical content must share an ETag")
+	}
+	if t1 == t3 {
+		t.Fatal("different content must not share an ETag")
+	}
+}
+
+// Property: put-then-get round-trips arbitrary binary payloads.
+func TestStoreRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	prop := func(key string, data []byte) bool {
+		if key == "" {
+			return true
+		}
+		if _, err := s.Put("p", key, data); err != nil {
+			return false
+		}
+		got, ok := s.Get("p", key)
+		return ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- End-to-end over HTTP ---
+
+func startObjServer(t *testing.T) *Client {
+	t.Helper()
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return NewClient(addr)
+}
+
+func TestEndToEndObjectLifecycle(t *testing.T) {
+	c := startObjServer(t)
+	if err := c.CreateBucket("photos"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	if _, err := rand.Read(payload); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := c.Put("photos", "cat.jpg", payload)
+	if err != nil || tag == "" {
+		t.Fatalf("Put: %q, %v", tag, err)
+	}
+	info, ok, err := c.Stat("photos", "cat.jpg")
+	if err != nil || !ok || info.Size != int64(len(payload)) || info.ETag != tag {
+		t.Fatalf("Stat = %+v/%v/%v", info, ok, err)
+	}
+	data, ok, err := c.Get("photos", "cat.jpg")
+	if err != nil || !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("Get mismatch: ok=%v err=%v len=%d", ok, err, len(data))
+	}
+	objs, err := c.List("photos")
+	if err != nil || len(objs) != 1 || objs[0].Key != "cat.jpg" {
+		t.Fatalf("List = %v, %v", objs, err)
+	}
+	existed, err := c.Delete("photos", "cat.jpg")
+	if err != nil || !existed {
+		t.Fatalf("Delete = %v, %v", existed, err)
+	}
+	if _, ok, _ := c.Get("photos", "cat.jpg"); ok {
+		t.Fatal("object survived delete")
+	}
+}
+
+func TestEndToEndMissing(t *testing.T) {
+	c := startObjServer(t)
+	if _, ok, err := c.Get("nope", "k"); ok || err != nil {
+		t.Fatalf("Get missing = %v/%v", ok, err)
+	}
+	if _, ok, err := c.Stat("nope", "k"); ok || err != nil {
+		t.Fatalf("Stat missing = %v/%v", ok, err)
+	}
+	if existed, err := c.Delete("nope", "k"); existed || err != nil {
+		t.Fatalf("Delete missing = %v/%v", existed, err)
+	}
+	if _, err := c.List("nope"); err == nil {
+		t.Fatal("List on missing bucket must error")
+	}
+}
+
+func TestEndToEndNestedKeys(t *testing.T) {
+	c := startObjServer(t)
+	if _, err := c.Put("b", "dir/sub/file.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := c.Get("b", "dir/sub/file.txt")
+	if err != nil || !ok || string(data) != "x" {
+		t.Fatalf("nested key: %q/%v/%v", data, ok, err)
+	}
+}
+
+func TestEndToEndCreateBucketIdempotent(t *testing.T) {
+	c := startObjServer(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal("re-creating bucket should succeed")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		hdr        string
+		n          int
+		start, end int
+		wantErr    bool
+	}{
+		{"bytes=0-9", 100, 0, 9, false},
+		{"bytes=90-", 100, 90, 99, false},
+		{"bytes=-10", 100, 90, 99, false},
+		{"bytes=0-1000", 100, 0, 99, false}, // end clamped
+		{"bytes=-1000", 100, 0, 99, false},  // suffix clamped
+		{"bytes=100-", 100, 0, 0, true},     // starts past end
+		{"bytes=5-2", 100, 0, 0, true},
+		{"bytes=0-9,20-29", 100, 0, 0, true}, // multi-range unsupported
+		{"bits=0-9", 100, 0, 0, true},
+		{"bytes=x-y", 100, 0, 0, true},
+		{"bytes=-0", 100, 0, 0, true},
+	}
+	for _, c := range cases {
+		start, end, err := parseRange(c.hdr, c.n)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseRange(%q,%d) accepted", c.hdr, c.n)
+			}
+			continue
+		}
+		if err != nil || start != c.start || end != c.end {
+			t.Errorf("parseRange(%q,%d) = %d,%d,%v want %d,%d", c.hdr, c.n, start, end, err, c.start, c.end)
+		}
+	}
+}
+
+func TestEndToEndRangeGet(t *testing.T) {
+	c := startObjServer(t)
+	payload := []byte("0123456789abcdefghij")
+	if _, err := c.Put("b", "blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := c.GetRange("b", "blob", 5, 5)
+	if err != nil || !ok || string(data) != "56789" {
+		t.Fatalf("GetRange = %q/%v/%v", data, ok, err)
+	}
+	// Range past the end clamps.
+	data, ok, err = c.GetRange("b", "blob", 15, 100)
+	if err != nil || !ok || string(data) != "fghij" {
+		t.Fatalf("clamped GetRange = %q/%v/%v", data, ok, err)
+	}
+	// Missing object.
+	if _, ok, err := c.GetRange("b", "missing", 0, 1); ok || err != nil {
+		t.Fatalf("missing GetRange = %v/%v", ok, err)
+	}
+	// Bad client-side arguments.
+	if _, _, err := c.GetRange("b", "blob", -1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, _, err := c.GetRange("b", "blob", 0, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	// Server-side unsatisfiable range (start past end) is an error.
+	if _, _, err := c.GetRange("b", "blob", 1000, 5); err == nil {
+		t.Fatal("unsatisfiable range accepted")
+	}
+	// Full GET still works and returns everything.
+	full, ok, err := c.Get("b", "blob")
+	if err != nil || !ok || len(full) != len(payload) {
+		t.Fatalf("full Get after range = %d bytes/%v/%v", len(full), ok, err)
+	}
+}

@@ -1,0 +1,220 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEnergyConversion(t *testing.T) {
+	if got := Energy(100, 10*time.Second); got != 1000 {
+		t.Fatalf("Energy(100W, 10s) = %v J, want 1000", got)
+	}
+	// 1 kWh = 3.6 MJ.
+	if got := Joules(3.6e6).KilowattHours(); !approx(got, 1.0, 1e-12) {
+		t.Fatalf("3.6 MJ = %v kWh, want 1", got)
+	}
+}
+
+func TestMeterIntegratesPiecewiseConstant(t *testing.T) {
+	m := NewMeter()
+	m.Set("sbc", 2, 0)
+	m.Set("sbc", 4, 10*time.Second) // 2W for 10s = 20 J banked
+	got := m.Energy("sbc", 15*time.Second)
+	// 20 J + 4W * 5s = 40 J.
+	if !approx(float64(got), 40, 1e-9) {
+		t.Fatalf("energy = %v, want 40 J", got)
+	}
+}
+
+func TestMeterEnergyIsLazyUpToNow(t *testing.T) {
+	m := NewMeter()
+	m.Set("d", 10, 0)
+	if got := m.Energy("d", time.Second); !approx(float64(got), 10, 1e-9) {
+		t.Fatalf("energy at 1s = %v, want 10", got)
+	}
+	// Reading at a later time without further Set calls keeps integrating.
+	if got := m.Energy("d", time.Minute); !approx(float64(got), 600, 1e-9) {
+		t.Fatalf("energy at 1m = %v, want 600", got)
+	}
+}
+
+func TestMeterUnknownDevice(t *testing.T) {
+	m := NewMeter()
+	if m.Energy("nope", time.Hour) != 0 || m.Power("nope") != 0 {
+		t.Fatal("unknown device must read as zero")
+	}
+}
+
+func TestMeterTotals(t *testing.T) {
+	m := NewMeter()
+	m.Set("a", 1, 0)
+	m.Set("b", 2, 0)
+	if got := m.TotalPower(); got != 3 {
+		t.Fatalf("TotalPower = %v, want 3", got)
+	}
+	if got := m.TotalEnergy(10 * time.Second); !approx(float64(got), 30, 1e-9) {
+		t.Fatalf("TotalEnergy = %v, want 30", got)
+	}
+	devs := m.Devices()
+	if len(devs) != 2 || devs[0] != "a" || devs[1] != "b" {
+		t.Fatalf("Devices = %v", devs)
+	}
+}
+
+func TestMeterBackwardsTimePanics(t *testing.T) {
+	m := NewMeter()
+	m.Set("d", 1, 10*time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards time")
+		}
+	}()
+	m.Set("d", 2, 5*time.Second)
+}
+
+func TestMeterNegativePowerPanics(t *testing.T) {
+	m := NewMeter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative power")
+		}
+	}()
+	m.Set("d", -1, 0)
+}
+
+// Property: total energy equals the sum of per-device energies for any
+// sequence of non-negative power levels applied at increasing times.
+func TestMeterAdditivityProperty(t *testing.T) {
+	prop := func(levelsA, levelsB []uint8) bool {
+		m := NewMeter()
+		now := time.Duration(0)
+		for _, l := range levelsA {
+			m.Set("a", Watts(l), now)
+			now += time.Second
+		}
+		now2 := time.Duration(0)
+		for _, l := range levelsB {
+			m.Set("b", Watts(l), now2)
+			now2 += time.Second
+		}
+		end := now
+		if now2 > end {
+			end = now2
+		}
+		end += time.Second
+		total := m.TotalEnergy(end)
+		sum := m.Energy("a", end) + m.Energy("b", end)
+		return approx(float64(total), float64(sum), 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy is monotone non-decreasing in time.
+func TestMeterMonotoneProperty(t *testing.T) {
+	prop := func(levels []uint8, probeSecs uint8) bool {
+		m := NewMeter()
+		now := time.Duration(0)
+		for _, l := range levels {
+			m.Set("d", Watts(l), now)
+			now += time.Second
+		}
+		t1 := now + time.Duration(probeSecs)*time.Second
+		t2 := t1 + time.Minute
+		return m.Energy("d", t2) >= m.Energy("d", t1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBCModelAppendixConstants(t *testing.T) {
+	m := DefaultSBCModel()
+	if m.Power(Busy) != 1.96 {
+		t.Fatalf("busy draw = %v, want 1.96 W (Appendix P_ss)", m.Power(Busy))
+	}
+	if m.Power(Off) != 0.128 {
+		t.Fatalf("off draw = %v, want 0.128 W (Appendix P_ss-idle)", m.Power(Off))
+	}
+	if m.Power(Booting) <= 0 || m.Power(Idle) <= 0 {
+		t.Fatal("boot/idle draws must be positive")
+	}
+	// Off must be the lowest state by a wide margin (energy proportionality).
+	if m.Power(Off) >= m.Power(Idle) {
+		t.Fatal("off draw must be far below idle draw")
+	}
+}
+
+func TestServerModelEndpoints(t *testing.T) {
+	m := DefaultServerModel()
+	if got := m.Power(0); got != 60 {
+		t.Fatalf("idle draw = %v, want 60 W", got)
+	}
+	if got := m.Power(1); got != 150 {
+		t.Fatalf("loaded draw = %v, want 150 W", got)
+	}
+	// Clamping.
+	if m.Power(-1) != 60 || m.Power(2) != 150 {
+		t.Fatal("utilization must clamp to [0,1]")
+	}
+}
+
+func TestServerModelCalibrationPoint(t *testing.T) {
+	// Six busy single-core VMs demand ≈39 % of the 12 cores (internal/model's
+	// CPU tables) and must draw ≈112 W so that 32.0 J/function holds at
+	// 211.7 func/min. The exact cross-package check lives in internal/model;
+	// this guards the power side with a loose band.
+	m := DefaultServerModel()
+	got := float64(m.Power(0.39))
+	if !approx(got, 112, 4) {
+		t.Fatalf("draw at u=0.39 is %.1f W, want ≈112 W", got)
+	}
+}
+
+func TestServerModelMonotoneConcave(t *testing.T) {
+	m := DefaultServerModel()
+	prev := m.Power(0)
+	prevDelta := Watts(math.Inf(1))
+	for i := 1; i <= 10; i++ {
+		u := float64(i) / 10
+		p := m.Power(u)
+		if p < prev {
+			t.Fatalf("power not monotone at u=%.1f", u)
+		}
+		delta := p - prev
+		if delta > prevDelta+1e-9 {
+			t.Fatalf("power not concave at u=%.1f (delta %v > %v)", u, delta, prevDelta)
+		}
+		prev, prevDelta = p, delta
+	}
+}
+
+func TestServerModelZeroExponentFallsBackToLinear(t *testing.T) {
+	m := ServerModel{IdleW: 60, LoadedW: 150}
+	if got := m.Power(0.5); !approx(float64(got), 105, 1e-9) {
+		t.Fatalf("linear fallback draw = %v, want 105", got)
+	}
+}
+
+func TestSwitchModel(t *testing.T) {
+	if got := DefaultSwitchModel().Power(); got != 40.87 {
+		t.Fatalf("switch draw = %v, want 40.87 W (Appendix)", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Off: "off", Booting: "booting", Idle: "idle", Busy: "busy"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s, want)
+		}
+	}
+	if State(99).String() != "state(99)" {
+		t.Fatalf("out-of-range state string = %q", State(99).String())
+	}
+}

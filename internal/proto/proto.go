@@ -1,0 +1,105 @@
+// Package proto defines the OP↔worker invocation protocol used by the live
+// cluster: the orchestrator dials a worker, sends one framed Invoke request
+// (function name + JSON arguments), and reads one framed response carrying
+// the result and the worker's own timing measurements.
+//
+// One connection carries exactly one invocation — a MicroFaaS worker is
+// single-tenant and run-to-completion, and it reboots after every job, so
+// connection reuse is meaningless by design (Sec III).
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"microfaas/internal/wire"
+)
+
+// Request is an invocation order from the OP to a worker.
+type Request struct {
+	// JobID correlates the response with the OP's queue entry.
+	JobID int64 `json:"job_id"`
+	// Function is the workload function name (Table I).
+	Function string `json:"function"`
+	// Args is the JSON argument payload.
+	Args []byte `json:"args"`
+}
+
+// Response is the worker's reply.
+type Response struct {
+	JobID int64 `json:"job_id"`
+	// Output is the function's JSON result (nil on error).
+	Output []byte `json:"output,omitempty"`
+	// Err is the failure message ("" on success).
+	Err string `json:"err,omitempty"`
+	// BootMs, OverheadMs, ExecMs are the worker's own timing split, in
+	// fractional milliseconds (the paper's workers timestamp themselves).
+	BootMs     float64 `json:"boot_ms"`
+	OverheadMs float64 `json:"overhead_ms"`
+	ExecMs     float64 `json:"exec_ms"`
+}
+
+// Boot returns the boot time as a duration.
+func (r Response) Boot() time.Duration { return msToDur(r.BootMs) }
+
+// Overhead returns the network/protocol overhead as a duration.
+func (r Response) Overhead() time.Duration { return msToDur(r.OverheadMs) }
+
+// Exec returns the execution time as a duration.
+func (r Response) Exec() time.Duration { return msToDur(r.ExecMs) }
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Invoke performs one invocation against the worker at addr, with timeout
+// covering dial + full round trip.
+func Invoke(addr string, req Request, timeout time.Duration) (Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Response{}, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return Response{}, fmt.Errorf("proto: deadline: %w", err)
+		}
+	}
+	w := bufio.NewWriter(conn)
+	if err := wire.WriteJSON(w, req); err != nil {
+		return Response{}, fmt.Errorf("proto: send: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return Response{}, fmt.Errorf("proto: send: %w", err)
+	}
+	var resp Response
+	if err := wire.ReadJSON(bufio.NewReader(conn), &resp); err != nil {
+		return Response{}, fmt.Errorf("proto: recv: %w", err)
+	}
+	if resp.JobID != req.JobID {
+		return Response{}, fmt.Errorf("proto: response for job %d, expected %d", resp.JobID, req.JobID)
+	}
+	return resp, nil
+}
+
+// Serve handles exactly one invocation on conn: read a Request, call
+// handle, write the Response. The caller owns the connection lifecycle.
+func Serve(conn net.Conn, handle func(Request) Response) error {
+	r := bufio.NewReader(conn)
+	var req Request
+	if err := wire.ReadJSON(r, &req); err != nil {
+		return fmt.Errorf("proto: read request: %w", err)
+	}
+	resp := handle(req)
+	resp.JobID = req.JobID
+	w := bufio.NewWriter(conn)
+	if err := wire.WriteJSON(w, resp); err != nil {
+		return fmt.Errorf("proto: write response: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("proto: write response: %w", err)
+	}
+	return nil
+}

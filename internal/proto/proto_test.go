@@ -1,0 +1,153 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoWorker accepts connections and serves one invocation each, echoing
+// args back as output with fixed timings.
+func echoWorker(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				Serve(c, func(req Request) Response { //nolint:errcheck
+					if req.Function == "fail" {
+						return Response{Err: "requested failure"}
+					}
+					return Response{Output: req.Args, BootMs: 1510, OverheadMs: 42.5, ExecMs: 100}
+				})
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestInvokeRoundTrip(t *testing.T) {
+	addr := echoWorker(t)
+	args := []byte(`{"rounds":3}`)
+	resp, err := Invoke(addr, Request{JobID: 9, Function: "CascSHA", Args: args}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.JobID != 9 || !bytes.Equal(resp.Output, args) {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Boot() != 1510*time.Millisecond {
+		t.Fatalf("Boot = %v", resp.Boot())
+	}
+	if resp.Overhead() != 42500*time.Microsecond {
+		t.Fatalf("Overhead = %v", resp.Overhead())
+	}
+	if resp.Exec() != 100*time.Millisecond {
+		t.Fatalf("Exec = %v", resp.Exec())
+	}
+}
+
+func TestInvokeCarriesWorkerError(t *testing.T) {
+	addr := echoWorker(t)
+	resp, err := Invoke(addr, Request{JobID: 1, Function: "fail"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("worker error lost in transit")
+	}
+}
+
+func TestInvokeDialFailure(t *testing.T) {
+	if _, err := Invoke("127.0.0.1:1", Request{JobID: 1, Function: "x"}, 200*time.Millisecond); err == nil {
+		t.Fatal("invoking a dead address succeeded")
+	}
+}
+
+func TestInvokeTimeout(t *testing.T) {
+	// A listener that accepts but never replies.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			select {} // hold the connection open silently
+		}
+	}()
+	start := time.Now()
+	_, err = Invoke(ln.Addr().String(), Request{JobID: 1, Function: "x"}, 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("silent worker did not time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestServeRejectsGarbage(t *testing.T) {
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(server, func(Request) Response { return Response{} }) }()
+	client.Write([]byte{0, 0, 0, 4, 'n', 'o', 'p', 'e'}) //nolint:errcheck
+	client.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Serve accepted a garbage frame")
+	}
+}
+
+func TestJobIDMismatchDetected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Deliberately reply with the wrong job id.
+		Serve(conn, func(req Request) Response { return Response{} }) //nolint:errcheck
+	}()
+	// Serve forces resp.JobID = req.JobID, so craft a raw mismatch instead:
+	// easiest is a second listener that writes a fixed frame.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go func() {
+		conn, err := ln2.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		conn.Read(buf) //nolint:errcheck
+		// {"job_id":999}
+		body := []byte(`{"job_id":999}`)
+		frame := append([]byte{0, 0, 0, byte(len(body))}, body...)
+		conn.Write(frame) //nolint:errcheck
+	}()
+	if _, err := Invoke(ln2.Addr().String(), Request{JobID: 1, Function: "x"}, time.Second); err == nil {
+		t.Fatal("mismatched job id accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	if n := e.RunAll(); n != 0 {
+		t.Fatalf("executed %d events, want 0", n)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1*time.Second, func() { count++ })
+	e.Schedule(5*time.Second, func() { count++ })
+	n := e.Run(2 * time.Second)
+	if n != 1 || count != 1 {
+		t.Fatalf("ran %d events (count %d), want 1", n, count)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s (clock must advance to the horizon)", e.Now())
+	}
+	// The 5s event must still be pending and fire on the next Run.
+	n = e.Run(10 * time.Second)
+	if n != 1 || count != 2 {
+		t.Fatalf("second Run executed %d (count %d), want 1 more", n, count)
+	}
+}
+
+func TestEventAtHorizonRuns(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(2*time.Second, func() { fired = true })
+	e.Run(2 * time.Second)
+	if !fired {
+		t.Fatal("event exactly at the Run horizon did not fire")
+	}
+}
+
+func TestSelfReschedulingProcess(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.Schedule(time.Second, tick)
+	}
+	e.Schedule(time.Second, tick)
+	e.Run(10 * time.Second)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestNestedScheduleFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Schedule(time.Second, func() {
+		got = append(got, "outer")
+		e.Schedule(time.Second, func() { got = append(got, "inner") })
+	})
+	e.RunAll()
+	if len(got) != 2 || got[0] != "outer" || got[1] != "inner" {
+		t.Fatalf("got %v", got)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine(1).Schedule(-time.Second, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling before now")
+		}
+	}()
+	e.At(0, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil callback")
+		}
+	}()
+	NewEngine(1).Schedule(time.Second, nil)
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var log []time.Duration
+		var step func()
+		step = func() {
+			log = append(log, e.Now())
+			d := time.Duration(e.Rand().Intn(1000)+1) * time.Millisecond
+			if len(log) < 50 {
+				e.Schedule(d, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.RunAll()
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timeline diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delaysMs []uint16) bool {
+		e := NewEngine(7)
+		var fireTimes []time.Duration
+		max := time.Duration(0)
+		for _, ms := range delaysMs {
+			d := time.Duration(ms) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll()
+		if len(delaysMs) > 0 && e.Now() != max {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delaysMs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCountsOnlyLive(t *testing.T) {
+	e := NewEngine(1)
+	a := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	a.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}

@@ -1,0 +1,179 @@
+package sqlstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file evaluates aggregated SELECTs: COUNT/SUM/AVG/MIN/MAX, with an
+// optional single-column GROUP BY. NULL handling follows SQL: aggregates
+// skip NULL inputs, SUM/AVG/MIN/MAX of an empty input are NULL, COUNT is 0.
+
+// aggregate evaluates s (which has aggregates and/or GROUP BY) over the
+// WHERE-matched rows.
+func aggregate(t *table, s Select, matched [][]Value) (*Result, error) {
+	if len(s.Items) == 0 {
+		return nil, fmt.Errorf("sqlstore: GROUP BY requires an explicit select list")
+	}
+	groupIdx := -1
+	if s.GroupBy != "" {
+		idx, ok := t.colIdx[strings.ToLower(s.GroupBy)]
+		if !ok {
+			return nil, fmt.Errorf("sqlstore: no such column %q in GROUP BY", s.GroupBy)
+		}
+		groupIdx = idx
+	}
+	// Validate items: plain columns must be the GROUP BY column; aggregate
+	// columns must exist.
+	for _, it := range s.Items {
+		if it.Agg == "" {
+			if groupIdx < 0 {
+				return nil, fmt.Errorf("sqlstore: column %q must appear in GROUP BY or an aggregate", it.Column)
+			}
+			if strings.ToLower(it.Column) != strings.ToLower(s.GroupBy) {
+				return nil, fmt.Errorf("sqlstore: column %q is not the GROUP BY column", it.Column)
+			}
+			continue
+		}
+		if it.Column == "" {
+			continue // COUNT(*)
+		}
+		if _, ok := t.colIdx[strings.ToLower(it.Column)]; !ok {
+			return nil, fmt.Errorf("sqlstore: no such column %q", it.Column)
+		}
+	}
+	if s.OrderBy != "" && (groupIdx < 0 || !strings.EqualFold(s.OrderBy, s.GroupBy)) {
+		return nil, fmt.Errorf("sqlstore: ORDER BY on aggregate queries must name the GROUP BY column")
+	}
+
+	// Bucket rows. Without GROUP BY, everything lands in one group (which
+	// exists even when no rows matched, per SQL).
+	type bucket struct {
+		key  Value
+		rows [][]Value
+	}
+	var buckets []*bucket
+	if groupIdx < 0 {
+		buckets = append(buckets, &bucket{rows: matched})
+	} else {
+		index := map[Value]*bucket{}
+		var order []*bucket
+		for _, row := range matched {
+			k := row[groupIdx]
+			b, ok := index[k]
+			if !ok {
+				b = &bucket{key: k}
+				index[k] = b
+				order = append(order, b)
+			}
+			b.rows = append(b.rows, row)
+		}
+		buckets = order
+		// Deterministic output: sort groups by key, NULL first.
+		var sortErr error
+		sort.SliceStable(buckets, func(i, j int) bool {
+			a, b := buckets[i].key, buckets[j].key
+			if a == nil || b == nil {
+				return a == nil && b != nil
+			}
+			cmp, err := compare(a, b)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			return cmp < 0
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		if s.Desc {
+			for i, j := 0, len(buckets)-1; i < j; i, j = i+1, j-1 {
+				buckets[i], buckets[j] = buckets[j], buckets[i]
+			}
+		}
+	}
+
+	names := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		names[i] = it.Name()
+	}
+	out := make([][]Value, 0, len(buckets))
+	for _, b := range buckets {
+		row := make([]Value, len(s.Items))
+		for i, it := range s.Items {
+			v, err := evalAggregate(t, it, b.key, b.rows)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	if s.Limit >= 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return &Result{Columns: names, Rows: out}, nil
+}
+
+// evalAggregate computes one item over one group.
+func evalAggregate(t *table, it SelectItem, key Value, rows [][]Value) (Value, error) {
+	if it.Agg == "" {
+		return key, nil
+	}
+	if it.Agg == "count" && it.Column == "" {
+		return int64(len(rows)), nil
+	}
+	idx := t.colIdx[strings.ToLower(it.Column)]
+	var values []Value
+	for _, row := range rows {
+		if row[idx] != nil {
+			values = append(values, row[idx])
+		}
+	}
+	switch it.Agg {
+	case "count":
+		return int64(len(values)), nil
+	case "sum", "avg":
+		if len(values) == 0 {
+			return nil, nil
+		}
+		sumInt, sumFloat := int64(0), 0.0
+		allInt := true
+		for _, v := range values {
+			switch x := v.(type) {
+			case int64:
+				sumInt += x
+				sumFloat += float64(x)
+			case float64:
+				allInt = false
+				sumFloat += x
+			default:
+				return nil, fmt.Errorf("sqlstore: %s over non-numeric column %q", strings.ToUpper(it.Agg), it.Column)
+			}
+		}
+		if it.Agg == "avg" {
+			return sumFloat / float64(len(values)), nil
+		}
+		if allInt {
+			return sumInt, nil
+		}
+		return sumFloat, nil
+	case "min", "max":
+		if len(values) == 0 {
+			return nil, nil
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			cmp, err := compare(v, best)
+			if err != nil {
+				return nil, err
+			}
+			if (it.Agg == "min" && cmp < 0) || (it.Agg == "max" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return nil, fmt.Errorf("sqlstore: unknown aggregate %q", it.Agg)
+	}
+}

@@ -1,0 +1,168 @@
+package sqlstore
+
+import (
+	"math"
+	"testing"
+)
+
+// The emp fixture (newTestDB): eng={alice 90.5, bob 80, erin NULL},
+// mgmt={carol 120}, ops={dave 70.25}.
+
+func TestAggregatesOverWholeTable(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*), COUNT(salary), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0] != int64(5) {
+		t.Fatalf("COUNT(*) = %v", row[0])
+	}
+	if row[1] != int64(4) { // NULL salary excluded
+		t.Fatalf("COUNT(salary) = %v", row[1])
+	}
+	if row[2] != 90.5+80+120+70.25 {
+		t.Fatalf("SUM = %v", row[2])
+	}
+	wantAvg := (90.5 + 80 + 120 + 70.25) / 4
+	if math.Abs(row[3].(float64)-wantAvg) > 1e-9 {
+		t.Fatalf("AVG = %v, want %v", row[3], wantAvg)
+	}
+	if row[4] != 70.25 || row[5] != 120.0 {
+		t.Fatalf("MIN/MAX = %v/%v", row[4], row[5])
+	}
+	wantNames := []string{"count", "count(salary)", "sum(salary)", "avg(salary)", "min(salary)", "max(salary)"}
+	for i, n := range wantNames {
+		if res.Columns[i] != n {
+			t.Fatalf("column %d = %q, want %q", i, res.Columns[i], n)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept ORDER BY dept")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// Sorted: eng, mgmt, ops.
+	eng := res.Rows[0]
+	if eng[0] != "eng" || eng[1] != int64(3) {
+		t.Fatalf("eng group = %v", eng)
+	}
+	if math.Abs(eng[2].(float64)-(90.5+80)/2) > 1e-9 { // NULL excluded from AVG
+		t.Fatalf("eng AVG = %v", eng[2])
+	}
+	if res.Rows[1][0] != "mgmt" || res.Rows[2][0] != "ops" {
+		t.Fatalf("group order = %v", res.Rows)
+	}
+}
+
+func TestGroupByDescAndLimit(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0] != "ops" || res.Rows[1][0] != "mgmt" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByWithWhere(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT dept, MAX(salary) FROM emp WHERE salary < 100 GROUP BY dept ORDER BY dept")
+	// mgmt's only row (120) is filtered out entirely; erin's NULL doesn't match.
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "eng" || res.Rows[0][1] != 90.5 {
+		t.Fatalf("eng = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByNullKeyIsItsOwnGroup(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO emp (id, name, salary) VALUES (9, 'zed', 10.0)")
+	res := mustExec(t, db, "SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// NULL group sorts first.
+	if res.Rows[0][0] != nil || res.Rows[0][1] != int64(1) {
+		t.Fatalf("null group = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*), SUM(salary), MIN(salary) FROM emp WHERE id > 100")
+	row := res.Rows[0]
+	if row[0] != int64(0) {
+		t.Fatalf("COUNT over empty = %v", row[0])
+	}
+	if row[1] != nil || row[2] != nil {
+		t.Fatalf("SUM/MIN over empty = %v/%v, want NULLs", row[1], row[2])
+	}
+}
+
+func TestSumOfIntegersStaysInteger(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT SUM(id) FROM emp")
+	if res.Rows[0][0] != int64(1+2+3+4+5) {
+		t.Fatalf("SUM(id) = %v (%T)", res.Rows[0][0], res.Rows[0][0])
+	}
+}
+
+func TestMinMaxOnText(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "SELECT MIN(name), MAX(name) FROM emp")
+	if res.Rows[0][0] != "alice" || res.Rows[0][1] != "erin" {
+		t.Fatalf("MIN/MAX name = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		"SELECT SUM(name) FROM emp",                                    // non-numeric SUM
+		"SELECT AVG(*) FROM emp",                                       // only COUNT takes *
+		"SELECT name, COUNT(*) FROM emp",                               // bare column without GROUP BY
+		"SELECT name, COUNT(*) FROM emp GROUP BY dept",                 // column not the group key
+		"SELECT COUNT(*) FROM emp GROUP BY nope",                       // unknown group column
+		"SELECT SUM(nope) FROM emp",                                    // unknown aggregate column
+		"SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY salary", // order by non-key
+		"SELECT * FROM emp GROUP BY dept",                              // * with GROUP BY
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Fatalf("Exec(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestAggregatesOverTheWire(t *testing.T) {
+	addr := startSQLServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustQuery := func(q string) *Result {
+		t.Helper()
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+	mustQuery("CREATE TABLE sales (region TEXT, amount INT)")
+	mustQuery("INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5)")
+	res := mustQuery("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY region")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "east" || res.Rows[0][1] != int64(30) {
+		t.Fatalf("east = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != "west" || res.Rows[1][1] != int64(5) {
+		t.Fatalf("west = %v", res.Rows[1])
+	}
+}

@@ -1,0 +1,145 @@
+package sqlstore
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , * = != <> < <= > >= ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers upper-cased for keyword matching? No: raw text
+	pos  int
+}
+
+// lexer tokenizes a SQL statement.
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sqlstore: syntax error at position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), pos: start}, nil
+	case unicode.IsDigit(c) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+		l.pos++ // first digit or sign
+		seenDot := false
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if unicode.IsDigit(r) {
+				l.pos++
+				continue
+			}
+			if r == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string literal")
+			}
+			r := l.src[l.pos]
+			if r == '\'' {
+				// '' escapes a quote inside the literal.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteRune('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteRune(r)
+			l.pos++
+		}
+	case strings.ContainsRune("(),*;=", c):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '<':
+		l.pos++
+		switch l.peek() {
+		case '=':
+			l.pos++
+			return token{kind: tokSymbol, text: "<=", pos: start}, nil
+		case '>':
+			l.pos++
+			return token{kind: tokSymbol, text: "!=", pos: start}, nil // <> normalized to !=
+		}
+		return token{kind: tokSymbol, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.peek() == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: ">", pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", string(c))
+	}
+}
+
+// lex tokenizes the whole statement up front, which simplifies lookahead.
+func lex(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

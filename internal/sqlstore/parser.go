@@ -1,0 +1,733 @@
+package sqlstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// --- AST ---
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Table string }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // empty means table order
+	Rows    [][]Value
+}
+
+// SelectItem is one projection in a SELECT list: a plain column or an
+// aggregate over one (COUNT also accepts *, leaving Column empty).
+type SelectItem struct {
+	Column string
+	// Agg is "", "count", "sum", "avg", "min", or "max".
+	Agg string
+}
+
+// Name returns the result-column label for the item.
+func (it SelectItem) Name() string {
+	if it.Agg == "" {
+		return it.Column
+	}
+	if it.Column == "" {
+		return it.Agg // COUNT(*)
+	}
+	return it.Agg + "(" + it.Column + ")"
+}
+
+// Select is SELECT items FROM name [WHERE] [GROUP BY] [ORDER BY] [LIMIT].
+type Select struct {
+	Table string
+	// Items is the projection list; empty means *.
+	Items   []SelectItem
+	Where   Expr   // nil means all rows
+	GroupBy string // empty means no grouping
+	OrderBy string // empty means unordered
+	Desc    bool
+	Limit   int // -1 means no limit
+}
+
+// Aggregated reports whether any item is an aggregate.
+func (s Select) Aggregated() bool {
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Update is UPDATE name SET col=val,... [WHERE].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one col=value pair in UPDATE ... SET.
+type Assignment struct {
+	Column string
+	Value  Value
+}
+
+// Delete is DELETE FROM name [WHERE].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (CreateTable) stmt() {}
+func (DropTable) stmt()   {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+func (Update) stmt()      {}
+func (Delete) stmt()      {}
+
+// Expr is a WHERE-clause expression evaluated against a row.
+type Expr interface {
+	eval(cols map[string]int, row []Value) (bool, error)
+}
+
+type binaryLogic struct {
+	op   string // "AND" | "OR"
+	l, r Expr
+}
+
+func (b binaryLogic) eval(cols map[string]int, row []Value) (bool, error) {
+	lv, err := b.l.eval(cols, row)
+	if err != nil {
+		return false, err
+	}
+	// Short-circuit like every SQL engine does.
+	if b.op == "AND" && !lv {
+		return false, nil
+	}
+	if b.op == "OR" && lv {
+		return true, nil
+	}
+	return b.r.eval(cols, row)
+}
+
+type notExpr struct{ x Expr }
+
+func (n notExpr) eval(cols map[string]int, row []Value) (bool, error) {
+	v, err := n.x.eval(cols, row)
+	return !v, err
+}
+
+// operand is either a column reference or a literal.
+type operand struct {
+	column  string // set when isCol
+	isCol   bool
+	literal Value
+}
+
+func (o operand) value(cols map[string]int, row []Value) (Value, error) {
+	if !o.isCol {
+		return o.literal, nil
+	}
+	idx, ok := cols[strings.ToLower(o.column)]
+	if !ok {
+		return nil, fmt.Errorf("sqlstore: unknown column %q", o.column)
+	}
+	return row[idx], nil
+}
+
+type comparison struct {
+	op   string // = != < <= > >=
+	l, r operand
+}
+
+func (c comparison) eval(cols map[string]int, row []Value) (bool, error) {
+	lv, err := c.l.value(cols, row)
+	if err != nil {
+		return false, err
+	}
+	rv, err := c.r.value(cols, row)
+	if err != nil {
+		return false, err
+	}
+	// SQL three-valued logic collapsed to false: NULL compares false.
+	if lv == nil || rv == nil {
+		return false, nil
+	}
+	cmp, err := compare(lv, rv)
+	if err != nil {
+		return false, err
+	}
+	switch c.op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("sqlstore: unknown operator %q", c.op)
+	}
+}
+
+type isNull struct {
+	col    string
+	negate bool
+}
+
+func (n isNull) eval(cols map[string]int, row []Value) (bool, error) {
+	idx, ok := cols[strings.ToLower(n.col)]
+	if !ok {
+		return false, fmt.Errorf("sqlstore: unknown column %q", n.col)
+	}
+	null := row[idx] == nil
+	if n.negate {
+		return !null, nil
+	}
+	return null, nil
+}
+
+// --- Parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SQL statement (an optional trailing ';' is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errHere("unexpected trailing input")
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errHere(msg string) error {
+	t := p.cur()
+	what := t.text
+	if t.kind == tokEOF {
+		what = "end of input"
+	}
+	return fmt.Errorf("sqlstore: parse error near %q: %s", what, msg)
+}
+
+// at reports whether the current token matches kind (and text for symbols /
+// case-insensitive keywords when text != "").
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or errors.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+		}
+		return token{}, p.errHere(fmt.Sprintf("expected %s", want))
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(tokIdent, "CREATE"):
+		return p.createTable()
+	case p.accept(tokIdent, "DROP"):
+		if _, err := p.expect(tokIdent, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return DropTable{Table: name}, nil
+	case p.accept(tokIdent, "INSERT"):
+		return p.insert()
+	case p.accept(tokIdent, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokIdent, "UPDATE"):
+		return p.update()
+	case p.accept(tokIdent, "DELETE"):
+		return p.deleteStmt()
+	default:
+		return nil, p.errHere("expected CREATE, DROP, INSERT, SELECT, UPDATE, or DELETE")
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	if _, err := p.expect(tokIdent, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var typ Type
+		switch strings.ToUpper(typeName) {
+		case "INT", "INTEGER", "BIGINT":
+			typ = IntType
+		case "FLOAT", "REAL", "DOUBLE":
+			typ = FloatType
+		case "TEXT", "VARCHAR", "CHAR":
+			typ = TextType
+		default:
+			return nil, fmt.Errorf("sqlstore: unknown column type %q", typeName)
+		}
+		// Tolerate a length suffix like VARCHAR(255).
+		if p.accept(tokSymbol, "(") {
+			if _, err := p.expect(tokNumber, ""); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, ColumnDef{Name: colName, Type: typ})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return CreateTable{Table: name, Columns: cols}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if _, err := p.expect(tokIdent, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.accept(tokSymbol, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokIdent, "VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Value
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return Insert{Table: name, Columns: cols, Rows: rows}, nil
+}
+
+// aggregateNames are the supported aggregate functions.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// selectItem parses one projection: column, AGG(column), or COUNT(*).
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokIdent && aggregateNames[strings.ToUpper(t.text)] && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		agg := strings.ToLower(t.text)
+		p.pos += 2 // name and "("
+		item := SelectItem{Agg: agg}
+		if p.accept(tokSymbol, "*") {
+			if agg != "count" {
+				return SelectItem{}, p.errHere(fmt.Sprintf("%s(*) is not supported; name a column", strings.ToUpper(agg)))
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Column = col
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: col}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	sel := Select{Limit: -1}
+	if !p.accept(tokSymbol, "*") {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = name
+	if p.accept(tokIdent, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(tokIdent, "GROUP") {
+		if _, err := p.expect(tokIdent, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sel.GroupBy = col
+	}
+	if p.accept(tokIdent, "ORDER") {
+		if _, err := p.expect(tokIdent, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = col
+		if p.accept(tokIdent, "DESC") {
+			sel.Desc = true
+		} else {
+			p.accept(tokIdent, "ASC")
+		}
+	}
+	if p.accept(tokIdent, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errHere("LIMIT must be a non-negative integer")
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "SET"); err != nil {
+		return nil, err
+	}
+	var sets []Assignment
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, Assignment{Column: col, Value: v})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	up := Update{Table: name, Set: sets}
+	if p.accept(tokIdent, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := Delete{Table: name}
+	if p.accept(tokIdent, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// literal parses a number, string, NULL, TRUE, or FALSE (booleans stored
+// as integers, the SQLite way).
+func (p *parser) literal() (Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errHere("bad float literal")
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errHere("bad integer literal")
+		}
+		return n, nil
+	case t.kind == tokString:
+		p.pos++
+		return t.text, nil
+	case p.accept(tokIdent, "NULL"):
+		return nil, nil
+	case p.accept(tokIdent, "TRUE"):
+		return int64(1), nil
+	case p.accept(tokIdent, "FALSE"):
+		return int64(0), nil
+	default:
+		return nil, p.errHere("expected a literal value")
+	}
+}
+
+// --- WHERE expression grammar: or -> and (OR and)*, and -> unary (AND unary)*,
+// unary -> NOT unary | primary, primary -> (or) | predicate ---
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryLogic{op: "OR", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "AND") {
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryLogic{op: "AND", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokIdent, "NOT") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{x: x}, nil
+	}
+	if p.accept(tokSymbol, "(") {
+		x, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Expr, error) {
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	// col IS [NOT] NULL
+	if p.accept(tokIdent, "IS") {
+		if !left.isCol {
+			return nil, p.errHere("IS NULL requires a column")
+		}
+		neg := p.accept(tokIdent, "NOT")
+		if _, err := p.expect(tokIdent, "NULL"); err != nil {
+			return nil, err
+		}
+		return isNull{col: left.column, negate: neg}, nil
+	}
+	t := p.cur()
+	if t.kind != tokSymbol || !strings.Contains("= != < <= > >=", t.text) || t.text == "" {
+		return nil, p.errHere("expected comparison operator")
+	}
+	op := t.text
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, p.errHere("expected comparison operator")
+	}
+	p.pos++
+	right, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return comparison{op: op, l: left, r: right}, nil
+}
+
+func (p *parser) operand() (operand, error) {
+	t := p.cur()
+	if t.kind == tokIdent && !isKeyword(t.text) {
+		p.pos++
+		return operand{isCol: true, column: t.text}, nil
+	}
+	v, err := p.literal()
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{literal: v}, nil
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "DROP": true, "AND": true, "OR": true, "NOT": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "IS": true, "ASC": true, "DESC": true, "COUNT": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "GROUP": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToUpper(s)] }

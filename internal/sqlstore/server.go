@@ -1,0 +1,206 @@
+package sqlstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"microfaas/internal/wire"
+)
+
+// Wire protocol: wire-framed JSON (see internal/wire). Requests carry
+// {"query": "..."}; responses carry the Result fields plus an optional
+// "error".
+
+type request struct {
+	Query string `json:"query"`
+}
+
+type response struct {
+	Columns  []string  `json:"columns,omitempty"`
+	Rows     [][]Value `json:"rows,omitempty"`
+	Affected int       `json:"affected"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// normalizeValues rewrites json.Number values into int64/float64 so results
+// decoded from the wire behave like results from a local Database.
+func normalizeValues(rows [][]Value) error {
+	for _, row := range rows {
+		for i, v := range row {
+			num, ok := v.(json.Number)
+			if !ok {
+				continue
+			}
+			if n, err := num.Int64(); err == nil {
+				row[i] = n
+				continue
+			}
+			f, err := num.Float64()
+			if err != nil {
+				return fmt.Errorf("sqlstore: bad number %q on wire", num)
+			}
+			row[i] = f
+		}
+	}
+	return nil
+}
+
+// Server serves a Database over the framed JSON protocol.
+type Server struct {
+	db *Database
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server backed by db (a fresh database if nil).
+func NewServer(db *Database) *Server {
+	if db == nil {
+		db = NewDatabase()
+	}
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Database returns the underlying database.
+func (s *Server) Database() *Database { return s.db }
+
+// Listen binds to addr and serves in the background, returning the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sqlstore: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("sqlstore: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the server and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := wire.ReadJSON(r, &req); err != nil {
+			return
+		}
+		var resp response
+		res, err := s.db.Exec(req.Query)
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Columns = res.Columns
+			resp.Rows = res.Rows
+			resp.Affected = res.Affected
+		}
+		if err := wire.WriteJSON(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client speaks the framed JSON protocol to a sqlstore server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a sqlstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sqlstore: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query executes one SQL statement on the server.
+func (c *Client) Query(sql string) (*Result, error) {
+	if err := wire.WriteJSON(c.w, request{Query: sql}); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := wire.ReadJSON(c.r, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	if err := normalizeValues(resp.Rows); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, Affected: resp.Affected}, nil
+}

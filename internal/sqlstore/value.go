@@ -1,0 +1,141 @@
+// Package sqlstore is the repository's PostgreSQL substitute: a small
+// in-memory SQL engine served over a length-framed JSON TCP protocol.
+//
+// The paper points its SQLSelect and SQLUpdate workload functions at a
+// PostgreSQL server hosted on a dedicated SBC (Sec IV-C). This package
+// implements the slice of SQL those workloads need — CREATE TABLE, INSERT,
+// SELECT with WHERE/ORDER BY/LIMIT and COUNT(*), UPDATE, DELETE, DROP —
+// with a real lexer, parser, and executor, so the network-bound SQL
+// workloads exercise genuine query parsing and evaluation on the far side
+// of a TCP connection.
+package sqlstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is a column type.
+type Type int
+
+const (
+	// IntType holds 64-bit signed integers (INT, INTEGER, BIGINT).
+	IntType Type = iota
+	// FloatType holds float64 (FLOAT, REAL, DOUBLE).
+	FloatType
+	// TextType holds strings (TEXT, VARCHAR).
+	TextType
+)
+
+func (t Type) String() string {
+	switch t {
+	case IntType:
+		return "INT"
+	case FloatType:
+		return "FLOAT"
+	case TextType:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Value is one SQL value: int64, float64, string, or nil (NULL).
+type Value any
+
+// typeOf reports whether v is storable in a column of type t, coercing
+// ints to floats where SQL would.
+func coerce(v Value, t Type) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case IntType:
+		if i, ok := v.(int64); ok {
+			return i, nil
+		}
+	case FloatType:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+	case TextType:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlstore: value %v (%T) not assignable to %s column", v, v, t)
+}
+
+// compare orders two non-nil values of compatible types.
+// Returns <0, 0, >0; an error for incomparable types.
+func compare(a, b Value) (int, error) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return cmpInt(x, y), nil
+		case float64:
+			return cmpFloat(float64(x), y), nil
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmpFloat(x, float64(y)), nil
+		case float64:
+			return cmpFloat(x, y), nil
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			switch {
+			case x < y:
+				return -1, nil
+			case x > y:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("sqlstore: cannot compare %T with %T", a, b)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// formatValue renders a value the way results print it (for tests/CLIs).
+func formatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

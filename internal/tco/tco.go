@@ -1,0 +1,204 @@
+// Package tco implements the paper's 5-year single-rack total-cost-of-
+// ownership analysis (Table II), a simplified form of the Cui et al.
+// datacenter TCO model with the assumptions from the paper's Appendix.
+//
+// The arithmetic reproduces Table II to the dollar:
+//
+//   - Compute (server acquisition) = nodes × node cost, divided by the
+//     online rate in the realistic scenario (5 % of nodes bought again).
+//   - Network = switches × switch cost + nodes × $1.80 of Cat6 cable;
+//     switches = ceil(nodes / 48 ports).
+//   - Energy = (nodes × average node watts × SPUE + switches × switch
+//     watts) × PUE × 43,200 h × $0.10/kWh. The hour count is five 360-day
+//     years — the convention that makes every Table II energy cell match
+//     exactly. Average node watts interpolate idle→loaded by utilization;
+//     a MicroFaaS SBC "idles" fully powered down at 0.128 W.
+package tco
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assumptions carries the Appendix's cost-model constants.
+type Assumptions struct {
+	// ServerCost is a mid-range rack server (Dell PowerEdge R6515): $2,011.
+	ServerCost float64
+	// SBCCost is a BeagleBone Black: $52.50.
+	SBCCost float64
+	// SwitchCost is a refurbished 48-port ToR switch: $500.
+	SwitchCost float64
+	// SwitchPorts sizes the number of ToR switches per rack.
+	SwitchPorts int
+	// CablePerNode is 6 ft of Cat6 at $0.30/ft: $1.80.
+	CablePerNode float64
+	// CableFeetPerNode feeds the cabling-length sanity check.
+	CableFeetPerNode float64
+	// PUE and SPUE are the benchmark datacenter's 1.3 and 1.2.
+	PUE, SPUE float64
+	// PricePerKWh is $0.10.
+	PricePerKWh float64
+	// Years and HoursPerYear define the lifespan: 5 × 8,640 h (360-day
+	// years, matching the paper's arithmetic).
+	Years        float64
+	HoursPerYear float64
+	// Node power draws (watts): servers 150/60, SBCs 1.96/0.128.
+	ServerLoadW, ServerIdleW float64
+	SBCLoadW, SBCIdleW       float64
+	// SwitchW is the ToR switch draw: 40.87 W.
+	SwitchW float64
+}
+
+// PaperAssumptions returns the Appendix constants.
+func PaperAssumptions() Assumptions {
+	return Assumptions{
+		ServerCost:       2011,
+		SBCCost:          52.50,
+		SwitchCost:       500,
+		SwitchPorts:      48,
+		CablePerNode:     1.80,
+		CableFeetPerNode: 6,
+		PUE:              1.3,
+		SPUE:             1.2,
+		PricePerKWh:      0.10,
+		Years:            5,
+		HoursPerYear:     8640,
+		ServerLoadW:      150,
+		ServerIdleW:      60,
+		SBCLoadW:         1.96,
+		SBCIdleW:         0.128,
+		SwitchW:          40.87,
+	}
+}
+
+// Scenario is a utilization/online-rate operating point.
+type Scenario struct {
+	Name string
+	// Utilization is the average node utilization in [0,1].
+	Utilization float64
+	// OnlineRate is the fraction of nodes that never need replacement.
+	OnlineRate float64
+}
+
+// Ideal is Table II's "100% Util., 100% OR" column.
+func Ideal() Scenario { return Scenario{Name: "ideal", Utilization: 1, OnlineRate: 1} }
+
+// Realistic is Table II's "50% Util., 95% OR" column.
+func Realistic() Scenario { return Scenario{Name: "realistic", Utilization: 0.5, OnlineRate: 0.95} }
+
+// ClusterSpec describes one rack's worth of compute of either kind.
+type ClusterSpec struct {
+	Name string
+	// Nodes is the compute-node count (servers or SBCs).
+	Nodes int
+	// NodeCost, NodeLoadW, NodeIdleW describe one node.
+	NodeCost             float64
+	NodeLoadW, NodeIdleW float64
+}
+
+// PaperConventionalNodes and PaperMicroFaaSNodes are the throughput-
+// equivalent rack sizes Sec V estimates.
+const (
+	PaperConventionalNodes = 41
+	PaperMicroFaaSNodes    = 989
+)
+
+// ConventionalRack returns the paper's 41-server rack.
+func ConventionalRack(a Assumptions) ClusterSpec {
+	return ClusterSpec{
+		Name:      "conventional",
+		Nodes:     PaperConventionalNodes,
+		NodeCost:  a.ServerCost,
+		NodeLoadW: a.ServerLoadW,
+		NodeIdleW: a.ServerIdleW,
+	}
+}
+
+// MicroFaaSRack returns the paper's throughput-equivalent 989-SBC rack.
+func MicroFaaSRack(a Assumptions) ClusterSpec {
+	return ClusterSpec{
+		Name:      "microfaas",
+		Nodes:     PaperMicroFaaSNodes,
+		NodeCost:  a.SBCCost,
+		NodeLoadW: a.SBCLoadW,
+		NodeIdleW: a.SBCIdleW,
+	}
+}
+
+// Cost is one Table II column for one cluster.
+type Cost struct {
+	Compute float64
+	Network float64
+	Energy  float64
+}
+
+// Total sums the expense rows.
+func (c Cost) Total() float64 { return c.Compute + c.Network + c.Energy }
+
+// Switches returns the ToR switch count for a node population.
+func Switches(nodes int, a Assumptions) int {
+	if a.SwitchPorts <= 0 {
+		panic("tco: switch ports must be positive")
+	}
+	return int(math.Ceil(float64(nodes) / float64(a.SwitchPorts)))
+}
+
+// CableKilometers returns the total Cat6 run for a node population (the
+// paper's "1.8 kilometers (1.1 miles)" aside).
+func CableKilometers(nodes int, a Assumptions) float64 {
+	return float64(nodes) * a.CableFeetPerNode * 0.3048 / 1000
+}
+
+// Lifetime computes one cluster's 5-year cost under a scenario.
+func Lifetime(spec ClusterSpec, sc Scenario, a Assumptions) (Cost, error) {
+	if spec.Nodes <= 0 {
+		return Cost{}, fmt.Errorf("tco: cluster %q has no nodes", spec.Name)
+	}
+	if sc.Utilization < 0 || sc.Utilization > 1 {
+		return Cost{}, fmt.Errorf("tco: utilization %v outside [0,1]", sc.Utilization)
+	}
+	if sc.OnlineRate <= 0 || sc.OnlineRate > 1 {
+		return Cost{}, fmt.Errorf("tco: online rate %v outside (0,1]", sc.OnlineRate)
+	}
+	switches := Switches(spec.Nodes, a)
+
+	compute := float64(spec.Nodes) * spec.NodeCost / sc.OnlineRate
+	network := float64(switches)*a.SwitchCost + float64(spec.Nodes)*a.CablePerNode
+
+	nodeAvgW := spec.NodeIdleW + (spec.NodeLoadW-spec.NodeIdleW)*sc.Utilization
+	itWatts := float64(spec.Nodes)*nodeAvgW*a.SPUE + float64(switches)*a.SwitchW
+	hours := a.Years * a.HoursPerYear
+	energy := itWatts * a.PUE * hours / 1000 * a.PricePerKWh
+
+	return Cost{Compute: compute, Network: network, Energy: energy}, nil
+}
+
+// Comparison is the full Table II: both clusters under both scenarios.
+type Comparison struct {
+	Scenario     Scenario
+	Conventional Cost
+	MicroFaaS    Cost
+}
+
+// Savings is the fractional TCO reduction MicroFaaS achieves.
+func (c Comparison) Savings() float64 {
+	return 1 - c.MicroFaaS.Total()/c.Conventional.Total()
+}
+
+// TableII computes the paper's Table II under the Appendix assumptions.
+func TableII() ([]Comparison, error) {
+	a := PaperAssumptions()
+	var out []Comparison
+	for _, sc := range []Scenario{Ideal(), Realistic()} {
+		conv, err := Lifetime(ConventionalRack(a), sc, a)
+		if err != nil {
+			return nil, err
+		}
+		mf, err := Lifetime(MicroFaaSRack(a), sc, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{Scenario: sc, Conventional: conv, MicroFaaS: mf})
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// near asserts |got-want| <= 1 (Table II rounds to whole dollars).
+func near(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("%s = $%.2f, want $%.0f (±$1)", what, got, want)
+	}
+}
+
+func TestTableIIExactReproduction(t *testing.T) {
+	rows, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d scenarios, want 2", len(rows))
+	}
+	ideal, realistic := rows[0], rows[1]
+
+	// Ideal column (100% Util., 100% OR).
+	near(t, "ideal conventional compute", ideal.Conventional.Compute, 82451)
+	near(t, "ideal conventional network", ideal.Conventional.Network, 574)
+	near(t, "ideal conventional energy", ideal.Conventional.Energy, 41676)
+	near(t, "ideal conventional total", ideal.Conventional.Total(), 124701)
+	near(t, "ideal microfaas compute", ideal.MicroFaaS.Compute, 51923)
+	near(t, "ideal microfaas network", ideal.MicroFaaS.Network, 12280)
+	near(t, "ideal microfaas energy", ideal.MicroFaaS.Energy, 17884)
+	near(t, "ideal microfaas total", ideal.MicroFaaS.Total(), 82087)
+
+	// Realistic column (50% Util., 95% OR).
+	near(t, "realistic conventional compute", realistic.Conventional.Compute, 86791)
+	near(t, "realistic conventional network", realistic.Conventional.Network, 574)
+	near(t, "realistic conventional energy", realistic.Conventional.Energy, 29242)
+	near(t, "realistic conventional total", realistic.Conventional.Total(), 116607)
+	near(t, "realistic microfaas compute", realistic.MicroFaaS.Compute, 54655)
+	near(t, "realistic microfaas network", realistic.MicroFaaS.Network, 12280)
+	near(t, "realistic microfaas energy", realistic.MicroFaaS.Energy, 11778)
+	near(t, "realistic microfaas total", realistic.MicroFaaS.Total(), 78713)
+}
+
+func TestHeadlineSavingsRange(t *testing.T) {
+	// Sec V: "the MicroFaaS cluster is 32.5–34.2% less expensive".
+	rows, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, realistic := rows[0].Savings()*100, rows[1].Savings()*100
+	if math.Abs(ideal-34.2) > 0.1 {
+		t.Fatalf("ideal savings = %.2f%%, want 34.2%%", ideal)
+	}
+	if math.Abs(realistic-32.5) > 0.1 {
+		t.Fatalf("realistic savings = %.2f%%, want 32.5%%", realistic)
+	}
+}
+
+func TestSwitchCounts(t *testing.T) {
+	a := PaperAssumptions()
+	// Sec V: 41 servers need 1 ToR switch; 989 SBCs need 21.
+	if got := Switches(PaperConventionalNodes, a); got != 1 {
+		t.Fatalf("conventional switches = %d, want 1", got)
+	}
+	if got := Switches(PaperMicroFaaSNodes, a); got != 21 {
+		t.Fatalf("microfaas switches = %d, want 21", got)
+	}
+	if got := Switches(48, a); got != 1 {
+		t.Fatalf("48 nodes = %d switches", got)
+	}
+	if got := Switches(49, a); got != 2 {
+		t.Fatalf("49 nodes = %d switches", got)
+	}
+}
+
+func TestCableLengthMatchesPaperAside(t *testing.T) {
+	// Sec V: "1.8 kilometers (1.1 miles) of Cat6 cabling" for 989 SBCs.
+	km := CableKilometers(PaperMicroFaaSNodes, PaperAssumptions())
+	if math.Abs(km-1.8) > 0.05 {
+		t.Fatalf("cable run = %.3f km, want ≈1.8 km", km)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	a := PaperAssumptions()
+	if _, err := Lifetime(ClusterSpec{Name: "empty"}, Ideal(), a); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	spec := ConventionalRack(a)
+	if _, err := Lifetime(spec, Scenario{Utilization: -0.1, OnlineRate: 1}, a); err == nil {
+		t.Fatal("negative utilization accepted")
+	}
+	if _, err := Lifetime(spec, Scenario{Utilization: 2, OnlineRate: 1}, a); err == nil {
+		t.Fatal("utilization > 1 accepted")
+	}
+	if _, err := Lifetime(spec, Scenario{Utilization: 0.5, OnlineRate: 0}, a); err == nil {
+		t.Fatal("zero online rate accepted")
+	}
+}
+
+func TestLowerOnlineRateRaisesOnlyCompute(t *testing.T) {
+	a := PaperAssumptions()
+	spec := MicroFaaSRack(a)
+	full, err := Lifetime(spec, Scenario{Utilization: 1, OnlineRate: 1}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Lifetime(spec, Scenario{Utilization: 1, OnlineRate: 0.9}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Compute <= full.Compute {
+		t.Fatal("replacements must raise compute cost")
+	}
+	if degraded.Network != full.Network || degraded.Energy != full.Energy {
+		t.Fatal("online rate must not touch network or energy")
+	}
+}
+
+func TestEnergyProportionalityAdvantage(t *testing.T) {
+	// The structural claim behind Table II: dropping utilization cuts the
+	// MicroFaaS energy bill almost proportionally (nodes power down),
+	// while the conventional bill keeps paying 60 W idle per server.
+	a := PaperAssumptions()
+	mfFull, _ := Lifetime(MicroFaaSRack(a), Scenario{Utilization: 1, OnlineRate: 1}, a)
+	mfHalf, _ := Lifetime(MicroFaaSRack(a), Scenario{Utilization: 0.5, OnlineRate: 1}, a)
+	convFull, _ := Lifetime(ConventionalRack(a), Scenario{Utilization: 1, OnlineRate: 1}, a)
+	convHalf, _ := Lifetime(ConventionalRack(a), Scenario{Utilization: 0.5, OnlineRate: 1}, a)
+	mfDrop := 1 - mfHalf.Energy/mfFull.Energy
+	convDrop := 1 - convHalf.Energy/convFull.Energy
+	if mfDrop <= convDrop {
+		t.Fatalf("energy drop at 50%% util: microfaas %.1f%% vs conventional %.1f%% — proportionality lost",
+			mfDrop*100, convDrop*100)
+	}
+}
+
+// Property: total cost is monotone in utilization and in node count.
+func TestMonotonicityProperty(t *testing.T) {
+	a := PaperAssumptions()
+	prop := func(u1, u2 uint8, extra uint8) bool {
+		x, y := float64(u1%101)/100, float64(u2%101)/100
+		if x > y {
+			x, y = y, x
+		}
+		lo, err1 := Lifetime(MicroFaaSRack(a), Scenario{Utilization: x, OnlineRate: 1}, a)
+		hi, err2 := Lifetime(MicroFaaSRack(a), Scenario{Utilization: y, OnlineRate: 1}, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if lo.Total() > hi.Total()+1e-9 {
+			return false
+		}
+		small := MicroFaaSRack(a)
+		big := small
+		big.Nodes += int(extra)
+		cs, err1 := Lifetime(small, Ideal(), a)
+		cb, err2 := Lifetime(big, Ideal(), a)
+		return err1 == nil && err2 == nil && cb.Total() >= cs.Total()-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace collects per-invocation records and computes the summary
+// statistics the paper reports: per-function execution and overhead means
+// (Fig 3), cluster throughput, and energy-per-function.
+//
+// The paper's OP timestamps every invocation at the orchestrator and on the
+// worker; this package is the equivalent bookkeeping. Times are offsets on
+// the experiment's clock (virtual in sim mode, wall in live mode).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is one completed (or failed) function invocation.
+type Record struct {
+	JobID    int64
+	Function string
+	Worker   string
+	// Attempt is 0 for the first execution, >0 for OP-level retries.
+	Attempt int
+
+	// Submitted is when the OP enqueued the job; Started when the worker
+	// began its cycle (power-on); Finished when the result arrived.
+	Submitted, Started, Finished time.Duration
+
+	// Boot, Overhead, and Exec decompose the worker's cycle: OS boot,
+	// network/protocol overhead, and function execution (Fig 3's split).
+	Boot, Overhead, Exec time.Duration
+
+	// Err is non-empty when the invocation failed.
+	Err string
+}
+
+// Total is the worker-side cycle time (boot + overhead + exec).
+func (r Record) Total() time.Duration { return r.Boot + r.Overhead + r.Exec }
+
+// Latency is the end-to-end time from submission to result.
+func (r Record) Latency() time.Duration { return r.Finished - r.Submitted }
+
+// Collector accumulates records; safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends one record.
+func (c *Collector) Add(r Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = append(c.records, r)
+}
+
+// Len returns the number of records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Records returns a copy of all records.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// FunctionStats summarizes one function's invocations.
+type FunctionStats struct {
+	Function string
+	Count    int
+	Errors   int
+	// Means over successful invocations.
+	MeanExec     time.Duration
+	MeanOverhead time.Duration
+	MeanTotal    time.Duration
+	MeanLatency  time.Duration
+	// P50/P95 of worker-side total time.
+	P50Total, P95Total time.Duration
+}
+
+// ByFunction groups records and computes per-function statistics, sorted
+// by function name.
+func (c *Collector) ByFunction() []FunctionStats {
+	groups := map[string][]Record{}
+	for _, r := range c.Records() {
+		groups[r.Function] = append(groups[r.Function], r)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]FunctionStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, summarize(n, groups[n]))
+	}
+	return out
+}
+
+func summarize(name string, recs []Record) FunctionStats {
+	st := FunctionStats{Function: name, Count: len(recs)}
+	var exec, ovh, total, lat time.Duration
+	var totals []time.Duration
+	ok := 0
+	for _, r := range recs {
+		if r.Err != "" {
+			st.Errors++
+			continue
+		}
+		ok++
+		exec += r.Exec
+		ovh += r.Overhead
+		total += r.Exec + r.Overhead
+		lat += r.Latency()
+		totals = append(totals, r.Exec+r.Overhead)
+	}
+	if ok > 0 {
+		st.MeanExec = exec / time.Duration(ok)
+		st.MeanOverhead = ovh / time.Duration(ok)
+		st.MeanTotal = total / time.Duration(ok)
+		st.MeanLatency = lat / time.Duration(ok)
+		st.P50Total = Percentile(totals, 50)
+		st.P95Total = Percentile(totals, 95)
+	}
+	return st
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of durations.
+// It returns 0 for an empty slice and panics for p outside [0,100].
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("trace: percentile %v outside [0,100]", p))
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Throughput returns successful invocations per minute over [start, end].
+func (c *Collector) Throughput(start, end time.Duration) float64 {
+	if end <= start {
+		return 0
+	}
+	n := 0
+	for _, r := range c.Records() {
+		if r.Err == "" && r.Finished >= start && r.Finished <= end {
+			n++
+		}
+	}
+	return float64(n) / (end - start).Minutes()
+}
+
+// ErrorCount returns the number of failed invocations.
+func (c *Collector) ErrorCount() int {
+	n := 0
+	for _, r := range c.Records() {
+		if r.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV emits all records as CSV (header + one row per record).
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "job_id,function,worker,attempt,submitted_ms,started_ms,finished_ms,boot_ms,overhead_ms,exec_ms,error"); err != nil {
+		return err
+	}
+	for _, r := range c.Records() {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%q\n",
+			r.JobID, r.Function, r.Worker, r.Attempt,
+			ms(r.Submitted), ms(r.Started), ms(r.Finished),
+			ms(r.Boot), ms(r.Overhead), ms(r.Exec), r.Err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func rec(fn string, exec, ovh time.Duration, err string) Record {
+	return Record{Function: fn, Exec: exec, Overhead: ovh, Err: err,
+		Submitted: 0, Started: time.Second, Finished: time.Second + exec + ovh}
+}
+
+func TestRecordDerivedTimes(t *testing.T) {
+	r := Record{Boot: time.Second, Overhead: 100 * time.Millisecond,
+		Exec: 2 * time.Second, Submitted: time.Second, Finished: 5 * time.Second}
+	if r.Total() != 3100*time.Millisecond {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if r.Latency() != 4*time.Second {
+		t.Fatalf("Latency = %v", r.Latency())
+	}
+}
+
+func TestByFunctionMeans(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec("A", 100*time.Millisecond, 10*time.Millisecond, ""))
+	c.Add(rec("A", 300*time.Millisecond, 30*time.Millisecond, ""))
+	c.Add(rec("B", time.Second, 0, ""))
+	stats := c.ByFunction()
+	if len(stats) != 2 || stats[0].Function != "A" || stats[1].Function != "B" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	a := stats[0]
+	if a.Count != 2 || a.MeanExec != 200*time.Millisecond || a.MeanOverhead != 20*time.Millisecond {
+		t.Fatalf("A stats = %+v", a)
+	}
+	if a.MeanTotal != 220*time.Millisecond {
+		t.Fatalf("A mean total = %v", a.MeanTotal)
+	}
+}
+
+func TestErrorsExcludedFromMeans(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec("A", 100*time.Millisecond, 0, ""))
+	c.Add(rec("A", time.Hour, 0, "boom"))
+	stats := c.ByFunction()
+	if stats[0].Errors != 1 || stats[0].Count != 2 {
+		t.Fatalf("stats = %+v", stats[0])
+	}
+	if stats[0].MeanExec != 100*time.Millisecond {
+		t.Fatalf("failed invocation polluted the mean: %v", stats[0].MeanExec)
+	}
+	if c.ErrorCount() != 1 {
+		t.Fatalf("ErrorCount = %d", c.ErrorCount())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{5, 1, 4, 2, 3}
+	if got := Percentile(ds, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(ds, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(ds, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty P50 = %v", got)
+	}
+	// Input must not be mutated.
+	if ds[0] != 5 {
+		t.Fatal("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Percentile([]time.Duration{1}, 101)
+}
+
+// Property: the percentile is always an element of the input and is
+// monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	prop := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			ds[i] = time.Duration(v)
+		}
+		p := float64(pRaw % 101)
+		got := Percentile(ds, p)
+		found := false
+		for _, d := range ds {
+			if d == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return Percentile(ds, 0) == sorted[0] && Percentile(ds, 100) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 60; i++ {
+		c.Add(Record{Function: "A", Finished: time.Duration(i) * time.Second})
+	}
+	// 60 completions in the first minute (t=0..59s) and window [0,60s].
+	got := c.Throughput(0, time.Minute)
+	if got != 60 {
+		t.Fatalf("Throughput = %v func/min, want 60", got)
+	}
+	// Errors excluded.
+	c.Add(Record{Function: "A", Finished: 30 * time.Second, Err: "x"})
+	if c.Throughput(0, time.Minute) != 60 {
+		t.Fatal("failed invocation counted in throughput")
+	}
+	if c.Throughput(time.Minute, time.Minute) != 0 {
+		t.Fatal("empty window must be 0")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := NewCollector()
+	c.Add(Record{JobID: 7, Function: "CascSHA", Worker: "sbc-3",
+		Boot: 1510 * time.Millisecond, Exec: 2 * time.Second, Err: ""})
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job_id,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "CascSHA") || !strings.Contains(lines[1], "1510.000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCollectorConcurrentAdd(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add(rec("A", time.Millisecond, 0, ""))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", c.Len())
+	}
+}
+
+func TestRecordsReturnsCopy(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec("A", time.Millisecond, 0, ""))
+	rs := c.Records()
+	rs[0].Function = "mutated"
+	if c.Records()[0].Function != "A" {
+		t.Fatal("Records leaked internal storage")
+	}
+}

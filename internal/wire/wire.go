@@ -1,0 +1,65 @@
+// Package wire implements the length-framed JSON message format shared by
+// the cluster's TCP protocols: the OP↔worker invocation protocol
+// (internal/proto), the message-queue protocol (internal/mq), and the SQL
+// protocol (internal/sqlstore).
+//
+// Every frame is a 4-byte big-endian payload length followed by a JSON
+// body. JSON keeps the protocols debuggable with nothing but netcat, which
+// matches the plain-text spirit of the paper's Python control plane; the
+// length prefix keeps message boundaries explicit and binary-safe ([]byte
+// fields ride as base64).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame caps a frame's payload to guard against hostile or corrupt
+// length prefixes. 64 MiB comfortably covers the largest workload payloads
+// (the object-store functions move multi-MiB objects).
+const MaxFrame = 64 << 20
+
+// WriteJSON marshals v and writes one frame.
+func WriteJSON(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds %d limit", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadJSON reads one frame and unmarshals it into v. Numbers decode via
+// json.Number when v contains `any` fields, preserving int64 precision.
+func ReadJSON(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds %d limit", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}

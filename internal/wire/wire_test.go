@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type payload struct {
+	Name string `json:"name"`
+	N    int64  `json:"n"`
+	Blob []byte `json:"blob,omitempty"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := payload{Name: "job-1", N: 1 << 60, Blob: []byte{0, 1, 2, 255}}
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := ReadJSON(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.N != in.N || !bytes.Equal(out.Blob, in.Blob) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := int64(0); i < 5; i++ {
+		if err := WriteJSON(&buf, payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		var out payload
+		if err := ReadJSON(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.N != i {
+			t.Fatalf("frame %d decoded as %d", i, out.N)
+		}
+	}
+	var extra payload
+	if err := ReadJSON(&buf, &extra); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	var out payload
+	if err := ReadJSON(bytes.NewReader(data), &out); err == nil {
+		t.Fatal("truncated frame decoded without error")
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var out payload
+	err := ReadJSON(bytes.NewReader(hdr[:]), &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+}
+
+func TestUnmarshalableValueErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, make(chan int)); err == nil {
+		t.Fatal("marshalling a channel must fail")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("failed marshal must not emit bytes")
+	}
+}
+
+// Property: arbitrary string/byte payloads survive the frame round trip.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(name string, n int64, blob []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, payload{Name: name, N: n, Blob: blob}); err != nil {
+			return false
+		}
+		var out payload
+		if err := ReadJSON(&buf, &out); err != nil {
+			return false
+		}
+		return out.Name == name && out.N == n && bytes.Equal(out.Blob, blob)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

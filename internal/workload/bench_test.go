@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-function micro-benchmarks: each runs one Table-I function's real Go
+// implementation with generated arguments (network-bound functions against
+// live loopback services). `go test -bench=Function ./internal/workload`
+// profiles the suite's host-side compute cost.
+
+func BenchmarkFunction(b *testing.B) {
+	env := benchBackends(b)
+	for _, f := range All() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			args := f.GenArgs(rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(env, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchBackends is startBackends without *testing.T.
+func benchBackends(b *testing.B) *Env {
+	b.Helper()
+	env, cleanup, err := newBackends()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cleanup)
+	return env
+}
+
+func BenchmarkGenArgs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	fns := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fns[i%len(fns)].GenArgs(rng)
+	}
+}

@@ -1,0 +1,431 @@
+package workload
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/md5"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"html/template"
+	"io"
+	"math"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+// This file implements Table I's nine CPU- or RAM-bound functions.
+// Iteration counts in the generated arguments are sized so a single
+// invocation completes in tens of milliseconds on a laptop — the live
+// cluster measures real work, while the calibrated durations for the
+// paper's hardware live in internal/model.
+
+// --- FloatOps: floating-point trigonometric operations (FunctionBench) ---
+
+type floatOpsArgs struct {
+	Iterations int     `json:"iterations"`
+	Seed       float64 `json:"seed"`
+}
+
+type floatOpsResult struct {
+	Iterations int     `json:"iterations"`
+	Value      float64 `json:"value"`
+}
+
+func runFloatOps(_ *Env, raw []byte) ([]byte, error) {
+	var args floatOpsArgs
+	if err := decodeArgs("FloatOps", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.Iterations <= 0 {
+		return nil, fmt.Errorf("workload: FloatOps: iterations must be positive")
+	}
+	x := args.Seed
+	for i := 0; i < args.Iterations; i++ {
+		x = math.Sin(x) + math.Cos(x)*math.Tan(x+1.5)
+		x = math.Sqrt(math.Abs(x)) + math.Log1p(math.Abs(x))
+	}
+	return mustJSON(floatOpsResult{Iterations: args.Iterations, Value: x}), nil
+}
+
+// --- CascSHA / CascMD5: cascading hash calculations ---
+
+type cascadeArgs struct {
+	Rounds int    `json:"rounds"`
+	Seed   string `json:"seed"`
+}
+
+type cascadeResult struct {
+	Rounds int    `json:"rounds"`
+	Digest string `json:"digest"`
+}
+
+func runCascSHA(_ *Env, raw []byte) ([]byte, error) {
+	var args cascadeArgs
+	if err := decodeArgs("CascSHA", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: CascSHA: rounds must be positive")
+	}
+	digest := []byte(args.Seed)
+	for i := 0; i < args.Rounds; i++ {
+		sum := sha256.Sum256(digest)
+		digest = sum[:]
+	}
+	return mustJSON(cascadeResult{Rounds: args.Rounds, Digest: hex.EncodeToString(digest)}), nil
+}
+
+func runCascMD5(_ *Env, raw []byte) ([]byte, error) {
+	var args cascadeArgs
+	if err := decodeArgs("CascMD5", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: CascMD5: rounds must be positive")
+	}
+	digest := []byte(args.Seed)
+	for i := 0; i < args.Rounds; i++ {
+		sum := md5.Sum(digest)
+		digest = sum[:]
+	}
+	return mustJSON(cascadeResult{Rounds: args.Rounds, Digest: hex.EncodeToString(digest)}), nil
+}
+
+// --- MatMul: large random matrix multiplication (FunctionBench) ---
+
+type matMulArgs struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+type matMulResult struct {
+	N        int     `json:"n"`
+	Checksum float64 `json:"checksum"`
+}
+
+func runMatMul(_ *Env, raw []byte) ([]byte, error) {
+	var args matMulArgs
+	if err := decodeArgs("MatMul", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.N <= 0 || args.N > 2048 {
+		return nil, fmt.Errorf("workload: MatMul: n must be in (0,2048], got %d", args.N)
+	}
+	n := args.N
+	rng := rand.New(rand.NewSource(args.Seed))
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			row := b[k*n:]
+			out := c[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	return mustJSON(matMulResult{N: n, Checksum: sum}), nil
+}
+
+// --- HTMLGen: dynamically generate and serve HTML ---
+
+type htmlGenArgs struct {
+	Title string `json:"title"`
+	Rows  int    `json:"rows"`
+	Seed  int64  `json:"seed"`
+}
+
+type htmlGenResult struct {
+	Bytes int    `json:"bytes"`
+	HTML  string `json:"html"`
+}
+
+var htmlTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title></head>
+<body><h1>{{.Title}}</h1>
+<table>
+{{range .Rows}}<tr><td>{{.ID}}</td><td>{{.Name}}</td><td>{{.Score}}</td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+func runHTMLGen(_ *Env, raw []byte) ([]byte, error) {
+	var args htmlGenArgs
+	if err := decodeArgs("HTMLGen", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.Rows <= 0 || args.Rows > 1<<20 {
+		return nil, fmt.Errorf("workload: HTMLGen: rows must be in (0,2^20], got %d", args.Rows)
+	}
+	rng := rand.New(rand.NewSource(args.Seed))
+	type row struct {
+		ID    int
+		Name  string
+		Score float64
+	}
+	rows := make([]row, args.Rows)
+	for i := range rows {
+		rows[i] = row{ID: i, Name: fmt.Sprintf("user-%06x", rng.Int31()), Score: rng.Float64() * 100}
+	}
+	var buf bytes.Buffer
+	if err := htmlTmpl.Execute(&buf, map[string]any{"Title": args.Title, "Rows": rows}); err != nil {
+		return nil, fmt.Errorf("workload: HTMLGen: %w", err)
+	}
+	return mustJSON(htmlGenResult{Bytes: buf.Len(), HTML: buf.String()}), nil
+}
+
+// --- AES128: cascading AES128 encryption/decryption (FunctionBench) ---
+
+type aesArgs struct {
+	Rounds int    `json:"rounds"`
+	Key    string `json:"key"`  // 32 hex chars (16 bytes)
+	Data   string `json:"data"` // base64 plaintext
+}
+
+type aesResult struct {
+	Rounds int    `json:"rounds"`
+	Tag    string `json:"tag"` // crc32 of final plaintext, must equal input's
+	OK     bool   `json:"ok"`
+}
+
+func runAES128(_ *Env, raw []byte) ([]byte, error) {
+	var args aesArgs
+	if err := decodeArgs("AES128", raw, &args); err != nil {
+		return nil, err
+	}
+	if args.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: AES128: rounds must be positive")
+	}
+	key, err := hex.DecodeString(args.Key)
+	if err != nil || len(key) != 16 {
+		return nil, fmt.Errorf("workload: AES128: key must be 16 bytes hex")
+	}
+	plain, err := base64.StdEncoding.DecodeString(args.Data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: AES128: bad data: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("workload: AES128: %w", err)
+	}
+	origTag := crc32.ChecksumIEEE(plain)
+	buf := append([]byte(nil), plain...)
+	iv := make([]byte, aes.BlockSize)
+	for i := 0; i < args.Rounds; i++ {
+		binary.BigEndian.PutUint64(iv, uint64(i)+1)
+		cipher.NewCTR(block, iv).XORKeyStream(buf, buf) // encrypt
+		cipher.NewCTR(block, iv).XORKeyStream(buf, buf) // decrypt (CTR is symmetric)
+	}
+	tag := crc32.ChecksumIEEE(buf)
+	return mustJSON(aesResult{
+		Rounds: args.Rounds,
+		Tag:    fmt.Sprintf("%08x", tag),
+		OK:     tag == origTag,
+	}), nil
+}
+
+// --- Decompress: extract a DEFLATE-compressed string (FunctionBench) ---
+
+type decompressArgs struct {
+	Data string `json:"data"` // base64 DEFLATE stream
+}
+
+type decompressResult struct {
+	Bytes    int    `json:"bytes"`
+	Checksum string `json:"checksum"`
+}
+
+func runDecompress(_ *Env, raw []byte) ([]byte, error) {
+	var args decompressArgs
+	if err := decodeArgs("Decompress", raw, &args); err != nil {
+		return nil, err
+	}
+	compressed, err := base64.StdEncoding.DecodeString(args.Data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: Decompress: bad data: %w", err)
+	}
+	r := flate.NewReader(bytes.NewReader(compressed))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("workload: Decompress: inflate: %w", err)
+	}
+	return mustJSON(decompressResult{
+		Bytes:    len(out),
+		Checksum: fmt.Sprintf("%08x", crc32.ChecksumIEEE(out)),
+	}), nil
+}
+
+// --- RegExSearch / RegExMatch ---
+
+type regexArgs struct {
+	Pattern string `json:"pattern"`
+	Text    string `json:"text"`
+}
+
+type regexSearchResult struct {
+	Count   int      `json:"count"`
+	Samples []string `json:"samples,omitempty"`
+}
+
+func runRegExSearch(_ *Env, raw []byte) ([]byte, error) {
+	var args regexArgs
+	if err := decodeArgs("RegExSearch", raw, &args); err != nil {
+		return nil, err
+	}
+	re, err := regexp.Compile(args.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("workload: RegExSearch: bad pattern: %w", err)
+	}
+	matches := re.FindAllString(args.Text, -1)
+	samples := matches
+	if len(samples) > 10 {
+		samples = samples[:10]
+	}
+	return mustJSON(regexSearchResult{Count: len(matches), Samples: samples}), nil
+}
+
+type regexMatchResult struct {
+	Matched bool `json:"matched"`
+}
+
+func runRegExMatch(_ *Env, raw []byte) ([]byte, error) {
+	var args regexArgs
+	if err := decodeArgs("RegExMatch", raw, &args); err != nil {
+		return nil, err
+	}
+	re, err := regexp.Compile(args.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("workload: RegExMatch: bad pattern: %w", err)
+	}
+	return mustJSON(regexMatchResult{Matched: re.MatchString(args.Text)}), nil
+}
+
+// --- Argument generators ---
+
+// loremWords feeds the text generators; content is immaterial, shape
+// (word-ish tokens with digits and emails sprinkled in) is what the regex
+// workloads chew on.
+var loremWords = strings.Fields(`serverless function cloud energy watt node
+worker cluster boot kernel packet switch queue topic bucket object record
+alpha beta gamma delta epsilon 42 1024 2048 async event trigger invoke`)
+
+func genText(rng *rand.Rand, words int) string {
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if rng.Intn(37) == 0 {
+			fmt.Fprintf(&sb, "user%d@example.com", rng.Intn(1000))
+			continue
+		}
+		sb.WriteString(loremWords[rng.Intn(len(loremWords))])
+	}
+	return sb.String()
+}
+
+func init() {
+	register(Function{
+		Name: "FloatOps",
+		Run:  runFloatOps,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(floatOpsArgs{Iterations: 20000 + rng.Intn(10000), Seed: rng.Float64()})
+		},
+	})
+	register(Function{
+		Name: "CascSHA",
+		Run:  runCascSHA,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(cascadeArgs{Rounds: 30000 + rng.Intn(20000), Seed: genText(rng, 40)})
+		},
+	})
+	register(Function{
+		Name: "CascMD5",
+		Run:  runCascMD5,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(cascadeArgs{Rounds: 30000 + rng.Intn(20000), Seed: genText(rng, 40)})
+		},
+	})
+	register(Function{
+		Name: "MatMul",
+		Run:  runMatMul,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(matMulArgs{N: 96 + rng.Intn(64), Seed: rng.Int63()})
+		},
+	})
+	register(Function{
+		Name: "HTMLGen",
+		Run:  runHTMLGen,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(htmlGenArgs{Title: "MicroFaaS report", Rows: 300 + rng.Intn(300), Seed: rng.Int63()})
+		},
+	})
+	register(Function{
+		Name: "AES128",
+		Run:  runAES128,
+		GenArgs: func(rng *rand.Rand) []byte {
+			key := make([]byte, 16)
+			rng.Read(key) //nolint:errcheck // math/rand Read never fails
+			data := make([]byte, 4096)
+			rng.Read(data) //nolint:errcheck
+			return mustJSON(aesArgs{
+				Rounds: 200 + rng.Intn(200),
+				Key:    hex.EncodeToString(key),
+				Data:   base64.StdEncoding.EncodeToString(data),
+			})
+		},
+	})
+	register(Function{
+		Name: "Decompress",
+		Run:  runDecompress,
+		GenArgs: func(rng *rand.Rand) []byte {
+			text := genText(rng, 20000)
+			var buf bytes.Buffer
+			w, err := flate.NewWriter(&buf, flate.BestSpeed)
+			if err != nil {
+				panic(err) // static level, cannot fail
+			}
+			w.Write([]byte(text)) //nolint:errcheck // bytes.Buffer never fails
+			w.Close()             //nolint:errcheck
+			return mustJSON(decompressArgs{Data: base64.StdEncoding.EncodeToString(buf.Bytes())})
+		},
+	})
+	register(Function{
+		Name: "RegExSearch",
+		Run:  runRegExSearch,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(regexArgs{
+				Pattern: `[a-z0-9]+@[a-z]+\.[a-z]+`,
+				Text:    genText(rng, 12000),
+			})
+		},
+	})
+	register(Function{
+		Name: "RegExMatch",
+		Run:  runRegExMatch,
+		GenArgs: func(rng *rand.Rand) []byte {
+			return mustJSON(regexArgs{
+				Pattern: `(alpha|beta|gamma).*(42|1024).*trigger`,
+				Text:    genText(rng, 6000),
+			})
+		},
+	})
+}

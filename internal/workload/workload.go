@@ -1,0 +1,122 @@
+// Package workload implements the paper's 17-function benchmark suite
+// (Table I) as real, runnable Go functions.
+//
+// The paper runs MicroPython adaptations of six FunctionBench functions and
+// eleven functions of its own creation. This package reimplements all 17 in
+// Go: the CPU/RAM-bound functions perform the same computational kernels
+// (hash cascades, AES, matmul, DEFLATE, regex, HTML templating), and the
+// network-bound functions talk to this repository's real backing services
+// (internal/kvstore, internal/sqlstore, internal/objstore, internal/mq)
+// over real TCP connections — just as the paper's workers talk to Redis,
+// PostgreSQL, MinIO, and Kafka hosted on dedicated service nodes.
+//
+// Every function takes JSON-encoded arguments and returns a JSON-encoded
+// result, mirroring a FaaS platform's invocation interface. Argument
+// generators produce deterministic, realistic invocations from a seed so
+// the live cluster and the tests can drive the suite reproducibly.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Env carries everything an executing function may touch: the addresses of
+// the cluster's backing services. An empty address means the service is
+// unavailable and functions needing it fail cleanly.
+type Env struct {
+	KVStoreAddr  string // kvstore (Redis substitute)
+	SQLStoreAddr string // sqlstore (PostgreSQL substitute)
+	ObjStoreAddr string // objstore (MinIO substitute)
+	MQAddr       string // mq (Kafka substitute)
+
+	// DialTimeout bounds backend connection attempts.
+	DialTimeout time.Duration
+}
+
+// dialTimeout returns the configured timeout or a sane default.
+func (e *Env) dialTimeout() time.Duration {
+	if e.DialTimeout > 0 {
+		return e.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// Function is one deployable workload function.
+type Function struct {
+	// Name matches Table I and internal/model.
+	Name string
+	// Run executes the function: JSON args in, JSON result out.
+	Run func(env *Env, args []byte) ([]byte, error)
+	// GenArgs produces a realistic argument payload from a seeded source.
+	GenArgs func(rng *rand.Rand) []byte
+}
+
+// registry is populated by the cpu.go and network.go init functions.
+var registry = map[string]Function{}
+
+func register(f Function) {
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate function %q", f.Name))
+	}
+	registry[f.Name] = f
+}
+
+// Get returns the named function.
+func Get(name string) (Function, error) {
+	f, ok := registry[name]
+	if !ok {
+		return Function{}, fmt.Errorf("workload: unknown function %q", name)
+	}
+	return f, nil
+}
+
+// Names returns the sorted function names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered function, sorted by name.
+func All() []Function {
+	names := Names()
+	out := make([]Function, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Invoke runs the named function against env.
+func Invoke(env *Env, name string, args []byte) ([]byte, error) {
+	f, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(env, args)
+}
+
+// mustJSON marshals a value that cannot fail (result structs of plain
+// types); a failure is a programming error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("workload: marshal result: %v", err))
+	}
+	return b
+}
+
+// decodeArgs unmarshals JSON args with a function-tagged error.
+func decodeArgs(name string, args []byte, v any) error {
+	if err := json.Unmarshal(args, v); err != nil {
+		return fmt.Errorf("workload: %s: bad arguments: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package workload
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"microfaas/internal/kvstore"
+	"microfaas/internal/model"
+	"microfaas/internal/mq"
+	"microfaas/internal/objstore"
+	"microfaas/internal/sqlstore"
+)
+
+// newBackends boots all four backing services and provisions fixtures,
+// returning a ready Env and a teardown function.
+func newBackends() (*Env, func(), error) {
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	fail := func(err error) (*Env, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+
+	kv := kvstore.NewServer(nil)
+	kvAddr, err := kv.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { kv.Close() })
+
+	sql := sqlstore.NewServer(nil)
+	sqlAddr, err := sql.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { sql.Close() })
+
+	obj := objstore.NewServer(nil)
+	objAddr, err := obj.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { obj.Close() })
+
+	broker := mq.NewServer(nil)
+	mqAddr, err := broker.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { broker.Close() })
+
+	env := &Env{
+		KVStoreAddr:  kvAddr,
+		SQLStoreAddr: sqlAddr,
+		ObjStoreAddr: objAddr,
+		MQAddr:       mqAddr,
+	}
+	if err := SetupBackends(env); err != nil {
+		return fail(err)
+	}
+	return env, cleanup, nil
+}
+
+// startBackends is newBackends wired to a test's lifecycle.
+func startBackends(t *testing.T) *Env {
+	t.Helper()
+	env, cleanup, err := newBackends()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	return env
+}
+
+func TestRegistryMatchesModelSuite(t *testing.T) {
+	// Every function in the calibrated model must have a real
+	// implementation, and vice versa.
+	names := Names()
+	if len(names) != 17 {
+		t.Fatalf("registry has %d functions, want 17", len(names))
+	}
+	for _, spec := range model.Functions() {
+		if _, err := Get(spec.Name); err != nil {
+			t.Errorf("model function %q has no implementation", spec.Name)
+		}
+	}
+	for _, n := range names {
+		if _, err := model.FunctionByName(n); err != nil {
+			t.Errorf("implemented function %q missing from model", n)
+		}
+	}
+}
+
+func TestAllFunctionsRunAgainstRealBackends(t *testing.T) {
+	env := startBackends(t)
+	rng := rand.New(rand.NewSource(42))
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				args := f.GenArgs(rng)
+				out, err := f.Run(env, args)
+				if err != nil {
+					t.Fatalf("invocation %d failed: %v", i, err)
+				}
+				if !json.Valid(out) {
+					t.Fatalf("invocation %d returned invalid JSON: %q", i, out)
+				}
+			}
+		})
+	}
+}
+
+func TestGenArgsDeterministic(t *testing.T) {
+	for _, f := range All() {
+		a := f.GenArgs(rand.New(rand.NewSource(7)))
+		b := f.GenArgs(rand.New(rand.NewSource(7)))
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: GenArgs not deterministic for a fixed seed", f.Name)
+		}
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	if _, err := Invoke(&Env{}, "Nope", nil); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestBadArgumentsRejected(t *testing.T) {
+	env := &Env{}
+	for _, f := range All() {
+		if _, err := f.Run(env, []byte(`{"definitely`)); err == nil {
+			t.Errorf("%s accepted malformed JSON", f.Name)
+		}
+	}
+}
+
+func TestNetworkFunctionsFailCleanlyWithoutBackends(t *testing.T) {
+	env := &Env{} // no services configured
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"RedisInsert", "RedisUpdate", "SQLSelect",
+		"SQLUpdate", "COSGet", "COSPut", "MQProduce", "MQConsume"} {
+		f, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(env, f.GenArgs(rng)); err == nil {
+			t.Errorf("%s succeeded with no backend configured", name)
+		}
+	}
+}
+
+// --- Per-function behaviour ---
+
+func TestCascSHAKnownAnswer(t *testing.T) {
+	out, err := runCascSHA(nil, []byte(`{"rounds":1,"seed":"abc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res cascadeResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	// sha256("abc")
+	want := "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+	if res.Digest != want {
+		t.Fatalf("digest = %s, want %s", res.Digest, want)
+	}
+}
+
+func TestCascMD5KnownAnswer(t *testing.T) {
+	out, err := runCascMD5(nil, []byte(`{"rounds":1,"seed":"abc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res cascadeResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Digest != "900150983cd24fb0d6963f7d28e17f72" {
+		t.Fatalf("digest = %s", res.Digest)
+	}
+}
+
+func TestCascadeIsDeterministicAndDeepens(t *testing.T) {
+	run := func(rounds int) string {
+		out, err := runCascSHA(nil, []byte(fmt.Sprintf(`{"rounds":%d,"seed":"x"}`, rounds)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res cascadeResult
+		json.Unmarshal(out, &res) //nolint:errcheck
+		return res.Digest
+	}
+	if run(10) != run(10) {
+		t.Fatal("cascade not deterministic")
+	}
+	if run(10) == run(11) {
+		t.Fatal("extra round did not change the digest")
+	}
+}
+
+func TestFloatOpsRejectsNonPositive(t *testing.T) {
+	if _, err := runFloatOps(nil, []byte(`{"iterations":0}`)); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+}
+
+func TestMatMulDeterministicChecksum(t *testing.T) {
+	args := []byte(`{"n":16,"seed":99}`)
+	out1, err := runMatMul(nil, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := runMatMul(nil, args)
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("MatMul not deterministic")
+	}
+	if _, err := runMatMul(nil, []byte(`{"n":0,"seed":1}`)); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := runMatMul(nil, []byte(`{"n":99999,"seed":1}`)); err == nil {
+		t.Fatal("accepted oversized n")
+	}
+}
+
+func TestHTMLGenProducesParseableRows(t *testing.T) {
+	out, err := runHTMLGen(nil, []byte(`{"title":"T","rows":5,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res htmlGenResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Bytes != len(res.HTML) {
+		t.Fatal("byte count disagrees with body")
+	}
+	if got := bytes.Count([]byte(res.HTML), []byte("<tr>")); got != 5 {
+		t.Fatalf("row count = %d, want 5", got)
+	}
+}
+
+func TestHTMLGenEscapesInput(t *testing.T) {
+	out, err := runHTMLGen(nil, []byte(`{"title":"<script>alert(1)</script>","rows":1,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res htmlGenResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if bytes.Contains([]byte(res.HTML), []byte("<script>")) {
+		t.Fatal("HTML injection not escaped")
+	}
+}
+
+func TestAES128RoundTripVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, _ := Get("AES128")
+	out, err := f.Run(nil, f.GenArgs(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res aesResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if !res.OK {
+		t.Fatal("encrypt/decrypt cascade corrupted the plaintext")
+	}
+}
+
+func TestAES128RejectsBadKey(t *testing.T) {
+	if _, err := runAES128(nil, []byte(`{"rounds":1,"key":"zz","data":""}`)); err == nil {
+		t.Fatal("accepted bad key")
+	}
+	if _, err := runAES128(nil, []byte(`{"rounds":1,"key":"00112233445566778899aabbccddeeff","data":"%%%"}`)); err == nil {
+		t.Fatal("accepted bad base64 data")
+	}
+}
+
+func TestDecompressRecoversOriginal(t *testing.T) {
+	original := []byte("the quick brown fox jumps over the lazy dog, repeatedly: " +
+		"the quick brown fox jumps over the lazy dog")
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.BestCompression)
+	w.Write(original) //nolint:errcheck
+	w.Close()         //nolint:errcheck
+	args := mustJSON(decompressArgs{Data: base64.StdEncoding.EncodeToString(buf.Bytes())})
+	out, err := runDecompress(nil, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res decompressResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Bytes != len(original) {
+		t.Fatalf("inflated %d bytes, want %d", res.Bytes, len(original))
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	args := mustJSON(decompressArgs{Data: base64.StdEncoding.EncodeToString([]byte("not deflate"))})
+	if _, err := runDecompress(nil, args); err == nil {
+		t.Fatal("accepted non-DEFLATE data")
+	}
+}
+
+func TestRegExSearchCountsEmails(t *testing.T) {
+	args := mustJSON(regexArgs{
+		Pattern: `[a-z0-9]+@[a-z]+\.[a-z]+`,
+		Text:    "contact a@b.com or c99@d.org; not-an-email@",
+	})
+	out, err := runRegExSearch(nil, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res regexSearchResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Count != 2 {
+		t.Fatalf("count = %d, want 2", res.Count)
+	}
+}
+
+func TestRegExMatchBothWays(t *testing.T) {
+	yes, err := runRegExMatch(nil, mustJSON(regexArgs{Pattern: `^a+b$`, Text: "aaab"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, _ := runRegExMatch(nil, mustJSON(regexArgs{Pattern: `^a+b$`, Text: "zzz"}))
+	var r1, r2 regexMatchResult
+	json.Unmarshal(yes, &r1) //nolint:errcheck
+	json.Unmarshal(no, &r2)  //nolint:errcheck
+	if !r1.Matched || r2.Matched {
+		t.Fatalf("matched = %v/%v, want true/false", r1.Matched, r2.Matched)
+	}
+}
+
+func TestRegExRejectsBadPattern(t *testing.T) {
+	if _, err := runRegExSearch(nil, mustJSON(regexArgs{Pattern: `([`, Text: "x"})); err == nil {
+		t.Fatal("accepted bad pattern")
+	}
+	if _, err := runRegExMatch(nil, mustJSON(regexArgs{Pattern: `([`, Text: "x"})); err == nil {
+		t.Fatal("accepted bad pattern")
+	}
+}
+
+// --- Network functions against live backends ---
+
+func TestRedisInsertThenUpdateFlow(t *testing.T) {
+	env := startBackends(t)
+	out, err := runRedisInsert(env, mustJSON(kvArgs{Key: "rec:1", Value: "v1"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res kvResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Existed {
+		t.Fatal("fresh insert reported a pre-existing key")
+	}
+	if _, err := runRedisUpdate(env, mustJSON(kvArgs{Key: "rec:1", Value: "v2"})); err != nil {
+		t.Fatal(err)
+	}
+	c, err := kvstore.Dial(env.KVStoreAddr, env.dialTimeout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, ok, err := c.Get("rec:1")
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("final value = %q/%v/%v", v, ok, err)
+	}
+}
+
+func TestSQLSelectFindsSeededRows(t *testing.T) {
+	env := startBackends(t)
+	out, err := runSQLSelect(env, mustJSON(sqlSelectArgs{Region: "us-east", MinBalance: 0, Limit: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sqlSelectResult
+	json.Unmarshal(out, &res)  //nolint:errcheck
+	if res.Rows != SQLRows/4 { // four regions round-robin
+		t.Fatalf("rows = %d, want %d", res.Rows, SQLRows/4)
+	}
+}
+
+func TestSQLUpdateAffectsOneRow(t *testing.T) {
+	env := startBackends(t)
+	out, err := runSQLUpdate(env, mustJSON(sqlUpdateArgs{ID: 3, Balance: 123.45}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sqlUpdateResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d, want 1", res.Affected)
+	}
+}
+
+func TestCOSGetChecksumsSeededBlob(t *testing.T) {
+	env := startBackends(t)
+	out, err := runCOSGet(env, mustJSON(cosGetArgs{Key: cosKey(0)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res cosGetResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.Bytes != COSObjectBytes {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, COSObjectBytes)
+	}
+	if _, err := runCOSGet(env, mustJSON(cosGetArgs{Key: "missing"})); err == nil {
+		t.Fatal("missing object fetched successfully")
+	}
+}
+
+func TestCOSPutStoresRetrievableObject(t *testing.T) {
+	env := startBackends(t)
+	out, err := runCOSPut(env, mustJSON(cosPutArgs{Key: "up1", Bytes: 1024, Seed: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res cosPutResult
+	json.Unmarshal(out, &res) //nolint:errcheck
+	if res.ETag == "" {
+		t.Fatal("no ETag returned")
+	}
+	c := objstore.NewClient(env.ObjStoreAddr)
+	data, ok, err := c.Get(COSBucket, "up1")
+	if err != nil || !ok || len(data) != 1024 {
+		t.Fatalf("uploaded object: %d bytes/%v/%v", len(data), ok, err)
+	}
+}
+
+func TestMQProduceThenConsume(t *testing.T) {
+	env := startBackends(t)
+	out, err := runMQProduce(env, mustJSON(mqProduceArgs{Message: "hello"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pres mqProduceResult
+	json.Unmarshal(out, &pres)         //nolint:errcheck
+	if pres.Offset != MQSeedMessages { // appended after the seed batch
+		t.Fatalf("offset = %d, want %d", pres.Offset, MQSeedMessages)
+	}
+	out, err = runMQConsume(env, mustJSON(mqConsumeArgs{Seed: pres.Offset}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cres mqConsumeResult
+	json.Unmarshal(out, &cres) //nolint:errcheck
+	if cres.Offset != pres.Offset || cres.Body != "hello" {
+		t.Fatalf("consumed %+v, want offset %d body hello", cres, pres.Offset)
+	}
+}

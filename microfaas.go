@@ -1,0 +1,226 @@
+// Package microfaas is a from-scratch Go implementation of MicroFaaS, the
+// energy-efficient bare-metal serverless platform of Byrne et al. (DATE
+// 2022), together with everything needed to reproduce the paper's
+// evaluation: the worker-OS boot model, the 17-function workload suite and
+// its four backing services (Redis/PostgreSQL/MinIO/Kafka substitutes),
+// the cluster orchestration platform, a discrete-event cluster simulator
+// calibrated to the paper's published numbers, the Cui-style TCO model,
+// and an HTTP FaaS gateway.
+//
+// This package is the public facade: it re-exports the pieces a downstream
+// user composes. Three entry points cover most uses:
+//
+//   - StartLiveCluster boots a real in-process MicroFaaS deployment —
+//     four backing services, N TCP workers executing real Go functions,
+//     and the orchestration platform — ready for Submit/Quiesce or for an
+//     HTTP gateway via ServeGateway.
+//   - NewMicroFaaSSim / NewConventionalSim build the paper's two
+//     evaluation clusters on a deterministic discrete-event simulator.
+//   - The Fig*/Headline/TableII functions regenerate the paper's figures
+//     and tables (see EXPERIMENTS.md for measured-vs-paper values).
+package microfaas
+
+import (
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/core"
+	"microfaas/internal/experiments"
+	"microfaas/internal/gateway"
+	"microfaas/internal/model"
+	"microfaas/internal/tco"
+	"microfaas/internal/trace"
+	"microfaas/internal/workload"
+)
+
+// --- Live clusters ---
+
+// LiveOptions configures StartLiveCluster.
+type LiveOptions = cluster.LiveOptions
+
+// LiveCluster is a running in-process MicroFaaS deployment.
+type LiveCluster = cluster.Live
+
+// StartLiveCluster boots backing services, workers, and the orchestration
+// platform on loopback TCP. Always Close the returned cluster.
+func StartLiveCluster(opts LiveOptions) (*LiveCluster, error) {
+	return cluster.StartLive(opts)
+}
+
+// Gateway is an HTTP FaaS endpoint over a cluster's orchestrator.
+type Gateway = gateway.Server
+
+// ServeGateway exposes a live cluster over HTTP on addr (e.g.
+// "127.0.0.1:8080"); it returns the gateway and its bound address.
+func ServeGateway(l *LiveCluster, addr string, timeout time.Duration) (*Gateway, string, error) {
+	gw, err := gateway.New(l.Orch, timeout)
+	if err != nil {
+		return nil, "", err
+	}
+	bound, err := gw.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return gw, bound, nil
+}
+
+// --- Simulated clusters ---
+
+// SimOptions configures a simulated cluster.
+type SimOptions = cluster.SimConfig
+
+// SimCluster is a discrete-event MicroFaaS or conventional cluster.
+type SimCluster = cluster.Sim
+
+// SimStats summarizes a drained simulation run.
+type SimStats = cluster.SuiteStats
+
+// NewMicroFaaSSim builds an n-SBC MicroFaaS cluster on the simulator.
+func NewMicroFaaSSim(n int, opts SimOptions) (*SimCluster, error) {
+	return cluster.NewMicroFaaSSim(n, opts)
+}
+
+// NewConventionalSim builds an n-VM conventional cluster (one rack server)
+// on the simulator.
+func NewConventionalSim(n int, opts SimOptions) (*SimCluster, error) {
+	return cluster.NewConventionalSim(n, opts)
+}
+
+// --- Workloads ---
+
+// WorkloadFunction is one Table-I workload function.
+type WorkloadFunction = workload.Function
+
+// WorkloadEnv carries backing-service addresses for direct invocation.
+type WorkloadEnv = workload.Env
+
+// Functions returns the 17-function workload suite.
+func Functions() []WorkloadFunction { return workload.All() }
+
+// FunctionNames returns the suite's sorted names.
+func FunctionNames() []string { return workload.Names() }
+
+// FunctionSpec is a function's calibrated performance model.
+type FunctionSpec = model.FunctionSpec
+
+// FunctionSpecs returns the calibrated Table-I performance models.
+func FunctionSpecs() []FunctionSpec { return model.Functions() }
+
+// Record is one collected invocation; FunctionStats a per-function summary.
+type (
+	Record        = trace.Record
+	FunctionStats = trace.FunctionStats
+)
+
+// Orchestrator is the cluster orchestration platform (the OP of Sec IV-D).
+type Orchestrator = core.Orchestrator
+
+// InvocationResult is one completed invocation as delivered to
+// Orchestrator.SubmitAsync callbacks.
+type InvocationResult = core.Result
+
+// --- Paper experiments ---
+
+// Fig1Row, Fig3Row, Fig4Result, Fig5Point and friends are the structured
+// results of the paper's figures; see internal/experiments for details.
+type (
+	Fig1Row           = experiments.Fig1Row
+	Fig3Config        = experiments.Fig3Config
+	Fig3Row           = experiments.Fig3Row
+	Fig4Config        = experiments.Fig4Config
+	Fig4Result        = experiments.Fig4Result
+	Fig5Config        = experiments.Fig5Config
+	Fig5Point         = experiments.Fig5Point
+	HeadlineConfig    = experiments.HeadlineConfig
+	HeadlineResult    = experiments.HeadlineResult
+	AblationResult    = experiments.AblationResult
+	TCOComparison     = tco.Comparison
+	RackScaleConfig   = experiments.RackScaleConfig
+	RackScaleResult   = experiments.RackScaleResult
+	LoadSweepConfig   = experiments.LoadSweepConfig
+	LoadSweepPoint    = experiments.LoadSweepPoint
+	KeepWarmConfig    = experiments.KeepWarmConfig
+	KeepWarmPoint     = experiments.KeepWarmPoint
+	DiurnalConfig     = experiments.DiurnalConfig
+	DiurnalResult     = experiments.DiurnalResult
+	SensitivityConfig = experiments.SensitivityConfig
+	SensitivityResult = experiments.SensitivityResult
+	BootImpactConfig  = experiments.BootImpactConfig
+	BootImpactRow     = experiments.BootImpactRow
+)
+
+// Fig1 returns the worker-OS boot-time development timeline.
+func Fig1() []Fig1Row { return experiments.Fig1() }
+
+// Fig3 measures the per-function runtime split on both clusters.
+func Fig3(cfg Fig3Config) ([]Fig3Row, error) { return experiments.Fig3(cfg) }
+
+// Fig4 sweeps VM count on the rack server, reporting throughput and
+// energy per function.
+func Fig4(cfg Fig4Config) (Fig4Result, error) { return experiments.Fig4(cfg) }
+
+// Fig5 measures cluster power versus active worker count.
+func Fig5(cfg Fig5Config) ([]Fig5Point, error) { return experiments.Fig5(cfg) }
+
+// Headline reproduces Sec V's throughput-matched headline comparison.
+func Headline(cfg HeadlineConfig) (HeadlineResult, error) { return experiments.Headline(cfg) }
+
+// TableII computes the 5-year TCO comparison under the paper's Appendix
+// assumptions.
+func TableII() ([]TCOComparison, error) { return tco.TableII() }
+
+// RackScale simulates the Table II racks (989 SBCs vs 41 servers) and
+// measures their throughput and power.
+func RackScale(cfg RackScaleConfig) (RackScaleResult, error) { return experiments.RackScale(cfg) }
+
+// LoadSweep measures latency and energy per function on both clusters
+// under an open arrival process at fractions of matched capacity.
+func LoadSweep(cfg LoadSweepConfig) ([]LoadSweepPoint, error) { return experiments.LoadSweep(cfg) }
+
+// KeepWarm prices the warm-pool trade the paper refuses: latency and
+// energy per function under several keep-warm windows.
+func KeepWarm(cfg KeepWarmConfig) ([]KeepWarmPoint, error) { return experiments.KeepWarm(cfg) }
+
+// Diurnal replays a synthetic day into both clusters and compares their
+// daily energy bills.
+func Diurnal(cfg DiurnalConfig) (DiurnalResult, error) { return experiments.Diurnal(cfg) }
+
+// Sensitivity re-measures the headline energy comparison under random
+// perturbations of the calibrated service times.
+func Sensitivity(cfg SensitivityConfig) (SensitivityResult, error) {
+	return experiments.Sensitivity(cfg)
+}
+
+// BootImpact measures the cluster-level value of each Fig 1 worker-OS
+// boot optimization.
+func BootImpact(cfg BootImpactConfig) ([]BootImpactRow, error) {
+	return experiments.BootImpact(cfg)
+}
+
+// AblationCryptoAccel, AblationGigE, and AblationNoReboot quantify the
+// design variations the paper's discussion motivates.
+func AblationCryptoAccel(speedup float64, seed int64, invocations int) (AblationResult, error) {
+	return experiments.AblationCryptoAccel(speedup, seed, invocations)
+}
+
+// AblationGigE upgrades the SBC NICs to Gigabit Ethernet.
+func AblationGigE(seed int64, invocations int) (AblationResult, error) {
+	return experiments.AblationGigE(seed, invocations)
+}
+
+// AblationNoReboot disables the reboot between jobs.
+func AblationNoReboot(seed int64, invocations int) (AblationResult, error) {
+	return experiments.AblationNoReboot(seed, invocations)
+}
+
+// --- Paper constants (Sec V) ---
+
+// Published aggregates, re-exported for comparisons in user code.
+const (
+	PaperSBCThroughput          = model.PaperSBCThroughput
+	PaperVMThroughput           = model.PaperVMThroughput
+	PaperMicroFaaSJoules        = model.PaperMicroFaaSJoulesPerFunc
+	PaperConventionalJoules     = model.PaperConventionalJoulesPerFunc
+	PaperPeakConventionalJoules = model.PaperPeakConventionalJoulesPerFunc
+	PaperEfficiencyGain         = model.PaperEnergyEfficiencyGain
+)
