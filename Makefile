@@ -1,0 +1,26 @@
+GO ?= go
+
+# `make check` is the CI gate: vet, full build, and the race-enabled test
+# suite (-count=1 defeats the test cache so every run really runs).
+.PHONY: check
+check: vet build race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race -count=1 ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	faasctl [-gateway host:port] functions
-//	faasctl [-gateway host:port] workers
+//	faasctl [-gateway host:port] workers [-v]
 //	faasctl [-gateway host:port] stats
 //	faasctl [-gateway host:port] invoke <function> [args-json]
 //	faasctl [-gateway host:port] -async invoke <function> [args-json]
@@ -54,7 +54,10 @@ func (c *client) run(args []string) error {
 	case "functions":
 		return c.get("/functions")
 	case "workers":
-		return c.get("/workers")
+		if len(args) >= 2 && args[1] == "-v" {
+			return c.get("/workers")
+		}
+		return c.workersTable()
 	case "stats":
 		return c.get("/stats")
 	case "invoke":
@@ -74,6 +77,39 @@ func (c *client) run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// workersTable renders /workers as a compact health table; `workers -v`
+// prints the raw JSON instead.
+func (c *client) workersTable() error {
+	resp, err := c.http.Get(c.base + "/workers")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.prettyPrint(resp.Body)
+	}
+	var workers []struct {
+		ID         string `json:"id"`
+		Breaker    string `json:"breaker"`
+		Consec     int    `json:"consecutive_failures"`
+		Completed  int64  `json:"completed"`
+		Failed     int64  `json:"failed"`
+		TimedOut   int64  `json:"timed_out"`
+		QueueDepth int    `json:"queue_depth"`
+		Busy       bool   `json:"busy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-12s %-9s %5s %9s %7s %9s %6s %5s\n",
+		"worker", "breaker", "queue", "completed", "failed", "timed-out", "consec", "busy")
+	for _, w := range workers {
+		fmt.Fprintf(c.out, "%-12s %-9s %5d %9d %7d %9d %6d %5v\n",
+			w.ID, w.Breaker, w.QueueDepth, w.Completed, w.Failed, w.TimedOut, w.Consec, w.Busy)
+	}
+	return nil
 }
 
 func (c *client) get(path string) error {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,21 +40,33 @@ func main() {
 	speedup := flag.Float64("speedup", 1, "time compression for -replay (e.g. 60 = 1 virtual minute per second)")
 	bootDelay := flag.Duration("boot-delay", 0, "simulated worker reboot before each job (BeagleBone: 1.51s)")
 	seed := flag.Int64("seed", 1, "assignment seed")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt invocation deadline enforced by the OP (0 = none)")
+	maxAttempts := flag.Int("max-attempts", 1, "attempts per invocation before its failure is final")
+	retryBase := flag.Duration("retry-base", 0, "base delay for exponential retry backoff (0 = immediate re-queue)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a worker's circuit breaker opens (0 = disabled)")
+	breakerProbe := flag.Duration("breaker-probe", 30*time.Second, "how long an open breaker waits before probing the worker again")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "in serve mode, how long shutdown waits for in-flight jobs")
 	flag.Parse()
 
-	if err := run(*workers, *listen, *jobs, *replayPath, *speedup, *bootDelay, *seed); err != nil {
+	opts := cluster.LiveOptions{
+		Workers:          *workers,
+		BootDelay:        *bootDelay,
+		Seed:             *seed,
+		Meter:            true,
+		JobTimeout:       *jobTimeout,
+		MaxAttempts:      *maxAttempts,
+		RetryBase:        *retryBase,
+		BreakerThreshold: *breakerThreshold,
+		BreakerProbe:     *breakerProbe,
+	}
+	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workers int, listen string, jobs int, replayPath string, speedup float64, bootDelay time.Duration, seed int64) error {
-	l, err := cluster.StartLive(cluster.LiveOptions{
-		Workers:   workers,
-		BootDelay: bootDelay,
-		Seed:      seed,
-		Meter:     true,
-	})
+func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration) error {
+	l, err := cluster.StartLive(opts)
 	if err != nil {
 		return err
 	}
@@ -67,7 +80,7 @@ func run(workers int, listen string, jobs int, replayPath string, speedup float6
 	if jobs > 0 {
 		return loadMode(os.Stdout, l, jobs, seed)
 	}
-	return serveMode(l, listen)
+	return serveMode(l, listen, drainTimeout)
 }
 
 // replayMode replays a CSV trace against the live cluster, compressing
@@ -132,7 +145,7 @@ func (a *argFiller) Submit(function string, _ []byte) int64 {
 	return a.orch.Submit(function, args)
 }
 
-func serveMode(l *cluster.Live, listen string) error {
+func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration) error {
 	gw, err := gateway.New(l.Orch, 5*time.Minute)
 	if err != nil {
 		return err
@@ -148,7 +161,16 @@ func serveMode(l *cluster.Live, listen string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nshutting down")
+	// Graceful drain: refuse new submissions, give in-flight work up to
+	// drainTimeout to finish, report anything abandoned.
+	fmt.Printf("\ndraining (up to %v for in-flight jobs)\n", drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	abandoned := l.Orch.Drain(ctx)
+	if len(abandoned) > 0 {
+		fmt.Printf("drain deadline hit: %d queued jobs abandoned\n", len(abandoned))
+	}
+	fmt.Println("shutting down")
 	return nil
 }
 

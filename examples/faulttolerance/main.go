@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"microfaas"
 )
@@ -30,6 +31,77 @@ func main() {
 	fmt.Println("\nretries re-run failed jobs on a different board; the per-job failure")
 	fmt.Printf("probability drops from %.0f%% to %.2f%% at 4 attempts (0.25^4).\n",
 		faultRate*100, 100*faultRate*faultRate*faultRate*faultRate)
+
+	hangDemo()
+}
+
+// hangDemo injects wedges: workers that power on, take the job, and never
+// report back. A wedge is worse than a clean fault — there is no error to
+// retry on — so masking it takes the full failure path: a per-invocation
+// deadline to detect it, a retry to re-run the job elsewhere, and a
+// circuit breaker to stop assigning work to the wedged board.
+func hangDemo() {
+	const hangRate = 0.02
+
+	fmt.Printf("\nwedging workers mid-job on %.0f%% of invocations\n\n", hangRate*100)
+
+	// Without deadlines the cluster cannot even drain: the wedged workers
+	// hold their queues forever.
+	s, err := microfaas.NewMicroFaaSSim(10, microfaas.SimOptions{
+		Seed:     42,
+		HangRate: hangRate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.RunSuite(20, nil); err != nil {
+		fmt.Printf("%-22s %s\n", "no deadlines", err)
+	} else {
+		fmt.Printf("%-22s run unexpectedly drained\n", "no deadlines")
+	}
+
+	// With deadlines + retries + the breaker the same seed completes: every
+	// wedge costs one timed-out attempt, the job finishes on another board,
+	// and the wedged board is ejected from assignment.
+	s, err = microfaas.NewMicroFaaSSim(10, microfaas.SimOptions{
+		Seed:             42,
+		HangRate:         hangRate,
+		MaxAttempts:      4,
+		JobTimeout:       10 * time.Minute,
+		BreakerThreshold: 1,
+		BreakerProbe:     1000 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.RunSuite(20, nil); err != nil {
+		log.Fatal(err)
+	}
+	wedges := 0
+	for _, w := range s.Workers {
+		wedges += w.Hangs()
+	}
+	jobs, lost := 0, 0
+	finalErr := map[int64]bool{}
+	for _, r := range s.Orch.Collector().Records() {
+		finalErr[r.JobID] = r.Err != ""
+	}
+	for _, bad := range finalErr {
+		jobs++
+		if bad {
+			lost++
+		}
+	}
+	ejected := 0
+	for _, h := range s.Orch.Health() {
+		if h.State == microfaas.BreakerOpen {
+			ejected++
+		}
+	}
+	fmt.Printf("%-22s %d jobs, %d wedges hit, %d jobs lost, %d boards ejected\n",
+		"deadline + breaker", jobs, wedges, lost, ejected)
+	fmt.Println("\nthe deadline converts a silent wedge into a retryable timeout; the")
+	fmt.Println("breaker keeps new work off the wedged board until it is probed again.")
 }
 
 // run drives one cluster configuration and reports job-level outcomes.

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/node"
+)
+
+// TestDeadlinesAndBreakerMaskHangs drives the simulated cluster with
+// injected wedges: workers that power on and never report back. Without a
+// deadline those jobs (and everything queued behind them) would be lost;
+// with deadlines + the circuit breaker the suite completes, the wedged
+// workers are ejected, and only the hung attempts show as errors.
+func TestDeadlinesAndBreakerMaskHangs(t *testing.T) {
+	s, err := NewMicroFaaSSim(8, SimConfig{
+		Seed:             11,
+		HangRate:         0.02,
+		MaxAttempts:      4,
+		JobTimeout:       10 * time.Minute,
+		BreakerThreshold: 1,
+		BreakerProbe:     1000 * time.Hour, // never re-admit within the run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := s.RunSuite(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hangs := 0
+	for _, w := range s.Workers {
+		hangs += w.Hangs()
+	}
+	if hangs == 0 {
+		t.Fatal("no wedges injected at 2% hang rate — the test exercised nothing")
+	}
+	// Every hang shows up as exactly one timed-out attempt...
+	timeouts := 0
+	finalErr := map[int64]bool{}
+	for _, r := range coll.Records() {
+		if strings.Contains(r.Err, "deadline") {
+			timeouts++
+		}
+		finalErr[r.JobID] = r.Err != ""
+	}
+	if timeouts != hangs {
+		t.Fatalf("%d deadline expiries for %d injected wedges", timeouts, hangs)
+	}
+	// ...and no job's final outcome is a failure: the retry on a fresh
+	// worker masked every wedge.
+	for id, bad := range finalErr {
+		if bad {
+			t.Fatalf("job %d failed despite retries", id)
+		}
+	}
+	// Every wedged worker's breaker opened.
+	open := 0
+	for _, h := range s.Orch.Health() {
+		if h.State == core.BreakerOpen {
+			open++
+			if h.TimedOut == 0 {
+				t.Fatalf("worker %s breaker open without a timeout: %+v", h.ID, h)
+			}
+		}
+	}
+	if open == 0 {
+		t.Fatal("no breaker opened despite wedges")
+	}
+}
+
+func TestSlowInjectionStretchesTail(t *testing.T) {
+	run := func(slowRate float64) time.Duration {
+		s, err := NewMicroFaaSSim(4, SimConfig{Seed: 11, SlowRate: slowRate, SlowFactor: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, err := s.RunSuite(2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst time.Duration
+		for _, r := range coll.Records() {
+			if r.Total() > worst {
+				worst = r.Total()
+			}
+		}
+		return worst
+	}
+	clean, straggly := run(0), run(0.2)
+	if straggly < clean*3 {
+		t.Fatalf("20x stragglers on 20%% of jobs only stretched worst case %v → %v", clean, straggly)
+	}
+}
+
+// TestLiveHungWorkerDoesNotBlockQueue is the live-mode acceptance test for
+// the failure path: a real TCP worker wedges (holds the connection open,
+// never replies), and the OP's deadline rescues both the hung job and the
+// jobs queued behind it, retrying on the healthy worker and opening the
+// wedged worker's breaker.
+func TestLiveHungWorkerDoesNotBlockQueue(t *testing.T) {
+	l, err := StartLive(LiveOptions{Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	hung, err := node.StartLiveWorker(node.LiveWorkerConfig{
+		ID:     "wedge",
+		Env:    l.Env,
+		Faults: &node.FaultSpec{Seed: 1, HangProb: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hung.Close() }) //nolint:errcheck
+	orch, err := core.New(core.Config{
+		Runtime:          core.NewWallRuntime(),
+		Workers:          []core.Worker{hung, l.Workers[0]},
+		Seed:             3,
+		MaxAttempts:      2,
+		JobTimeout:       300 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerProbe:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three jobs straight into the wedged worker's queue: the first hangs
+	// on the wire, two wait behind it.
+	for i := 0; i < 3; i++ {
+		if _, err := orch.SubmitTo("wedge", "CascSHA", []byte(`{"rounds":5,"seed":"x"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { orch.Quiesce(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster wedged: hung worker blocked its queue")
+	}
+	recs := orch.Collector().Records()
+	// One timed-out attempt on the wedge; all three jobs finish on the
+	// healthy worker.
+	timeouts, completed := 0, 0
+	for _, r := range recs {
+		switch {
+		case strings.Contains(r.Err, "deadline"):
+			timeouts++
+			if r.Worker != "wedge" {
+				t.Fatalf("timeout attributed to %s: %+v", r.Worker, r)
+			}
+		case r.Err == "":
+			completed++
+			if r.Worker != "live-000" {
+				t.Fatalf("success on unexpected worker: %+v", r)
+			}
+		default:
+			t.Fatalf("unexpected failure: %+v", r)
+		}
+	}
+	if timeouts != 1 || completed != 3 {
+		t.Fatalf("%d timeouts, %d completions; records = %+v", timeouts, completed, recs)
+	}
+	h := orch.Health()[0]
+	if h.ID != "wedge" || h.State != core.BreakerOpen || h.TimedOut != 1 {
+		t.Fatalf("wedge health = %+v", h)
+	}
+	// With the breaker open, random assignment only reaches the healthy
+	// worker.
+	for i := 0; i < 5; i++ {
+		orch.Submit("RegExMatch", []byte(`{"pattern":"a+","text":"aaa"}`))
+	}
+	orch.Quiesce()
+	for _, r := range orch.Collector().Records()[len(recs):] {
+		if r.Worker != "live-000" || r.Err != "" {
+			t.Fatalf("post-breaker record = %+v", r)
+		}
+	}
+}
+
+// TestLiveErrorAndSlowFaultInjection exercises the other two live fault
+// modes end-to-end: injected errors surface as failed invocations the OP
+// can retry, and injected slowness delays but does not fail the reply.
+func TestLiveErrorAndSlowFaultInjection(t *testing.T) {
+	l, err := StartLive(LiveOptions{
+		Workers:     2,
+		Seed:        5,
+		MaxAttempts: 3,
+		Faults:      &node.FaultSpec{Seed: 7, ErrorProb: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	for i := 0; i < 12; i++ {
+		l.Orch.Submit("RegExMatch", []byte(`{"pattern":"a+","text":"aaa"}`))
+	}
+	l.Orch.Quiesce()
+	injected, finalErr := 0, map[int64]bool{}
+	for _, r := range l.Orch.Collector().Records() {
+		if strings.Contains(r.Err, "injected worker fault") {
+			injected++
+		}
+		finalErr[r.JobID] = r.Err != ""
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected at 50% error rate")
+	}
+	failed := 0
+	for _, bad := range finalErr {
+		if bad {
+			failed++
+		}
+	}
+	// Per-job final failure probability is 0.5^3 = 12.5%; 12 jobs → allow a
+	// generous band but require retries to have masked most injections.
+	if failed > 6 {
+		t.Fatalf("%d of 12 jobs failed after 3 attempts at 50%% injection", failed)
+	}
+
+	slow, err := StartLive(LiveOptions{
+		Workers: 1,
+		Seed:    5,
+		Faults:  &node.FaultSpec{Seed: 7, SlowProb: 1, SlowDelay: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(slow.Close)
+	start := time.Now()
+	slow.Orch.Submit("RegExMatch", []byte(`{"pattern":"a+","text":"aaa"}`))
+	slow.Orch.Quiesce()
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("slow fault did not delay: %v", elapsed)
+	}
+	if slow.Orch.Collector().ErrorCount() != 0 {
+		t.Fatal("slow fault failed the job")
+	}
+}

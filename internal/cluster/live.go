@@ -26,6 +26,25 @@ type LiveOptions struct {
 	Seed int64
 	// Meter enables wall-clock power accounting when true.
 	Meter bool
+	// MaxAttempts enables OP-level retries of failed jobs (default 1).
+	MaxAttempts int
+	// JobTimeout bounds each attempt on the wall clock (zero = none).
+	JobTimeout time.Duration
+	// RetryBase/RetryMax enable exponential backoff with seeded jitter
+	// between attempts (zero RetryBase = immediate re-queue).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerThreshold/BreakerProbe configure the OP's per-worker circuit
+	// breaker (zero threshold = disabled).
+	BreakerThreshold int
+	BreakerProbe     time.Duration
+	// InvokeTimeout bounds one worker invocation round trip (see
+	// node.LiveWorkerConfig).
+	InvokeTimeout time.Duration
+	// Faults injects hang/error/slow faults into every worker (each
+	// worker draws from Faults.Seed offset by its index, so runs are
+	// reproducible per node). See node.FaultSpec.
+	Faults *node.FaultSpec
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -98,9 +117,15 @@ func StartLive(opts LiveOptions) (*Live, error) {
 	workers := make([]core.Worker, 0, n)
 	for i := 0; i < n; i++ {
 		cfg := node.LiveWorkerConfig{
-			ID:        fmt.Sprintf("live-%03d", i),
-			Env:       l.Env,
-			BootDelay: opts.BootDelay,
+			ID:            fmt.Sprintf("live-%03d", i),
+			Env:           l.Env,
+			BootDelay:     opts.BootDelay,
+			InvokeTimeout: opts.InvokeTimeout,
+		}
+		if opts.Faults != nil {
+			spec := *opts.Faults
+			spec.Seed += int64(i)
+			cfg.Faults = &spec
 		}
 		if l.Meter != nil {
 			cfg.Meter = l.Meter
@@ -115,9 +140,15 @@ func StartLive(opts LiveOptions) (*Live, error) {
 	}
 	if n > 0 {
 		orch, err := core.New(core.Config{
-			Runtime: l.Runtime,
-			Workers: workers,
-			Seed:    opts.Seed,
+			Runtime:          l.Runtime,
+			Workers:          workers,
+			Seed:             opts.Seed,
+			MaxAttempts:      opts.MaxAttempts,
+			JobTimeout:       opts.JobTimeout,
+			RetryBase:        opts.RetryBase,
+			RetryMax:         opts.RetryMax,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerProbe:     opts.BreakerProbe,
 		})
 		if err != nil {
 			return nil, err

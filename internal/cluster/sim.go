@@ -43,6 +43,13 @@ type SimConfig struct {
 	Cores int
 	// FailureRate injects per-job worker faults (see node.SimWorkerConfig).
 	FailureRate float64
+	// HangRate injects per-job worker wedges: the worker powers on and
+	// never reports back, so only JobTimeout can rescue the job.
+	HangRate float64
+	// SlowRate/SlowFactor inject per-job stragglers (see
+	// node.SimWorkerConfig).
+	SlowRate   float64
+	SlowFactor float64
 	// KeepWarm keeps workers booted-idle after a job for this long (the
 	// warm-pool extension; zero = the paper's immediate power-down).
 	KeepWarm time.Duration
@@ -53,6 +60,32 @@ type SimConfig struct {
 	Policy core.AssignPolicy
 	// MaxAttempts enables OP-level retries of failed jobs.
 	MaxAttempts int
+	// JobTimeout bounds each attempt on the virtual clock (zero = none).
+	JobTimeout time.Duration
+	// RetryBase/RetryMax enable exponential backoff with seeded jitter
+	// between attempts (zero RetryBase = immediate re-queue).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerThreshold/BreakerProbe configure the OP's per-worker circuit
+	// breaker (zero threshold = disabled).
+	BreakerThreshold int
+	BreakerProbe     time.Duration
+}
+
+// coreConfig assembles the OP config shared by every sim constructor.
+func (c SimConfig) coreConfig(engine *sim.Engine, workers []core.Worker) core.Config {
+	return core.Config{
+		Runtime:          core.SimRuntime{Engine: engine},
+		Workers:          workers,
+		Seed:             c.Seed + 1,
+		Policy:           c.Policy,
+		MaxAttempts:      c.MaxAttempts,
+		JobTimeout:       c.JobTimeout,
+		RetryBase:        c.RetryBase,
+		RetryMax:         c.RetryMax,
+		BreakerThreshold: c.BreakerThreshold,
+		BreakerProbe:     c.BreakerProbe,
+	}
 }
 
 func (c SimConfig) jitter() float64 {
@@ -101,6 +134,9 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 			Specs:         cfg.Specs,
 			DisableReboot: cfg.DisableReboot,
 			FailureRate:   cfg.FailureRate,
+			HangRate:      cfg.HangRate,
+			SlowRate:      cfg.SlowRate,
+			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
 		})
 		if err != nil {
@@ -109,13 +145,7 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 		s.Workers = append(s.Workers, w)
 		workers = append(workers, w)
 	}
-	orch, err := core.New(core.Config{
-		Runtime:     core.SimRuntime{Engine: engine},
-		Workers:     workers,
-		Seed:        cfg.Seed + 1,
-		Policy:      cfg.Policy,
-		MaxAttempts: cfg.MaxAttempts,
-	})
+	orch, err := core.New(cfg.coreConfig(engine, workers))
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +181,9 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 			Specs:         cfg.Specs,
 			DisableReboot: cfg.DisableReboot,
 			FailureRate:   cfg.FailureRate,
+			HangRate:      cfg.HangRate,
+			SlowRate:      cfg.SlowRate,
+			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
 		})
 		if err != nil {
@@ -159,13 +192,7 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 		s.Workers = append(s.Workers, w)
 		workers = append(workers, w)
 	}
-	orch, err := core.New(core.Config{
-		Runtime:     core.SimRuntime{Engine: engine},
-		Workers:     workers,
-		Seed:        cfg.Seed + 1,
-		Policy:      cfg.Policy,
-		MaxAttempts: cfg.MaxAttempts,
-	})
+	orch, err := core.New(cfg.coreConfig(engine, workers))
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +234,9 @@ func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, err
 				Specs:         cfg.Specs,
 				DisableReboot: cfg.DisableReboot,
 				FailureRate:   cfg.FailureRate,
+				HangRate:      cfg.HangRate,
+				SlowRate:      cfg.SlowRate,
+				SlowFactor:    cfg.SlowFactor,
 				KeepWarm:      cfg.KeepWarm,
 			})
 			if err != nil {
@@ -216,13 +246,7 @@ func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, err
 			workers = append(workers, w)
 		}
 	}
-	orch, err := core.New(core.Config{
-		Runtime:     core.SimRuntime{Engine: engine},
-		Workers:     workers,
-		Seed:        cfg.Seed + 1,
-		Policy:      cfg.Policy,
-		MaxAttempts: cfg.MaxAttempts,
-	})
+	orch, err := core.New(cfg.coreConfig(engine, workers))
 	if err != nil {
 		return nil, err
 	}

@@ -14,11 +14,22 @@
 // workload functions (internal/node LiveWorker). The Runtime abstraction
 // is the only clock the OP touches, so its logic is identical in both
 // modes.
+//
+// Failure model (Sec III-a makes worker faults independent; the OP masks
+// them): every attempt can carry a deadline enforced on the Runtime clock,
+// so a wedged worker yields a timed-out Result instead of occupying its
+// queue forever; failed attempts are re-queued onto a different worker
+// with exponential backoff and seeded jitter; per-worker consecutive
+// failures feed a circuit breaker that ejects the worker from assignment
+// until a probe interval passes; and Drain stops intake and hands back the
+// jobs it had to abandon.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +48,10 @@ type Job struct {
 	// isolation makes worker-local faults independent, so reassignment is
 	// the natural retry policy).
 	Attempt int
+	// Timeout bounds one attempt's execution on the cluster clock; when it
+	// expires the OP synthesizes a failed Result and moves on (retrying the
+	// job elsewhere while attempts remain). Zero means no deadline.
+	Timeout time.Duration
 }
 
 // Result is a completed (or failed) invocation as reported by a worker.
@@ -45,6 +60,10 @@ type Result struct {
 	WorkerID string
 	Output   []byte
 	Err      string
+
+	// TimedOut marks a Result synthesized by the OP because the attempt's
+	// deadline expired before the worker reported back.
+	TimedOut bool
 
 	// StartedAt/FinishedAt are on the cluster clock.
 	StartedAt, FinishedAt time.Duration
@@ -55,10 +74,11 @@ type Result struct {
 // Worker is a single-tenant, run-to-completion worker node. RunJob carries
 // the node through one full cycle: power-on (the OP's GPIO line in the
 // prototype), worker-OS boot, input receive, execution, result return, and
-// power-down. done is invoked exactly once, and never synchronously from
+// power-down. done is invoked at most once, and never synchronously from
 // inside RunJob itself — sim workers fire it from a scheduled event, live
-// workers from their own goroutine. The orchestrator never calls RunJob
-// concurrently on the same worker.
+// workers from their own goroutine. A wedged worker may never invoke done
+// at all; the OP's deadline covers that case. The orchestrator never calls
+// RunJob concurrently on the same worker.
 type Worker interface {
 	ID() string
 	RunJob(job Job, done func(Result))
@@ -126,12 +146,66 @@ func (p AssignPolicy) String() string {
 	}
 }
 
+// BreakerState is a worker's circuit-breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the worker is healthy and assignable.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures crossed the threshold; the worker
+	// is ejected from assignment until its probe interval passes.
+	BreakerOpen
+	// BreakerHalfOpen: the probe interval has passed; the worker is
+	// assignable again, and its next outcome closes or re-opens the
+	// breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", int(s))
+	}
+}
+
+// WorkerHealth is a point-in-time snapshot of one worker's failure
+// tracking, as exposed by Orchestrator.Health.
+type WorkerHealth struct {
+	ID                  string       `json:"id"`
+	State               BreakerState `json:"-"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	// Completed/Failed count attempts (not jobs); TimedOut attempts are a
+	// subset of Failed.
+	Completed  int  `json:"completed"`
+	Failed     int  `json:"failed"`
+	TimedOut   int  `json:"timed_out"`
+	QueueDepth int  `json:"queue_depth"`
+	Busy       bool `json:"busy"`
+}
+
+// workerHealth is the mutable per-worker record behind WorkerHealth.
+type workerHealth struct {
+	consec    int
+	completed int
+	failed    int
+	timedOut  int
+	open      bool
+	reopenAt  time.Duration
+}
+
 // Config assembles an Orchestrator.
 type Config struct {
 	Runtime   Runtime
 	Workers   []Worker
 	Collector *trace.Collector // optional; a fresh one is created if nil
-	// Seed drives the random queue-assignment sampling.
+	// Seed drives the random queue-assignment sampling, retry jitter, and
+	// retry-target selection.
 	Seed int64
 	// Policy selects the queue-assignment policy (default AssignRandom,
 	// the paper's).
@@ -141,6 +215,24 @@ type Config struct {
 	// every attempt is recorded in the collector, and SubmitAsync
 	// callbacks fire only on the final outcome.
 	MaxAttempts int
+	// JobTimeout is the default per-attempt deadline stamped onto
+	// submitted jobs (zero = no deadline). Enforced via Runtime.After, so
+	// it behaves identically in sim and live modes.
+	JobTimeout time.Duration
+	// RetryBase enables exponential backoff between attempts: attempt n
+	// waits in [d/2, d] where d = min(RetryBase·2^(n-1), RetryMax), with
+	// the jitter drawn from the orchestrator's seeded RNG (sim runs stay
+	// deterministic). Zero keeps the immediate re-queue.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (default 30·RetryBase, at least 1s).
+	RetryMax time.Duration
+	// BreakerThreshold opens a worker's circuit breaker after this many
+	// consecutive failed attempts, ejecting it from assignment policies.
+	// Zero disables health-based ejection.
+	BreakerThreshold int
+	// BreakerProbe is how long an open breaker ejects its worker before
+	// the worker is probed with real work again (default 30s).
+	BreakerProbe time.Duration
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -149,21 +241,46 @@ type Orchestrator struct {
 	runtime   Runtime
 	collector *trace.Collector
 
-	policy      AssignPolicy
-	maxAttempts int
+	policy           AssignPolicy
+	maxAttempts      int
+	jobTimeout       time.Duration
+	retryBase        time.Duration
+	retryMax         time.Duration
+	breakerThreshold int
+	breakerProbe     time.Duration
 
 	mu        sync.Mutex
 	rng       *rand.Rand
 	workers   []Worker
 	queues    map[string][]Job
 	busy      map[string]bool
+	health    map[string]*workerHealth
+	parked    map[int64]*parkedRetry
 	callbacks map[int64]func(Result)
 	nextID    int64
 	rrNext    int // next round-robin index
-	pending   int // queued + running jobs
+	pending   int // queued + running + backoff-parked jobs
+	draining  bool
 	idle      *sync.Cond
 
 	arrivalCancel func()
+}
+
+// inflight tracks one dispatched attempt. Exactly one of the worker's done
+// callback or the deadline timer settles it; the loser is ignored.
+type inflight struct {
+	job           Job
+	worker        Worker
+	started       time.Duration
+	settled       bool
+	cancelTimeout func()
+}
+
+// parkedRetry is a failed job waiting out its backoff delay.
+type parkedRetry struct {
+	job     Job
+	exclude string // the worker the previous attempt failed on
+	cancel  func()
 }
 
 // New builds an orchestrator over the given workers.
@@ -183,20 +300,45 @@ func New(cfg Config) (*Orchestrator, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown assignment policy %d", int(cfg.Policy))
 	}
+	if cfg.JobTimeout < 0 || cfg.RetryBase < 0 || cfg.RetryMax < 0 ||
+		cfg.BreakerThreshold < 0 || cfg.BreakerProbe < 0 {
+		return nil, fmt.Errorf("core: negative failure-handling durations/thresholds")
+	}
 	maxAttempts := cfg.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 1
 	}
+	retryMax := cfg.RetryMax
+	if cfg.RetryBase > 0 && retryMax == 0 {
+		retryMax = 30 * cfg.RetryBase
+		if retryMax < time.Second {
+			retryMax = time.Second
+		}
+	}
+	if retryMax > 0 && retryMax < cfg.RetryBase {
+		return nil, fmt.Errorf("core: RetryMax %v below RetryBase %v", retryMax, cfg.RetryBase)
+	}
+	breakerProbe := cfg.BreakerProbe
+	if cfg.BreakerThreshold > 0 && breakerProbe == 0 {
+		breakerProbe = 30 * time.Second
+	}
 	o := &Orchestrator{
-		runtime:     cfg.Runtime,
-		collector:   coll,
-		policy:      cfg.Policy,
-		maxAttempts: maxAttempts,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		workers:     append([]Worker(nil), cfg.Workers...),
-		queues:      make(map[string][]Job, len(cfg.Workers)),
-		busy:        make(map[string]bool, len(cfg.Workers)),
-		callbacks:   make(map[int64]func(Result)),
+		runtime:          cfg.Runtime,
+		collector:        coll,
+		policy:           cfg.Policy,
+		maxAttempts:      maxAttempts,
+		jobTimeout:       cfg.JobTimeout,
+		retryBase:        cfg.RetryBase,
+		retryMax:         retryMax,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerProbe:     breakerProbe,
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		workers:          append([]Worker(nil), cfg.Workers...),
+		queues:           make(map[string][]Job, len(cfg.Workers)),
+		busy:             make(map[string]bool, len(cfg.Workers)),
+		health:           make(map[string]*workerHealth, len(cfg.Workers)),
+		parked:           make(map[int64]*parkedRetry),
+		callbacks:        make(map[int64]func(Result)),
 	}
 	o.idle = sync.NewCond(&o.mu)
 	seen := map[string]bool{}
@@ -205,6 +347,7 @@ func New(cfg Config) (*Orchestrator, error) {
 			return nil, fmt.Errorf("core: duplicate worker id %q", w.ID())
 		}
 		seen[w.ID()] = true
+		o.health[w.ID()] = &workerHealth{}
 	}
 	return o, nil
 }
@@ -221,8 +364,40 @@ func (o *Orchestrator) Workers() []string {
 	return ids
 }
 
+// Health returns a snapshot of every worker's failure tracking, in
+// registration order.
+func (o *Orchestrator) Health() []WorkerHealth {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.runtime.Now()
+	out := make([]WorkerHealth, 0, len(o.workers))
+	for _, w := range o.workers {
+		h := o.health[w.ID()]
+		st := BreakerClosed
+		if h.open {
+			if now >= h.reopenAt {
+				st = BreakerHalfOpen
+			} else {
+				st = BreakerOpen
+			}
+		}
+		out = append(out, WorkerHealth{
+			ID:                  w.ID(),
+			State:               st,
+			ConsecutiveFailures: h.consec,
+			Completed:           h.completed,
+			Failed:              h.failed,
+			TimedOut:            h.timedOut,
+			QueueDepth:          len(o.queues[w.ID()]),
+			Busy:                o.busy[w.ID()],
+		})
+	}
+	return out
+}
+
 // Submit enqueues an invocation on a uniformly random worker's queue (the
-// paper's assignment policy) and returns the job id.
+// paper's assignment policy) and returns the job id. It returns 0 without
+// enqueueing when the orchestrator is draining.
 func (o *Orchestrator) Submit(function string, args []byte) int64 {
 	return o.SubmitAsync(function, args, nil)
 }
@@ -230,22 +405,63 @@ func (o *Orchestrator) Submit(function string, args []byte) int64 {
 // SubmitAsync is Submit with a completion callback: cb (when non-nil) is
 // invoked exactly once with the job's final result (after any retries),
 // once it is recorded in the collector. The callback runs outside the
-// orchestrator lock; sim-mode callbacks run on the engine thread.
+// orchestrator lock; sim-mode callbacks run on the engine thread. When the
+// orchestrator is draining, SubmitAsync returns 0 and cb never fires.
 func (o *Orchestrator) SubmitAsync(function string, args []byte, cb func(Result)) int64 {
-	o.mu.Lock()
-	return o.enqueueLocked(o.pickWorkerLocked(), function, args, cb)
+	return o.SubmitWithTimeout(function, args, o.jobTimeout, cb)
 }
 
-// pickWorkerLocked applies the assignment policy. Caller holds o.mu.
+// SubmitWithTimeout is SubmitAsync with a per-job deadline overriding the
+// configured JobTimeout (zero = no deadline for this job).
+func (o *Orchestrator) SubmitWithTimeout(function string, args []byte, timeout time.Duration, cb func(Result)) int64 {
+	o.mu.Lock()
+	if o.draining {
+		o.mu.Unlock()
+		return 0
+	}
+	id, run := o.enqueueLocked(o.pickWorkerLocked(), function, args, timeout, cb)
+	o.mu.Unlock()
+	if run != nil {
+		run()
+	}
+	return id
+}
+
+// eligibleWorkersLocked returns the workers whose breaker admits new work.
+// With the breaker disabled this is exactly the registered worker list (so
+// assignment randomness is unchanged from the breaker-free OP); when every
+// breaker is open there is nowhere better to send work, so all workers
+// stay eligible. Caller holds o.mu.
+func (o *Orchestrator) eligibleWorkersLocked() []Worker {
+	if o.breakerThreshold <= 0 {
+		return o.workers
+	}
+	now := o.runtime.Now()
+	eligible := make([]Worker, 0, len(o.workers))
+	for _, w := range o.workers {
+		h := o.health[w.ID()]
+		if !h.open || now >= h.reopenAt {
+			eligible = append(eligible, w)
+		}
+	}
+	if len(eligible) == 0 {
+		return o.workers
+	}
+	return eligible
+}
+
+// pickWorkerLocked applies the assignment policy over breaker-eligible
+// workers. Caller holds o.mu.
 func (o *Orchestrator) pickWorkerLocked() Worker {
+	ws := o.eligibleWorkersLocked()
 	switch o.policy {
 	case AssignRoundRobin:
-		w := o.workers[o.rrNext%len(o.workers)]
+		w := ws[o.rrNext%len(ws)]
 		o.rrNext++
 		return w
 	case AssignLeastLoaded:
-		best, bestLoad := o.workers[0], int(^uint(0)>>1)
-		for _, w := range o.workers {
+		best, bestLoad := ws[0], int(^uint(0)>>1)
+		for _, w := range ws {
 			load := len(o.queues[w.ID()])
 			if o.busy[w.ID()] {
 				load++
@@ -256,117 +472,326 @@ func (o *Orchestrator) pickWorkerLocked() Worker {
 		}
 		return best
 	default: // AssignRandom, the paper's policy
-		return o.workers[o.rng.Intn(len(o.workers))]
+		return ws[o.rng.Intn(len(ws))]
 	}
 }
 
 // SubmitTo enqueues an invocation on a specific worker's queue.
 func (o *Orchestrator) SubmitTo(workerID, function string, args []byte) (int64, error) {
 	o.mu.Lock()
+	if o.draining {
+		o.mu.Unlock()
+		return 0, fmt.Errorf("core: orchestrator is draining")
+	}
 	for _, w := range o.workers {
 		if w.ID() == workerID {
-			return o.enqueueLocked(w, function, args, nil), nil
+			id, run := o.enqueueLocked(w, function, args, o.jobTimeout, nil)
+			o.mu.Unlock()
+			if run != nil {
+				run()
+			}
+			return id, nil
 		}
 	}
 	o.mu.Unlock()
 	return 0, fmt.Errorf("core: unknown worker %q", workerID)
 }
 
-// enqueueLocked appends the job and kicks dispatch; it releases o.mu.
-func (o *Orchestrator) enqueueLocked(w Worker, function string, args []byte, cb func(Result)) int64 {
+// enqueueLocked appends the job and returns its id plus a dispatch closure
+// to invoke once o.mu is released (nil when the worker is already busy).
+// Caller holds o.mu.
+func (o *Orchestrator) enqueueLocked(w Worker, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, func()) {
 	o.nextID++
 	id := o.nextID
-	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now()}
+	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
 	o.queues[w.ID()] = append(o.queues[w.ID()], job)
 	if cb != nil {
 		o.callbacks[id] = cb
 	}
 	o.pending++
-	o.maybeDispatchLocked(w)
-	o.mu.Unlock()
-	return id
+	return id, o.maybeDispatchLocked(w)
 }
 
-// maybeDispatchLocked starts the worker on its next queued job if it is
-// free. Caller holds o.mu.
-func (o *Orchestrator) maybeDispatchLocked(w Worker) {
+// maybeDispatchLocked pops the worker's next queued job if it is free and
+// returns a closure that starts the worker on it. The closure must run
+// after o.mu is released: RunJob can block (live workers dial TCP) and
+// must never be entered while holding the orchestrator lock. Caller holds
+// o.mu.
+func (o *Orchestrator) maybeDispatchLocked(w Worker) func() {
 	id := w.ID()
 	if o.busy[id] {
-		return
+		return nil
 	}
 	q := o.queues[id]
 	if len(q) == 0 {
-		return
+		return nil
 	}
 	job := q[0]
 	o.queues[id] = q[1:]
 	o.busy[id] = true
-	started := o.runtime.Now()
-	w.RunJob(job, func(res Result) {
-		o.completed(w, job, started, res)
-	})
+	fl := &inflight{job: job, worker: w, started: o.runtime.Now()}
+	if job.Timeout > 0 {
+		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl) })
+	}
+	return func() {
+		w.RunJob(job, func(res Result) { o.completed(fl, res) })
+	}
 }
 
-// completed records a finished attempt, retries failures while attempts
-// remain, and dispatches the worker's next job.
-func (o *Orchestrator) completed(w Worker, job Job, started time.Duration, res Result) {
+// completed handles a worker's done callback: it records the attempt,
+// retries failures while attempts remain, and dispatches the worker's next
+// job. If the attempt's deadline already fired, the late result is
+// discarded and the (no longer wedged) worker is simply put back to work.
+func (o *Orchestrator) completed(fl *inflight, res Result) {
 	finished := o.runtime.Now()
+	o.mu.Lock()
+	w := fl.worker
+	if fl.settled {
+		// The deadline timer already synthesized this attempt's Result (and
+		// possibly retried the job elsewhere). The worker has finally come
+		// back — un-wedge it and dispatch its next queued job.
+		o.busy[w.ID()] = false
+		run := o.maybeDispatchLocked(w)
+		o.mu.Unlock()
+		if run != nil {
+			run()
+		}
+		return
+	}
+	fl.settled = true
+	if fl.cancelTimeout != nil {
+		fl.cancelTimeout()
+	}
+	job := fl.job
 	o.collector.Add(trace.Record{
 		JobID:     job.ID,
 		Function:  job.Function,
 		Worker:    w.ID(),
 		Attempt:   job.Attempt,
 		Submitted: job.SubmittedAt,
-		Started:   started,
+		Started:   fl.started,
 		Finished:  finished,
 		Boot:      res.Boot,
 		Overhead:  res.Overhead,
 		Exec:      res.Exec,
 		Err:       res.Err,
 	})
-	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts
-	o.mu.Lock()
+	o.noteAttemptLocked(w.ID(), res.Err == "", false)
 	o.busy[w.ID()] = false
-	var cb func(Result)
-	if retry {
-		// The job stays pending: re-queue it on a different worker (a
-		// fresh hardware environment — worker-local faults don't follow).
-		next := o.pickRetryWorkerLocked(w)
-		j := job
-		j.Attempt++
-		o.queues[next.ID()] = append(o.queues[next.ID()], j)
-		o.maybeDispatchLocked(next)
-	} else {
-		o.pending--
-		cb = o.callbacks[job.ID]
-		delete(o.callbacks, job.ID)
-		if o.pending == 0 {
-			o.idle.Broadcast()
-		}
+	runs, cb := o.resolveAttemptLocked(w, job, res)
+	if run := o.maybeDispatchLocked(w); run != nil {
+		runs = append(runs, run)
 	}
-	o.maybeDispatchLocked(w)
 	o.mu.Unlock()
+	for _, run := range runs {
+		run()
+	}
 	if cb != nil {
-		res.StartedAt, res.FinishedAt = started, finished
+		res.StartedAt, res.FinishedAt = fl.started, finished
 		cb(res)
 	}
 }
 
-// pickRetryWorkerLocked chooses a random worker other than failed (unless
-// it is the only one). Caller holds o.mu.
+// deadlineExpired fires when an attempt's deadline passes before its
+// worker reported back: the OP synthesizes a timed-out Result, leaves the
+// wedged worker marked busy until (if ever) its late callback arrives, and
+// reassigns the wedged worker's queued jobs so they do not wait behind a
+// hang.
+func (o *Orchestrator) deadlineExpired(fl *inflight) {
+	o.mu.Lock()
+	if fl.settled {
+		o.mu.Unlock()
+		return
+	}
+	fl.settled = true
+	w := fl.worker
+	job := fl.job
+	now := o.runtime.Now()
+	res := Result{
+		Job:        job,
+		WorkerID:   w.ID(),
+		Err:        fmt.Sprintf("core: attempt %d of job %d exceeded its %v deadline on %s", job.Attempt, job.ID, job.Timeout, w.ID()),
+		TimedOut:   true,
+		StartedAt:  fl.started,
+		FinishedAt: now,
+	}
+	o.collector.Add(trace.Record{
+		JobID:     job.ID,
+		Function:  job.Function,
+		Worker:    w.ID(),
+		Attempt:   job.Attempt,
+		Submitted: job.SubmittedAt,
+		Started:   fl.started,
+		Finished:  now,
+		Err:       res.Err,
+	})
+	o.noteAttemptLocked(w.ID(), false, true)
+	runs := o.reassignQueueLocked(w)
+	more, cb := o.resolveAttemptLocked(w, job, res)
+	runs = append(runs, more...)
+	o.mu.Unlock()
+	for _, run := range runs {
+		run()
+	}
+	if cb != nil {
+		cb(res)
+	}
+}
+
+// reassignQueueLocked moves a wedged worker's queued (not yet started)
+// jobs onto other workers. With a single-worker cluster there is nowhere
+// to move them, so they stay put and wait for the worker's late recovery.
+// Caller holds o.mu.
+func (o *Orchestrator) reassignQueueLocked(wedged Worker) []func() {
+	q := o.queues[wedged.ID()]
+	if len(q) == 0 || len(o.workers) == 1 {
+		return nil
+	}
+	o.queues[wedged.ID()] = nil
+	var runs []func()
+	for _, job := range q {
+		w := o.pickRetryWorkerLocked(wedged)
+		o.queues[w.ID()] = append(o.queues[w.ID()], job)
+		if run := o.maybeDispatchLocked(w); run != nil {
+			runs = append(runs, run)
+		}
+	}
+	return runs
+}
+
+// resolveAttemptLocked decides retry-versus-final for a finished attempt.
+// It returns dispatch closures to run after o.mu is released and, when the
+// outcome is final, the job's completion callback. Caller holds o.mu.
+func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result) (runs []func(), cb func(Result)) {
+	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts && !o.draining
+	if retry {
+		// The job stays pending: re-queue it on a different worker (a
+		// fresh hardware environment — worker-local faults don't follow),
+		// after the attempt's backoff delay.
+		next := job
+		next.Attempt++
+		if delay := o.retryDelayLocked(next.Attempt); delay > 0 {
+			p := &parkedRetry{job: next, exclude: failedOn.ID()}
+			o.parked[next.ID] = p
+			p.cancel = o.runtime.After(delay, func() { o.requeueParked(next.ID) })
+			return nil, nil
+		}
+		w := o.pickRetryWorkerLocked(failedOn)
+		o.queues[w.ID()] = append(o.queues[w.ID()], next)
+		if run := o.maybeDispatchLocked(w); run != nil {
+			runs = append(runs, run)
+		}
+		return runs, nil
+	}
+	o.pending--
+	cb = o.callbacks[job.ID]
+	delete(o.callbacks, job.ID)
+	if o.pending == 0 {
+		o.idle.Broadcast()
+	}
+	return runs, cb
+}
+
+// retryDelayLocked computes attempt n's backoff: a jittered value in
+// [d/2, d] with d = min(RetryBase·2^(n-1), RetryMax). Zero when backoff is
+// disabled. The jitter comes from the orchestrator's seeded RNG, so sim
+// runs remain deterministic. Caller holds o.mu.
+func (o *Orchestrator) retryDelayLocked(attempt int) time.Duration {
+	if o.retryBase <= 0 {
+		return 0
+	}
+	shift := uint(attempt - 1)
+	d := o.retryMax
+	if shift < 62 {
+		if exp := o.retryBase << shift; exp > 0 && exp < d {
+			d = exp
+		}
+	}
+	half := d / 2
+	return half + time.Duration(o.rng.Int63n(int64(half)+1))
+}
+
+// requeueParked moves a backoff-parked job onto a worker's queue once its
+// delay elapses. A job abandoned by Drain is no longer parked and is
+// skipped.
+func (o *Orchestrator) requeueParked(id int64) {
+	o.mu.Lock()
+	p, ok := o.parked[id]
+	if !ok {
+		o.mu.Unlock()
+		return
+	}
+	delete(o.parked, id)
+	var failed Worker
+	for _, w := range o.workers {
+		if w.ID() == p.exclude {
+			failed = w
+			break
+		}
+	}
+	var w Worker
+	if failed != nil {
+		w = o.pickRetryWorkerLocked(failed)
+	} else {
+		w = o.pickWorkerLocked()
+	}
+	o.queues[w.ID()] = append(o.queues[w.ID()], p.job)
+	run := o.maybeDispatchLocked(w)
+	o.mu.Unlock()
+	if run != nil {
+		run()
+	}
+}
+
+// pickRetryWorkerLocked chooses a random breaker-eligible worker other
+// than failed (unless there is no other choice). Caller holds o.mu.
 func (o *Orchestrator) pickRetryWorkerLocked(failed Worker) Worker {
-	if len(o.workers) == 1 {
-		return o.workers[0]
+	ws := o.eligibleWorkersLocked()
+	hasOther := false
+	for _, w := range ws {
+		if w.ID() != failed.ID() {
+			hasOther = true
+			break
+		}
+	}
+	if !hasOther {
+		if len(o.workers) == 1 {
+			return o.workers[0]
+		}
+		// The failed worker is the only eligible one; any other worker is
+		// still a fresher environment than re-running in place.
+		ws = o.workers
 	}
 	for {
-		w := o.workers[o.rng.Intn(len(o.workers))]
+		w := ws[o.rng.Intn(len(ws))]
 		if w.ID() != failed.ID() {
 			return w
 		}
 	}
 }
 
-// Pending returns queued plus running jobs.
+// noteAttemptLocked feeds one attempt's outcome into the worker's health
+// record and trips or resets its breaker. Caller holds o.mu.
+func (o *Orchestrator) noteAttemptLocked(workerID string, ok, timedOut bool) {
+	h := o.health[workerID]
+	if ok {
+		h.completed++
+		h.consec = 0
+		h.open = false
+		return
+	}
+	h.failed++
+	if timedOut {
+		h.timedOut++
+	}
+	h.consec++
+	if o.breakerThreshold > 0 && h.consec >= o.breakerThreshold {
+		h.open = true
+		h.reopenAt = o.runtime.Now() + o.breakerProbe
+	}
+}
+
+// Pending returns queued plus running (plus backoff-parked) jobs.
 func (o *Orchestrator) Pending() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -384,7 +809,10 @@ func (o *Orchestrator) QueueDepth(workerID string) int {
 // job is added to each of sampleSize randomly-chosen queues (with
 // replacement across ticks, without within a tick). gen produces each
 // job's function name and arguments. Call the returned stop function to
-// end the process; only one arrival process may run at a time.
+// end the process; only one arrival process may run at a time. The whole
+// tick — sampling, generation, enqueueing — happens atomically with
+// respect to stop, so a stopped process never enqueues a tick it had
+// already sampled.
 func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen func(rng *rand.Rand) (string, []byte)) (stop func(), err error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("core: arrival interval must be positive")
@@ -397,11 +825,15 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 	if o.arrivalCancel != nil {
 		return nil, fmt.Errorf("core: arrival process already running")
 	}
+	if o.draining {
+		return nil, fmt.Errorf("core: orchestrator is draining")
+	}
 	stopped := false
 	var tick func()
 	tick = func() {
+		var runs []func()
 		o.mu.Lock()
-		if stopped {
+		if stopped || o.draining {
 			o.mu.Unlock()
 			return
 		}
@@ -411,21 +843,18 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 		for _, idx := range perm[:sampleSize] {
 			targets = append(targets, o.workers[idx])
 		}
-		fns := make([]string, len(targets))
-		argss := make([][]byte, len(targets))
-		for i := range targets {
-			fns[i], argss[i] = gen(o.rng)
+		for _, w := range targets {
+			fn, args := gen(o.rng)
+			_, run := o.enqueueLocked(w, fn, args, o.jobTimeout, nil)
+			if run != nil {
+				runs = append(runs, run)
+			}
 		}
+		o.arrivalCancel = o.runtime.After(interval, tick)
 		o.mu.Unlock()
-		for i, w := range targets {
-			o.mu.Lock()
-			o.enqueueLocked(w, fns[i], argss[i], nil) // releases o.mu
+		for _, run := range runs {
+			run()
 		}
-		o.mu.Lock()
-		if !stopped {
-			o.arrivalCancel = o.runtime.After(interval, tick)
-		}
-		o.mu.Unlock()
 	}
 	o.arrivalCancel = o.runtime.After(interval, tick)
 	return func() {
@@ -448,4 +877,61 @@ func (o *Orchestrator) Quiesce() {
 	for o.pending > 0 {
 		o.idle.Wait()
 	}
+}
+
+// Drain gracefully shuts intake down: it stops the arrival process,
+// rejects new submissions (Submit returns 0), and waits for pending work
+// to finish. If ctx expires first, Drain abandons every job that has not
+// started executing — queued and backoff-parked jobs — and returns them
+// sorted by id; currently-executing jobs keep running in the background
+// and are recorded normally when they finish. Abandoned jobs never invoke
+// their completion callbacks. Live mode only, like Quiesce.
+func (o *Orchestrator) Drain(ctx context.Context) []Job {
+	o.mu.Lock()
+	o.draining = true
+	if o.arrivalCancel != nil {
+		o.arrivalCancel()
+		o.arrivalCancel = nil
+	}
+	// cond.Wait cannot select on ctx; poke the cond when ctx expires.
+	stopWatch := context.AfterFunc(ctx, func() {
+		o.mu.Lock()
+		o.idle.Broadcast()
+		o.mu.Unlock()
+	})
+	defer stopWatch()
+	for o.pending > 0 && ctx.Err() == nil {
+		o.idle.Wait()
+	}
+	if o.pending == 0 {
+		o.mu.Unlock()
+		return nil
+	}
+	var abandoned []Job
+	for id := range o.queues {
+		abandoned = append(abandoned, o.queues[id]...)
+		o.queues[id] = nil
+	}
+	for id, p := range o.parked {
+		p.cancel()
+		abandoned = append(abandoned, p.job)
+		delete(o.parked, id)
+	}
+	sort.Slice(abandoned, func(i, j int) bool { return abandoned[i].ID < abandoned[j].ID })
+	o.pending -= len(abandoned)
+	for _, j := range abandoned {
+		delete(o.callbacks, j.ID)
+	}
+	if o.pending == 0 {
+		o.idle.Broadcast()
+	}
+	o.mu.Unlock()
+	return abandoned
+}
+
+// Draining reports whether Drain has been called.
+func (o *Orchestrator) Draining() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.draining
 }

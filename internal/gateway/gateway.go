@@ -8,7 +8,7 @@
 //	POST /invoke?async=1   same body → 202 with {"job_id": N} immediately
 //	GET  /jobs/{id}        async job status: 200 result, 404 unknown, 202 pending
 //	GET  /functions        list of deployable function names
-//	GET  /workers          worker ids with queue depths
+//	GET  /workers          per-worker health: breaker state, failure counts, queue depth
 //	GET  /stats            per-function runtime statistics and cluster totals
 //	GET  /healthz          liveness probe
 //
@@ -39,15 +39,36 @@ type InvokeRequest struct {
 
 // InvokeResponse is the POST /invoke reply.
 type InvokeResponse struct {
-	JobID    int64           `json:"job_id"`
-	Worker   string          `json:"worker"`
-	Output   json.RawMessage `json:"output,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	BootMs   float64         `json:"boot_ms"`
-	OvhMs    float64         `json:"overhead_ms"`
-	ExecMs   float64         `json:"exec_ms"`
-	TotalMs  float64         `json:"total_ms"`
-	QueuedMs float64         `json:"queued_ms"`
+	JobID  int64           `json:"job_id"`
+	Worker string          `json:"worker"`
+	Output json.RawMessage `json:"output,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	BootMs float64         `json:"boot_ms"`
+	OvhMs  float64         `json:"overhead_ms"`
+	ExecMs float64         `json:"exec_ms"`
+	// TotalMs is the worker-side cycle (boot+overhead+exec); QueuedMs the
+	// time the job waited in its queue before a worker started it
+	// (StartedAt − SubmittedAt); TotalLatencyMs the end-to-end latency
+	// from submission to result (FinishedAt − SubmittedAt).
+	TotalMs        float64 `json:"total_ms"`
+	QueuedMs       float64 `json:"queued_ms"`
+	TotalLatencyMs float64 `json:"total_latency_ms"`
+}
+
+// makeResponse renders a final invocation result as the HTTP reply body.
+func makeResponse(res core.Result) InvokeResponse {
+	return InvokeResponse{
+		JobID:          res.Job.ID,
+		Worker:         res.WorkerID,
+		Output:         json.RawMessage(res.Output),
+		Error:          res.Err,
+		BootMs:         ms(res.Boot),
+		OvhMs:          ms(res.Overhead),
+		ExecMs:         ms(res.Exec),
+		TotalMs:        ms(res.Boot + res.Overhead + res.Exec),
+		QueuedMs:       ms(res.StartedAt - res.Job.SubmittedAt),
+		TotalLatencyMs: ms(res.FinishedAt - res.Job.SubmittedAt),
+	}
 }
 
 // StatsResponse is the GET /stats reply.
@@ -75,8 +96,14 @@ type Server struct {
 
 	mu      sync.Mutex
 	http    *http.Server
-	pending map[int64]bool       // async jobs in flight
+	pending map[int64]time.Time  // async jobs in flight -> expiry
 	done    map[int64]asyncEntry // async results awaiting pickup
+	// settled marks async jobs whose completion callback has fired,
+	// surviving the (pickup-once) deletion of their done entry. It closes
+	// the submit/complete race: a completion observed here is never
+	// re-marked pending, no matter how the callback and the submitting
+	// handler interleave. Entries expire with their done entry's window.
+	settled map[int64]time.Time
 }
 
 // New wraps an orchestrator. timeout bounds a synchronous invocation wait
@@ -91,8 +118,9 @@ func New(orch *core.Orchestrator, timeout time.Duration) (*Server, error) {
 	return &Server{
 		orch:    orch,
 		timeout: timeout,
-		pending: make(map[int64]bool),
+		pending: make(map[int64]time.Time),
 		done:    make(map[int64]asyncEntry),
+		settled: make(map[int64]time.Time),
 	}, nil
 }
 
@@ -177,19 +205,13 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	jobID := s.orch.SubmitAsync(req.Function, args, func(res core.Result) {
 		resCh <- res
 	})
+	if jobID == 0 {
+		writeError(w, http.StatusServiceUnavailable, "gateway draining; not accepting new invocations")
+		return
+	}
 	select {
 	case res := <-resCh:
-		resp := InvokeResponse{
-			JobID:    jobID,
-			Worker:   res.WorkerID,
-			Output:   json.RawMessage(res.Output),
-			Error:    res.Err,
-			BootMs:   ms(res.Boot),
-			OvhMs:    ms(res.Overhead),
-			ExecMs:   ms(res.Exec),
-			TotalMs:  ms(res.Boot + res.Overhead + res.Exec),
-			QueuedMs: ms(res.FinishedAt - res.Job.SubmittedAt),
-		}
+		resp := makeResponse(res)
 		status := http.StatusOK
 		if res.Err != "" {
 			status = http.StatusUnprocessableEntity
@@ -204,47 +226,67 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 // invokeAsync submits without waiting and returns 202 with the job id.
 func (s *Server) invokeAsync(w http.ResponseWriter, function string, args []byte) {
-	jobID := s.orch.SubmitAsync(function, args, func(res core.Result) {
-		entry := asyncEntry{
-			resp: InvokeResponse{
-				JobID:    res.Job.ID,
-				Worker:   res.WorkerID,
-				Output:   json.RawMessage(res.Output),
-				Error:    res.Err,
-				BootMs:   ms(res.Boot),
-				OvhMs:    ms(res.Overhead),
-				ExecMs:   ms(res.Exec),
-				TotalMs:  ms(res.Boot + res.Overhead + res.Exec),
-				QueuedMs: ms(res.FinishedAt - res.Job.SubmittedAt),
-			},
-			status:    http.StatusOK,
-			expiresAt: time.Now().Add(RetainAsync),
-		}
-		if res.Err != "" {
-			entry.status = http.StatusUnprocessableEntity
-		}
-		s.mu.Lock()
-		delete(s.pending, res.Job.ID)
-		s.done[res.Job.ID] = entry
-		s.reapLocked()
-		s.mu.Unlock()
-	})
-	s.mu.Lock()
-	// The callback may already have fired (live workers are fast); only
-	// mark pending if it hasn't completed.
-	if _, completed := s.done[jobID]; !completed {
-		s.pending[jobID] = true
+	jobID := s.orch.SubmitAsync(function, args, s.recordAsync)
+	if jobID == 0 {
+		writeError(w, http.StatusServiceUnavailable, "gateway draining; not accepting new invocations")
+		return
 	}
-	s.mu.Unlock()
+	s.markPending(jobID)
 	writeJSON(w, http.StatusAccepted, map[string]int64{"job_id": jobID})
 }
 
-// reapLocked drops expired async results. Caller holds s.mu.
+// recordAsync is the async completion callback: it retires the pending
+// entry and files the result for pickup.
+func (s *Server) recordAsync(res core.Result) {
+	entry := asyncEntry{
+		resp:      makeResponse(res),
+		status:    http.StatusOK,
+		expiresAt: time.Now().Add(RetainAsync),
+	}
+	if res.Err != "" {
+		entry.status = http.StatusUnprocessableEntity
+	}
+	s.mu.Lock()
+	delete(s.pending, res.Job.ID)
+	s.done[res.Job.ID] = entry
+	s.settled[res.Job.ID] = entry.expiresAt
+	s.reapLocked()
+	s.mu.Unlock()
+}
+
+// markPending files a just-submitted async job as in flight. The callback
+// may already have fired (live workers are fast) — or fired and had its
+// result fetched by a fast poller, erasing the done entry. settled
+// remembers every completion for the retention window, so a job is marked
+// pending only if it has genuinely not finished yet. Pending entries carry
+// their own expiry: a job whose callback never fires (abandoned in a
+// drain) would otherwise leak its entry forever.
+func (s *Server) markPending(jobID int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, completed := s.settled[jobID]; !completed {
+		s.pending[jobID] = time.Now().Add(RetainAsync)
+	}
+}
+
+// reapLocked drops expired async state — results awaiting pickup, the
+// settled markers, and pending entries whose completion never came.
+// Caller holds s.mu.
 func (s *Server) reapLocked() {
 	now := time.Now()
 	for id, e := range s.done {
 		if now.After(e.expiresAt) {
 			delete(s.done, id)
+		}
+	}
+	for id, exp := range s.settled {
+		if now.After(exp) {
+			delete(s.settled, id)
+		}
+	}
+	for id, exp := range s.pending {
+		if now.After(exp) {
+			delete(s.pending, id)
 		}
 	}
 }
@@ -270,7 +312,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, entry.status, entry.resp)
 		return
 	}
-	pending := s.pending[id]
+	_, pending := s.pending[id]
 	s.mu.Unlock()
 	if pending {
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "pending"})
@@ -293,12 +335,12 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type workerInfo struct {
-		ID         string `json:"id"`
-		QueueDepth int    `json:"queue_depth"`
+		core.WorkerHealth
+		Breaker string `json:"breaker"`
 	}
 	var out []workerInfo
-	for _, id := range s.orch.Workers() {
-		out = append(out, workerInfo{ID: id, QueueDepth: s.orch.QueueDepth(id)})
+	for _, h := range s.orch.Health() {
+		out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String()})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -108,12 +108,14 @@ func (b *Broker) Fetch(topic string, offset int64, max int, wait time.Duration) 
 		t.cond.Wait()
 		timer.Stop()
 	}
-	end := offset + int64(max)
-	if end > int64(len(t.messages)) {
-		end = int64(len(t.messages))
+	// Clamp by remaining count, not by computing offset+max: with a huge
+	// max the sum overflows int64 and the slice size goes negative.
+	n := int64(len(t.messages)) - offset
+	if n > int64(max) {
+		n = int64(max)
 	}
-	out := make([]Message, end-offset)
-	copy(out, t.messages[offset:end])
+	out := make([]Message, n)
+	copy(out, t.messages[offset:offset+n])
 	return out, nil
 }
 
@@ -166,18 +168,19 @@ func (b *Broker) ConsumeGroup(group, topic string, max int, wait time.Duration) 
 		}
 		offset := b.commits[group][topic]
 		if int64(len(t.messages)) > offset {
-			end := offset + int64(max)
-			if end > int64(len(t.messages)) {
-				end = int64(len(t.messages))
+			// Same overflow-safe clamp as Fetch.
+			n := int64(len(t.messages)) - offset
+			if n > int64(max) {
+				n = int64(max)
 			}
-			out := make([]Message, end-offset)
-			copy(out, t.messages[offset:end])
+			out := make([]Message, n)
+			copy(out, t.messages[offset:offset+n])
 			g, ok := b.commits[group]
 			if !ok {
 				g = make(map[string]int64)
 				b.commits[group] = g
 			}
-			g[topic] = end
+			g[topic] = offset + n
 			return out, nil
 		}
 		if wait <= 0 || !time.Now().Before(deadline) {

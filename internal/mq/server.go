@@ -36,6 +36,20 @@ type response struct {
 // pin a handler goroutine indefinitely.
 const maxFetchWait = 30 * time.Second
 
+// clampWait bounds a client-supplied long-poll budget to [0, maxFetchWait].
+// A negative WaitMs would otherwise overflow the Duration multiply for
+// extreme values; it simply means "don't block".
+func clampWait(waitMs int64) time.Duration {
+	if waitMs <= 0 {
+		return 0
+	}
+	wait := time.Duration(waitMs) * time.Millisecond
+	if wait > maxFetchWait || wait < 0 { // < 0: multiply overflowed
+		wait = maxFetchWait
+	}
+	return wait
+}
+
 // Server serves a Broker over TCP.
 type Server struct {
 	broker *Broker
@@ -154,21 +168,25 @@ func (s *Server) handle(req request) response {
 		}
 		return response{Offset: off}
 	case "fetch":
-		wait := time.Duration(req.WaitMs) * time.Millisecond
-		if wait > maxFetchWait {
-			wait = maxFetchWait
+		// Validate before touching the broker: a malformed frame (negative
+		// offset or count) must come back as a protocol error, never reach
+		// broker internals.
+		if req.Offset < 0 {
+			return response{Error: fmt.Sprintf("mq: negative offset %d", req.Offset)}
 		}
-		msgs, err := s.broker.Fetch(req.Topic, req.Offset, req.Max, wait)
+		if req.Max < 0 {
+			return response{Error: fmt.Sprintf("mq: negative max %d", req.Max)}
+		}
+		msgs, err := s.broker.Fetch(req.Topic, req.Offset, req.Max, clampWait(req.WaitMs))
 		if err != nil {
 			return response{Error: err.Error()}
 		}
 		return response{Messages: msgs}
 	case "consume":
-		wait := time.Duration(req.WaitMs) * time.Millisecond
-		if wait > maxFetchWait {
-			wait = maxFetchWait
+		if req.Max < 0 {
+			return response{Error: fmt.Sprintf("mq: negative max %d", req.Max)}
 		}
-		msgs, err := s.broker.ConsumeGroup(req.Group, req.Topic, req.Max, wait)
+		msgs, err := s.broker.ConsumeGroup(req.Group, req.Topic, req.Max, clampWait(req.WaitMs))
 		if err != nil {
 			return response{Error: err.Error()}
 		}

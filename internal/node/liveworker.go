@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +12,28 @@ import (
 	"microfaas/internal/proto"
 	"microfaas/internal/workload"
 )
+
+// FaultSpec injects worker-side faults into a live worker, making the
+// OP's failure path testable end-to-end over the real TCP protocol. Each
+// invocation independently draws its fate from a seeded RNG: hang (hold
+// the connection open and never reply — only the OP's deadline rescues
+// the job), error (reply with an injected failure), or slow (delay the
+// reply by SlowDelay). Probabilities are evaluated in that order.
+type FaultSpec struct {
+	// Seed drives the fault draws (a per-worker seed keeps runs
+	// reproducible).
+	Seed int64
+	// HangProb is the probability an invocation wedges forever.
+	HangProb float64
+	// ErrorProb is the probability an invocation fails with an injected
+	// error.
+	ErrorProb float64
+	// SlowProb is the probability an invocation is delayed by SlowDelay
+	// before executing.
+	SlowProb float64
+	// SlowDelay is the injected straggler delay (default 1s).
+	SlowDelay time.Duration
+}
 
 // LiveWorkerConfig assembles a live worker: a real TCP server executing
 // the real Go workload functions.
@@ -31,6 +54,9 @@ type LiveWorkerConfig struct {
 	Clock func() time.Duration
 	// InvokeTimeout bounds one invocation round trip (default 2 minutes).
 	InvokeTimeout time.Duration
+	// Faults, when set, injects hang/error/slow faults into this worker's
+	// invocations (see FaultSpec).
+	Faults *FaultSpec
 }
 
 // LiveWorker implements core.Worker by serving the invocation protocol on
@@ -42,9 +68,11 @@ type LiveWorker struct {
 	sbc  power.SBCModel
 	ln   net.Listener
 	addr string
+	quit chan struct{} // closed on Close; releases hung invocations
 
 	mu     sync.Mutex
 	closed bool
+	rng    *rand.Rand // fault draws; guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -59,7 +87,10 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 	if cfg.Meter != nil && cfg.Clock == nil {
 		return nil, fmt.Errorf("node: live worker %s has a meter but no clock", cfg.ID)
 	}
-	w := &LiveWorker{cfg: cfg}
+	w := &LiveWorker{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Faults != nil {
+		w.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
+	}
 	if cfg.SBC != nil {
 		w.sbc = *cfg.SBC
 	} else {
@@ -94,9 +125,40 @@ func (w *LiveWorker) Close() error {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	close(w.quit) // release invocations wedged by fault injection
 	err := w.ln.Close()
 	w.wg.Wait()
 	return err
+}
+
+// faultAction is the fate fault injection deals one invocation.
+type faultAction int
+
+const (
+	faultNone faultAction = iota
+	faultHang
+	faultError
+	faultSlow
+)
+
+// drawFault rolls the worker's fault dice for one invocation.
+func (w *LiveWorker) drawFault() faultAction {
+	f := w.cfg.Faults
+	if f == nil {
+		return faultNone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if f.HangProb > 0 && w.rng.Float64() < f.HangProb {
+		return faultHang
+	}
+	if f.ErrorProb > 0 && w.rng.Float64() < f.ErrorProb {
+		return faultError
+	}
+	if f.SlowProb > 0 && w.rng.Float64() < f.SlowProb {
+		return faultSlow
+	}
+	return faultNone
 }
 
 func (w *LiveWorker) acceptLoop() {
@@ -121,6 +183,14 @@ func (w *LiveWorker) acceptLoop() {
 // its state from scratch, the Go equivalent of the prototype's
 // reboot-to-initramfs reproducible environment.
 func (w *LiveWorker) serveOne(conn net.Conn) {
+	fault := w.drawFault()
+	if fault == faultHang {
+		// A wedged node: the TCP peer is alive but the reply never comes.
+		// The OP's deadline fires first; the connection is released when
+		// the worker shuts down (or the OP-side invoke timeout drops it).
+		<-w.quit
+		return
+	}
 	bootStart := time.Now()
 	if w.cfg.BootDelay > 0 {
 		time.Sleep(w.cfg.BootDelay)
@@ -129,6 +199,23 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 	recvStart := time.Now()
 	proto.Serve(conn, func(req proto.Request) proto.Response { //nolint:errcheck // peer gone: nothing to do
 		overheadIn := time.Since(recvStart)
+		if fault == faultError {
+			return proto.Response{
+				Err:    fmt.Sprintf("node: injected worker fault on %s", w.cfg.ID),
+				BootMs: float64(boot) / float64(time.Millisecond),
+			}
+		}
+		if fault == faultSlow {
+			delay := w.cfg.Faults.SlowDelay
+			if delay <= 0 {
+				delay = time.Second
+			}
+			select {
+			case <-time.After(delay):
+			case <-w.quit:
+				return proto.Response{Err: "node: worker shut down mid-job"}
+			}
+		}
 		execStart := time.Now()
 		out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
 		exec := time.Since(execStart)

@@ -49,6 +49,17 @@ type SimWorkerConfig struct {
 	// probability, crashing partway through execution (the OP's retry
 	// policy is exercised against it). Zero disables injection.
 	FailureRate float64
+	// HangRate injects wedges: each job independently hangs with this
+	// probability — the worker powers on and never reports back, so only
+	// an OP-level deadline can rescue the job. Zero disables injection.
+	HangRate float64
+	// SlowRate injects straggling: each job independently runs SlowFactor
+	// times slower with this probability (tail-latency and deadline
+	// experiments). Zero disables injection.
+	SlowRate float64
+	// SlowFactor is the execution-time multiplier for SlowRate jobs
+	// (default 10).
+	SlowFactor float64
 	// GPIO, when set, wires this worker's PWR_BUT to the OP's GPIO
 	// controller (Sec IV-D) and logs every power-state transition there.
 	// ARM workers only (the paper wires only the worker SBCs).
@@ -72,6 +83,7 @@ type SimWorker struct {
 	warm      bool        // booted state survives to the next job
 	state     power.State // current power state (ARM accounting)
 	cycles    int
+	hangs     int // injected wedges (jobs that never reported back)
 	coldStart int        // jobs that paid the boot
 	warmStart int        // jobs that skipped it
 	powerOff  *sim.Event // pending keep-warm expiry
@@ -157,6 +169,9 @@ func (w *SimWorker) ID() string { return w.cfg.ID }
 // Cycles returns how many jobs the worker has completed.
 func (w *SimWorker) Cycles() int { return w.cycles }
 
+// Hangs returns how many injected wedges the worker has suffered.
+func (w *SimWorker) Hangs() int { return w.hangs }
+
 // jitter returns a multiplicative perturbation factor in
 // [1-Jitter, 1+Jitter], drawn from the engine's deterministic source.
 func (w *SimWorker) jitter() float64 {
@@ -206,6 +221,21 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		// The fault strikes partway through execution; the OP sees a dead
 		// worker and records the attempt as failed.
 		exec = time.Duration(float64(exec) * engine.Rand().Float64())
+	}
+	if hang := w.cfg.HangRate > 0 && engine.Rand().Float64() < w.cfg.HangRate; hang {
+		// The worker wedges mid-job: it powers on, draws busy power, and
+		// never invokes done. Only an OP deadline can reclaim the job.
+		w.hangs++
+		w.warm = false
+		w.setState(power.Busy, fmt.Sprintf("wedged (job %d)", job.ID))
+		return
+	}
+	if slow := w.cfg.SlowRate > 0 && engine.Rand().Float64() < w.cfg.SlowRate; slow {
+		factor := w.cfg.SlowFactor
+		if factor <= 0 {
+			factor = 10
+		}
+		exec = time.Duration(float64(exec) * factor)
 	}
 	started := engine.Now()
 

@@ -28,6 +28,7 @@ import (
 	"microfaas/internal/experiments"
 	"microfaas/internal/gateway"
 	"microfaas/internal/model"
+	"microfaas/internal/node"
 	"microfaas/internal/tco"
 	"microfaas/internal/trace"
 	"microfaas/internal/workload"
@@ -118,6 +119,25 @@ type Orchestrator = core.Orchestrator
 // InvocationResult is one completed invocation as delivered to
 // Orchestrator.SubmitAsync callbacks.
 type InvocationResult = core.Result
+
+// WorkerHealth is one worker's failure-tracking snapshot, as returned by
+// Orchestrator.Health: breaker state, failure counters, queue depth.
+type WorkerHealth = core.WorkerHealth
+
+// BreakerState is a worker circuit-breaker state (see WorkerHealth.State).
+type BreakerState = core.BreakerState
+
+// Circuit-breaker states as reported in WorkerHealth.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
+
+// FaultSpec injects worker-level faults (hang / error / slow, seeded) into
+// live TCP workers; pass it via LiveOptions.Faults to exercise the failure
+// path end-to-end.
+type FaultSpec = node.FaultSpec
 
 // --- Paper experiments ---
 
