@@ -9,6 +9,7 @@
 //	faasctl [-gateway host:port] invoke <function> [args-json]
 //	faasctl [-gateway host:port] -async invoke <function> [args-json]
 //	faasctl [-gateway host:port] job <id>
+//	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0]
 package main
 
 import (
@@ -26,8 +27,10 @@ func main() {
 	gatewayAddr := flag.String("gateway", "127.0.0.1:8080", "gateway address")
 	timeout := flag.Duration("timeout", 5*time.Minute, "invocation timeout")
 	async := flag.Bool("async", false, "submit invocations asynchronously (poll with 'job <id>')")
+	interval := flag.Duration("interval", 2*time.Second, "top: refresh interval")
+	iterations := flag.Int("iterations", 0, "top: stop after N refreshes (0 = until interrupted)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,7 +38,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: "http://" + *gatewayAddr, http: &http.Client{Timeout: *timeout}, out: os.Stdout, async: *async}
+	c := &client{base: "http://" + *gatewayAddr, http: &http.Client{Timeout: *timeout}, out: os.Stdout,
+		async: *async, interval: *interval, iterations: *iterations}
 	if err := c.run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "faasctl:", err)
 		os.Exit(1)
@@ -43,10 +47,12 @@ func main() {
 }
 
 type client struct {
-	base  string
-	http  *http.Client
-	out   io.Writer
-	async bool
+	base       string
+	http       *http.Client
+	out        io.Writer
+	async      bool
+	interval   time.Duration
+	iterations int
 }
 
 func (c *client) run(args []string) error {
@@ -60,6 +66,8 @@ func (c *client) run(args []string) error {
 		return c.workersTable()
 	case "stats":
 		return c.get("/stats")
+	case "top":
+		return c.top(c.interval, c.iterations)
 	case "invoke":
 		if len(args) < 2 {
 			return fmt.Errorf("invoke requires a function name")

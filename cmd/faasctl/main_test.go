@@ -10,6 +10,7 @@ import (
 
 	"microfaas/internal/cluster"
 	"microfaas/internal/gateway"
+	"microfaas/internal/telemetry"
 )
 
 // startStack boots a live cluster + gateway and returns a client aimed at
@@ -145,5 +146,59 @@ func TestAsyncInvokeAndJobCommands(t *testing.T) {
 			t.Fatalf("job result never appeared; last output %q, err %v", out.String(), err)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// startTelemetryStack is startStack with telemetry enabled, so /metrics
+// and top have data behind them.
+func startTelemetryStack(t *testing.T) (*client, *strings.Builder) {
+	t.Helper()
+	tel := telemetry.New()
+	l, err := cluster.StartLive(cluster.LiveOptions{Workers: 2, Seed: 4, Meter: true, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{Timeout: 30 * time.Second, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	var sb strings.Builder
+	return &client{
+		base:       "http://" + addr,
+		http:       &http.Client{Timeout: 30 * time.Second},
+		out:        &sb,
+		interval:   10 * time.Millisecond,
+		iterations: 2,
+	}, &sb
+}
+
+func TestTopCommand(t *testing.T) {
+	c, out := startTelemetryStack(t)
+	if err := c.run([]string{"invoke", "CascSHA", `{"rounds":2,"seed":"top"}`}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := c.run([]string{"top"}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"invocations 1", "CascSHA", "J/function", "workers:", "closed", "throughput"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("top output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTopWithoutTelemetry(t *testing.T) {
+	c, _ := startStack(t)
+	c.iterations = 1
+	if err := c.run([]string{"top"}); err == nil || !strings.Contains(err.Error(), "telemetry disabled") {
+		t.Fatalf("err = %v, want telemetry-disabled hint", err)
 	}
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"microfaas/internal/telemetry"
+)
+
+// top polls the gateway's /metrics (and /workers for breaker states) and
+// renders a cluster dashboard every interval: throughput, latency
+// quantiles, per-function J/function, worker health. iterations > 0 stops
+// after that many refreshes (scripts and tests); 0 runs until interrupted.
+func (c *client) top(interval time.Duration, iterations int) error {
+	var prevTotal float64
+	var prevAt time.Time
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+			fmt.Fprintln(c.out)
+		}
+		samples, err := c.scrapeMetrics()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		total := samples.Sum("microfaas_function_invocations_total")
+		c.renderTop(samples, total, prevTotal, now, prevAt)
+		prevTotal, prevAt = total, now
+	}
+	return nil
+}
+
+// scrapeMetrics fetches and parses one /metrics exposition.
+func (c *client) scrapeMetrics() (telemetry.Samples, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gateway /metrics returned %s (telemetry disabled?)", resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, now, prevAt time.Time) {
+	pending, _ := samples.Value("microfaas_jobs_pending")
+	fmt.Fprintf(c.out, "invocations %.0f  pending %.0f", total, pending)
+	if !prevAt.IsZero() && now.After(prevAt) {
+		rate := (total - prevTotal) / now.Sub(prevAt).Minutes()
+		fmt.Fprintf(c.out, "  throughput %.1f func/min", rate)
+	}
+	p50 := samples.HistogramQuantile("microfaas_invocation_latency_seconds", 0.50)
+	p99 := samples.HistogramQuantile("microfaas_invocation_latency_seconds", 0.99)
+	if p50 > 0 || p99 > 0 {
+		fmt.Fprintf(c.out, "  latency p50 ≤ %.0fms p99 ≤ %.0fms", p50*1000, p99*1000)
+	}
+	if watts, ok := samples.Value("microfaas_cluster_power_watts"); ok {
+		joules, _ := samples.Value("microfaas_cluster_energy_joules_total")
+		fmt.Fprintf(c.out, "  power %.2fW (%.1fJ total)", watts, joules)
+	}
+	fmt.Fprintln(c.out)
+
+	if fns := samples.LabelValues("microfaas_function_invocations_total", "function"); len(fns) > 0 {
+		sort.Strings(fns)
+		fmt.Fprintf(c.out, "%-14s %8s %7s %12s\n", "function", "ok", "errors", "J/function")
+		for _, fn := range fns {
+			okCount, _ := samples.Value("microfaas_function_invocations_total", "function", fn, "result", "ok")
+			errCount, _ := samples.Value("microfaas_function_invocations_total", "function", fn, "result", "error")
+			jpf := "-"
+			if joules, ok := samples.Value("microfaas_function_energy_joules_total", "function", fn); ok && okCount+errCount > 0 {
+				jpf = fmt.Sprintf("%.3f", joules/(okCount+errCount))
+			}
+			fmt.Fprintf(c.out, "%-14s %8.0f %7.0f %12s\n", fn, okCount, errCount, jpf)
+		}
+	}
+	c.renderBreakers()
+}
+
+// renderBreakers appends the /workers health line; metrics expose breaker
+// transitions, but the current state lives in the workers endpoint.
+func (c *client) renderBreakers() {
+	resp, err := c.http.Get(c.base + "/workers")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var workers []struct {
+		ID      string `json:"id"`
+		Breaker string `json:"breaker"`
+		Queue   int    `json:"queue_depth"`
+		Busy    bool   `json:"busy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
+		return
+	}
+	fmt.Fprintf(c.out, "workers:")
+	for _, w := range workers {
+		state := w.Breaker
+		if w.Busy {
+			state += ",busy"
+		}
+		fmt.Fprintf(c.out, " %s=%s(q%d)", w.ID, state, w.Queue)
+	}
+	fmt.Fprintln(c.out)
+}

@@ -29,6 +29,7 @@ import (
 	"microfaas/internal/core"
 	"microfaas/internal/gateway"
 	"microfaas/internal/replay"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/workload"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		RetryBase:        *retryBase,
 		BreakerThreshold: *breakerThreshold,
 		BreakerProbe:     *breakerProbe,
+		Telemetry:        telemetry.New(),
 	}
 	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-live:", err)
@@ -146,7 +148,11 @@ func (a *argFiller) Submit(function string, _ []byte) int64 {
 }
 
 func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration) error {
-	gw, err := gateway.New(l.Orch, 5*time.Minute)
+	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{
+		Timeout:   5 * time.Minute,
+		Mode:      "live",
+		Telemetry: l.Telemetry,
+	})
 	if err != nil {
 		return err
 	}
@@ -158,6 +164,8 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration) error
 	fmt.Printf("gateway listening on http://%s — try:\n", addr)
 	fmt.Printf("  faasctl -gateway %s functions\n", addr)
 	fmt.Printf("  faasctl -gateway %s invoke CascSHA '{\"rounds\":1000,\"seed\":\"hi\"}'\n", addr)
+	fmt.Printf("  faasctl -gateway %s top\n", addr)
+	fmt.Printf("  curl http://%s/metrics\n", addr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

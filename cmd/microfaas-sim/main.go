@@ -14,6 +14,8 @@
 //	-seed  simulation seed (default 1)
 //	-csv   write the raw per-invocation trace of fig3's MicroFaaS run
 //	       to the given file
+//	-prom  write a Prometheus text-format metrics snapshot of fig3's
+//	       MicroFaaS run to the given file
 package main
 
 import (
@@ -25,12 +27,14 @@ import (
 	"microfaas/internal/cluster"
 	"microfaas/internal/experiments"
 	"microfaas/internal/model"
+	"microfaas/internal/telemetry"
 )
 
 func main() {
 	n := flag.Int("n", 100, "invocations per function (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
+	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
@@ -45,13 +49,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microfaas-sim: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *n, *seed, *csvPath, *format == "csv"); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *n, *seed, *csvPath, *promPath, *format == "csv"); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, experiment string, n int, seed int64, csvPath string, asCSV bool) error {
+func run(out io.Writer, experiment string, n int, seed int64, csvPath, promPath string, asCSV bool) error {
 	switch experiment {
 	case "fig1":
 		return experiments.WriteFig1(out)
@@ -68,7 +72,12 @@ func run(out io.Writer, experiment string, n int, seed int64, csvPath string, as
 			return err
 		}
 		if csvPath != "" {
-			return writeTraceCSV(csvPath, n, seed)
+			if err := writeTraceCSV(csvPath, n, seed); err != nil {
+				return err
+			}
+		}
+		if promPath != "" {
+			return writePromSnapshot(promPath, n, seed)
 		}
 		return nil
 	case "fig4":
@@ -147,7 +156,7 @@ func run(out io.Writer, experiment string, n int, seed int64, csvPath string, as
 		return runAblations(out, seed, n)
 	case "all":
 		for _, exp := range []string{"fig1", "table1", "fig3", "fig4", "fig5", "headline", "table2", "rackscale", "loadsweep", "keepwarm", "diurnal", "sensitivity", "bootimpact", "ablations"} {
-			if err := run(out, exp, n, seed, "", false); err != nil {
+			if err := run(out, exp, n, seed, "", "", false); err != nil {
 				return err
 			}
 			fmt.Fprintln(out)
@@ -199,5 +208,29 @@ func writeTraceCSV(path string, n int, seed int64) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", coll.Len(), path)
+	return f.Close()
+}
+
+// writePromSnapshot re-runs the MicroFaaS cluster with telemetry enabled
+// and dumps the end-of-run registry — the same exposition a live
+// gateway's /metrics serves, frozen at drain time.
+func writePromSnapshot(path string, n int, seed int64) error {
+	tel := telemetry.New()
+	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed, Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	if _, err := s.RunSuite(n, nil); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tel.Registry().WritePrometheus(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
 	return f.Close()
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"microfaas/internal/telemetry"
 )
 
 func TestRunEachExperiment(t *testing.T) {
@@ -21,7 +23,7 @@ func TestRunEachExperiment(t *testing.T) {
 		exp, wants := exp, wants
 		t.Run(exp, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, exp, 20, 1, "", false); err != nil {
+			if err := run(&sb, exp, 20, 1, "", "", false); err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range wants {
@@ -35,7 +37,7 @@ func TestRunEachExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", 10, 1, "", false); err == nil {
+	if err := run(&sb, "fig99", 10, 1, "", "", false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -43,7 +45,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWritesCSVTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	var sb strings.Builder
-	if err := run(&sb, "fig3", 5, 1, path, false); err != nil {
+	if err := run(&sb, "fig3", 5, 1, path, "", false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -71,7 +73,7 @@ func TestRunCSVFormats(t *testing.T) {
 		exp, header := exp, header
 		t.Run(exp, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, exp, 10, 1, "", true); err != nil {
+			if err := run(&sb, exp, 10, 1, "", "", true); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
@@ -93,7 +95,7 @@ func TestRunCSVFormats(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "table1", 1, 1, "", false); err != nil {
+	if err := run(&sb, "table1", 1, 1, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -110,7 +112,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunReport(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "report", 10, 1, "", false); err != nil {
+	if err := run(&sb, "report", 10, 1, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -124,5 +126,28 @@ func TestRunReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+func TestRunWritesPromSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var sb strings.Builder
+	if err := run(&sb, "fig3", 5, 1, "", path, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := telemetry.ParseText(f)
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if got, ok := samples.Value("microfaas_jobs_submitted_total"); !ok || got <= 0 {
+		t.Fatalf("jobs_submitted = %v (present %v)", got, ok)
+	}
+	if got := samples.Sum("microfaas_function_energy_joules_total"); got <= 0 {
+		t.Fatalf("no energy attributed: %v", got)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"microfaas/internal/objstore"
 	"microfaas/internal/power"
 	"microfaas/internal/sqlstore"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/workload"
 )
 
@@ -45,6 +46,10 @@ type LiveOptions struct {
 	// worker draws from Faults.Seed offset by its index, so runs are
 	// reproducible per node). See node.FaultSpec.
 	Faults *node.FaultSpec
+	// Telemetry enables the metrics registry and event stream across the
+	// OP, the workers, and (when Meter is on) the power meter. Nil
+	// disables instrumentation entirely.
+	Telemetry *telemetry.Telemetry
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -56,6 +61,9 @@ type Live struct {
 	Runtime core.WallRuntime
 	Meter   *power.Meter
 	Workers []*node.LiveWorker
+	// Telemetry is the cluster's metrics registry and event stream (nil
+	// when LiveOptions.Telemetry was nil).
+	Telemetry *telemetry.Telemetry
 
 	kv  *kvstore.Server
 	sql *sqlstore.Server
@@ -73,10 +81,11 @@ func StartLive(opts LiveOptions) (*Live, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("cluster: negative worker count %d", n)
 	}
-	l := &Live{Runtime: core.NewWallRuntime()}
+	l := &Live{Runtime: core.NewWallRuntime(), Telemetry: opts.Telemetry}
 	if opts.Meter {
 		l.Meter = power.NewMeter()
 	}
+	registerMeterMetrics(opts.Telemetry, l.Meter, l.Runtime.Now)
 	ok := false
 	defer func() {
 		if !ok {
@@ -131,6 +140,10 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			cfg.Meter = l.Meter
 			cfg.Clock = l.Runtime.Now
 		}
+		if opts.Telemetry != nil {
+			cfg.Telemetry = opts.Telemetry
+			cfg.Clock = l.Runtime.Now // events stamp on the cluster clock
+		}
 		w, err := node.StartLiveWorker(cfg)
 		if err != nil {
 			return nil, err
@@ -149,6 +162,7 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			RetryMax:         opts.RetryMax,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerProbe:     opts.BreakerProbe,
+			Telemetry:        opts.Telemetry,
 		})
 		if err != nil {
 			return nil, err

@@ -24,6 +24,7 @@ import (
 	"microfaas/internal/node"
 	"microfaas/internal/power"
 	"microfaas/internal/sim"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 )
 
@@ -70,6 +71,12 @@ type SimConfig struct {
 	// breaker (zero threshold = disabled).
 	BreakerThreshold int
 	BreakerProbe     time.Duration
+	// Telemetry enables the metrics registry and event stream across the
+	// OP, the workers, and the power meter. Nil (the default) disables
+	// instrumentation entirely; because telemetry never draws from the
+	// seeded RNG or schedules events, enabling it leaves a seeded run's
+	// trace bit-identical.
+	Telemetry *telemetry.Telemetry
 }
 
 // coreConfig assembles the OP config shared by every sim constructor.
@@ -85,6 +92,7 @@ func (c SimConfig) coreConfig(engine *sim.Engine, workers []core.Worker) core.Co
 		RetryMax:         c.RetryMax,
 		BreakerThreshold: c.BreakerThreshold,
 		BreakerProbe:     c.BreakerProbe,
+		Telemetry:        c.Telemetry,
 	}
 }
 
@@ -109,6 +117,9 @@ type Sim struct {
 	// GPIO is the OP's power-control plane with the cluster's power-state
 	// audit log (MicroFaaS clusters only).
 	GPIO *gpio.Controller
+	// Telemetry is the cluster's metrics registry and event stream (nil
+	// when SimConfig.Telemetry was nil).
+	Telemetry *telemetry.Telemetry
 }
 
 // NewMicroFaaSSim builds an n-SBC MicroFaaS cluster.
@@ -119,7 +130,8 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 	engine := sim.NewEngine(cfg.Seed)
 	meter := power.NewMeter()
 	controller := gpio.NewController()
-	s := &Sim{Engine: engine, Meter: meter, GPIO: controller}
+	s := &Sim{Engine: engine, Meter: meter, GPIO: controller, Telemetry: cfg.Telemetry}
+	registerMeterMetrics(cfg.Telemetry, meter, engine.Now)
 	workers := make([]core.Worker, 0, n)
 	for i := 0; i < n; i++ {
 		w, err := node.NewSimWorker(node.SimWorkerConfig{
@@ -138,6 +150,7 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 			SlowRate:      cfg.SlowRate,
 			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
+			Telemetry:     cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -166,7 +179,8 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 	engine := sim.NewEngine(cfg.Seed)
 	meter := power.NewMeter()
 	server := node.NewRackServer("rack-server", cores, engine, meter, power.DefaultServerModel())
-	s := &Sim{Engine: engine, Meter: meter, Server: server}
+	s := &Sim{Engine: engine, Meter: meter, Server: server, Telemetry: cfg.Telemetry}
+	registerMeterMetrics(cfg.Telemetry, meter, engine.Now)
 	workers := make([]core.Worker, 0, vms)
 	for i := 0; i < vms; i++ {
 		w, err := node.NewSimWorker(node.SimWorkerConfig{
@@ -185,6 +199,7 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 			SlowRate:      cfg.SlowRate,
 			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
+			Telemetry:     cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -214,7 +229,8 @@ func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, err
 	}
 	engine := sim.NewEngine(cfg.Seed)
 	meter := power.NewMeter()
-	s := &Sim{Engine: engine, Meter: meter}
+	s := &Sim{Engine: engine, Meter: meter, Telemetry: cfg.Telemetry}
+	registerMeterMetrics(cfg.Telemetry, meter, engine.Now)
 	workers := make([]core.Worker, 0, servers*vmsPerServer)
 	for sv := 0; sv < servers; sv++ {
 		server := node.NewRackServer(fmt.Sprintf("rack-server-%03d", sv), cores, engine, meter, power.DefaultServerModel())
@@ -238,6 +254,7 @@ func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, err
 				SlowRate:      cfg.SlowRate,
 				SlowFactor:    cfg.SlowFactor,
 				KeepWarm:      cfg.KeepWarm,
+				Telemetry:     cfg.Telemetry,
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"time"
+
+	"microfaas/internal/power"
+	"microfaas/internal/telemetry"
+)
+
+// Cluster-owned metric names (see DESIGN.md §7): whole-cluster readings
+// taken straight from the power meter at scrape time, the simulated
+// equivalent of the paper's wall-power measurement rig.
+const (
+	metricClusterEnergy = "microfaas_cluster_energy_joules_total"
+	metricClusterPower  = "microfaas_cluster_power_watts"
+)
+
+// registerMeterMetrics exposes the meter's totals as func-backed metrics,
+// evaluated lazily at scrape time against the cluster clock. No-op when
+// telemetry is disabled.
+func registerMeterMetrics(tel *telemetry.Telemetry, meter *power.Meter, now func() time.Duration) {
+	if tel == nil || meter == nil {
+		return
+	}
+	reg := tel.Registry()
+	reg.CounterFunc(metricClusterEnergy,
+		"Whole-cluster metered energy since start (every device summed).",
+		func() float64 { return float64(meter.TotalEnergy(now())) })
+	reg.GaugeFunc(metricClusterPower,
+		"Instantaneous whole-cluster draw (every device summed).",
+		func() float64 { return float64(meter.TotalPower()) })
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"microfaas/internal/gateway"
+	"microfaas/internal/model"
+	"microfaas/internal/power"
+	"microfaas/internal/telemetry"
+)
+
+// TestSimMetricsEnergyMatchesTrace is the acceptance check for the
+// telemetry subsystem: the per-function joules counters scraped from a
+// sim-mode /metrics endpoint must agree within 1% with the energy derived
+// offline from the trace collector's records and the calibrated SBC power
+// model — the paper's J/function computed two independent ways.
+func TestSimMetricsEnergyMatchesTrace(t *testing.T) {
+	tel := telemetry.New()
+	s, err := NewMicroFaaSSim(8, SimConfig{Seed: 7, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := s.RunSuite(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gw, err := gateway.NewWithOptions(s.Orch, gateway.Options{Mode: "sim", Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics → %d", resp.StatusCode)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("sim-mode exposition does not parse: %v", err)
+	}
+
+	// Reconstruct each function's joules from the trace: every ARM cycle
+	// spends Boot at boot draw and Overhead+Exec at busy draw.
+	sbc := power.DefaultSBCModel()
+	want := map[string]float64{}
+	for _, r := range coll.Records() {
+		boot := r.Boot.Seconds() * float64(sbc.Power(power.Booting))
+		busy := (r.Overhead + r.Exec).Seconds() * float64(sbc.Power(power.Busy))
+		want[r.Function] += boot + busy
+	}
+	if len(want) != len(model.Functions()) {
+		t.Fatalf("trace covers %d functions, want %d", len(want), len(model.Functions()))
+	}
+	for fn, w := range want {
+		got, ok := samples.Value("microfaas_function_energy_joules_total", "function", fn)
+		if !ok {
+			t.Fatalf("no energy series for %s", fn)
+		}
+		if diff := math.Abs(got - w); diff > 0.01*w {
+			t.Fatalf("%s: metrics %.4f J vs trace %.4f J (%.2f%% off)",
+				fn, got, w, 100*diff/w)
+		}
+	}
+
+	// The whole-cluster counter must cover at least the attributed energy
+	// (it also meters off/idle standby draw the functions are not charged
+	// for).
+	var attributed float64
+	for _, w := range want {
+		attributed += w
+	}
+	cluster, ok := samples.Value("microfaas_cluster_energy_joules_total")
+	if !ok || cluster < attributed {
+		t.Fatalf("cluster energy %.4f J < attributed %.4f J", cluster, attributed)
+	}
+
+	// And /healthz reports sim mode.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h gateway.HealthResponse
+	if err := jsonDecode(hresp, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode != "sim" || h.Status != "ok" {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation: enabling telemetry must not
+// consume RNG draws or schedule events, so a seeded run's trace is
+// bit-identical with and without it — the zero-overhead-when-disabled
+// guarantee read from the other side.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	run := func(tel *telemetry.Telemetry) interface{} {
+		s, err := NewMicroFaaSSim(4, SimConfig{
+			Seed:        11,
+			Jitter:      0.05,
+			FailureRate: 0.15,
+			MaxAttempts: 3,
+			JobTimeout:  2 * time.Minute,
+			Telemetry:   tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll, err := s.RunSuite(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coll.Records()
+	}
+	plain := run(nil)
+	instrumented := run(telemetry.New())
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatal("telemetry changed the seeded run's trace")
+	}
+}
+
+// TestLiveMetricsEnergyMatchesTrace cross-checks the live path: joules
+// attributed per function must track the number reconstructed from the
+// trace records at busy draw. The trace stamps Started at OP dispatch and
+// Finished at result arrival — a strict superset of the worker's metered
+// busy window — so the metrics value is bounded above by the trace-derived
+// one and must come close once a real boot delay dominates the
+// microseconds of dispatch slop.
+func TestLiveMetricsEnergyMatchesTrace(t *testing.T) {
+	tel := telemetry.New()
+	l, err := StartLive(LiveOptions{
+		Workers: 2, Seed: 3, Meter: true, Telemetry: tel,
+		BootDelay: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		l.Orch.Submit("CascSHA", []byte(`{"rounds":3,"seed":"x"}`))
+	}
+	l.Orch.Quiesce()
+
+	sbc := power.DefaultSBCModel()
+	var want float64
+	for _, r := range l.Orch.Collector().Records() {
+		want += (r.Finished - r.Started).Seconds() * float64(sbc.Power(power.Busy))
+	}
+	got := tel.Registry().Counter("microfaas_function_energy_joules_total",
+		"", "function", "CascSHA").Value()
+	if want <= 0 || got <= 0 || got > want || got < 0.9*want {
+		t.Fatalf("metrics %.6f J vs trace-bounded %.6f J", got, want)
+	}
+}
+
+// jsonDecode decodes an HTTP response body as JSON.
+func jsonDecode(resp *http.Response, v interface{}) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}

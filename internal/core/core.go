@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"microfaas/internal/sim"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 )
 
@@ -233,6 +234,10 @@ type Config struct {
 	// BreakerProbe is how long an open breaker ejects its worker before
 	// the worker is probed with real work again (default 30s).
 	BreakerProbe time.Duration
+	// Telemetry receives metrics and lifecycle events (nil = disabled;
+	// the disabled path costs one nil check per site and leaves seeded
+	// runs bit-identical — telemetry never touches the RNG or the clock).
+	Telemetry *telemetry.Telemetry
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -240,6 +245,8 @@ type Config struct {
 type Orchestrator struct {
 	runtime   Runtime
 	collector *trace.Collector
+	tel       *telemetry.Telemetry
+	m         orchMetrics
 
 	policy           AssignPolicy
 	maxAttempts      int
@@ -349,8 +356,12 @@ func New(cfg Config) (*Orchestrator, error) {
 		seen[w.ID()] = true
 		o.health[w.ID()] = &workerHealth{}
 	}
+	o.initTelemetry(cfg.Telemetry)
 	return o, nil
 }
+
+// Telemetry returns the orchestrator's telemetry (nil when disabled).
+func (o *Orchestrator) Telemetry() *telemetry.Telemetry { return o.tel }
 
 // Collector returns the orchestrator's trace collector.
 func (o *Orchestrator) Collector() *trace.Collector { return o.collector }
@@ -504,12 +515,24 @@ func (o *Orchestrator) enqueueLocked(w Worker, function string, args []byte, tim
 	o.nextID++
 	id := o.nextID
 	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
-	o.queues[w.ID()] = append(o.queues[w.ID()], job)
+	o.m.submitted.Inc()
+	o.emit(telemetry.EventSubmit, job, "", "")
+	o.pushJobLocked(w, job, "")
 	if cb != nil {
 		o.callbacks[id] = cb
 	}
 	o.pending++
+	o.m.pending.Set(float64(o.pending))
 	return id, o.maybeDispatchLocked(w)
+}
+
+// pushJobLocked appends one attempt to a worker's queue, keeping the
+// queue-depth gauge current and emitting the queue lifecycle event.
+// Caller holds o.mu.
+func (o *Orchestrator) pushJobLocked(w Worker, job Job, detail string) {
+	o.queues[w.ID()] = append(o.queues[w.ID()], job)
+	o.queueDepthChangedLocked(w.ID())
+	o.emit(telemetry.EventQueue, job, w.ID(), detail)
 }
 
 // maybeDispatchLocked pops the worker's next queued job if it is free and
@@ -529,6 +552,9 @@ func (o *Orchestrator) maybeDispatchLocked(w Worker) func() {
 	job := q[0]
 	o.queues[id] = q[1:]
 	o.busy[id] = true
+	o.queueDepthChangedLocked(id)
+	o.m.busy[id].Set(1)
+	o.emit(telemetry.EventAssign, job, id, "")
 	fl := &inflight{job: job, worker: w, started: o.runtime.Now()}
 	if job.Timeout > 0 {
 		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl) })
@@ -551,6 +577,7 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		// possibly retried the job elsewhere). The worker has finally come
 		// back — un-wedge it and dispatch its next queued job.
 		o.busy[w.ID()] = false
+		o.m.busy[w.ID()].Set(0)
 		run := o.maybeDispatchLocked(w)
 		o.mu.Unlock()
 		if run != nil {
@@ -578,7 +605,15 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	})
 	o.noteAttemptLocked(w.ID(), res.Err == "", false)
 	o.busy[w.ID()] = false
-	runs, cb := o.resolveAttemptLocked(w, job, res)
+	o.m.busy[w.ID()].Set(0)
+	if res.Err == "" {
+		o.noteAttemptMetrics(w.ID(), "ok")
+		o.emit(telemetry.EventSettle, job, w.ID(), "ok")
+	} else {
+		o.noteAttemptMetrics(w.ID(), "error")
+		o.emit(telemetry.EventSettle, job, w.ID(), "error")
+	}
+	runs, cb := o.resolveAttemptLocked(w, job, res, finished)
 	if run := o.maybeDispatchLocked(w); run != nil {
 		runs = append(runs, run)
 	}
@@ -626,8 +661,10 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 		Err:       res.Err,
 	})
 	o.noteAttemptLocked(w.ID(), false, true)
+	o.noteAttemptMetrics(w.ID(), "timeout")
+	o.emit(telemetry.EventSettle, job, w.ID(), "timeout")
 	runs := o.reassignQueueLocked(w)
-	more, cb := o.resolveAttemptLocked(w, job, res)
+	more, cb := o.resolveAttemptLocked(w, job, res, now)
 	runs = append(runs, more...)
 	o.mu.Unlock()
 	for _, run := range runs {
@@ -648,10 +685,11 @@ func (o *Orchestrator) reassignQueueLocked(wedged Worker) []func() {
 		return nil
 	}
 	o.queues[wedged.ID()] = nil
+	o.queueDepthChangedLocked(wedged.ID())
 	var runs []func()
 	for _, job := range q {
 		w := o.pickRetryWorkerLocked(wedged)
-		o.queues[w.ID()] = append(o.queues[w.ID()], job)
+		o.pushJobLocked(w, job, "reassigned")
 		if run := o.maybeDispatchLocked(w); run != nil {
 			runs = append(runs, run)
 		}
@@ -662,12 +700,13 @@ func (o *Orchestrator) reassignQueueLocked(wedged Worker) []func() {
 // resolveAttemptLocked decides retry-versus-final for a finished attempt.
 // It returns dispatch closures to run after o.mu is released and, when the
 // outcome is final, the job's completion callback. Caller holds o.mu.
-func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result) (runs []func(), cb func(Result)) {
+func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result, finished time.Duration) (runs []func(), cb func(Result)) {
 	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts && !o.draining
 	if retry {
 		// The job stays pending: re-queue it on a different worker (a
 		// fresh hardware environment — worker-local faults don't follow),
 		// after the attempt's backoff delay.
+		o.m.retries.Inc()
 		next := job
 		next.Attempt++
 		if delay := o.retryDelayLocked(next.Attempt); delay > 0 {
@@ -677,13 +716,15 @@ func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result
 			return nil, nil
 		}
 		w := o.pickRetryWorkerLocked(failedOn)
-		o.queues[w.ID()] = append(o.queues[w.ID()], next)
+		o.pushJobLocked(w, next, "retry")
 		if run := o.maybeDispatchLocked(w); run != nil {
 			runs = append(runs, run)
 		}
 		return runs, nil
 	}
+	o.noteFinal(job, res, finished)
 	o.pending--
+	o.m.pending.Set(float64(o.pending))
 	cb = o.callbacks[job.ID]
 	delete(o.callbacks, job.ID)
 	if o.pending == 0 {
@@ -735,7 +776,7 @@ func (o *Orchestrator) requeueParked(id int64) {
 	} else {
 		w = o.pickWorkerLocked()
 	}
-	o.queues[w.ID()] = append(o.queues[w.ID()], p.job)
+	o.pushJobLocked(w, p.job, "retry-backoff")
 	run := o.maybeDispatchLocked(w)
 	o.mu.Unlock()
 	if run != nil {
@@ -777,6 +818,9 @@ func (o *Orchestrator) noteAttemptLocked(workerID string, ok, timedOut bool) {
 	if ok {
 		h.completed++
 		h.consec = 0
+		if h.open {
+			o.m.breakerTo[workerID]["closed"].Inc()
+		}
 		h.open = false
 		return
 	}
@@ -786,6 +830,9 @@ func (o *Orchestrator) noteAttemptLocked(workerID string, ok, timedOut bool) {
 	}
 	h.consec++
 	if o.breakerThreshold > 0 && h.consec >= o.breakerThreshold {
+		if !h.open {
+			o.m.breakerTo[workerID]["open"].Inc()
+		}
 		h.open = true
 		h.reopenAt = o.runtime.Now() + o.breakerProbe
 	}
@@ -911,6 +958,7 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 	for id := range o.queues {
 		abandoned = append(abandoned, o.queues[id]...)
 		o.queues[id] = nil
+		o.queueDepthChangedLocked(id)
 	}
 	for id, p := range o.parked {
 		p.cancel()
@@ -919,6 +967,7 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 	}
 	sort.Slice(abandoned, func(i, j int) bool { return abandoned[i].ID < abandoned[j].ID })
 	o.pending -= len(abandoned)
+	o.m.pending.Set(float64(o.pending))
 	for _, j := range abandoned {
 		delete(o.callbacks, j.ID)
 	}

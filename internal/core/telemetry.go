@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"microfaas/internal/telemetry"
+)
+
+// Metric names the orchestrator owns (see DESIGN.md §7 for the full
+// catalogue and the label-cardinality rules).
+const (
+	metricSubmitted   = "microfaas_jobs_submitted_total"
+	metricPending     = "microfaas_jobs_pending"
+	metricRetries     = "microfaas_retries_total"
+	metricAttempts    = "microfaas_attempts_total"
+	metricQueueDepth  = "microfaas_queue_depth"
+	metricWorkerBusy  = "microfaas_worker_busy"
+	metricBreaker     = "microfaas_breaker_transitions_total"
+	metricInvocations = "microfaas_function_invocations_total"
+	metricLatency     = "microfaas_invocation_latency_seconds"
+)
+
+// orchMetrics holds the orchestrator's pre-created metric handles. Every
+// handle type no-ops on nil, and a nil map lookup yields a nil handle, so
+// the zero orchMetrics is the disabled instrumentation path — call sites
+// need no guards.
+type orchMetrics struct {
+	submitted *telemetry.Counter
+	pending   *telemetry.Gauge
+	retries   *telemetry.Counter
+	latency   *telemetry.Histogram
+	// per-worker series, keyed by worker id
+	queueDepth map[string]*telemetry.Gauge
+	busy       map[string]*telemetry.Gauge
+	attempts   map[string]map[string]*telemetry.Counter // worker → result
+	breakerTo  map[string]map[string]*telemetry.Counter // worker → state
+}
+
+// initTelemetryLocked pre-creates the orchestrator's metric families so
+// every per-worker series is present (at zero) from the first scrape.
+func (o *Orchestrator) initTelemetry(tel *telemetry.Telemetry) {
+	o.tel = tel
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	o.m = orchMetrics{
+		submitted: reg.Counter(metricSubmitted, "Jobs accepted by the orchestration platform."),
+		pending:   reg.Gauge(metricPending, "Jobs queued, running, or parked for retry backoff."),
+		retries:   reg.Counter(metricRetries, "Failed attempts re-queued onto another worker."),
+		latency: reg.Histogram(metricLatency,
+			"End-to-end latency of successful invocations (submit to final result).",
+			telemetry.LogBuckets(0.001, 60, 14)),
+		queueDepth: make(map[string]*telemetry.Gauge, len(o.workers)),
+		busy:       make(map[string]*telemetry.Gauge, len(o.workers)),
+		attempts:   make(map[string]map[string]*telemetry.Counter, len(o.workers)),
+		breakerTo:  make(map[string]map[string]*telemetry.Counter, len(o.workers)),
+	}
+	for _, w := range o.workers {
+		id := w.ID()
+		o.m.queueDepth[id] = reg.Gauge(metricQueueDepth, "Queued (not yet running) jobs per worker.", "worker", id)
+		o.m.busy[id] = reg.Gauge(metricWorkerBusy, "1 while the worker is executing a job.", "worker", id)
+		o.m.attempts[id] = map[string]*telemetry.Counter{}
+		for _, result := range []string{"ok", "error", "timeout"} {
+			o.m.attempts[id][result] = reg.Counter(metricAttempts,
+				"Finished attempts per worker and outcome (timeouts are deadline expiries).",
+				"worker", id, "result", result)
+		}
+		o.m.breakerTo[id] = map[string]*telemetry.Counter{}
+		for _, state := range []string{"open", "closed"} {
+			o.m.breakerTo[id][state] = reg.Counter(metricBreaker,
+				"Circuit-breaker transitions per worker.", "worker", id, "to", state)
+		}
+	}
+}
+
+// emit appends one lifecycle event stamped with the cluster clock. Callers
+// may hold o.mu: the event log's lock is a leaf.
+func (o *Orchestrator) emit(typ string, job Job, worker, detail string) {
+	if o.tel == nil {
+		return
+	}
+	o.tel.Emit(o.runtime.Now(), typ, job.ID, job.Function, worker, job.Attempt, detail)
+}
+
+// noteAttemptMetrics records one finished attempt's outcome series.
+func (o *Orchestrator) noteAttemptMetrics(workerID, result string) {
+	o.m.attempts[workerID][result].Inc()
+}
+
+// noteFinal records a job's final outcome: the per-function counter and,
+// on success, the end-to-end latency sample.
+func (o *Orchestrator) noteFinal(job Job, res Result, finished time.Duration) {
+	if o.tel == nil {
+		return
+	}
+	result := "ok"
+	if res.Err != "" {
+		result = "error"
+	}
+	o.tel.Registry().Counter(metricInvocations,
+		"Final per-function outcomes (after any retries).",
+		"function", job.Function, "result", result).Inc()
+	if res.Err == "" {
+		o.m.latency.Observe((finished - job.SubmittedAt).Seconds())
+	}
+}
+
+// queueDepthChangedLocked refreshes a worker's queue-depth gauge. Caller
+// holds o.mu.
+func (o *Orchestrator) queueDepthChangedLocked(workerID string) {
+	o.m.queueDepth[workerID].Set(float64(len(o.queues[workerID])))
+}

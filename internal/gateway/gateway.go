@@ -10,7 +10,9 @@
 //	GET  /functions        list of deployable function names
 //	GET  /workers          per-worker health: breaker state, failure counts, queue depth
 //	GET  /stats            per-function runtime statistics and cluster totals
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe: mode, uptime, build version
+//	GET  /metrics          Prometheus text exposition (telemetry-enabled servers)
+//	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N)
 //
 // Async results are retained for a bounded window (RetainAsync, default
 // 10 minutes) and deleted on first successful read.
@@ -27,7 +29,9 @@ import (
 	"time"
 
 	"microfaas/internal/core"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/version"
 	"microfaas/internal/workload"
 )
 
@@ -89,10 +93,42 @@ type asyncEntry struct {
 // RetainAsync is how long a completed async result stays fetchable.
 const RetainAsync = 10 * time.Minute
 
+// Options configures a Server beyond the orchestrator it fronts.
+type Options struct {
+	// Timeout bounds a synchronous invocation wait (default 5 minutes).
+	Timeout time.Duration
+	// Mode labels the cluster behind the gateway — "sim" or "live" — in
+	// the /healthz body (default "live").
+	Mode string
+	// Telemetry, when set, backs GET /metrics and GET /events. Without it
+	// both routes answer 404.
+	Telemetry *telemetry.Telemetry
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status  string  `json:"status"`
+	Mode    string  `json:"mode"`
+	UptimeS float64 `json:"uptime_s"`
+	Version string  `json:"version"`
+}
+
+// EventsResponse is the GET /events reply. LastSeq is the newest sequence
+// number the ring holds; pass it back as ?since= to poll incrementally
+// (a gap between your last seen sequence and the first event returned
+// means the ring overwrote older events).
+type EventsResponse struct {
+	Events  []telemetry.Event `json:"events"`
+	LastSeq int64             `json:"last_seq"`
+}
+
 // Server serves the gateway over HTTP.
 type Server struct {
 	orch    *core.Orchestrator
 	timeout time.Duration
+	mode    string
+	tel     *telemetry.Telemetry
+	start   time.Time
 
 	mu      sync.Mutex
 	http    *http.Server
@@ -109,15 +145,26 @@ type Server struct {
 // New wraps an orchestrator. timeout bounds a synchronous invocation wait
 // (default 5 minutes).
 func New(orch *core.Orchestrator, timeout time.Duration) (*Server, error) {
+	return NewWithOptions(orch, Options{Timeout: timeout})
+}
+
+// NewWithOptions wraps an orchestrator with full configuration.
+func NewWithOptions(orch *core.Orchestrator, opts Options) (*Server, error) {
 	if orch == nil {
 		return nil, fmt.Errorf("gateway: orchestrator required")
 	}
-	if timeout <= 0 {
-		timeout = 5 * time.Minute
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	if opts.Mode == "" {
+		opts.Mode = "live"
 	}
 	return &Server{
 		orch:    orch,
-		timeout: timeout,
+		timeout: opts.Timeout,
+		mode:    opts.Mode,
+		tel:     opts.Telemetry,
+		start:   time.Now(),
 		pending: make(map[int64]time.Time),
 		done:    make(map[int64]asyncEntry),
 		settled: make(map[int64]time.Time),
@@ -132,10 +179,73 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/functions", s.handleFunctions)
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok") //nolint:errcheck
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Mode:    s.mode,
+		UptimeS: time.Since(s.start).Seconds(),
+		Version: version.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.tel == nil {
+		writeError(w, http.StatusNotFound, "telemetry disabled on this gateway")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.TextContentType)
+	s.tel.Registry().WritePrometheus(w) //nolint:errcheck // peer gone: nothing to do
+}
+
+// handleEvents serves the lifecycle-event ring. ?since=SEQ returns events
+// strictly newer than SEQ (default: everything retained); ?max=N caps the
+// page size (default 256, at most 4096).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.tel == nil {
+		writeError(w, http.StatusNotFound, "telemetry disabled on this gateway")
+		return
+	}
+	since := int64(-1)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since: "+v)
+			return
+		}
+		since = n
+	}
+	max := 256
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad max: "+v)
+			return
+		}
+		max = n
+	}
+	if max > 4096 {
+		max = 4096
+	}
+	log := s.tel.Events()
+	events := log.Since(since, max)
+	if events == nil {
+		events = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: events, LastSeq: log.LastSeq()})
 }
 
 // Listen binds addr and serves in the background, returning the bound

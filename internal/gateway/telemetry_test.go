@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/telemetry"
+	"microfaas/internal/version"
+)
+
+// startTelemetryGateway boots a telemetry-enabled live cluster with a
+// gateway in front.
+func startTelemetryGateway(t *testing.T) (base string, tel *telemetry.Telemetry) {
+	t.Helper()
+	tel = telemetry.New()
+	l, err := cluster.StartLive(cluster.LiveOptions{Workers: 2, Seed: 9, Meter: true, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	gw, err := NewWithOptions(l.Orch, Options{Timeout: 30 * time.Second, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return "http://" + addr, tel
+}
+
+func TestHealthzJSON(t *testing.T) {
+	base, _ := startGateway(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz → %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Mode != "live" || h.Version != version.Version {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.UptimeS < 0 {
+		t.Fatalf("uptime went backwards: %+v", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	base, _ := startTelemetryGateway(t)
+	if _, out := postInvoke(t, base, `{"function":"CascSHA","args":{"rounds":3,"seed":"m"}}`); out.Error != "" {
+		t.Fatalf("invoke: %+v", out)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics → %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.TextContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	if got, ok := samples.Value("microfaas_jobs_submitted_total"); !ok || got != 1 {
+		t.Fatalf("jobs_submitted = %v (present %v)", got, ok)
+	}
+	if got, ok := samples.Value("microfaas_function_invocations_total",
+		"function", "CascSHA", "result", "ok"); !ok || got != 1 {
+		t.Fatalf("invocations{CascSHA,ok} = %v (present %v)", got, ok)
+	}
+	if got, ok := samples.Value("microfaas_function_energy_joules_total", "function", "CascSHA"); !ok || got <= 0 {
+		t.Fatalf("no energy attributed: %v (present %v)", got, ok)
+	}
+	if got := samples.Sum("microfaas_worker_boots_total"); got != 1 {
+		t.Fatalf("boots = %v", got)
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	base, _ := startGateway(t)
+	for _, path := range []string{"/metrics", "/events"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on plain gateway → %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	base, _ := startTelemetryGateway(t)
+	if _, out := postInvoke(t, base, `{"function":"CascSHA","args":{"rounds":3,"seed":"e"}}`); out.Error != "" {
+		t.Fatalf("invoke: %+v", out)
+	}
+	get := func(url string) EventsResponse {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events → %d", resp.StatusCode)
+		}
+		var ev EventsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	all := get(base + "/events")
+	if len(all.Events) == 0 {
+		t.Fatal("no events after an invocation")
+	}
+	// One full lifecycle: submit, queue, assign, boot, exec, settle.
+	seen := map[string]bool{}
+	for _, e := range all.Events {
+		seen[e.Type] = true
+	}
+	for _, typ := range []string{
+		telemetry.EventSubmit, telemetry.EventQueue, telemetry.EventAssign,
+		telemetry.EventBoot, telemetry.EventExec, telemetry.EventSettle,
+	} {
+		if !seen[typ] {
+			t.Fatalf("missing %s event in %+v", typ, all.Events)
+		}
+	}
+	if all.LastSeq != all.Events[len(all.Events)-1].Seq {
+		t.Fatalf("last_seq %d vs newest event %d", all.LastSeq, all.Events[len(all.Events)-1].Seq)
+	}
+	// Incremental polling from last_seq yields nothing new.
+	if tail := get(base + "/events?since=" + strconv.FormatInt(all.LastSeq, 10)); len(tail.Events) != 0 {
+		t.Fatalf("tail = %+v", tail.Events)
+	}
+	// Paging: max=1 returns the oldest retained event.
+	if page := get(base + "/events?max=1"); len(page.Events) != 1 || page.Events[0].Seq != all.Events[0].Seq {
+		t.Fatalf("page = %+v", page.Events)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"microfaas/internal/core"
 	"microfaas/internal/power"
 	"microfaas/internal/proto"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/workload"
 )
 
@@ -57,6 +58,11 @@ type LiveWorkerConfig struct {
 	// Faults, when set, injects hang/error/slow faults into this worker's
 	// invocations (see FaultSpec).
 	Faults *FaultSpec
+	// Telemetry optionally receives boot/exec lifecycle events, boot and
+	// fault-injection counters, and — when Meter is set — per-function
+	// joules attribution. Events stamped on the worker's server side carry
+	// attempt 0: the attempt number does not travel the wire.
+	Telemetry *telemetry.Telemetry
 }
 
 // LiveWorker implements core.Worker by serving the invocation protocol on
@@ -68,6 +74,7 @@ type LiveWorker struct {
 	sbc  power.SBCModel
 	ln   net.Listener
 	addr string
+	m    workerMetrics
 	quit chan struct{} // closed on Close; releases hung invocations
 
 	mu     sync.Mutex
@@ -88,6 +95,7 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 		return nil, fmt.Errorf("node: live worker %s has a meter but no clock", cfg.ID)
 	}
 	w := &LiveWorker{cfg: cfg, quit: make(chan struct{})}
+	w.m = newWorkerMetrics(cfg.Telemetry, cfg.ID)
 	if cfg.Faults != nil {
 		w.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
@@ -112,6 +120,14 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 
 // ID implements core.Worker.
 func (w *LiveWorker) ID() string { return w.cfg.ID }
+
+// now reads the cluster clock; without one, events stamp as 0.
+func (w *LiveWorker) now() time.Duration {
+	if w.cfg.Clock != nil {
+		return w.cfg.Clock()
+	}
+	return 0
+}
 
 // Addr returns the worker's TCP endpoint.
 func (w *LiveWorker) Addr() string { return w.addr }
@@ -184,6 +200,14 @@ func (w *LiveWorker) acceptLoop() {
 // reboot-to-initramfs reproducible environment.
 func (w *LiveWorker) serveOne(conn net.Conn) {
 	fault := w.drawFault()
+	switch fault {
+	case faultHang:
+		w.m.faultHang.Inc()
+	case faultError:
+		w.m.faultError.Inc()
+	case faultSlow:
+		w.m.faultSlow.Inc()
+	}
 	if fault == faultHang {
 		// A wedged node: the TCP peer is alive but the reply never comes.
 		// The OP's deadline fires first; the connection is released when
@@ -191,6 +215,9 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 		<-w.quit
 		return
 	}
+	// Every live invocation pays the simulated reboot: the paper's policy,
+	// so every start is cold.
+	w.m.bootsCold.Inc()
 	bootStart := time.Now()
 	if w.cfg.BootDelay > 0 {
 		time.Sleep(w.cfg.BootDelay)
@@ -199,6 +226,7 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 	recvStart := time.Now()
 	proto.Serve(conn, func(req proto.Request) proto.Response { //nolint:errcheck // peer gone: nothing to do
 		overheadIn := time.Since(recvStart)
+		w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, "cold")
 		if fault == faultError {
 			return proto.Response{
 				Err:    fmt.Sprintf("node: injected worker fault on %s", w.cfg.ID),
@@ -217,6 +245,7 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 			}
 		}
 		execStart := time.Now()
+		w.m.rawEvent(w.now(), telemetry.EventExec, req.JobID, req.Function, w.cfg.ID, "")
 		out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
 		exec := time.Since(execStart)
 		resp := proto.Response{
@@ -242,8 +271,10 @@ func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
 	}
 	go func() {
 		var started time.Duration
+		var energyStart power.Joules
 		if w.cfg.Meter != nil {
 			started = w.cfg.Clock()
+			energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
 			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
 		}
 		resp, err := proto.Invoke(w.addr, proto.Request{
@@ -263,6 +294,10 @@ func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
 			now := w.cfg.Clock()
 			res.FinishedAt = now
 			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
+			// Failed attempts are charged too: the joules were burned on
+			// this function's behalf even if the result was lost.
+			delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
+			w.m.energy(job.Function).Add(float64(delta))
 		}
 		done(res)
 	}()

@@ -11,6 +11,7 @@ import (
 	"microfaas/internal/netsim"
 	"microfaas/internal/power"
 	"microfaas/internal/sim"
+	"microfaas/internal/telemetry"
 )
 
 // SimWorkerConfig assembles a discrete-event worker.
@@ -71,6 +72,11 @@ type SimWorkerConfig struct {
 	// and some energy proportionality. Zero (the paper's policy) powers
 	// down immediately. Ignored when DisableReboot is set (always warm).
 	KeepWarm time.Duration
+	// Telemetry optionally receives boot/exec lifecycle events, boot and
+	// fault-injection counters, and — for metered ARM workers — the
+	// per-function joules attribution. Nil disables all of it with zero
+	// overhead and leaves seeded runs bit-identical.
+	Telemetry *telemetry.Telemetry
 }
 
 // SimWorker is a discrete-event worker node implementing core.Worker.
@@ -87,6 +93,7 @@ type SimWorker struct {
 	coldStart int        // jobs that paid the boot
 	warmStart int        // jobs that skipped it
 	powerOff  *sim.Event // pending keep-warm expiry
+	m         workerMetrics
 }
 
 // NewSimWorker validates the config and registers the worker with the
@@ -131,6 +138,7 @@ func NewSimWorker(cfg SimWorkerConfig) (*SimWorker, error) {
 	if cfg.Platform == model.X86 && cfg.GPIO != nil {
 		return nil, fmt.Errorf("node: worker %s: GPIO power control wires worker SBCs only", cfg.ID)
 	}
+	w.m = newWorkerMetrics(cfg.Telemetry, cfg.ID)
 	w.state = power.Off
 	if cfg.Platform == model.ARM && cfg.Meter != nil {
 		cfg.Meter.Set(cfg.ID, w.sbc.Power(power.Off), cfg.Engine.Now())
@@ -211,8 +219,10 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 	}
 	if boot == 0 {
 		w.warmStart++
+		w.m.bootsWarm.Inc()
 	} else {
 		w.coldStart++
+		w.m.bootsCold.Inc()
 	}
 	overhead := perturb(spec.OverheadTime(w.cfg.Platform, w.link), w.jitter())
 	exec := perturb(spec.ExecTime(w.cfg.Platform, w.link), w.jitter())
@@ -221,11 +231,13 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		// The fault strikes partway through execution; the OP sees a dead
 		// worker and records the attempt as failed.
 		exec = time.Duration(float64(exec) * engine.Rand().Float64())
+		w.m.faultCrash.Inc()
 	}
 	if hang := w.cfg.HangRate > 0 && engine.Rand().Float64() < w.cfg.HangRate; hang {
 		// The worker wedges mid-job: it powers on, draws busy power, and
 		// never invokes done. Only an OP deadline can reclaim the job.
 		w.hangs++
+		w.m.faultHang.Inc()
 		w.warm = false
 		w.setState(power.Busy, fmt.Sprintf("wedged (job %d)", job.ID))
 		return
@@ -236,8 +248,17 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 			factor = 10
 		}
 		exec = time.Duration(float64(exec) * factor)
+		w.m.faultSlow.Inc()
 	}
 	started := engine.Now()
+	// Per-function energy: snapshot the meter now, bank the delta when the
+	// job finishes. Only metered ARM workers attribute joules — an X86
+	// microVM is not a metered device, its host rack server is.
+	metered := w.cfg.Platform == model.ARM && w.cfg.Meter != nil && w.cfg.Telemetry != nil
+	var energyStart power.Joules
+	if metered {
+		energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
+	}
 
 	finish := func() {
 		w.cycles++
@@ -262,13 +283,19 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 			res.Err = "node: injected worker fault"
 			res.Output = nil
 		}
+		if metered {
+			// Crashed attempts are charged too: the joules were burned on
+			// this function's behalf even if the result was lost.
+			delta := w.cfg.Meter.Energy(w.cfg.ID, engine.Now()) - energyStart
+			w.m.energy(job.Function).Add(float64(delta))
+		}
 		done(res)
 	}
 
 	if w.cfg.Platform == model.ARM {
 		w.runARM(job, boot, overhead, exec, finish)
 	} else {
-		w.runX86(spec, boot, overhead, exec, finish)
+		w.runX86(job, spec, boot, overhead, exec, finish)
 	}
 }
 
@@ -307,20 +334,23 @@ func (w *SimWorker) runARM(job core.Job, boot, overhead, exec time.Duration, fin
 	engine := w.cfg.Engine
 	if boot > 0 {
 		w.setState(power.Booting, fmt.Sprintf("PWR_BUT press (job %d)", job.ID))
+		w.m.event(engine.Now(), telemetry.EventBoot, job, w.cfg.ID, "cold")
 		engine.Schedule(boot, func() {
 			w.setState(power.Busy, fmt.Sprintf("boot complete (job %d)", job.ID))
+			w.m.event(engine.Now(), telemetry.EventExec, job, w.cfg.ID, "")
 			engine.Schedule(overhead+exec, finish)
 		})
 		return
 	}
 	// Warm start: already booted, straight to work.
 	w.setState(power.Busy, fmt.Sprintf("warm start (job %d)", job.ID))
+	w.m.event(engine.Now(), telemetry.EventExec, job, w.cfg.ID, "warm")
 	engine.Schedule(overhead+exec, finish)
 }
 
 // runX86 runs the microVM's phases as rack-server CPU tasks: wall time
 // stretches when the host's cores are oversubscribed.
-func (w *SimWorker) runX86(spec model.FunctionSpec, boot, overhead, exec time.Duration, finish func()) {
+func (w *SimWorker) runX86(job core.Job, spec model.FunctionSpec, boot, overhead, exec time.Duration, finish func()) {
 	bootCPU := float64(boot) / float64(time.Second) * bootos.BootCPUFraction(model.X86)
 	bootDemand := bootos.BootCPUFraction(model.X86)
 	jobWall := overhead + exec
@@ -332,10 +362,13 @@ func (w *SimWorker) runX86(spec model.FunctionSpec, boot, overhead, exec time.Du
 	}
 	cpuSeconds := demand * jobWall.Seconds()
 	if boot == 0 {
+		w.m.event(w.cfg.Engine.Now(), telemetry.EventExec, job, w.cfg.ID, "warm")
 		w.cfg.Server.Run(cpuSeconds, demand, finish)
 		return
 	}
+	w.m.event(w.cfg.Engine.Now(), telemetry.EventBoot, job, w.cfg.ID, "cold")
 	w.cfg.Server.Run(bootCPU, bootDemand, func() {
+		w.m.event(w.cfg.Engine.Now(), telemetry.EventExec, job, w.cfg.ID, "")
 		w.cfg.Server.Run(cpuSeconds, demand, finish)
 	})
 }

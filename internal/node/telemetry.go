@@ -1,0 +1,83 @@
+package node
+
+import (
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/telemetry"
+)
+
+// Worker-owned metric names (see DESIGN.md §7). Energy attribution is the
+// headline: each finished job banks the joules its worker's meter device
+// accumulated between job start and finish, labeled by function, so
+// microfaas_function_energy_joules_total reproduces the paper's
+// J/function figure live instead of post-hoc. Jobs that never finish
+// (injected hangs) burn power the cluster-level meter still sees but no
+// function is charged for — the same asymmetry the trace collector has.
+const (
+	metricBoots    = "microfaas_worker_boots_total"
+	metricFaults   = "microfaas_fault_injections_total"
+	metricFnEnergy = "microfaas_function_energy_joules_total"
+
+	helpBoots    = "Job starts per worker, split cold (paid the boot) vs warm (skipped it)."
+	helpFaults   = "Injected worker faults by kind (crash, hang, error, slow)."
+	helpFnEnergy = "Metered joules attributed to the function that consumed them."
+)
+
+// workerMetrics holds a worker's pre-created handles. The zero value is
+// the disabled path: every handle no-ops on nil, so call sites need no
+// guards.
+type workerMetrics struct {
+	tel        *telemetry.Telemetry
+	bootsCold  *telemetry.Counter
+	bootsWarm  *telemetry.Counter
+	faultCrash *telemetry.Counter
+	faultHang  *telemetry.Counter
+	faultError *telemetry.Counter
+	faultSlow  *telemetry.Counter
+}
+
+// newWorkerMetrics pre-creates one worker's series so they are present
+// (at zero) from the first scrape.
+func newWorkerMetrics(tel *telemetry.Telemetry, workerID string) workerMetrics {
+	if tel == nil {
+		return workerMetrics{}
+	}
+	reg := tel.Registry()
+	return workerMetrics{
+		tel:        tel,
+		bootsCold:  reg.Counter(metricBoots, helpBoots, "worker", workerID, "kind", "cold"),
+		bootsWarm:  reg.Counter(metricBoots, helpBoots, "worker", workerID, "kind", "warm"),
+		faultCrash: reg.Counter(metricFaults, helpFaults, "worker", workerID, "kind", "crash"),
+		faultHang:  reg.Counter(metricFaults, helpFaults, "worker", workerID, "kind", "hang"),
+		faultError: reg.Counter(metricFaults, helpFaults, "worker", workerID, "kind", "error"),
+		faultSlow:  reg.Counter(metricFaults, helpFaults, "worker", workerID, "kind", "slow"),
+	}
+}
+
+// energy returns the per-function joules counter, created lazily:
+// functions are an open set, unlike workers.
+func (m workerMetrics) energy(function string) *telemetry.Counter {
+	if m.tel == nil {
+		return nil
+	}
+	return m.tel.Registry().Counter(metricFnEnergy, helpFnEnergy, "function", function)
+}
+
+// event appends one worker lifecycle event; no-op when telemetry is off.
+func (m workerMetrics) event(at time.Duration, typ string, job core.Job, worker, detail string) {
+	if m.tel == nil {
+		return
+	}
+	m.tel.Emit(at, typ, job.ID, job.Function, worker, job.Attempt, detail)
+}
+
+// rawEvent appends an event for call sites that only have the protocol
+// request, not the full core.Job (the live worker's server side — the
+// attempt number does not travel the wire, so it reports as 0).
+func (m workerMetrics) rawEvent(at time.Duration, typ string, job int64, function, worker, detail string) {
+	if m.tel == nil {
+		return
+	}
+	m.tel.Emit(at, typ, job, function, worker, 0, detail)
+}

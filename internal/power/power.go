@@ -78,7 +78,10 @@ func NewMeter() *Meter {
 
 // Set records that device id draws p watts from time now onward.
 // Energy accumulated at the previous level up to now is banked first.
-// The first Set for a device starts its integration at now.
+// The first Set for a device starts its integration at now. Setting the
+// level the device already draws is a harmless no-op (the bank-then-set
+// leaves the integral unchanged); moving a device's clock backwards
+// panics — per-device update times must be monotone.
 func (m *Meter) Set(id string, p Watts, now time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -98,7 +101,12 @@ func (m *Meter) Set(id string, p Watts, now time.Duration) {
 	d.watts = p
 }
 
-// Energy returns device id's accumulated energy up to now.
+// Energy returns device id's accumulated energy up to now. Querying a
+// device the meter has never seen reads as zero (asking before the first
+// Set is valid, not an error). A now earlier than the device's last
+// update reports only the energy banked so far: reads clamp rather than
+// extrapolate backwards into negative joules, so a racing wall-clock
+// reader can never observe energy decrease.
 func (m *Meter) Energy(id string, now time.Duration) Joules {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -106,18 +114,28 @@ func (m *Meter) Energy(id string, now time.Duration) Joules {
 	if !ok {
 		return 0
 	}
-	return d.energy + Energy(d.watts, now-d.lastTime)
+	return d.readLocked(now)
 }
 
-// TotalEnergy returns the energy of all devices up to now.
+// TotalEnergy returns the energy of all devices up to now (per-device
+// reads clamp exactly as Energy does).
 func (m *Meter) TotalEnergy(now time.Duration) Joules {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum Joules
 	for _, d := range m.devices {
-		sum += d.energy + Energy(d.watts, now-d.lastTime)
+		sum += d.readLocked(now)
 	}
 	return sum
+}
+
+// readLocked integrates a device's energy up to now, clamping reads that
+// predate its last update. Caller holds m.mu.
+func (d *deviceTrack) readLocked(now time.Duration) Joules {
+	if now <= d.lastTime {
+		return d.energy
+	}
+	return d.energy + Energy(d.watts, now-d.lastTime)
 }
 
 // Power returns the instantaneous draw of a single device.

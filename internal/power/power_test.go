@@ -218,3 +218,52 @@ func TestStateString(t *testing.T) {
 		t.Fatalf("out-of-range state string = %q", State(99).String())
 	}
 }
+
+func TestMeterEnergyBeforeFirstSet(t *testing.T) {
+	m := NewMeter()
+	// Querying before any Set is valid and reads zero at any timestamp,
+	// including time zero and far in the future.
+	if m.Energy("sbc-0", 0) != 0 || m.Energy("sbc-0", time.Hour) != 0 {
+		t.Fatal("pre-registration reads must be zero")
+	}
+	if m.TotalEnergy(time.Hour) != 0 {
+		t.Fatal("empty meter total must be zero")
+	}
+	// The first Set starts integration at its own timestamp; nothing is
+	// retroactively accrued for the time before it.
+	m.Set("sbc-0", 2, 10*time.Second)
+	if got := m.Energy("sbc-0", 15*time.Second); !approx(float64(got), 10, 1e-9) {
+		t.Fatalf("energy = %v, want 10 (5s at 2W, none before first Set)", got)
+	}
+}
+
+func TestMeterEnergyReadBeforeLastUpdateClamps(t *testing.T) {
+	m := NewMeter()
+	m.Set("d", 1, 0)
+	m.Set("d", 3, 10*time.Second) // banks 10 J
+	// A read earlier than the device's last update reports the banked
+	// energy only — never a negative extrapolation.
+	if got := m.Energy("d", 5*time.Second); !approx(float64(got), 10, 1e-9) {
+		t.Fatalf("backdated read = %v, want the 10 J banked", got)
+	}
+	if got := m.TotalEnergy(5 * time.Second); !approx(float64(got), 10, 1e-9) {
+		t.Fatalf("backdated total = %v, want 10", got)
+	}
+	// Forward reads integrate normally again.
+	if got := m.Energy("d", 12*time.Second); !approx(float64(got), 16, 1e-9) {
+		t.Fatalf("forward read = %v, want 16", got)
+	}
+}
+
+func TestMeterSetUnchangedPowerIsNoOp(t *testing.T) {
+	m := NewMeter()
+	m.Set("d", 2, 0)
+	m.Set("d", 2, 3*time.Second) // same draw: banks and continues
+	m.Set("d", 2, 7*time.Second)
+	if got := m.Energy("d", 10*time.Second); !approx(float64(got), 20, 1e-9) {
+		t.Fatalf("energy = %v, want 20 (10s at a constant 2W)", got)
+	}
+	if got := m.Power("d"); got != 2 {
+		t.Fatalf("power = %v, want 2", got)
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import "sync"
+
+// Event is one structured invocation-lifecycle event. The sequence number
+// is assigned at append time and increases without gaps, so a consumer
+// polling Since(lastSeq) can detect loss when the ring overwrote entries
+// it had not yet read (returned events then start above lastSeq+1).
+type Event struct {
+	Seq int64 `json:"seq"`
+	// AtMs is the cluster-clock offset in milliseconds (virtual in sim
+	// mode, wall in live mode).
+	AtMs     float64 `json:"at_ms"`
+	Type     string  `json:"type"`
+	Job      int64   `json:"job,omitempty"`
+	Function string  `json:"function,omitempty"`
+	Worker   string  `json:"worker,omitempty"`
+	Attempt  int     `json:"attempt"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring buffer of events. Appends never block
+// and never grow memory: the oldest events are overwritten. Safe for
+// concurrent use; a nil *EventLog no-ops.
+type EventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int64 // sequence number of the next append
+	count int64 // total events ever appended (== next)
+}
+
+// NewEventLog returns an empty ring holding up to capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{ring: make([]Event, capacity)}
+}
+
+// Append stamps the event's sequence number and stores it, overwriting
+// the oldest entry when full. It returns the assigned sequence number.
+func (l *EventLog) Append(ev Event) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.Seq = l.next
+	l.ring[l.next%int64(len(l.ring))] = ev
+	l.next++
+	return ev.Seq
+}
+
+// Since returns up to max events with sequence numbers strictly greater
+// than seq, oldest first (pass seq = -1 for everything retained; max <= 0
+// means no limit). Events already overwritten are silently absent.
+func (l *EventLog) Since(seq int64, max int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.next - int64(len(l.ring))
+	if oldest < 0 {
+		oldest = 0
+	}
+	from := seq + 1
+	if from < oldest {
+		from = oldest
+	}
+	if from >= l.next {
+		return nil
+	}
+	n := l.next - from
+	if max > 0 && n > int64(max) {
+		n = int64(max)
+	}
+	out := make([]Event, 0, n)
+	for s := from; s < from+n; s++ {
+		out = append(out, l.ring[s%int64(len(l.ring))])
+	}
+	return out
+}
+
+// LastSeq returns the sequence number of the most recent event, or -1
+// when nothing has been appended.
+func (l *EventLog) LastSeq() int64 {
+	if l == nil {
+		return -1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Len returns how many events are currently retained.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next < int64(len(l.ring)) {
+		return int(l.next)
+	}
+	return len(l.ring)
+}

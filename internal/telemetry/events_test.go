@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventLogAppendAndSince(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 3; i++ {
+		seq := l.Append(Event{Type: EventSubmit, Job: int64(i)})
+		if seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if l.Len() != 3 || l.LastSeq() != 2 {
+		t.Fatalf("len=%d lastSeq=%d", l.Len(), l.LastSeq())
+	}
+	all := l.Since(-1, 0)
+	if len(all) != 3 || all[0].Job != 0 || all[2].Job != 2 {
+		t.Fatalf("since(-1) = %+v", all)
+	}
+	tail := l.Since(1, 0)
+	if len(tail) != 1 || tail[0].Seq != 2 {
+		t.Fatalf("since(1) = %+v", tail)
+	}
+	if got := l.Since(2, 0); got != nil {
+		t.Fatalf("since(last) = %+v, want nil", got)
+	}
+}
+
+func TestEventLogOverwriteOldest(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Job: int64(i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	// Asking from the beginning only yields what the ring retains, and the
+	// gap is visible: the first sequence returned is 6, not 0.
+	got := l.Since(-1, 0)
+	if len(got) != 4 || got[0].Seq != 6 || got[3].Seq != 9 {
+		t.Fatalf("retained = %+v", got)
+	}
+}
+
+func TestEventLogSinceMaxIsOldestFirst(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Job: int64(i)})
+	}
+	got := l.Since(-1, 2)
+	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Fatalf("paged = %+v, want seqs 0,1", got)
+	}
+}
+
+func TestTelemetryEmit(t *testing.T) {
+	tel := NewWithConfig(Config{EventCapacity: 8})
+	tel.Emit(1500*time.Millisecond, EventBoot, 7, "CascSHA", "sbc-001", 1, "cold")
+	evs := tel.Events().Since(-1, 0)
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	ev := evs[0]
+	if ev.Type != EventBoot || ev.Job != 7 || ev.Function != "CascSHA" ||
+		ev.Worker != "sbc-001" || ev.Attempt != 1 || ev.Detail != "cold" || ev.AtMs != 1500 {
+		t.Fatalf("event = %+v", ev)
+	}
+}

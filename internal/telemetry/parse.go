@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set, and
+// the sample value. Histogram series appear under their expanded names
+// (name_bucket with an "le" label, name_sum, name_count).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Samples is a scrape result with lookup helpers.
+type Samples []Sample
+
+// ParseText parses the Prometheus text exposition format (the subset this
+// package writes: # comments, name{labels} value lines, +Inf/NaN values).
+// It is the client half of WritePrometheus, used by faasctl top and by
+// tests cross-checking /metrics against trace-derived numbers.
+func ParseText(r io.Reader) (Samples, error) {
+	var out Samples
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[1+end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (which we never write) would be a second field.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` from in, filling labels, and returns
+// the index just past the closing brace.
+func parseLabels(in string, labels map[string]string) (int, error) {
+	i := 0
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		name := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: missing opening quote", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Value returns the single sample matching name and every given label
+// pair, and whether one was found.
+func (ss Samples) Value(name string, kv ...string) (float64, bool) {
+	for _, s := range ss {
+		if s.Name == name && matchLabels(s.Labels, kv) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample matching name and the given label pairs (use it
+// to aggregate a family across its remaining labels).
+func (ss Samples) Sum(name string, kv ...string) float64 {
+	var sum float64
+	for _, s := range ss {
+		if s.Name == name && matchLabels(s.Labels, kv) {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// LabelValues returns the sorted distinct values of one label across all
+// samples of a family.
+func (ss Samples) LabelValues(name, label string) []string {
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if s.Name == name {
+			if v, ok := s.Labels[label]; ok && !seen[v] {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistogramQuantile resolves quantile q from a family's parsed _bucket
+// samples (matching the given non-le label pairs), using the same
+// upper-bound convention as Histogram.Quantile.
+func (ss Samples) HistogramQuantile(name string, q float64, kv ...string) float64 {
+	type bucket struct {
+		le    float64
+		count uint64
+	}
+	var buckets []bucket
+	for _, s := range ss {
+		if s.Name != name+"_bucket" || !matchLabels(s.Labels, kv) {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: le, count: uint64(s.Value)})
+	}
+	if len(buckets) == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	bounds := make([]float64, 0, len(buckets))
+	counts := make([]uint64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b.le, 1) {
+			bounds = append(bounds, b.le)
+		}
+		counts = append(counts, b.count)
+	}
+	total := buckets[len(buckets)-1].count
+	if len(bounds) == 0 || total == 0 {
+		return 0
+	}
+	return quantileFromCumulative(bounds, counts, total, q)
+}
+
+func matchLabels(have map[string]string, kv []string) bool {
+	for i := 0; i+1 < len(kv); i += 2 {
+		if have[kv[i]] != kv[i+1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,395 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the exposition families.
+type MetricType int
+
+const (
+	// TypeCounter is a monotonically increasing value.
+	TypeCounter MetricType = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a fixed-bucket distribution.
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Registry is a set of named metric families, each holding one child per
+// distinct label-value combination. Get-or-create accessors make call
+// sites idempotent: asking for the same (name, labels) twice returns the
+// same handle. Safe for concurrent use; a nil *Registry no-ops everywhere.
+//
+// Label-cardinality rule (see DESIGN.md §7): label values must come from
+// small, bounded sets — worker ids, function names, short enums. Never
+// label by job id, argument content, or timestamps.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one exposition family: a name, help, type, and its children.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string  // label names, creation order
+	buckets []float64 // TypeHistogram only
+	byKey   map[string]*child
+	order   []*child // creation order, for stable exposition
+	fn      func() float64
+}
+
+// child is one labeled series within a family.
+type child struct {
+	labelValues []string
+	bits        atomic.Uint64 // counter/gauge value as float64 bits
+
+	// histogram state, guarded by mu (only allocated for histograms)
+	mu           *sync.Mutex
+	bucketBounds []float64 // finite upper bounds, shared with the family
+	counts       []uint64  // cumulative per-bucket counts plus +Inf
+	sum          float64
+	count        uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// Counter returns the counter for (name, label pairs), creating family and
+// child as needed. kv alternates label name, label value. Misuse —
+// invalid names, mismatched label sets, or a name already registered with
+// a different type — panics: metric identity is a programming error, not
+// a runtime condition.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	c := r.get(name, help, TypeCounter, nil, kv)
+	if c == nil {
+		return nil
+	}
+	return (*Counter)(c)
+}
+
+// Gauge returns the gauge for (name, label pairs); see Counter for rules.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	c := r.get(name, help, TypeGauge, nil, kv)
+	if c == nil {
+		return nil
+	}
+	return (*Gauge)(c)
+}
+
+// Histogram returns the histogram for (name, label pairs). buckets are the
+// inclusive upper bounds of the fixed buckets, strictly increasing; an
+// implicit +Inf bucket is appended. The first creation of a family fixes
+// its buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	if r != nil && len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s needs at least one bucket", name))
+	}
+	c := r.get(name, help, TypeHistogram, buckets, kv)
+	if c == nil {
+		return nil
+	}
+	return &Histogram{child: c}
+}
+
+// CounterFunc registers a counter family whose single unlabeled value is
+// read from fn at exposition time (for externally accumulated monotone
+// values, e.g. metered joules).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, TypeCounter, fn)
+}
+
+// GaugeFunc registers a gauge family read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, TypeGauge, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, typ MetricType, fn func() float64) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: nil func for %s", name))
+	}
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %s already registered", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, fn: fn}
+}
+
+// get is the family/child get-or-create shared by the typed accessors.
+func (r *Registry) get(name, help string, typ MetricType, buckets []float64, kv []string) *child {
+	if r == nil {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label kv list for %s", name))
+	}
+	mustValidName(name)
+	names := make([]string, 0, len(kv)/2)
+	values := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		mustValidLabel(kv[i])
+		names = append(names, kv[i])
+		values = append(values, kv[i+1])
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:    name,
+			help:    help,
+			typ:     typ,
+			labels:  names,
+			buckets: append([]float64(nil), buckets...),
+			byKey:   make(map[string]*child),
+		}
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i] <= f.buckets[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %s buckets not strictly increasing", name))
+			}
+		}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %s is a %s, requested as %s", name, f.typ, typ))
+	}
+	if f.fn != nil {
+		panic(fmt.Sprintf("telemetry: metric %s is func-backed", name))
+	}
+	if len(names) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s has labels %v, requested with %v", name, f.labels, names))
+	}
+	for i := range names {
+		if names[i] != f.labels[i] {
+			panic(fmt.Sprintf("telemetry: metric %s has labels %v, requested with %v", name, f.labels, names))
+		}
+	}
+	key := strings.Join(values, "\x00")
+	if c, ok := f.byKey[key]; ok {
+		return c
+	}
+	c := &child{labelValues: values}
+	if typ == TypeHistogram {
+		c.mu = &sync.Mutex{}
+		c.bucketBounds = f.buckets
+		c.counts = make([]uint64, len(f.buckets)+1)
+	}
+	f.byKey[key] = c
+	f.order = append(f.order, c)
+	return c
+}
+
+// Counter is a monotonically increasing metric. Nil-safe.
+type Counter child
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas panic: counters only go up).
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: negative counter add %v", v))
+	}
+	(*child)(c).addFloat(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an up-down metric. Nil-safe.
+type Gauge child
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	(*child)(g).addFloat(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloat CAS-adds v to the child's float64 bits.
+func (c *child) addFloat(v float64) {
+	for {
+		old := c.bits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket distribution. Nil-safe.
+type Histogram struct {
+	child *child
+}
+
+// Observe adds one sample, counting it into every cumulative le-bucket it
+// fits (the Prometheus histogram contract) plus the implicit +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	c := h.child
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sum += v
+	c.count++
+	c.counts[len(c.counts)-1]++ // +Inf catches everything
+	for i := len(c.bucketBounds) - 1; i >= 0; i-- {
+		if v <= c.bucketBounds[i] {
+			c.counts[i]++
+		} else {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.child.mu.Lock()
+	defer h.child.mu.Unlock()
+	return h.child.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.child.mu.Lock()
+	defer h.child.mu.Unlock()
+	return h.child.sum
+}
+
+// Quantile returns an upper bound on the q-th quantile — the bound of the
+// cumulative bucket containing it (+Inf maps to the last finite bound).
+// Mirrors internal/trace.Histogram.Quantile.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("telemetry: quantile %v outside [0,1]", q))
+	}
+	h.child.mu.Lock()
+	defer h.child.mu.Unlock()
+	return quantileFromCumulative(h.child.bucketBounds, h.child.counts, h.child.count, q)
+}
+
+// quantileFromCumulative resolves q over cumulative le-bucket counts.
+// Samples landing only in the +Inf bucket report the highest finite
+// bound (the same convention Prometheus's histogram_quantile uses).
+func quantileFromCumulative(bounds []float64, cumulative []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cumulative {
+		if c >= rank && i < len(bounds) {
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// LogBuckets returns n log-spaced bucket bounds from lo to hi inclusive —
+// the same spacing internal/trace.NewHistogram uses for its latency
+// report. lo must be positive, hi greater than lo, n at least 2.
+func LogBuckets(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic(fmt.Sprintf("telemetry: bad bucket shape lo=%v hi=%v n=%d", lo, hi, n))
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	edge := lo
+	for i := 0; i < n; i++ {
+		out[i] = edge
+		edge *= ratio
+	}
+	out[n-1] = hi // kill accumulation error on the last edge
+	return out
+}
+
+// mustValidName panics unless name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func mustValidName(name string) {
+	if !validMetricName(name, true) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabel panics unless name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func mustValidLabel(name string) {
+	if !validMetricName(name, false) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", name))
+	}
+}
+
+func validMetricName(name string, allowColon bool) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r == ':' && allowColon:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

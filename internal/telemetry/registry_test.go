@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", "worker", "sbc-000")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Get-or-create: same handle for same labels, distinct otherwise.
+	if r.Counter("jobs_total", "jobs", "worker", "sbc-000") != c {
+		t.Fatal("same labels returned a different handle")
+	}
+	if r.Counter("jobs_total", "jobs", "worker", "sbc-001") == c {
+		t.Fatal("different labels shared a handle")
+	}
+	g := r.Gauge("queue_depth", "depth")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c_total", "").Add(-1)
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "", "worker", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched label names did not panic")
+		}
+	}()
+	r.Counter("y_total", "", "function", "a")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"", "9lead", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	tel.Emit(0, EventSubmit, 1, "f", "w", 0, "")
+	var r *Registry
+	c := r.Counter("a_total", "")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("b", "")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram holds samples")
+	}
+	r.CounterFunc("fn_total", "", nil) // nil fn on nil registry: no panic
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var l *EventLog
+	if l.Append(Event{}) != 0 || l.Since(-1, 0) != nil || l.LastSeq() != -1 || l.Len() != 0 {
+		t.Fatal("nil event log misbehaved")
+	}
+	if tel.Registry() != nil || tel.Events() != nil {
+		t.Fatal("nil telemetry exposed non-nil parts")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-106.05) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// Cumulative buckets: ≤0.1 → 1, ≤1 → 3, ≤10 → 4, +Inf → 5.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1", q)
+	}
+	// p99 lands in the +Inf bucket → highest finite bound.
+	if q := h.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 = %v, want 10", q)
+	}
+	if q := h.Quantile(0); q != 0.1 {
+		t.Fatalf("p0 = %v, want 0.1", q)
+	}
+}
+
+func TestLogBucketsMirrorTraceHistogram(t *testing.T) {
+	b := LogBuckets(0.001, 60, 14)
+	if len(b) != 14 || b[0] != 0.001 || b[13] != 60 {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not increasing at %d: %v", i, b)
+		}
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("microfaas_jobs_submitted_total", "Jobs accepted by the OP.").Add(3)
+	r.Gauge("microfaas_queue_depth", "Queued jobs.", "worker", `od"d\x`).Set(2)
+	r.Histogram("microfaas_latency_seconds", "", []float64{0.5, 5}).Observe(0.2)
+	r.GaugeFunc("microfaas_power_watts", "Instantaneous draw.", func() float64 { return 19.6 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE microfaas_jobs_submitted_total counter\n",
+		"microfaas_jobs_submitted_total 3\n",
+		"# HELP microfaas_jobs_submitted_total Jobs accepted by the OP.\n",
+		`microfaas_queue_depth{worker="od\"d\\x"} 2` + "\n",
+		"# TYPE microfaas_latency_seconds histogram\n",
+		`microfaas_latency_seconds_bucket{le="0.5"} 1` + "\n",
+		`microfaas_latency_seconds_bucket{le="+Inf"} 1` + "\n",
+		"microfaas_latency_seconds_sum 0.2\n",
+		"microfaas_latency_seconds_count 1\n",
+		"microfaas_power_watts 19.6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name: jobs < latency < power < queue.
+	idx := func(s string) int { return strings.Index(out, "# TYPE "+s) }
+	if !(idx("microfaas_jobs_submitted_total") < idx("microfaas_latency_seconds") &&
+		idx("microfaas_latency_seconds") < idx("microfaas_power_watts") &&
+		idx("microfaas_power_watts") < idx("microfaas_queue_depth")) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help", "function", "Casc SHA").Add(7)
+	r.Histogram("lat_seconds", "", []float64{0.1, 1}, "mode", "sim").Observe(0.05)
+	r.GaugeFunc("watts", "", func() float64 { return 1.5 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ss.Value("a_total", "function", "Casc SHA"); !ok || v != 7 {
+		t.Fatalf("a_total = %v, %v", v, ok)
+	}
+	if v, ok := ss.Value("watts"); !ok || v != 1.5 {
+		t.Fatalf("watts = %v, %v", v, ok)
+	}
+	if v, ok := ss.Value("lat_seconds_count", "mode", "sim"); !ok || v != 1 {
+		t.Fatalf("lat count = %v, %v", v, ok)
+	}
+	if q := ss.HistogramQuantile("lat_seconds", 0.5, "mode", "sim"); q != 0.1 {
+		t.Fatalf("parsed p50 = %v, want 0.1", q)
+	}
+	if fns := ss.LabelValues("a_total", "function"); len(fns) != 1 || fns[0] != "Casc SHA" {
+		t.Fatalf("label values = %v", fns)
+	}
+}

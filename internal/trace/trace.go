@@ -135,8 +135,12 @@ func summarize(name string, recs []Record) FunctionStats {
 	return st
 }
 
-// Percentile returns the p-th percentile (nearest-rank) of durations.
-// It returns 0 for an empty slice and panics for p outside [0,100].
+// Percentile returns the p-th percentile (nearest-rank) of durations:
+// the smallest element with at least p% of the sample at or below it.
+// Degenerate inputs resolve without special cases — an empty slice
+// yields 0, a single-element slice yields that element for every p
+// (p=0 rounds up to rank 1), and the input is never reordered (the
+// ranking works on a copy). Panics for p outside [0,100].
 func Percentile(ds []time.Duration, p float64) time.Duration {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("trace: percentile %v outside [0,100]", p))

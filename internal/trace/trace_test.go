@@ -188,3 +188,29 @@ func TestRecordsReturnsCopy(t *testing.T) {
 		t.Fatal("Records leaked internal storage")
 	}
 }
+
+// TestPercentileDegenerateInputs pins the documented edge behavior: an
+// empty slice reads 0 at every p, and a single-element slice reads that
+// element at every p (including p=0, which rounds up to rank 1).
+func TestPercentileDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		ds   []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"empty p0", nil, 0, 0},
+		{"empty p50", nil, 50, 0},
+		{"empty p100", nil, 100, 0},
+		{"empty non-nil p99", []time.Duration{}, 99, 0},
+		{"single p0", []time.Duration{7 * time.Millisecond}, 0, 7 * time.Millisecond},
+		{"single p50", []time.Duration{7 * time.Millisecond}, 50, 7 * time.Millisecond},
+		{"single p99.9", []time.Duration{7 * time.Millisecond}, 99.9, 7 * time.Millisecond},
+		{"single p100", []time.Duration{7 * time.Millisecond}, 100, 7 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.ds, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

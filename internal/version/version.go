@@ -1,0 +1,8 @@
+// Package version pins the build identity reported by the gateway's
+// health endpoint and the faasctl client. A constant (rather than VCS
+// stamping) keeps builds reproducible and dependency-free; bump it when
+// the HTTP or metrics surface changes shape.
+package version
+
+// Version identifies this build of the MicroFaaS reproduction.
+const Version = "0.2.0"

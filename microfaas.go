@@ -21,6 +21,7 @@
 package microfaas
 
 import (
+	"io"
 	"time"
 
 	"microfaas/internal/cluster"
@@ -29,7 +30,9 @@ import (
 	"microfaas/internal/gateway"
 	"microfaas/internal/model"
 	"microfaas/internal/node"
+	"microfaas/internal/power"
 	"microfaas/internal/tco"
+	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 	"microfaas/internal/workload"
 )
@@ -51,10 +54,20 @@ func StartLiveCluster(opts LiveOptions) (*LiveCluster, error) {
 // Gateway is an HTTP FaaS endpoint over a cluster's orchestrator.
 type Gateway = gateway.Server
 
+// GatewayOptions configures a gateway beyond its orchestrator (timeout,
+// sim/live mode label, telemetry backing /metrics and /events).
+type GatewayOptions = gateway.Options
+
 // ServeGateway exposes a live cluster over HTTP on addr (e.g.
-// "127.0.0.1:8080"); it returns the gateway and its bound address.
+// "127.0.0.1:8080"); it returns the gateway and its bound address. The
+// cluster's telemetry (if enabled) backs the gateway's /metrics and
+// /events routes automatically.
 func ServeGateway(l *LiveCluster, addr string, timeout time.Duration) (*Gateway, string, error) {
-	gw, err := gateway.New(l.Orch, timeout)
+	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{
+		Timeout:   timeout,
+		Mode:      "live",
+		Telemetry: l.Telemetry,
+	})
 	if err != nil {
 		return nil, "", err
 	}
@@ -64,6 +77,56 @@ func ServeGateway(l *LiveCluster, addr string, timeout time.Duration) (*Gateway,
 	}
 	return gw, bound, nil
 }
+
+// NewGateway builds an HTTP gateway over any orchestrator — live or
+// simulated — without binding it to a port; call Listen to bind, or
+// mount Handler on a server of your own.
+func NewGateway(orch *Orchestrator, opts GatewayOptions) (*Gateway, error) {
+	return gateway.NewWithOptions(orch, opts)
+}
+
+// --- Telemetry ---
+
+// Telemetry bundles a cluster's metrics registry and lifecycle-event
+// stream; pass one instance via LiveOptions.Telemetry or
+// SimOptions.Telemetry and serve it through a Gateway's /metrics and
+// /events routes. Nil disables instrumentation with zero overhead.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry returns a telemetry bundle with default settings.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// MetricSamples is a parsed Prometheus text exposition, as returned by
+// ParseMetrics — convenient for asserting on or post-processing a
+// /metrics scrape without a Prometheus dependency.
+type MetricSamples = telemetry.Samples
+
+// ParseMetrics parses a Prometheus text-format exposition.
+func ParseMetrics(r io.Reader) (MetricSamples, error) { return telemetry.ParseText(r) }
+
+// InvocationEvent is one entry of the gateway's /events stream.
+type InvocationEvent = telemetry.Event
+
+// SBCPowerModel maps an SBC worker's operating state to its power draw;
+// PowerState enumerates the states. Together they let user code derive
+// joules from trace records independently of the metered counters (see
+// examples/faulttolerance for the cross-check).
+type (
+	SBCPowerModel = power.SBCModel
+	PowerState    = power.State
+)
+
+// Worker operating states for SBCPowerModel.Power.
+const (
+	PowerOff     = power.Off
+	PowerBooting = power.Booting
+	PowerIdle    = power.Idle
+	PowerBusy    = power.Busy
+)
+
+// DefaultSBCPowerModel returns the BeagleBone Black draw constants from
+// the paper's Appendix.
+func DefaultSBCPowerModel() SBCPowerModel { return power.DefaultSBCModel() }
 
 // --- Simulated clusters ---
 
