@@ -21,6 +21,17 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
+# `make bench` runs the full benchmark suite and records it as a JSON
+# baseline (BENCH_pr3.json) via cmd/benchjson. `make bench-smoke` is the
+# CI variant: one iteration of everything, just proving the benchmarks run.
+BENCH_OUT ?= BENCH_pr3.json
+
 .PHONY: bench
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee .bench.out
+	$(GO) run ./cmd/benchjson -label "$(BENCH_OUT)" -hardware "$$(nproc) cores" < .bench.out > $(BENCH_OUT)
+	rm -f .bench.out
+
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -126,7 +126,7 @@ func BenchmarkAblationCryptoAccel(b *testing.B) {
 	var res AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = AblationCryptoAccel(8, 5, 25)
+		res, err = AblationCryptoAccel(8, 5, 25, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func BenchmarkAblationGigE(b *testing.B) {
 	var res AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = AblationGigE(6, 25)
+		res, err = AblationGigE(6, 25, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func BenchmarkAblationNoReboot(b *testing.B) {
 	var res AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = AblationNoReboot(7, 25)
+		res, err = AblationNoReboot(7, 25, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -339,4 +339,61 @@ func BenchmarkBootImpact(b *testing.B) {
 	b.ReportMetric(first.ThroughputPerMin, "baseline-func/min")
 	b.ReportMetric(last.ThroughputPerMin, "final-func/min")
 	b.ReportMetric(last.ThroughputPerMin/first.ThroughputPerMin, "os-work-gain-x")
+}
+
+// BenchmarkExperimentSuiteSerial renders the full `microfaas-sim all`
+// report on one core — the baseline the parallel runner is measured
+// against.
+func BenchmarkExperimentSuiteSerial(b *testing.B) {
+	benchmarkExperimentSuite(b, 1)
+}
+
+// BenchmarkExperimentSuiteParallel renders the same report with the
+// worker pool at GOMAXPROCS. Output is byte-identical to the serial run
+// (the determinism tests enforce it); only wall-clock should move.
+func BenchmarkExperimentSuiteParallel(b *testing.B) {
+	benchmarkExperimentSuite(b, 0) // 0 = GOMAXPROCS
+}
+
+func benchmarkExperimentSuite(b *testing.B, parallel int) {
+	var n int64
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := experiments.WriteAll(&sink, experiments.AllConfig{
+			InvocationsPerFunction: 40, Seed: 1, Parallel: parallel,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		n = sink.n
+	}
+	b.ReportMetric(float64(n), "report-bytes")
+	b.ReportMetric(float64(experiments.Parallelism(parallel)), "pool-size")
+}
+
+// countingWriter discards output while keeping the report honest about
+// how much it rendered.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkRackScale10K simulates the 10,000-SBC MicroFaaS rack against
+// the throughput-matched 415-server conventional rack — the PR's
+// dispatch-scalability target (the indexed free-list keeps the
+// orchestrator's dispatch O(1) per job at this worker count).
+func BenchmarkRackScale10K(b *testing.B) {
+	var res experiments.RackScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RackScale(experiments.RackScaleConfig{
+			SBCs: 10000, Servers: 415, JobsPerWorker: 2, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SBCThroughput, "sbc-rack-func/min")
+	b.ReportMetric(res.SBCThroughput/res.ServerThroughput, "throughput-ratio")
 }

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout — the format of the repo's
+// committed BENCH_*.json baselines (`make bench` wires it up).
+//
+// It understands the standard benchmark line shape
+//
+//	BenchmarkName-8    10    123456 ns/op    42 B/op    7 allocs/op    3.14 custom-unit
+//
+// plus the goos/goarch/cpu/pkg header lines, and ignores everything else
+// (PASS, ok, test log noise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted file.
+type Document struct {
+	Label      string      `json:"label,omitempty"`
+	Hardware   string      `json:"hardware,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Date       string      `json:"date,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label recorded in the document")
+	hardware := flag.String("hardware", "", "hardware note recorded in the document")
+	flag.Parse()
+
+	doc := Document{
+		Label:    *label,
+		Hardware: *hardware,
+		Date:     time.Now().UTC().Format("2006-01-02"),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line; ok is false for lines that only
+// look like results (e.g. a benchmark name echoed by -v logging).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if name, procs, ok := strings.Cut(b.Name, "-"); ok {
+		if p, err := strconv.Atoi(procs); err == nil {
+			b.Name, b.Procs = name, p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// The rest alternate value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

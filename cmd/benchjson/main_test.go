@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkHeadline-8   \t       5\t 229537616 ns/op\t       200.6 sbc-func/min\t         5.457 gain-x")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkHeadline" || b.Procs != 8 || b.Iterations != 5 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for unit, want := range map[string]float64{"ns/op": 229537616, "sbc-func/min": 200.6, "gain-x": 5.457} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseBenchLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFig1BootStages \t 1000\t 1234 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkFig1BootStages" || b.Procs != 0 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkHeadline",
+		"BenchmarkHeadline-8   logs something",
+		"Benchmark name only",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted noise line %q", line)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"microfaas/internal/cluster"
 	"microfaas/internal/experiments"
@@ -30,14 +31,25 @@ import (
 	"microfaas/internal/telemetry"
 )
 
+// options carries the parsed flags into the experiment dispatch.
+type options struct {
+	n        int
+	seed     int64
+	parallel int
+	csvPath  string
+	promPath string
+	asCSV    bool
+}
+
 func main() {
 	n := flag.Int("n", 100, "invocations per function (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size for independent sim instances (1 = serial; output is identical at any value)")
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,140 +61,147 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microfaas-sim: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *n, *seed, *csvPath, *promPath, *format == "csv"); err != nil {
+	opts := options{n: *n, seed: *seed, parallel: *parallel, csvPath: *csvPath, promPath: *promPath, asCSV: *format == "csv"}
+	if err := run(os.Stdout, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, experiment string, n int, seed int64, csvPath, promPath string, asCSV bool) error {
+func run(out io.Writer, experiment string, opts options) error {
+	n, seed, par := opts.n, opts.seed, opts.parallel
 	switch experiment {
 	case "fig1":
 		return experiments.WriteFig1(out)
 	case "fig3":
-		rows, err := experiments.Fig3(experiments.Fig3Config{InvocationsPerFunction: n, Seed: seed})
+		rows, err := experiments.Fig3(experiments.Fig3Config{InvocationsPerFunction: n, Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
 		writeFig3 := experiments.WriteFig3
-		if asCSV {
+		if opts.asCSV {
 			writeFig3 = experiments.WriteFig3CSV
 		}
 		if err := writeFig3(out, rows); err != nil {
 			return err
 		}
-		if csvPath != "" {
-			if err := writeTraceCSV(csvPath, n, seed); err != nil {
+		if opts.csvPath != "" {
+			if err := writeTraceCSV(opts.csvPath, n, seed); err != nil {
 				return err
 			}
 		}
-		if promPath != "" {
-			return writePromSnapshot(promPath, n, seed)
+		if opts.promPath != "" {
+			return writePromSnapshot(opts.promPath, n, seed)
 		}
 		return nil
 	case "fig4":
-		res, err := experiments.Fig4(experiments.Fig4Config{Seed: seed})
+		res, err := experiments.Fig4(experiments.Fig4Config{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
-		if asCSV {
+		if opts.asCSV {
 			return experiments.WriteFig4CSV(out, res)
 		}
 		return experiments.WriteFig4(out, res)
 	case "fig5":
-		pts, err := experiments.Fig5(experiments.Fig5Config{Seed: seed})
+		pts, err := experiments.Fig5(experiments.Fig5Config{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
-		if asCSV {
+		if opts.asCSV {
 			return experiments.WriteFig5CSV(out, pts)
 		}
 		return experiments.WriteFig5(out, pts)
 	case "headline":
-		res, err := experiments.Headline(experiments.HeadlineConfig{InvocationsPerFunction: n, Seed: seed})
+		res, err := experiments.Headline(experiments.HeadlineConfig{InvocationsPerFunction: n, Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
 		return experiments.WriteHeadline(out, res)
 	case "bootimpact":
-		rows, err := experiments.BootImpact(experiments.BootImpactConfig{Seed: seed})
+		rows, err := experiments.BootImpact(experiments.BootImpactConfig{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
 		return experiments.WriteBootImpact(out, rows)
 	case "report":
-		return experiments.WriteReport(out, experiments.ReportConfig{InvocationsPerFunction: n, Seed: seed})
+		return experiments.WriteReport(out, experiments.ReportConfig{InvocationsPerFunction: n, Seed: seed, Parallel: par})
 	case "table1":
 		return experiments.WriteTable1(out)
 	case "table2":
 		return experiments.WriteTable2(out)
 	case "loadsweep":
-		pts, err := experiments.LoadSweep(experiments.LoadSweepConfig{Seed: seed})
+		pts, err := experiments.LoadSweep(experiments.LoadSweepConfig{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
-		if asCSV {
+		if opts.asCSV {
 			return experiments.WriteLoadSweepCSV(out, pts)
 		}
 		return experiments.WriteLoadSweep(out, pts)
 	case "keepwarm":
-		pts, err := experiments.KeepWarm(experiments.KeepWarmConfig{Seed: seed})
+		pts, err := experiments.KeepWarm(experiments.KeepWarmConfig{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
-		if asCSV {
+		if opts.asCSV {
 			return experiments.WriteKeepWarmCSV(out, pts)
 		}
 		return experiments.WriteKeepWarm(out, pts)
 	case "diurnal":
-		res, err := experiments.Diurnal(experiments.DiurnalConfig{Seed: seed})
+		res, err := experiments.Diurnal(experiments.DiurnalConfig{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
 		return experiments.WriteDiurnal(out, res)
 	case "sensitivity":
-		res, err := experiments.Sensitivity(experiments.SensitivityConfig{Seed: seed})
+		res, err := experiments.Sensitivity(experiments.SensitivityConfig{Seed: seed, Parallel: par})
 		if err != nil {
 			return err
 		}
 		return experiments.WriteSensitivity(out, res)
 	case "rackscale":
-		res, err := experiments.RackScale(experiments.RackScaleConfig{Seed: seed})
+		res, err := experiments.RackScale(experiments.RackScaleConfig{Seed: seed, Parallel: par})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteRackScale(out, res)
+	case "rackscale10k":
+		// The dispatch-scalability demonstration: a 10,000-SBC MicroFaaS
+		// rack against the throughput-matched 415-server conventional rack
+		// (10000/989 ≈ 10.1× the Table II sizing).
+		res, err := experiments.RackScale(experiments.RackScaleConfig{
+			SBCs: 10000, Servers: 415, Seed: seed, Parallel: par,
+		})
 		if err != nil {
 			return err
 		}
 		return experiments.WriteRackScale(out, res)
 	case "ablations":
-		return runAblations(out, seed, n)
+		return writeAblations(out, seed, n, par)
 	case "all":
-		for _, exp := range []string{"fig1", "table1", "fig3", "fig4", "fig5", "headline", "table2", "rackscale", "loadsweep", "keepwarm", "diurnal", "sensitivity", "bootimpact", "ablations"} {
-			if err := run(out, exp, n, seed, "", "", false); err != nil {
-				return err
-			}
-			fmt.Fprintln(out)
-		}
-		return nil
+		return experiments.WriteAll(out, experiments.AllConfig{InvocationsPerFunction: n, Seed: seed, Parallel: par})
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 }
 
-func runAblations(out io.Writer, seed int64, n int) error {
-	crypto, err := experiments.AblationCryptoAccel(8, seed, n)
+func writeAblations(out io.Writer, seed int64, n, par int) error {
+	crypto, err := experiments.AblationCryptoAccel(8, seed, n, par)
 	if err != nil {
 		return err
 	}
 	if err := experiments.WriteAblation(out, crypto); err != nil {
 		return err
 	}
-	gige, err := experiments.AblationGigE(seed, n)
+	gige, err := experiments.AblationGigE(seed, n, par)
 	if err != nil {
 		return err
 	}
 	if err := experiments.WriteAblation(out, gige); err != nil {
 		return err
 	}
-	noreboot, err := experiments.AblationNoReboot(seed, n)
+	noreboot, err := experiments.AblationNoReboot(seed, n, par)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,7 @@ func TestRunEachExperiment(t *testing.T) {
 		exp, wants := exp, wants
 		t.Run(exp, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, exp, 20, 1, "", "", false); err != nil {
+			if err := run(&sb, exp, options{n: 20, seed: 1}); err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range wants {
@@ -37,7 +37,7 @@ func TestRunEachExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", 10, 1, "", "", false); err == nil {
+	if err := run(&sb, "fig99", options{n: 10, seed: 1}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -45,7 +45,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWritesCSVTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	var sb strings.Builder
-	if err := run(&sb, "fig3", 5, 1, path, "", false); err != nil {
+	if err := run(&sb, "fig3", options{n: 5, seed: 1, csvPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -73,7 +73,7 @@ func TestRunCSVFormats(t *testing.T) {
 		exp, header := exp, header
 		t.Run(exp, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, exp, 10, 1, "", "", true); err != nil {
+			if err := run(&sb, exp, options{n: 10, seed: 1, asCSV: true}); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
@@ -95,7 +95,7 @@ func TestRunCSVFormats(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "table1", 1, 1, "", "", false); err != nil {
+	if err := run(&sb, "table1", options{n: 1, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -112,7 +112,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunReport(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "report", 10, 1, "", "", false); err != nil {
+	if err := run(&sb, "report", options{n: 10, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -132,7 +132,7 @@ func TestRunReport(t *testing.T) {
 func TestRunWritesPromSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.prom")
 	var sb strings.Builder
-	if err := run(&sb, "fig3", 5, 1, "", path, false); err != nil {
+	if err := run(&sb, "fig3", options{n: 5, seed: 1, promPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)

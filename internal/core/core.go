@@ -26,6 +26,7 @@
 package core
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
@@ -200,6 +201,65 @@ type workerHealth struct {
 	reopenAt  time.Duration
 }
 
+// workerSlot is the orchestrator's per-worker state record: the worker
+// itself, its job queue, its busy flag, its health record, and the index
+// fields that keep it addressable in O(1) from the eligibility structures.
+// Folding queue and busy state into one struct (instead of parallel maps
+// keyed by worker id) keeps the dispatch hot path to a single pointer
+// dereference per field.
+type workerSlot struct {
+	w   Worker
+	id  string
+	idx int // registration order
+
+	queue []Job
+	busy  bool
+
+	health workerHealth
+
+	// eligPos is this slot's index in Orchestrator.eligible (-1 while the
+	// breaker has it ejected); parolePos is its index in the parole heap
+	// (-1 while assignable). Exactly one is >= 0 at any time.
+	eligPos   int
+	parolePos int
+}
+
+// paroleHeap orders breaker-ejected workers by reopen time (ties broken by
+// registration order), so promoting every worker whose probe interval has
+// passed is a peek-and-pop instead of a scan.
+type paroleHeap []*workerSlot
+
+func (h paroleHeap) Len() int { return len(h) }
+
+func (h paroleHeap) Less(i, j int) bool {
+	if h[i].health.reopenAt != h[j].health.reopenAt {
+		return h[i].health.reopenAt < h[j].health.reopenAt
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h paroleHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].parolePos = i
+	h[j].parolePos = j
+}
+
+func (h *paroleHeap) Push(x any) {
+	s := x.(*workerSlot)
+	s.parolePos = len(*h)
+	*h = append(*h, s)
+}
+
+func (h *paroleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.parolePos = -1
+	*h = old[:n-1]
+	return s
+}
+
 // Config assembles an Orchestrator.
 type Config struct {
 	Runtime   Runtime
@@ -256,12 +316,19 @@ type Orchestrator struct {
 	breakerThreshold int
 	breakerProbe     time.Duration
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	workers   []Worker
-	queues    map[string][]Job
-	busy      map[string]bool
-	health    map[string]*workerHealth
+	mu  sync.Mutex
+	rng *rand.Rand
+	// slots holds every worker's state record in registration order; byID
+	// resolves a worker id to its slot in O(1) (SubmitTo and retry
+	// re-queues used to scan the worker list).
+	slots []*workerSlot
+	byID  map[string]*workerSlot
+	// eligible is the indexed free-list of assignable workers: slots whose
+	// breaker admits new work. It starts as all workers in registration
+	// order; breaker trips swap-remove, recoveries append. parole holds the
+	// ejected slots keyed by reopen time.
+	eligible  []*workerSlot
+	parole    paroleHeap
 	parked    map[int64]*parkedRetry
 	callbacks map[int64]func(Result)
 	nextID    int64
@@ -277,7 +344,7 @@ type Orchestrator struct {
 // callback or the deadline timer settles it; the loser is ignored.
 type inflight struct {
 	job           Job
-	worker        Worker
+	slot          *workerSlot
 	started       time.Duration
 	settled       bool
 	cancelTimeout func()
@@ -340,21 +407,21 @@ func New(cfg Config) (*Orchestrator, error) {
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerProbe:     breakerProbe,
 		rng:              rand.New(rand.NewSource(cfg.Seed)),
-		workers:          append([]Worker(nil), cfg.Workers...),
-		queues:           make(map[string][]Job, len(cfg.Workers)),
-		busy:             make(map[string]bool, len(cfg.Workers)),
-		health:           make(map[string]*workerHealth, len(cfg.Workers)),
+		slots:            make([]*workerSlot, 0, len(cfg.Workers)),
+		byID:             make(map[string]*workerSlot, len(cfg.Workers)),
+		eligible:         make([]*workerSlot, 0, len(cfg.Workers)),
 		parked:           make(map[int64]*parkedRetry),
 		callbacks:        make(map[int64]func(Result)),
 	}
 	o.idle = sync.NewCond(&o.mu)
-	seen := map[string]bool{}
-	for _, w := range cfg.Workers {
-		if seen[w.ID()] {
+	for i, w := range cfg.Workers {
+		if _, dup := o.byID[w.ID()]; dup {
 			return nil, fmt.Errorf("core: duplicate worker id %q", w.ID())
 		}
-		seen[w.ID()] = true
-		o.health[w.ID()] = &workerHealth{}
+		s := &workerSlot{w: w, id: w.ID(), idx: i, eligPos: i, parolePos: -1}
+		o.slots = append(o.slots, s)
+		o.byID[s.id] = s
+		o.eligible = append(o.eligible, s)
 	}
 	o.initTelemetry(cfg.Telemetry)
 	return o, nil
@@ -368,9 +435,9 @@ func (o *Orchestrator) Collector() *trace.Collector { return o.collector }
 
 // Workers returns the worker ids in registration order.
 func (o *Orchestrator) Workers() []string {
-	ids := make([]string, len(o.workers))
-	for i, w := range o.workers {
-		ids[i] = w.ID()
+	ids := make([]string, len(o.slots))
+	for i, s := range o.slots {
+		ids[i] = s.id
 	}
 	return ids
 }
@@ -381,9 +448,9 @@ func (o *Orchestrator) Health() []WorkerHealth {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	now := o.runtime.Now()
-	out := make([]WorkerHealth, 0, len(o.workers))
-	for _, w := range o.workers {
-		h := o.health[w.ID()]
+	out := make([]WorkerHealth, 0, len(o.slots))
+	for _, s := range o.slots {
+		h := &s.health
 		st := BreakerClosed
 		if h.open {
 			if now >= h.reopenAt {
@@ -393,14 +460,14 @@ func (o *Orchestrator) Health() []WorkerHealth {
 			}
 		}
 		out = append(out, WorkerHealth{
-			ID:                  w.ID(),
+			ID:                  s.id,
 			State:               st,
 			ConsecutiveFailures: h.consec,
 			Completed:           h.completed,
 			Failed:              h.failed,
 			TimedOut:            h.timedOut,
-			QueueDepth:          len(o.queues[w.ID()]),
-			Busy:                o.busy[w.ID()],
+			QueueDepth:          len(s.queue),
+			Busy:                s.busy,
 		})
 	}
 	return out
@@ -438,47 +505,78 @@ func (o *Orchestrator) SubmitWithTimeout(function string, args []byte, timeout t
 	return id
 }
 
-// eligibleWorkersLocked returns the workers whose breaker admits new work.
-// With the breaker disabled this is exactly the registered worker list (so
-// assignment randomness is unchanged from the breaker-free OP); when every
-// breaker is open there is nowhere better to send work, so all workers
-// stay eligible. Caller holds o.mu.
-func (o *Orchestrator) eligibleWorkersLocked() []Worker {
-	if o.breakerThreshold <= 0 {
-		return o.workers
+// addEligibleLocked appends a slot to the free-list. Caller holds o.mu.
+func (o *Orchestrator) addEligibleLocked(s *workerSlot) {
+	if s.eligPos >= 0 {
+		return
 	}
+	s.eligPos = len(o.eligible)
+	o.eligible = append(o.eligible, s)
+}
+
+// removeEligibleLocked swap-removes a slot from the free-list. Caller
+// holds o.mu.
+func (o *Orchestrator) removeEligibleLocked(s *workerSlot) {
+	if s.eligPos < 0 {
+		return
+	}
+	last := len(o.eligible) - 1
+	moved := o.eligible[last]
+	o.eligible[s.eligPos] = moved
+	moved.eligPos = s.eligPos
+	o.eligible[last] = nil
+	o.eligible = o.eligible[:last]
+	s.eligPos = -1
+}
+
+// promoteParoledLocked moves every breaker-ejected worker whose probe
+// interval has passed back onto the free-list (its breaker turns
+// half-open: assignable, next outcome decides). Amortized O(1) per
+// breaker transition. Caller holds o.mu.
+func (o *Orchestrator) promoteParoledLocked() {
 	now := o.runtime.Now()
-	eligible := make([]Worker, 0, len(o.workers))
-	for _, w := range o.workers {
-		h := o.health[w.ID()]
-		if !h.open || now >= h.reopenAt {
-			eligible = append(eligible, w)
-		}
+	for len(o.parole) > 0 && o.parole[0].health.reopenAt <= now {
+		s := heap.Pop(&o.parole).(*workerSlot)
+		o.addEligibleLocked(s)
 	}
-	if len(eligible) == 0 {
-		return o.workers
+}
+
+// assignableLocked returns the slots the assignment policy may choose
+// from. With the breaker disabled this is exactly the registered worker
+// list (so assignment randomness is unchanged from the breaker-free OP);
+// when every breaker is open there is nowhere better to send work, so all
+// workers stay assignable. Caller holds o.mu.
+func (o *Orchestrator) assignableLocked() []*workerSlot {
+	if o.breakerThreshold <= 0 {
+		return o.slots
 	}
-	return eligible
+	o.promoteParoledLocked()
+	if len(o.eligible) == 0 {
+		return o.slots
+	}
+	return o.eligible
 }
 
 // pickWorkerLocked applies the assignment policy over breaker-eligible
 // workers. Caller holds o.mu.
-func (o *Orchestrator) pickWorkerLocked() Worker {
-	ws := o.eligibleWorkersLocked()
+func (o *Orchestrator) pickWorkerLocked() *workerSlot {
+	ws := o.assignableLocked()
 	switch o.policy {
 	case AssignRoundRobin:
-		w := ws[o.rrNext%len(ws)]
+		s := ws[o.rrNext%len(ws)]
 		o.rrNext++
-		return w
+		return s
 	case AssignLeastLoaded:
-		best, bestLoad := ws[0], int(^uint(0)>>1)
-		for _, w := range ws {
-			load := len(o.queues[w.ID()])
-			if o.busy[w.ID()] {
+		// Ties break by registration order regardless of free-list order.
+		var best *workerSlot
+		bestLoad := int(^uint(0) >> 1)
+		for _, s := range ws {
+			load := len(s.queue)
+			if s.busy {
 				load++
 			}
-			if load < bestLoad {
-				best, bestLoad = w, load
+			if load < bestLoad || (load == bestLoad && s.idx < best.idx) {
+				best, bestLoad = s, load
 			}
 		}
 		return best
@@ -494,45 +592,44 @@ func (o *Orchestrator) SubmitTo(workerID, function string, args []byte) (int64, 
 		o.mu.Unlock()
 		return 0, fmt.Errorf("core: orchestrator is draining")
 	}
-	for _, w := range o.workers {
-		if w.ID() == workerID {
-			id, run := o.enqueueLocked(w, function, args, o.jobTimeout, nil)
-			o.mu.Unlock()
-			if run != nil {
-				run()
-			}
-			return id, nil
-		}
+	s, ok := o.byID[workerID]
+	if !ok {
+		o.mu.Unlock()
+		return 0, fmt.Errorf("core: unknown worker %q", workerID)
 	}
+	id, run := o.enqueueLocked(s, function, args, o.jobTimeout, nil)
 	o.mu.Unlock()
-	return 0, fmt.Errorf("core: unknown worker %q", workerID)
+	if run != nil {
+		run()
+	}
+	return id, nil
 }
 
 // enqueueLocked appends the job and returns its id plus a dispatch closure
 // to invoke once o.mu is released (nil when the worker is already busy).
 // Caller holds o.mu.
-func (o *Orchestrator) enqueueLocked(w Worker, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, func()) {
+func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, func()) {
 	o.nextID++
 	id := o.nextID
 	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
 	o.m.submitted.Inc()
 	o.emit(telemetry.EventSubmit, job, "", "")
-	o.pushJobLocked(w, job, "")
+	o.pushJobLocked(s, job, "")
 	if cb != nil {
 		o.callbacks[id] = cb
 	}
 	o.pending++
 	o.m.pending.Set(float64(o.pending))
-	return id, o.maybeDispatchLocked(w)
+	return id, o.maybeDispatchLocked(s)
 }
 
 // pushJobLocked appends one attempt to a worker's queue, keeping the
 // queue-depth gauge current and emitting the queue lifecycle event.
 // Caller holds o.mu.
-func (o *Orchestrator) pushJobLocked(w Worker, job Job, detail string) {
-	o.queues[w.ID()] = append(o.queues[w.ID()], job)
-	o.queueDepthChangedLocked(w.ID())
-	o.emit(telemetry.EventQueue, job, w.ID(), detail)
+func (o *Orchestrator) pushJobLocked(s *workerSlot, job Job, detail string) {
+	s.queue = append(s.queue, job)
+	o.queueDepthChangedLocked(s)
+	o.emit(telemetry.EventQueue, job, s.id, detail)
 }
 
 // maybeDispatchLocked pops the worker's next queued job if it is free and
@@ -540,27 +637,22 @@ func (o *Orchestrator) pushJobLocked(w Worker, job Job, detail string) {
 // after o.mu is released: RunJob can block (live workers dial TCP) and
 // must never be entered while holding the orchestrator lock. Caller holds
 // o.mu.
-func (o *Orchestrator) maybeDispatchLocked(w Worker) func() {
-	id := w.ID()
-	if o.busy[id] {
+func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
+	if s.busy || len(s.queue) == 0 {
 		return nil
 	}
-	q := o.queues[id]
-	if len(q) == 0 {
-		return nil
-	}
-	job := q[0]
-	o.queues[id] = q[1:]
-	o.busy[id] = true
-	o.queueDepthChangedLocked(id)
-	o.m.busy[id].Set(1)
-	o.emit(telemetry.EventAssign, job, id, "")
-	fl := &inflight{job: job, worker: w, started: o.runtime.Now()}
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	o.queueDepthChangedLocked(s)
+	o.m.busy[s.id].Set(1)
+	o.emit(telemetry.EventAssign, job, s.id, "")
+	fl := &inflight{job: job, slot: s, started: o.runtime.Now()}
 	if job.Timeout > 0 {
 		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl) })
 	}
 	return func() {
-		w.RunJob(job, func(res Result) { o.completed(fl, res) })
+		s.w.RunJob(job, func(res Result) { o.completed(fl, res) })
 	}
 }
 
@@ -571,14 +663,14 @@ func (o *Orchestrator) maybeDispatchLocked(w Worker) func() {
 func (o *Orchestrator) completed(fl *inflight, res Result) {
 	finished := o.runtime.Now()
 	o.mu.Lock()
-	w := fl.worker
+	s := fl.slot
 	if fl.settled {
 		// The deadline timer already synthesized this attempt's Result (and
 		// possibly retried the job elsewhere). The worker has finally come
 		// back — un-wedge it and dispatch its next queued job.
-		o.busy[w.ID()] = false
-		o.m.busy[w.ID()].Set(0)
-		run := o.maybeDispatchLocked(w)
+		s.busy = false
+		o.m.busy[s.id].Set(0)
+		run := o.maybeDispatchLocked(s)
 		o.mu.Unlock()
 		if run != nil {
 			run()
@@ -593,7 +685,7 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	o.collector.Add(trace.Record{
 		JobID:     job.ID,
 		Function:  job.Function,
-		Worker:    w.ID(),
+		Worker:    s.id,
 		Attempt:   job.Attempt,
 		Submitted: job.SubmittedAt,
 		Started:   fl.started,
@@ -603,18 +695,18 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		Exec:      res.Exec,
 		Err:       res.Err,
 	})
-	o.noteAttemptLocked(w.ID(), res.Err == "", false)
-	o.busy[w.ID()] = false
-	o.m.busy[w.ID()].Set(0)
+	o.noteAttemptLocked(s, res.Err == "", false)
+	s.busy = false
+	o.m.busy[s.id].Set(0)
 	if res.Err == "" {
-		o.noteAttemptMetrics(w.ID(), "ok")
-		o.emit(telemetry.EventSettle, job, w.ID(), "ok")
+		o.noteAttemptMetrics(s.id, "ok")
+		o.emit(telemetry.EventSettle, job, s.id, "ok")
 	} else {
-		o.noteAttemptMetrics(w.ID(), "error")
-		o.emit(telemetry.EventSettle, job, w.ID(), "error")
+		o.noteAttemptMetrics(s.id, "error")
+		o.emit(telemetry.EventSettle, job, s.id, "error")
 	}
-	runs, cb := o.resolveAttemptLocked(w, job, res, finished)
-	if run := o.maybeDispatchLocked(w); run != nil {
+	runs, cb := o.resolveAttemptLocked(s, job, res, finished)
+	if run := o.maybeDispatchLocked(s); run != nil {
 		runs = append(runs, run)
 	}
 	o.mu.Unlock()
@@ -639,13 +731,13 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 		return
 	}
 	fl.settled = true
-	w := fl.worker
+	s := fl.slot
 	job := fl.job
 	now := o.runtime.Now()
 	res := Result{
 		Job:        job,
-		WorkerID:   w.ID(),
-		Err:        fmt.Sprintf("core: attempt %d of job %d exceeded its %v deadline on %s", job.Attempt, job.ID, job.Timeout, w.ID()),
+		WorkerID:   s.id,
+		Err:        fmt.Sprintf("core: attempt %d of job %d exceeded its %v deadline on %s", job.Attempt, job.ID, job.Timeout, s.id),
 		TimedOut:   true,
 		StartedAt:  fl.started,
 		FinishedAt: now,
@@ -653,18 +745,18 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 	o.collector.Add(trace.Record{
 		JobID:     job.ID,
 		Function:  job.Function,
-		Worker:    w.ID(),
+		Worker:    s.id,
 		Attempt:   job.Attempt,
 		Submitted: job.SubmittedAt,
 		Started:   fl.started,
 		Finished:  now,
 		Err:       res.Err,
 	})
-	o.noteAttemptLocked(w.ID(), false, true)
-	o.noteAttemptMetrics(w.ID(), "timeout")
-	o.emit(telemetry.EventSettle, job, w.ID(), "timeout")
-	runs := o.reassignQueueLocked(w)
-	more, cb := o.resolveAttemptLocked(w, job, res, now)
+	o.noteAttemptLocked(s, false, true)
+	o.noteAttemptMetrics(s.id, "timeout")
+	o.emit(telemetry.EventSettle, job, s.id, "timeout")
+	runs := o.reassignQueueLocked(s)
+	more, cb := o.resolveAttemptLocked(s, job, res, now)
 	runs = append(runs, more...)
 	o.mu.Unlock()
 	for _, run := range runs {
@@ -679,18 +771,18 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 // jobs onto other workers. With a single-worker cluster there is nowhere
 // to move them, so they stay put and wait for the worker's late recovery.
 // Caller holds o.mu.
-func (o *Orchestrator) reassignQueueLocked(wedged Worker) []func() {
-	q := o.queues[wedged.ID()]
-	if len(q) == 0 || len(o.workers) == 1 {
+func (o *Orchestrator) reassignQueueLocked(wedged *workerSlot) []func() {
+	q := wedged.queue
+	if len(q) == 0 || len(o.slots) == 1 {
 		return nil
 	}
-	o.queues[wedged.ID()] = nil
-	o.queueDepthChangedLocked(wedged.ID())
+	wedged.queue = nil
+	o.queueDepthChangedLocked(wedged)
 	var runs []func()
 	for _, job := range q {
-		w := o.pickRetryWorkerLocked(wedged)
-		o.pushJobLocked(w, job, "reassigned")
-		if run := o.maybeDispatchLocked(w); run != nil {
+		s := o.pickRetryWorkerLocked(wedged)
+		o.pushJobLocked(s, job, "reassigned")
+		if run := o.maybeDispatchLocked(s); run != nil {
 			runs = append(runs, run)
 		}
 	}
@@ -700,7 +792,7 @@ func (o *Orchestrator) reassignQueueLocked(wedged Worker) []func() {
 // resolveAttemptLocked decides retry-versus-final for a finished attempt.
 // It returns dispatch closures to run after o.mu is released and, when the
 // outcome is final, the job's completion callback. Caller holds o.mu.
-func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result, finished time.Duration) (runs []func(), cb func(Result)) {
+func (o *Orchestrator) resolveAttemptLocked(failedOn *workerSlot, job Job, res Result, finished time.Duration) (runs []func(), cb func(Result)) {
 	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts && !o.draining
 	if retry {
 		// The job stays pending: re-queue it on a different worker (a
@@ -710,14 +802,14 @@ func (o *Orchestrator) resolveAttemptLocked(failedOn Worker, job Job, res Result
 		next := job
 		next.Attempt++
 		if delay := o.retryDelayLocked(next.Attempt); delay > 0 {
-			p := &parkedRetry{job: next, exclude: failedOn.ID()}
+			p := &parkedRetry{job: next, exclude: failedOn.id}
 			o.parked[next.ID] = p
 			p.cancel = o.runtime.After(delay, func() { o.requeueParked(next.ID) })
 			return nil, nil
 		}
-		w := o.pickRetryWorkerLocked(failedOn)
-		o.pushJobLocked(w, next, "retry")
-		if run := o.maybeDispatchLocked(w); run != nil {
+		s := o.pickRetryWorkerLocked(failedOn)
+		o.pushJobLocked(s, next, "retry")
+		if run := o.maybeDispatchLocked(s); run != nil {
 			runs = append(runs, run)
 		}
 		return runs, nil
@@ -763,21 +855,14 @@ func (o *Orchestrator) requeueParked(id int64) {
 		return
 	}
 	delete(o.parked, id)
-	var failed Worker
-	for _, w := range o.workers {
-		if w.ID() == p.exclude {
-			failed = w
-			break
-		}
-	}
-	var w Worker
-	if failed != nil {
-		w = o.pickRetryWorkerLocked(failed)
+	var s *workerSlot
+	if failed, ok := o.byID[p.exclude]; ok {
+		s = o.pickRetryWorkerLocked(failed)
 	} else {
-		w = o.pickWorkerLocked()
+		s = o.pickWorkerLocked()
 	}
-	o.pushJobLocked(w, p.job, "retry-backoff")
-	run := o.maybeDispatchLocked(w)
+	o.pushJobLocked(s, p.job, "retry-backoff")
+	run := o.maybeDispatchLocked(s)
 	o.mu.Unlock()
 	if run != nil {
 		run()
@@ -786,42 +871,46 @@ func (o *Orchestrator) requeueParked(id int64) {
 
 // pickRetryWorkerLocked chooses a random breaker-eligible worker other
 // than failed (unless there is no other choice). Caller holds o.mu.
-func (o *Orchestrator) pickRetryWorkerLocked(failed Worker) Worker {
-	ws := o.eligibleWorkersLocked()
-	hasOther := false
-	for _, w := range ws {
-		if w.ID() != failed.ID() {
-			hasOther = true
-			break
-		}
-	}
+func (o *Orchestrator) pickRetryWorkerLocked(failed *workerSlot) *workerSlot {
+	ws := o.assignableLocked()
+	// O(1) other-worker check: the list either has someone besides failed,
+	// or it is exactly [failed].
+	hasOther := len(ws) > 1 || (len(ws) == 1 && ws[0] != failed)
 	if !hasOther {
-		if len(o.workers) == 1 {
-			return o.workers[0]
+		if len(o.slots) == 1 {
+			return o.slots[0]
 		}
 		// The failed worker is the only eligible one; any other worker is
 		// still a fresher environment than re-running in place.
-		ws = o.workers
+		ws = o.slots
 	}
 	for {
-		w := ws[o.rng.Intn(len(ws))]
-		if w.ID() != failed.ID() {
-			return w
+		s := ws[o.rng.Intn(len(ws))]
+		if s != failed {
+			return s
 		}
 	}
 }
 
 // noteAttemptLocked feeds one attempt's outcome into the worker's health
-// record and trips or resets its breaker. Caller holds o.mu.
-func (o *Orchestrator) noteAttemptLocked(workerID string, ok, timedOut bool) {
-	h := o.health[workerID]
+// record, trips or resets its breaker, and keeps the slot on the right
+// side of the eligible/parole split. Caller holds o.mu.
+func (o *Orchestrator) noteAttemptLocked(s *workerSlot, ok, timedOut bool) {
+	h := &s.health
 	if ok {
 		h.completed++
 		h.consec = 0
 		if h.open {
-			o.m.breakerTo[workerID]["closed"].Inc()
+			o.m.breakerTo[s.id]["closed"].Inc()
+			h.open = false
+			// A half-open probe succeeded; a still-parked slot (probe work
+			// arrived via SubmitTo or the all-breakers-open fallback) comes
+			// off parole too.
+			if s.parolePos >= 0 {
+				heap.Remove(&o.parole, s.parolePos)
+				o.addEligibleLocked(s)
+			}
 		}
-		h.open = false
 		return
 	}
 	h.failed++
@@ -831,10 +920,17 @@ func (o *Orchestrator) noteAttemptLocked(workerID string, ok, timedOut bool) {
 	h.consec++
 	if o.breakerThreshold > 0 && h.consec >= o.breakerThreshold {
 		if !h.open {
-			o.m.breakerTo[workerID]["open"].Inc()
+			o.m.breakerTo[s.id]["open"].Inc()
 		}
 		h.open = true
 		h.reopenAt = o.runtime.Now() + o.breakerProbe
+		if s.eligPos >= 0 {
+			o.removeEligibleLocked(s)
+			heap.Push(&o.parole, s)
+		} else if s.parolePos >= 0 {
+			// Already parked; its reopen time moved later.
+			heap.Fix(&o.parole, s.parolePos)
+		}
 	}
 }
 
@@ -849,7 +945,10 @@ func (o *Orchestrator) Pending() int {
 func (o *Orchestrator) QueueDepth(workerID string) int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return len(o.queues[workerID])
+	if s, ok := o.byID[workerID]; ok {
+		return len(s.queue)
+	}
+	return 0
 }
 
 // StartArrivals begins the paper's arrival process: every interval, one
@@ -864,8 +963,8 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 	if interval <= 0 {
 		return nil, fmt.Errorf("core: arrival interval must be positive")
 	}
-	if sampleSize <= 0 || sampleSize > len(o.workers) {
-		return nil, fmt.Errorf("core: sample size %d outside [1,%d]", sampleSize, len(o.workers))
+	if sampleSize <= 0 || sampleSize > len(o.slots) {
+		return nil, fmt.Errorf("core: sample size %d outside [1,%d]", sampleSize, len(o.slots))
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -885,14 +984,14 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 			return
 		}
 		// Sample without replacement within the tick.
-		perm := o.rng.Perm(len(o.workers))
-		targets := make([]Worker, 0, sampleSize)
+		perm := o.rng.Perm(len(o.slots))
+		targets := make([]*workerSlot, 0, sampleSize)
 		for _, idx := range perm[:sampleSize] {
-			targets = append(targets, o.workers[idx])
+			targets = append(targets, o.slots[idx])
 		}
-		for _, w := range targets {
+		for _, s := range targets {
 			fn, args := gen(o.rng)
-			_, run := o.enqueueLocked(w, fn, args, o.jobTimeout, nil)
+			_, run := o.enqueueLocked(s, fn, args, o.jobTimeout, nil)
 			if run != nil {
 				runs = append(runs, run)
 			}
@@ -955,10 +1054,10 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 		return nil
 	}
 	var abandoned []Job
-	for id := range o.queues {
-		abandoned = append(abandoned, o.queues[id]...)
-		o.queues[id] = nil
-		o.queueDepthChangedLocked(id)
+	for _, s := range o.slots {
+		abandoned = append(abandoned, s.queue...)
+		s.queue = nil
+		o.queueDepthChangedLocked(s)
 	}
 	for id, p := range o.parked {
 		p.cancel()

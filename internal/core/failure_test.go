@@ -264,7 +264,7 @@ func TestBreakerOpensEjectsAndProbes(t *testing.T) {
 	}
 	// A successful attempt closes it for good.
 	o.mu.Lock()
-	o.noteAttemptLocked("bad", true, false)
+	o.noteAttemptLocked(o.byID["bad"], true, false)
 	o.mu.Unlock()
 	if st := o.Health()[0].State; st != BreakerClosed {
 		t.Fatalf("breaker = %v after successful probe", st)
@@ -282,10 +282,10 @@ func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	o.mu.Lock()
-	o.noteAttemptLocked("w", false, false)
-	o.noteAttemptLocked("w", false, false)
-	o.noteAttemptLocked("w", true, false) // success wipes the streak
-	o.noteAttemptLocked("w", false, false)
+	o.noteAttemptLocked(o.byID["w"], false, false)
+	o.noteAttemptLocked(o.byID["w"], false, false)
+	o.noteAttemptLocked(o.byID["w"], true, false) // success wipes the streak
+	o.noteAttemptLocked(o.byID["w"], false, false)
 	o.mu.Unlock()
 	h := o.Health()[0]
 	if h.State != BreakerClosed || h.ConsecutiveFailures != 1 {

@@ -51,13 +51,13 @@ func (o *Orchestrator) initTelemetry(tel *telemetry.Telemetry) {
 		latency: reg.Histogram(metricLatency,
 			"End-to-end latency of successful invocations (submit to final result).",
 			telemetry.LogBuckets(0.001, 60, 14)),
-		queueDepth: make(map[string]*telemetry.Gauge, len(o.workers)),
-		busy:       make(map[string]*telemetry.Gauge, len(o.workers)),
-		attempts:   make(map[string]map[string]*telemetry.Counter, len(o.workers)),
-		breakerTo:  make(map[string]map[string]*telemetry.Counter, len(o.workers)),
+		queueDepth: make(map[string]*telemetry.Gauge, len(o.slots)),
+		busy:       make(map[string]*telemetry.Gauge, len(o.slots)),
+		attempts:   make(map[string]map[string]*telemetry.Counter, len(o.slots)),
+		breakerTo:  make(map[string]map[string]*telemetry.Counter, len(o.slots)),
 	}
-	for _, w := range o.workers {
-		id := w.ID()
+	for _, s := range o.slots {
+		id := s.id
 		o.m.queueDepth[id] = reg.Gauge(metricQueueDepth, "Queued (not yet running) jobs per worker.", "worker", id)
 		o.m.busy[id] = reg.Gauge(metricWorkerBusy, "1 while the worker is executing a job.", "worker", id)
 		o.m.attempts[id] = map[string]*telemetry.Counter{}
@@ -108,6 +108,6 @@ func (o *Orchestrator) noteFinal(job Job, res Result, finished time.Duration) {
 
 // queueDepthChangedLocked refreshes a worker's queue-depth gauge. Caller
 // holds o.mu.
-func (o *Orchestrator) queueDepthChangedLocked(workerID string) {
-	o.m.queueDepth[workerID].Set(float64(len(o.queues[workerID])))
+func (o *Orchestrator) queueDepthChangedLocked(s *workerSlot) {
+	o.m.queueDepth[s.id].Set(float64(len(s.queue)))
 }

@@ -42,29 +42,43 @@ func (r AblationResult) Speedup() float64 {
 	return r.ModifiedThroughput / r.BaselineThroughput
 }
 
-// runPair measures the baseline cluster and a modified one.
-func runPair(name string, seed int64, invocations int, modified cluster.SimConfig, targets []string) (AblationResult, error) {
+// ablationArm is one side of an ablation pair: the run's aggregate stats
+// plus its per-function means.
+type ablationArm struct {
+	stats cluster.SuiteStats
+	byFn  map[string]time.Duration
+}
+
+// runPair measures the baseline cluster and a modified one — the two
+// independent arms run on the parallel runner.
+func runPair(name string, seed int64, invocations, parallel int, modified cluster.SimConfig, targets []string) (AblationResult, error) {
 	if invocations <= 0 {
 		invocations = 40
 	}
-	base, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed})
-	if err != nil {
-		return AblationResult{}, err
-	}
-	baseColl, err := base.RunSuite(invocations, nil)
-	if err != nil {
-		return AblationResult{}, err
-	}
 	modified.Seed = seed
-	mod, err := cluster.NewMicroFaaSSim(model.SBCCount, modified)
+	arms, err := RunParallel(Parallelism(parallel), 2, func(i int) (ablationArm, error) {
+		cfg := cluster.SimConfig{Seed: seed}
+		if i == 1 {
+			cfg = modified
+		}
+		s, err := cluster.NewMicroFaaSSim(model.SBCCount, cfg)
+		if err != nil {
+			return ablationArm{}, err
+		}
+		coll, err := s.RunSuite(invocations, nil)
+		if err != nil {
+			return ablationArm{}, err
+		}
+		byFn := map[string]time.Duration{}
+		for _, st := range coll.ByFunction() {
+			byFn[st.Function] = st.MeanTotal
+		}
+		return ablationArm{stats: s.Stats(), byFn: byFn}, nil
+	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	modColl, err := mod.RunSuite(invocations, nil)
-	if err != nil {
-		return AblationResult{}, err
-	}
-	baseSt, modSt := base.Stats(), mod.Stats()
+	baseSt, modSt := arms[0].stats, arms[1].stats
 	res := AblationResult{
 		Name:               name,
 		BaselineThroughput: baseSt.ThroughputPerMin,
@@ -72,17 +86,9 @@ func runPair(name string, seed int64, invocations int, modified cluster.SimConfi
 		BaselineJoules:     baseSt.JoulesPerFunction,
 		ModifiedJoules:     modSt.JoulesPerFunction,
 	}
-	beforeByFn := map[string]time.Duration{}
-	for _, st := range baseColl.ByFunction() {
-		beforeByFn[st.Function] = st.MeanTotal
-	}
-	afterByFn := map[string]time.Duration{}
-	for _, st := range modColl.ByFunction() {
-		afterByFn[st.Function] = st.MeanTotal
-	}
 	for _, fn := range targets {
 		res.FunctionDeltas = append(res.FunctionDeltas, FunctionDelta{
-			Function: fn, Before: beforeByFn[fn], After: afterByFn[fn],
+			Function: fn, Before: arms[0].byFn[fn], After: arms[1].byFn[fn],
 		})
 	}
 	return res, nil
@@ -95,7 +101,7 @@ var CryptoKernels = []string{"CascSHA", "CascMD5", "AES128"}
 // (Sec V: "adding a cryptographic accelerator might significantly reduce
 // the runtime of CascSHA"): the crypto kernels' ARM compute time shrinks
 // by the given factor.
-func AblationCryptoAccel(speedup float64, seed int64, invocations int) (AblationResult, error) {
+func AblationCryptoAccel(speedup float64, seed int64, invocations, parallel int) (AblationResult, error) {
 	if speedup <= 1 {
 		return AblationResult{}, fmt.Errorf("experiments: accelerator speedup must exceed 1, got %v", speedup)
 	}
@@ -109,7 +115,7 @@ func AblationCryptoAccel(speedup float64, seed int64, invocations int) (Ablation
 			specs[i].WorkARM = time.Duration(float64(specs[i].WorkARM) / speedup)
 		}
 	}
-	return runPair(fmt.Sprintf("crypto-accelerator %.0fx", speedup), seed, invocations,
+	return runPair(fmt.Sprintf("crypto-accelerator %.0fx", speedup), seed, invocations, parallel,
 		cluster.SimConfig{Specs: specs}, CryptoKernels)
 }
 
@@ -118,9 +124,9 @@ var BulkTransferFunctions = []string{"COSGet", "COSPut"}
 
 // AblationGigE models upgrading the SBC NIC from Fast Ethernet to Gigabit
 // (Sec V: "would likely reduce the overhead of functions like COSGet").
-func AblationGigE(seed int64, invocations int) (AblationResult, error) {
+func AblationGigE(seed int64, invocations, parallel int) (AblationResult, error) {
 	link := netsim.GigabitEthernet()
-	return runPair("gigabit NIC upgrade", seed, invocations,
+	return runPair("gigabit NIC upgrade", seed, invocations, parallel,
 		cluster.SimConfig{Link: &link}, BulkTransferFunctions)
 }
 
@@ -128,8 +134,8 @@ func AblationGigE(seed int64, invocations int) (AblationResult, error) {
 // hardware-reset isolation guarantee of Sec III-a costs in throughput and
 // energy. (The modified cluster sacrifices the clean-environment
 // guarantee; this is the trade the paper's design explicitly refuses.)
-func AblationNoReboot(seed int64, invocations int) (AblationResult, error) {
-	return runPair("no reboot between jobs", seed, invocations,
+func AblationNoReboot(seed int64, invocations, parallel int) (AblationResult, error) {
+	return runPair("no reboot between jobs", seed, invocations, parallel,
 		cluster.SimConfig{DisableReboot: true}, nil)
 }
 

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+)
+
+// AllConfig sizes the full experiment suite behind `microfaas-sim all`.
+type AllConfig struct {
+	// InvocationsPerFunction for the fig3/headline/ablation runs
+	// (default 100).
+	InvocationsPerFunction int
+	Seed                   int64
+	// Parallel bounds the worker pool (<=0 = GOMAXPROCS, 1 = serial).
+	// Sections render concurrently into per-section buffers and print in
+	// suite order, and each section fans its own trials/sweep points
+	// through the same pool, so output is byte-identical at any value.
+	Parallel int
+}
+
+// WriteAll runs every experiment in the suite and prints each section in
+// the canonical order, separated by blank lines — the `microfaas-sim all`
+// report.
+func WriteAll(w io.Writer, cfg AllConfig) error {
+	n := cfg.InvocationsPerFunction
+	if n <= 0 {
+		n = 100
+	}
+	seed := cfg.Seed
+	par := cfg.Parallel
+	sections := []func(io.Writer) error{
+		func(w io.Writer) error { return WriteFig1(w) },
+		func(w io.Writer) error { return WriteTable1(w) },
+		func(w io.Writer) error {
+			rows, err := Fig3(Fig3Config{InvocationsPerFunction: n, Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteFig3(w, rows)
+		},
+		func(w io.Writer) error {
+			res, err := Fig4(Fig4Config{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteFig4(w, res)
+		},
+		func(w io.Writer) error {
+			pts, err := Fig5(Fig5Config{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteFig5(w, pts)
+		},
+		func(w io.Writer) error {
+			res, err := Headline(HeadlineConfig{InvocationsPerFunction: n, Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteHeadline(w, res)
+		},
+		func(w io.Writer) error { return WriteTable2(w) },
+		func(w io.Writer) error {
+			res, err := RackScale(RackScaleConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteRackScale(w, res)
+		},
+		func(w io.Writer) error {
+			pts, err := LoadSweep(LoadSweepConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteLoadSweep(w, pts)
+		},
+		func(w io.Writer) error {
+			pts, err := KeepWarm(KeepWarmConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteKeepWarm(w, pts)
+		},
+		func(w io.Writer) error {
+			res, err := Diurnal(DiurnalConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteDiurnal(w, res)
+		},
+		func(w io.Writer) error {
+			res, err := Sensitivity(SensitivityConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteSensitivity(w, res)
+		},
+		func(w io.Writer) error {
+			rows, err := BootImpact(BootImpactConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WriteBootImpact(w, rows)
+		},
+		func(w io.Writer) error { return writeAblations(w, seed, n, par) },
+	}
+	// Render every section into its own buffer concurrently, then print in
+	// suite order. Two levels of fan-out share the bounded pools: sections
+	// here, trials/sweep points inside each section.
+	bufs, err := RunParallel(Parallelism(par), len(sections), func(i int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := sections[i](&b); err != nil {
+			return nil, err
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAblations prints the three ablation studies back to back.
+func writeAblations(w io.Writer, seed int64, n, parallel int) error {
+	crypto, err := AblationCryptoAccel(8, seed, n, parallel)
+	if err != nil {
+		return err
+	}
+	if err := WriteAblation(w, crypto); err != nil {
+		return err
+	}
+	gige, err := AblationGigE(seed, n, parallel)
+	if err != nil {
+		return err
+	}
+	if err := WriteAblation(w, gige); err != nil {
+		return err
+	}
+	noreboot, err := AblationNoReboot(seed, n, parallel)
+	if err != nil {
+		return err
+	}
+	return WriteAblation(w, noreboot)
+}

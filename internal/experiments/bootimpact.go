@@ -34,6 +34,9 @@ type BootImpactConfig struct {
 	// make each job cycle tens of seconds).
 	InvocationsPerFunction int
 	Seed                   int64
+	// Parallel bounds the worker pool fanning stages across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // BootImpact sweeps the Fig 1 development stages.
@@ -42,28 +45,28 @@ func BootImpact(cfg BootImpactConfig) ([]BootImpactRow, error) {
 	if inv <= 0 {
 		inv = 10
 	}
-	var out []BootImpactRow
-	for _, stage := range bootos.Timeline(bootos.ARM) {
+	stages := bootos.Timeline(bootos.ARM)
+	return RunParallel(Parallelism(cfg.Parallel), len(stages), func(i int) (BootImpactRow, error) {
+		stage := stages[i]
 		boot := stage.Profile.RealTime()
 		s, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{
 			Seed:     cfg.Seed,
 			BootTime: boot,
 		})
 		if err != nil {
-			return nil, err
+			return BootImpactRow{}, err
 		}
 		if _, err := s.RunSuite(inv, nil); err != nil {
-			return nil, err
+			return BootImpactRow{}, err
 		}
 		st := s.Stats()
-		out = append(out, BootImpactRow{
+		return BootImpactRow{
 			Stage:            stage.Label,
 			Boot:             boot,
 			ThroughputPerMin: st.ThroughputPerMin,
 			JoulesPerFunc:    st.JoulesPerFunction,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // WriteBootImpact prints the sweep.

@@ -46,6 +46,9 @@ type DiurnalConfig struct {
 	// Day length (default 24 h of virtual time).
 	Day  time.Duration
 	Seed int64
+	// Parallel bounds the worker pool running the two clusters' days
+	// concurrently (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // Diurnal runs the day on both clusters.
@@ -82,14 +85,16 @@ func Diurnal(cfg DiurnalConfig) (DiurnalResult, error) {
 		PeakPerMin:   peak,
 		TroughPerMin: trough,
 	}
-	res.MF, err = replayDay(true, sched, day, cfg.Seed)
+	// Both clusters replay the same (read-only) schedule on their own
+	// engines; the two day-long sims are the experiment's dominant cost,
+	// so they run concurrently.
+	days, err := RunParallel(Parallelism(cfg.Parallel), 2, func(i int) (DiurnalClusterResult, error) {
+		return replayDay(i == 0, sched, day, cfg.Seed)
+	})
 	if err != nil {
 		return DiurnalResult{}, err
 	}
-	res.Conv, err = replayDay(false, sched, day, cfg.Seed)
-	if err != nil {
-		return DiurnalResult{}, err
-	}
+	res.MF, res.Conv = days[0], days[1]
 	return res, nil
 }
 

@@ -81,6 +81,9 @@ type Fig3Row struct {
 type Fig3Config struct {
 	InvocationsPerFunction int
 	Seed                   int64
+	// Parallel bounds the worker pool running the two clusters
+	// concurrently (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 func (c Fig3Config) invocations() int {
@@ -91,25 +94,26 @@ func (c Fig3Config) invocations() int {
 }
 
 // Fig3 runs both simulated clusters through the suite and reports the
-// per-function runtime split.
+// per-function runtime split. The two clusters are independent sims, so
+// they run as two tasks on the parallel runner.
 func Fig3(cfg Fig3Config) ([]Fig3Row, error) {
-	mf, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
+	colls, err := RunParallel(Parallelism(cfg.Parallel), 2, func(i int) (*trace.Collector, error) {
+		var s *cluster.Sim
+		var err error
+		if i == 0 {
+			s, err = cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
+		} else {
+			s, err = cluster.NewConventionalSim(model.VMCount, cluster.SimConfig{Seed: cfg.Seed})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return s.RunSuite(cfg.invocations(), nil)
+	})
 	if err != nil {
 		return nil, err
 	}
-	mfColl, err := mf.RunSuite(cfg.invocations(), nil)
-	if err != nil {
-		return nil, err
-	}
-	conv, err := cluster.NewConventionalSim(model.VMCount, cluster.SimConfig{Seed: cfg.Seed})
-	if err != nil {
-		return nil, err
-	}
-	convColl, err := conv.RunSuite(cfg.invocations(), nil)
-	if err != nil {
-		return nil, err
-	}
-	return fig3Rows(mfColl, convColl), nil
+	return fig3Rows(colls[0], colls[1]), nil
 }
 
 func fig3Rows(mf, conv *trace.Collector) []Fig3Row {
@@ -194,6 +198,9 @@ type Fig4Config struct {
 	MaxVMs    int // default 24
 	JobsPerVM int // default 60
 	Seed      int64
+	// Parallel bounds the worker pool fanning sweep points across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // Fig4 sweeps the number of VMs on the rack server, measuring throughput
@@ -207,12 +214,24 @@ func Fig4(cfg Fig4Config) (Fig4Result, error) {
 	if jobsPerVM <= 0 {
 		jobsPerVM = 150
 	}
-	var res Fig4Result
-	res.PeakJoules = -1
-	for vms := 1; vms <= maxVMs; vms++ {
+	// Task i < maxVMs is the (i+1)-VM sweep point; the last task is the
+	// MicroFaaS reference run. Points merge in index order and the peak is
+	// found after the merge, so parallel and serial sweeps agree exactly.
+	stats, err := RunParallel(Parallelism(cfg.Parallel), maxVMs+1, func(i int) (cluster.SuiteStats, error) {
+		if i == maxVMs {
+			mf, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
+			if err != nil {
+				return cluster.SuiteStats{}, err
+			}
+			if _, err := mf.RunSuite(40, nil); err != nil {
+				return cluster.SuiteStats{}, err
+			}
+			return mf.Stats(), nil
+		}
+		vms := i + 1
 		s, err := cluster.NewConventionalSim(vms, cluster.SimConfig{Seed: cfg.Seed})
 		if err != nil {
-			return Fig4Result{}, err
+			return cluster.SuiteStats{}, err
 		}
 		// jobsPerVM invocations per worker, full suite mix.
 		perFunction := vms * jobsPerVM / len(model.Functions())
@@ -220,9 +239,17 @@ func Fig4(cfg Fig4Config) (Fig4Result, error) {
 			perFunction = 1
 		}
 		if _, err := s.RunSuite(perFunction, nil); err != nil {
-			return Fig4Result{}, err
+			return cluster.SuiteStats{}, err
 		}
-		st := s.Stats()
+		return s.Stats(), nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	var res Fig4Result
+	res.PeakJoules = -1
+	for i, st := range stats[:maxVMs] {
+		vms := i + 1
 		// Measured throughput: completions over makespan (captures the
 		// saturation plateau, unlike per-worker cycle capacity).
 		thpt := float64(st.Completed) / (st.MakespanS / 60)
@@ -233,14 +260,7 @@ func Fig4(cfg Fig4Config) (Fig4Result, error) {
 			res.PeakVMs = vms
 		}
 	}
-	mf, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
-	if err != nil {
-		return Fig4Result{}, err
-	}
-	if _, err := mf.RunSuite(40, nil); err != nil {
-		return Fig4Result{}, err
-	}
-	res.MicroFaaSJoules = mf.Stats().JoulesPerFunction
+	res.MicroFaaSJoules = stats[maxVMs].JoulesPerFunction
 	return res, nil
 }
 
@@ -282,6 +302,9 @@ type Fig5Config struct {
 	MaxWorkers int           // default 10 (the evaluation cluster size)
 	Window     time.Duration // averaging window (default 2 min virtual)
 	Seed       int64
+	// Parallel bounds the worker pool fanning sweep points across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // Fig5 measures average cluster power while 0..MaxWorkers workers run
@@ -297,17 +320,17 @@ func Fig5(cfg Fig5Config) ([]Fig5Point, error) {
 	if window <= 0 {
 		window = 2 * time.Minute
 	}
-	var out []Fig5Point
+	// 2(maxW+1) independent runs: task 2n is the MicroFaaS cluster with n
+	// busy workers, task 2n+1 the conventional one.
+	watts, err := RunParallel(Parallelism(cfg.Parallel), 2*(maxW+1), func(i int) (float64, error) {
+		return clusterPower(i%2 == 0, maxW, i/2, window, cfg.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Point, 0, maxW+1)
 	for n := 0; n <= maxW; n++ {
-		mfW, err := clusterPower(true, maxW, n, window, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		convW, err := clusterPower(false, maxW, n, window, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig5Point{ActiveWorkers: n, MicroFaaSWatts: mfW, ConventionalWatts: convW})
+		out = append(out, Fig5Point{ActiveWorkers: n, MicroFaaSWatts: watts[2*n], ConventionalWatts: watts[2*n+1]})
 	}
 	return out, nil
 }
@@ -384,6 +407,9 @@ type HeadlineResult struct {
 type HeadlineConfig struct {
 	InvocationsPerFunction int
 	Seed                   int64
+	// Parallel bounds the worker pool running the two clusters
+	// concurrently (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // Headline runs both throughput-matched clusters and reports the paper's
@@ -393,21 +419,26 @@ func Headline(cfg HeadlineConfig) (HeadlineResult, error) {
 	if inv <= 0 {
 		inv = 100
 	}
-	mf, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
+	stats, err := RunParallel(Parallelism(cfg.Parallel), 2, func(i int) (cluster.SuiteStats, error) {
+		var s *cluster.Sim
+		var err error
+		if i == 0 {
+			s, err = cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: cfg.Seed})
+		} else {
+			s, err = cluster.NewConventionalSim(model.VMCount, cluster.SimConfig{Seed: cfg.Seed})
+		}
+		if err != nil {
+			return cluster.SuiteStats{}, err
+		}
+		if _, err := s.RunSuite(inv, nil); err != nil {
+			return cluster.SuiteStats{}, err
+		}
+		return s.Stats(), nil
+	})
 	if err != nil {
 		return HeadlineResult{}, err
 	}
-	if _, err := mf.RunSuite(inv, nil); err != nil {
-		return HeadlineResult{}, err
-	}
-	conv, err := cluster.NewConventionalSim(model.VMCount, cluster.SimConfig{Seed: cfg.Seed})
-	if err != nil {
-		return HeadlineResult{}, err
-	}
-	if _, err := conv.RunSuite(inv, nil); err != nil {
-		return HeadlineResult{}, err
-	}
-	mfSt, convSt := mf.Stats(), conv.Stats()
+	mfSt, convSt := stats[0], stats[1]
 	return HeadlineResult{
 		SBCThroughputPerMin: mfSt.ThroughputPerMin,
 		VMThroughputPerMin:  convSt.ThroughputPerMin,

@@ -180,7 +180,7 @@ func TestWriteTable2(t *testing.T) {
 }
 
 func TestAblationCryptoAccel(t *testing.T) {
-	res, err := AblationCryptoAccel(8, 5, 20)
+	res, err := AblationCryptoAccel(8, 5, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,13 +192,13 @@ func TestAblationCryptoAccel(t *testing.T) {
 			t.Fatalf("%s did not get faster: %v -> %v", d.Function, d.Before, d.After)
 		}
 	}
-	if _, err := AblationCryptoAccel(0.5, 1, 5); err == nil {
+	if _, err := AblationCryptoAccel(0.5, 1, 5, 1); err == nil {
 		t.Fatal("speedup below 1 accepted")
 	}
 }
 
 func TestAblationGigE(t *testing.T) {
-	res, err := AblationGigE(6, 20)
+	res, err := AblationGigE(6, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestAblationGigE(t *testing.T) {
 }
 
 func TestAblationNoReboot(t *testing.T) {
-	res, err := AblationNoReboot(7, 20)
+	res, err := AblationNoReboot(7, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,9 @@ type KeepWarmConfig struct {
 	// Duration is virtual observation time (default 20 min).
 	Duration time.Duration
 	Seed     int64
+	// Parallel bounds the worker pool fanning windows across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
 }
 
 // KeepWarm runs the sweep on the 10-SBC MicroFaaS cluster.
@@ -60,15 +63,9 @@ func KeepWarm(cfg KeepWarmConfig) ([]KeepWarmPoint, error) {
 	if duration <= 0 {
 		duration = 20 * time.Minute
 	}
-	var out []KeepWarmPoint
-	for _, win := range windows {
-		pt, err := runKeepWarm(win, load, duration, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return RunParallel(Parallelism(cfg.Parallel), len(windows), func(i int) (KeepWarmPoint, error) {
+		return runKeepWarm(windows[i], load, duration, cfg.Seed)
+	})
 }
 
 func runKeepWarm(window time.Duration, load float64, duration time.Duration, seed int64) (KeepWarmPoint, error) {

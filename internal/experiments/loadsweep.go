@@ -48,6 +48,16 @@ type LoadSweepConfig struct {
 	// Window is the virtual observation time per point (default 20 min).
 	Window time.Duration
 	Seed   int64
+	// Parallel bounds the worker pool fanning sweep points across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+}
+
+// loadSweepRun is one cluster's measurement at one offered load.
+type loadSweepRun struct {
+	mean, p95 time.Duration
+	completed int
+	joulesPer float64
 }
 
 // LoadSweep runs both clusters under each offered load.
@@ -60,35 +70,43 @@ func LoadSweep(cfg LoadSweepConfig) ([]LoadSweepPoint, error) {
 	if window <= 0 {
 		window = 20 * time.Minute
 	}
-	var out []LoadSweepPoint
+	// Validate every fraction before fanning out, so a bad config fails
+	// fast instead of racing valid points against the error.
 	for _, f := range fractions {
 		if f <= 0 || f >= 1 {
 			return nil, fmt.Errorf("experiments: load fraction %v outside (0,1)", f)
 		}
+	}
+	// 2 tasks per fraction: task 2i is the MicroFaaS cluster at fraction
+	// i, task 2i+1 the conventional one.
+	runs, err := RunParallel(Parallelism(cfg.Parallel), 2*len(fractions), func(i int) (loadSweepRun, error) {
 		// Offered rate: a fraction of the SLOWER cluster's capacity, so
 		// both clusters face an identical, feasible open load.
 		capacity := model.PaperSBCThroughput // func/min; the matched pair's min
-		rate := f * capacity / 60            // func/s
-
-		mfLat, mfP95, mfDone, mfJ, err := runOpenLoad(true, rate, window, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cvLat, cvP95, cvDone, cvJ, err := runOpenLoad(false, rate, window, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+		rate := fractions[i/2] * capacity / 60
+		var r loadSweepRun
+		var err error
+		r.mean, r.p95, r.completed, r.joulesPer, err = runOpenLoad(i%2 == 0, rate, window, cfg.Seed)
+		return r, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LoadSweepPoint, 0, len(fractions))
+	for i, f := range fractions {
+		mf, cv := runs[2*i], runs[2*i+1]
+		rate := f * model.PaperSBCThroughput / 60
 		out = append(out, LoadSweepPoint{
 			LoadFraction:  f,
 			OfferedPerMin: rate * 60,
-			MFCompleted:   mfDone,
-			MFMeanLatency: mfLat,
-			MFP95Latency:  mfP95,
-			MFJoulesPer:   mfJ,
-			ConvCompleted: cvDone,
-			ConvMeanLat:   cvLat,
-			ConvP95Lat:    cvP95,
-			ConvJoulesPer: cvJ,
+			MFCompleted:   mf.completed,
+			MFMeanLatency: mf.mean,
+			MFP95Latency:  mf.p95,
+			MFJoulesPer:   mf.joulesPer,
+			ConvCompleted: cv.completed,
+			ConvMeanLat:   cv.mean,
+			ConvP95Lat:    cv.p95,
+			ConvJoulesPer: cv.joulesPer,
 		})
 	}
 	return out, nil

@@ -39,11 +39,33 @@ type RackScaleConfig struct {
 	// JobsPerWorker sets run length (default 8).
 	JobsPerWorker int
 	Seed          int64
+	// Shards splits each rack into independent sub-simulations (default
+	// 16, clamped to the node count). MicroFaaS SBCs never interact and
+	// conventional servers only couple VMs on the same host, so sharding
+	// by node group is exact, not an approximation. The shard count is
+	// fixed by the config — never by Parallel — so the report is
+	// byte-identical at any parallelism.
+	Shards int
+	// Parallel bounds the worker pool running shards across cores
+	// (<=0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+}
+
+// rackShardStats is the subset of cluster.SuiteStats a rack merge needs.
+type rackShardStats struct {
+	completed int
+	energyJ   float64
+	makespanS float64
 }
 
 // RackScale runs both racks to completion and reports throughput and
 // power. Switch power (Appendix: 40.87 W per 48 ports) is added to both
 // racks' totals, as the paper's TCO energy row does.
+//
+// Each rack is sharded into independent sub-simulations that run on the
+// parallel runner with derived per-shard seeds; shard results merge in
+// index order (completions and energy sum, the rack makespan is the
+// slowest shard's).
 func RackScale(cfg RackScaleConfig) (RackScaleResult, error) {
 	res := RackScaleResult{
 		SBCs:         cfg.SBCs,
@@ -63,39 +85,104 @@ func RackScale(cfg RackScaleConfig) (RackScaleResult, error) {
 	if jobs <= 0 {
 		jobs = 8
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
 	assumptions := tco.PaperAssumptions()
 	switchW := func(nodes int) float64 {
 		return float64(tco.Switches(nodes, assumptions)) * float64(power.DefaultSwitchModel().Power())
 	}
+	workers := Parallelism(cfg.Parallel)
 
-	mf, err := cluster.NewMicroFaaSSim(res.SBCs, cluster.SimConfig{Seed: cfg.Seed})
+	// MicroFaaS rack: shard the SBCs. Shard i seeds its own engine with
+	// DeriveSeed(seed, i), so shard streams are decorrelated and stable.
+	mfShards := shards
+	if mfShards > res.SBCs {
+		mfShards = res.SBCs
+	}
+	mfStats, err := RunParallel(workers, mfShards, func(i int) (rackShardStats, error) {
+		nodes := shardSize(res.SBCs, mfShards, i)
+		s, err := cluster.NewMicroFaaSSim(nodes, cluster.SimConfig{Seed: DeriveSeed(cfg.Seed, i)})
+		if err != nil {
+			return rackShardStats{}, err
+		}
+		// jobs per worker ≈ jobsPerFunction×17/nodes → jobsPerFunction = jobs×nodes/17.
+		perFunction := jobs * nodes / len(model.Functions())
+		if perFunction < 1 {
+			perFunction = 1
+		}
+		if _, err := s.RunSuite(perFunction, nil); err != nil {
+			return rackShardStats{}, err
+		}
+		st := s.Stats()
+		return rackShardStats{completed: st.Completed, energyJ: st.TotalEnergyJ, makespanS: st.MakespanS}, nil
+	})
 	if err != nil {
 		return RackScaleResult{}, err
 	}
-	// jobs per worker ≈ jobsPerFunction×17/nodes → jobsPerFunction = jobs×nodes/17.
-	perFunction := jobs * res.SBCs / len(model.Functions())
-	if _, err := mf.RunSuite(perFunction, nil); err != nil {
-		return RackScaleResult{}, err
-	}
-	mfSt := mf.Stats()
-	res.SBCThroughput = float64(mfSt.Completed) / (mfSt.MakespanS / 60)
-	res.SBCPowerW = mfSt.TotalEnergyJ/mfSt.MakespanS + switchW(res.SBCs)
-	res.SBCJoulesPerFunc = (mfSt.TotalEnergyJ + switchW(res.SBCs)*mfSt.MakespanS) / float64(mfSt.Completed)
+	mfSt := mergeRackShards(mfStats)
+	res.SBCThroughput = float64(mfSt.completed) / (mfSt.makespanS / 60)
+	res.SBCPowerW = mfSt.energyJ/mfSt.makespanS + switchW(res.SBCs)
+	res.SBCJoulesPerFunc = (mfSt.energyJ + switchW(res.SBCs)*mfSt.makespanS) / float64(mfSt.completed)
 
-	vms := res.Servers * res.VMsPerServer
-	conv, err := cluster.NewConventionalRackSim(res.Servers, res.VMsPerServer, cluster.SimConfig{Seed: cfg.Seed})
+	// Conventional rack: shard by server, since VMs share a host's cores
+	// but servers share nothing. Shard seeds are offset so the two racks
+	// never reuse a stream.
+	convShards := shards
+	if convShards > res.Servers {
+		convShards = res.Servers
+	}
+	convStats, err := RunParallel(workers, convShards, func(i int) (rackShardStats, error) {
+		servers := shardSize(res.Servers, convShards, i)
+		s, err := cluster.NewConventionalRackSim(servers, res.VMsPerServer, cluster.SimConfig{Seed: DeriveSeed(cfg.Seed, 1<<16+i)})
+		if err != nil {
+			return rackShardStats{}, err
+		}
+		vms := servers * res.VMsPerServer
+		perFunction := jobs * vms / len(model.Functions())
+		if perFunction < 1 {
+			perFunction = 1
+		}
+		if _, err := s.RunSuite(perFunction, nil); err != nil {
+			return rackShardStats{}, err
+		}
+		st := s.Stats()
+		return rackShardStats{completed: st.Completed, energyJ: st.TotalEnergyJ, makespanS: st.MakespanS}, nil
+	})
 	if err != nil {
 		return RackScaleResult{}, err
 	}
-	perFunction = jobs * vms / len(model.Functions())
-	if _, err := conv.RunSuite(perFunction, nil); err != nil {
-		return RackScaleResult{}, err
-	}
-	convSt := conv.Stats()
-	res.ServerThroughput = float64(convSt.Completed) / (convSt.MakespanS / 60)
-	res.ServerPowerW = convSt.TotalEnergyJ/convSt.MakespanS + switchW(res.Servers)
-	res.ServerJoulesPerFunc = (convSt.TotalEnergyJ + switchW(res.Servers)*convSt.MakespanS) / float64(convSt.Completed)
+	convSt := mergeRackShards(convStats)
+	res.ServerThroughput = float64(convSt.completed) / (convSt.makespanS / 60)
+	res.ServerPowerW = convSt.energyJ/convSt.makespanS + switchW(res.Servers)
+	res.ServerJoulesPerFunc = (convSt.energyJ + switchW(res.Servers)*convSt.makespanS) / float64(convSt.completed)
 	return res, nil
+}
+
+// shardSize distributes n nodes over k shards as evenly as possible
+// (the first n%k shards get one extra).
+func shardSize(n, k, i int) int {
+	size := n / k
+	if i < n%k {
+		size++
+	}
+	return size
+}
+
+// mergeRackShards folds shard results in index order: completions and
+// energy sum; the rack's makespan is the slowest shard's (all shards
+// start at virtual zero).
+func mergeRackShards(shards []rackShardStats) rackShardStats {
+	var out rackShardStats
+	for _, s := range shards {
+		out.completed += s.completed
+		out.energyJ += s.energyJ
+		if s.makespanS > out.makespanS {
+			out.makespanS = s.makespanS
+		}
+	}
+	return out
 }
 
 // WriteRackScale prints the rack-scale comparison.

@@ -56,3 +56,27 @@ func TestRackScaleDefaultsToTableIISizes(t *testing.T) {
 		t.Fatalf("989-SBC rack throughput = %.0f func/min, implausibly low", res.SBCThroughput)
 	}
 }
+
+func TestRackScale10K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10,000-SBC rack in -short mode")
+	}
+	// The PR's dispatch-scalability target: a 10,000-SBC MicroFaaS rack
+	// (the `rackscale10k` command's configuration, shortened to 2 jobs per
+	// worker) must run to completion — 20,000 completions across 16 shards
+	// — with the energy ordering intact.
+	res, err := RackScale(RackScaleConfig{SBCs: 10000, Servers: 415, JobsPerWorker: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SBCs != 10000 {
+		t.Fatalf("SBCs = %d, want 10000", res.SBCs)
+	}
+	if res.SBCThroughput <= 0 || res.ServerThroughput <= 0 {
+		t.Fatalf("throughputs = %.1f / %.1f", res.SBCThroughput, res.ServerThroughput)
+	}
+	if res.SBCJoulesPerFunc >= res.ServerJoulesPerFunc {
+		t.Fatalf("10k-rack energy: MicroFaaS %.2f J/func >= conventional %.2f",
+			res.SBCJoulesPerFunc, res.ServerJoulesPerFunc)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(4); got != 4 {
+		t.Fatalf("Parallelism(4) = %d", got)
+	}
+	if got := Parallelism(1); got != 1 {
+		t.Fatalf("Parallelism(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Parallelism(0); got != want {
+		t.Fatalf("Parallelism(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Parallelism(-3); got != want {
+		t.Fatalf("Parallelism(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestDeriveSeedDecorrelated(t *testing.T) {
+	// Distinct (base, index) pairs must map to distinct seeds — adjacent
+	// indices and adjacent bases alike.
+	seen := map[int64][2]int64{}
+	for base := int64(0); base < 8; base++ {
+		for i := 0; i < 64; i++ {
+			s := DeriveSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed collision: (%d,%d) and (%d,%d) both -> %d",
+					base, i, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+	// And it must be a pure function.
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+}
+
+func TestRunParallelIndexOrder(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 200} {
+		got, err := RunParallel(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelSerialParallelEquivalent(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("task-%03d", i), nil }
+	serial, err := RunParallel(1, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunParallel(8, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %q != parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunParallelLowestIndexErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 8} {
+		_, err := RunParallel(workers, 50, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 40:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestRunParallelRunsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var calls [n]atomic.Int32
+	if _, err := RunParallel(16, n, func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	got, err := RunParallel(8, 0, func(i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+}

@@ -37,6 +37,9 @@ type SensitivityConfig struct {
 	// InvocationsPerFunction per trial (default 20).
 	InvocationsPerFunction int
 	Seed                   int64
+	// Parallel bounds the worker pool fanning trials across cores
+	// (<=0 = GOMAXPROCS, 1 = serial). Results are identical at any value.
+	Parallel int
 }
 
 // Sensitivity runs the Monte-Carlo perturbation study.
@@ -56,16 +59,20 @@ func Sensitivity(cfg SensitivityConfig) (SensitivityResult, error) {
 	if inv <= 0 {
 		inv = 20
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	gains := make([]float64, 0, trials)
-	below := 0
-	for trial := 0; trial < trials; trial++ {
+	// Each trial perturbs from its own derived-seed RNG stream (instead of
+	// one RNG consumed sequentially across trials), so trials are
+	// independent tasks: fanning them across cores cannot change any
+	// trial's inputs, and serial and parallel runs agree exactly.
+	gains, err := RunParallel(Parallelism(cfg.Parallel), trials, func(trial int) (float64, error) {
+		rng := rand.New(rand.NewSource(DeriveSeed(cfg.Seed, trial)))
 		specs := perturbSpecs(rng, spread)
-		gain, err := measureGain(specs, inv, cfg.Seed+int64(trial))
-		if err != nil {
-			return SensitivityResult{}, err
-		}
-		gains = append(gains, gain)
+		return measureGain(specs, inv, cfg.Seed+int64(trial))
+	})
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	below := 0
+	for _, gain := range gains {
 		if gain <= 1 {
 			below++
 		}

@@ -30,7 +30,12 @@ type RackServer struct {
 	meter  *power.Meter
 	model  power.ServerModel
 
-	tasks      map[*cpuTask]struct{}
+	// tasks holds the running tasks in admission order. A slice, not a
+	// map: rebalance sums demand and (re)schedules completion events while
+	// iterating, so randomized map order would perturb the float sum's
+	// last ULP and the engine's same-instant seq tiebreaks from run to
+	// run, breaking bit-exact determinism.
+	tasks      []*cpuTask
 	lastUpdate time.Duration
 }
 
@@ -53,7 +58,6 @@ func NewRackServer(id string, cores int, engine *sim.Engine, meter *power.Meter,
 		engine: engine,
 		meter:  meter,
 		model:  model,
-		tasks:  make(map[*cpuTask]struct{}),
 	}
 	if meter != nil {
 		meter.Set(id, model.Power(0), engine.Now())
@@ -67,7 +71,7 @@ func (rs *RackServer) ID() string { return rs.id }
 // Utilization returns the current fraction of cores in use (capped at 1).
 func (rs *RackServer) Utilization() float64 {
 	demand := 0.0
-	for t := range rs.tasks {
+	for _, t := range rs.tasks {
 		demand += t.demand
 	}
 	return math.Min(demand, rs.cores) / rs.cores
@@ -86,7 +90,7 @@ func (rs *RackServer) Run(cpuSeconds, demand float64, done func()) {
 	}
 	rs.advance()
 	t := &cpuTask{demand: demand, remaining: cpuSeconds, done: done}
-	rs.tasks[t] = struct{}{}
+	rs.tasks = append(rs.tasks, t)
 	rs.rebalance()
 }
 
@@ -95,7 +99,7 @@ func (rs *RackServer) advance() {
 	now := rs.engine.Now()
 	dt := (now - rs.lastUpdate).Seconds()
 	if dt > 0 {
-		for t := range rs.tasks {
+		for _, t := range rs.tasks {
 			t.remaining -= t.rate * dt
 			if t.remaining < 0 {
 				t.remaining = 0
@@ -109,14 +113,14 @@ func (rs *RackServer) advance() {
 // updates the power meter. Call only after advance().
 func (rs *RackServer) rebalance() {
 	demand := 0.0
-	for t := range rs.tasks {
+	for _, t := range rs.tasks {
 		demand += t.demand
 	}
 	scale := 1.0
 	if demand > rs.cores {
 		scale = rs.cores / demand
 	}
-	for t := range rs.tasks {
+	for _, t := range rs.tasks {
 		t.rate = t.demand * scale
 		if t.event != nil {
 			t.event.Cancel()
@@ -133,7 +137,12 @@ func (rs *RackServer) rebalance() {
 
 func (rs *RackServer) complete(t *cpuTask) {
 	rs.advance()
-	delete(rs.tasks, t)
+	for i, cur := range rs.tasks {
+		if cur == t {
+			rs.tasks = append(rs.tasks[:i], rs.tasks[i+1:]...)
+			break
+		}
+	}
 	rs.rebalance()
 	t.done()
 }

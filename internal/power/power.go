@@ -63,6 +63,11 @@ func (s State) String() string {
 type Meter struct {
 	mu      sync.Mutex
 	devices map[string]*deviceTrack
+	// order holds device ids in registration order. Totals sum in this
+	// order, not map order: float addition is not associative, so summing
+	// in randomized map order would perturb the last ULP from run to run
+	// and break the simulator's bit-exact determinism guarantee.
+	order []string
 }
 
 type deviceTrack struct {
@@ -91,6 +96,7 @@ func (m *Meter) Set(id string, p Watts, now time.Duration) {
 	d, ok := m.devices[id]
 	if !ok {
 		m.devices[id] = &deviceTrack{lastTime: now, watts: p}
+		m.order = append(m.order, id)
 		return
 	}
 	if now < d.lastTime {
@@ -123,8 +129,8 @@ func (m *Meter) TotalEnergy(now time.Duration) Joules {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum Joules
-	for _, d := range m.devices {
-		sum += d.readLocked(now)
+	for _, id := range m.order {
+		sum += m.devices[id].readLocked(now)
 	}
 	return sum
 }
@@ -155,8 +161,8 @@ func (m *Meter) TotalPower() Watts {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum Watts
-	for _, d := range m.devices {
-		sum += d.watts
+	for _, id := range m.order {
+		sum += m.devices[id].watts
 	}
 	return sum
 }

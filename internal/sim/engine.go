@@ -22,6 +22,11 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	running bool
+	// live counts the not-yet-cancelled events still queued, so Pending is
+	// O(1) instead of a heap walk; tombs counts cancelled events that are
+	// still physically in the heap awaiting lazy removal.
+	live  int
+	tombs int
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -43,14 +48,27 @@ type Event struct {
 	fn        func()
 	index     int // heap index; -1 once removed
 	cancelled bool
+	eng       *Engine
 }
 
 // Time returns the virtual time at which the event fires (or would have).
 func (ev *Event) Time() time.Duration { return ev.at }
 
 // Cancel prevents the event's callback from running. Cancelling an event
-// that already fired or was already cancelled is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+// that already fired or was already cancelled is a no-op. A cancelled
+// event stays in the heap as a tombstone until it is popped or the engine
+// compacts; the engine's live/tombstone counters are updated here so that
+// Pending never has to walk the heap.
+func (ev *Event) Cancel() {
+	if ev.cancelled || ev.index < 0 {
+		ev.cancelled = true
+		return
+	}
+	ev.cancelled = true
+	ev.eng.live--
+	ev.eng.tombs++
+	ev.eng.maybeCompact()
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay panics:
 // the simulation cannot travel backwards.
@@ -69,8 +87,9 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
+	e.live++
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -83,8 +102,10 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.cancelled {
+			e.tombs--
 			continue
 		}
+		e.live--
 		e.now = ev.at
 		ev.fn()
 		return true
@@ -106,12 +127,14 @@ func (e *Engine) Run(until time.Duration) int {
 		next := e.queue[0]
 		if next.cancelled {
 			heap.Pop(&e.queue)
+			e.tombs--
 			continue
 		}
 		if next.at > until {
 			break
 		}
 		heap.Pop(&e.queue)
+		e.live--
 		e.now = next.at
 		next.fn()
 		n++
@@ -135,14 +158,39 @@ func (e *Engine) RunAll() int {
 }
 
 // Pending returns the number of not-yet-cancelled events in the queue.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
+// It is O(1): the engine keeps a live count instead of walking the heap.
+func (e *Engine) Pending() int { return e.live }
+
+// compactFloor is the minimum number of tombstones before compaction is
+// considered: below it, lazy pop-time removal is already cheap, and
+// compacting tiny queues would thrash.
+const compactFloor = 32
+
+// maybeCompact rebuilds the heap without its cancelled events once they
+// outnumber the live ones (tombstones exceed half the queue). Cancel-heavy
+// workloads — keep-warm expiries, deadline timers that rarely fire — would
+// otherwise grow the heap with corpses that every push/pop still pays
+// log-time for. Amortized cost is O(1) per cancellation.
+func (e *Engine) maybeCompact() {
+	if e.tombs < compactFloor || e.tombs*2 <= len(e.queue) {
+		return
 	}
-	return n
+	kept := 0
+	for _, ev := range e.queue {
+		if ev.cancelled {
+			ev.index = -1
+			continue
+		}
+		e.queue[kept] = ev
+		ev.index = kept
+		kept++
+	}
+	for i := kept; i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:kept]
+	heap.Init(&e.queue)
+	e.tombs = 0
 }
 
 // eventQueue is a min-heap ordered by (time, sequence number).

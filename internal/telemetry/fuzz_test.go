@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// exposeSamples renders parsed samples back into the exposition format
+// ParseText consumes — the inverse used to close the fuzz round-trip.
+// Label sets are always braced (a sample parsed from `{} 1` has an empty
+// name) and values print with full float64 round-trip precision.
+func exposeSamples(ss Samples) string {
+	var b strings.Builder
+	for _, s := range ss {
+		b.WriteString(s.Name)
+		b.WriteByte('{')
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+			b.WriteString(`="`)
+			v := s.Labels[k]
+			v = strings.ReplaceAll(v, `\`, `\\`)
+			v = strings.ReplaceAll(v, `"`, `\"`)
+			v = strings.ReplaceAll(v, "\n", `\n`)
+			b.WriteString(v)
+			b.WriteByte('"')
+		}
+		b.WriteString("} ")
+		switch {
+		case math.IsInf(s.Value, 1):
+			b.WriteString("+Inf")
+		case math.IsInf(s.Value, -1):
+			b.WriteString("-Inf")
+		case math.IsNaN(s.Value):
+			b.WriteString("NaN")
+		default:
+			b.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sameValue(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// FuzzParseMetrics feeds arbitrary text to the exposition parser. It must
+// never panic; whatever it accepts must survive a full
+// parse -> expose -> parse round trip with identical samples — the
+// guarantee that lets faasctl top and the test suite treat /metrics
+// scrapes as a lossless view of the registry.
+func FuzzParseMetrics(f *testing.F) {
+	f.Add("# HELP microfaas_invocations_total Completed invocations.\n# TYPE microfaas_invocations_total counter\nmicrofaas_invocations_total{worker=\"sbc-0\",result=\"ok\"} 41\n")
+	f.Add("microfaas_queue_depth{worker=\"sbc-3\"} 2\n")
+	f.Add("microfaas_invocation_seconds_bucket{function=\"AES128\",le=\"0.5\"} 17\nmicrofaas_invocation_seconds_bucket{function=\"AES128\",le=\"+Inf\"} 20\nmicrofaas_invocation_seconds_sum{function=\"AES128\"} 8.25\nmicrofaas_invocation_seconds_count{function=\"AES128\"} 20\n")
+	f.Add("up 1\n\n# stray comment\nweird{a=\"b \\\"quoted\\\" and \\\\ back\",c=\"line\\nbreak\"} -0.5\n")
+	f.Add("nan_metric NaN\nneg_inf -Inf\n")
+	f.Add("{} 3\n")        // empty name, empty labels
+	f.Add("broken{a= 1\n") // unterminated label set
+	f.Add("novalue\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		ss, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panics are the failure mode
+		}
+		rendered := exposeSamples(ss)
+		ss2, err := ParseText(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("re-parse of exposed samples failed: %v\nexposed:\n%s", err, rendered)
+		}
+		if len(ss2) != len(ss) {
+			t.Fatalf("round trip changed sample count: %d -> %d\nexposed:\n%s", len(ss), len(ss2), rendered)
+		}
+		for i := range ss {
+			a, b := ss[i], ss2[i]
+			if a.Name != b.Name {
+				t.Fatalf("sample %d name %q -> %q", i, a.Name, b.Name)
+			}
+			if !sameValue(a.Value, b.Value) {
+				t.Fatalf("sample %d (%s) value %v -> %v", i, a.Name, a.Value, b.Value)
+			}
+			if len(a.Labels) != len(b.Labels) {
+				t.Fatalf("sample %d (%s) labels %v -> %v", i, a.Name, a.Labels, b.Labels)
+			}
+			for k, v := range a.Labels {
+				if b.Labels[k] != v {
+					t.Fatalf("sample %d (%s) label %q: %q -> %q", i, a.Name, k, v, b.Labels[k])
+				}
+			}
+		}
+	})
+}

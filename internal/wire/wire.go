@@ -52,9 +52,18 @@ func ReadJSON(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds %d limit", n, MaxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	// Read through a LimitReader instead of allocating n bytes up front:
+	// the length prefix is attacker-controlled on a live socket, and a
+	// corrupt header must not pin MaxFrame of memory before the stream
+	// proves it has that many bytes.
+	body, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
 		return err
+	}
+	if uint32(len(body)) < n {
+		// A present header promises a body: running dry mid-frame is a
+		// truncation, never a clean end-of-stream.
+		return io.ErrUnexpectedEOF
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.UseNumber()

@@ -281,20 +281,33 @@ func BootImpact(cfg BootImpactConfig) ([]BootImpactRow, error) {
 }
 
 // AblationCryptoAccel, AblationGigE, and AblationNoReboot quantify the
-// design variations the paper's discussion motivates.
-func AblationCryptoAccel(speedup float64, seed int64, invocations int) (AblationResult, error) {
-	return experiments.AblationCryptoAccel(speedup, seed, invocations)
+// design variations the paper's discussion motivates. parallel bounds the
+// worker pool running the baseline and modified arms (<=0 = GOMAXPROCS,
+// 1 = serial; results are identical at any value).
+func AblationCryptoAccel(speedup float64, seed int64, invocations, parallel int) (AblationResult, error) {
+	return experiments.AblationCryptoAccel(speedup, seed, invocations, parallel)
 }
 
 // AblationGigE upgrades the SBC NICs to Gigabit Ethernet.
-func AblationGigE(seed int64, invocations int) (AblationResult, error) {
-	return experiments.AblationGigE(seed, invocations)
+func AblationGigE(seed int64, invocations, parallel int) (AblationResult, error) {
+	return experiments.AblationGigE(seed, invocations, parallel)
 }
 
 // AblationNoReboot disables the reboot between jobs.
-func AblationNoReboot(seed int64, invocations int) (AblationResult, error) {
-	return experiments.AblationNoReboot(seed, invocations)
+func AblationNoReboot(seed int64, invocations, parallel int) (AblationResult, error) {
+	return experiments.AblationNoReboot(seed, invocations, parallel)
 }
+
+// RunParallel fans n independent tasks across a bounded pool of workers
+// goroutines and returns results in index order (see
+// internal/experiments/runner.go for the determinism contract).
+func RunParallel[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return experiments.RunParallel(workers, n, fn)
+}
+
+// DeriveSeed maps a base seed and task index to a decorrelated per-task
+// seed (splitmix64).
+func DeriveSeed(base int64, i int) int64 { return experiments.DeriveSeed(base, i) }
 
 // --- Paper constants (Sec V) ---
 

@@ -110,7 +110,7 @@ func TestPublicExperimentsRun(t *testing.T) {
 }
 
 func TestPublicAblations(t *testing.T) {
-	res, err := AblationNoReboot(1, 10)
+	res, err := AblationNoReboot(1, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +164,11 @@ func TestPublicExtensionExperiments(t *testing.T) {
 	if err != nil || sv.MedianGain <= 1 {
 		t.Fatalf("Sensitivity: %+v, %v", sv, err)
 	}
-	ab, err := AblationCryptoAccel(4, 1, 5)
+	ab, err := AblationCryptoAccel(4, 1, 5, 1)
 	if err != nil || ab.Speedup() <= 1 {
 		t.Fatalf("AblationCryptoAccel: %+v, %v", ab, err)
 	}
-	if _, err := AblationGigE(1, 5); err != nil {
+	if _, err := AblationGigE(1, 5, 1); err != nil {
 		t.Fatal(err)
 	}
 }
