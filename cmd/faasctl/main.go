@@ -9,6 +9,8 @@
 //	faasctl [-gateway host:port] invoke <function> [args-json]
 //	faasctl [-gateway host:port] -async invoke <function> [args-json]
 //	faasctl [-gateway host:port] job <id>
+//	faasctl [-gateway host:port] trace <job-id>
+//	faasctl [-gateway host:port] trace --slowest <n>
 //	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0]
 package main
 
@@ -30,7 +32,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "top: refresh interval")
 	iterations := flag.Int("iterations", 0, "top: stop after N refreshes (0 = until interrupted)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|trace|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,9 +84,103 @@ func (c *client) run(args []string) error {
 			return fmt.Errorf("job requires an id")
 		}
 		return c.get("/jobs/" + args[1])
+	case "trace":
+		return c.trace(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// traceSummary mirrors the gateway's /traces reply shape.
+type traceSummary struct {
+	Trace          string  `json:"trace"`
+	Job            int64   `json:"job"`
+	Function       string  `json:"function"`
+	Worker         string  `json:"worker"`
+	Attempts       int     `json:"attempts"`
+	Error          string  `json:"error"`
+	LatencyMs      float64 `json:"latency_ms"`
+	UnattributedMs float64 `json:"unattributed_ms"`
+	EnergyJ        float64 `json:"energy_j"`
+	Phases         []struct {
+		Phase      string  `json:"phase"`
+		DurationMs float64 `json:"duration_ms"`
+		EnergyJ    float64 `json:"energy_j"`
+		Count      int     `json:"count"`
+	} `json:"phases"`
+}
+
+// trace renders a phase-by-phase latency and energy breakdown for one
+// job's trace (`trace <job-id>`) or the N slowest traces on record
+// (`trace --slowest N`).
+func (c *client) trace(args []string) error {
+	var path string
+	switch {
+	case len(args) >= 2 && (args[0] == "--slowest" || args[0] == "-slowest"):
+		path = "/traces?slowest=" + args[1]
+	case len(args) == 1:
+		path = "/traces?job=" + args[0]
+	default:
+		return fmt.Errorf("usage: trace <job-id> | trace --slowest <n>")
+	}
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.prettyPrint(resp.Body)
+	}
+	var reply struct {
+		Traces []traceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return err
+	}
+	if len(reply.Traces) == 0 {
+		return fmt.Errorf("no trace on record (is tracing enabled, and was the job sampled?)")
+	}
+	for i, t := range reply.Traces {
+		if i > 0 {
+			fmt.Fprintln(c.out)
+		}
+		c.printTrace(t)
+	}
+	return nil
+}
+
+// printTrace writes one trace's breakdown table: per-phase duration and
+// joules, then a total row that the phases (plus any unattributed gap)
+// sum to.
+func (c *client) printTrace(t traceSummary) {
+	fmt.Fprintf(c.out, "trace %s  job %d  %s", t.Trace, t.Job, t.Function)
+	if t.Worker != "" {
+		fmt.Fprintf(c.out, "  worker %s", t.Worker)
+	}
+	fmt.Fprintf(c.out, "  attempts %d", t.Attempts)
+	if t.Error != "" {
+		fmt.Fprintf(c.out, "  error %q", t.Error)
+	}
+	fmt.Fprintln(c.out)
+	fmt.Fprintf(c.out, "  %-10s %12s %12s %6s\n", "phase", "duration", "energy", "spans")
+	for _, p := range t.Phases {
+		fmt.Fprintf(c.out, "  %-10s %12s %12s %6d\n",
+			p.Phase, fmtMs(p.DurationMs), fmtJoules(p.EnergyJ), p.Count)
+	}
+	if t.UnattributedMs > 0 {
+		fmt.Fprintf(c.out, "  %-10s %12s %12s\n", "(unattrib)", fmtMs(t.UnattributedMs), fmtJoules(0))
+	}
+	fmt.Fprintf(c.out, "  %-10s %12s %12s\n", "total", fmtMs(t.LatencyMs), fmtJoules(t.EnergyJ))
+}
+
+// fmtMs renders fractional milliseconds as a duration string.
+func fmtMs(v float64) string {
+	return time.Duration(v * float64(time.Millisecond)).Round(time.Microsecond).String()
+}
+
+// fmtJoules renders an energy value; sub-millijoule noise reads as 0.
+func fmtJoules(v float64) string {
+	return fmt.Sprintf("%.3f J", v)
 }
 
 // workersTable renders /workers as a compact health table; `workers -v`

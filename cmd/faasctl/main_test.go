@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
@@ -10,7 +11,10 @@ import (
 
 	"microfaas/internal/cluster"
 	"microfaas/internal/gateway"
+	"microfaas/internal/power"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/trace"
+	"microfaas/internal/tracing"
 )
 
 // startStack boots a live cluster + gateway and returns a client aimed at
@@ -200,5 +204,168 @@ func TestTopWithoutTelemetry(t *testing.T) {
 	c.iterations = 1
 	if err := c.run([]string{"top"}); err == nil || !strings.Contains(err.Error(), "telemetry disabled") {
 		t.Fatalf("err = %v, want telemetry-disabled hint", err)
+	}
+}
+
+// startTracedSimStack runs a seeded MicroFaaS simulation with tracing on,
+// serves its orchestrator through a gateway, and aims a client at it —
+// the fixture for the trace-command acceptance test.
+func startTracedSimStack(t *testing.T) (*client, *strings.Builder, *tracing.Tracer, *trace.Collector) {
+	t.Helper()
+	tr := tracing.New()
+	s, err := cluster.NewMicroFaaSSim(4, cluster.SimConfig{Seed: 7, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := s.RunSuite(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.NewWithOptions(s.Orch, gateway.Options{Mode: "sim", Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	var sb strings.Builder
+	return &client{
+		base: "http://" + addr,
+		http: &http.Client{Timeout: 30 * time.Second},
+		out:  &sb,
+	}, &sb, tr, coll
+}
+
+// parseTraceTable picks the phase rows and the total row out of the
+// trace command's table output.
+func parseTraceTable(t *testing.T, out string) (phases map[string]struct {
+	dur time.Duration
+	j   float64
+}, total struct {
+	dur time.Duration
+	j   float64
+}) {
+	t.Helper()
+	phases = map[string]struct {
+		dur time.Duration
+		j   float64
+	}{}
+	sawTotal := false
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		// Rows look like: "queue  1.2ms  0.000 J  1" / "total  1.9s  2.96 J".
+		if len(f) < 4 || f[3] != "J" || f[0] == "phase" {
+			continue
+		}
+		dur, err := time.ParseDuration(f[1])
+		if err != nil {
+			t.Fatalf("bad duration %q in line %q: %v", f[1], line, err)
+		}
+		var joules float64
+		if _, err := fmt.Sscanf(f[2], "%f", &joules); err != nil {
+			t.Fatalf("bad energy %q in line %q: %v", f[2], line, err)
+		}
+		if f[0] == "total" {
+			total.dur, total.j = dur, joules
+			sawTotal = true
+			continue
+		}
+		phases[f[0]] = struct {
+			dur time.Duration
+			j   float64
+		}{dur, joules}
+	}
+	if !sawTotal {
+		t.Fatalf("no total row in output:\n%s", out)
+	}
+	if len(phases) == 0 {
+		t.Fatalf("no phase rows in output:\n%s", out)
+	}
+	return phases, total
+}
+
+// TestTraceSlowestCommand is the tracing acceptance check at the CLI:
+// `faasctl trace --slowest 1` against a seeded sim run must print a
+// phase breakdown whose latencies sum to the end-to-end latency and
+// whose joules sum to the invocation's metered energy within 1%.
+func TestTraceSlowestCommand(t *testing.T) {
+	c, out, tr, coll := startTracedSimStack(t)
+	if err := c.run([]string{"trace", "--slowest", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace ", "queue", "boot", "exec", "total"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, got)
+		}
+	}
+	phases, total := parseTraceTable(t, got)
+
+	// Printed phase durations must sum to the printed total (each row is
+	// independently rounded to the microsecond, so allow that much slop
+	// per row).
+	var sumDur time.Duration
+	var sumJ float64
+	for _, p := range phases {
+		sumDur += p.dur
+		sumJ += p.j
+	}
+	if diff := (sumDur - total.dur).Abs(); diff > time.Duration(len(phases))*time.Microsecond {
+		t.Fatalf("phase durations sum to %v, total says %v", sumDur, total.dur)
+	}
+	if diff := math.Abs(sumJ - total.j); diff > 0.01*total.j+0.001 {
+		t.Fatalf("phase joules sum to %.3f, total says %.3f", sumJ, total.j)
+	}
+
+	// And the totals must agree with ground truth: the slowest trace's
+	// record, its latency exactly and its metered energy within 1%.
+	slow := tr.Slowest(1)
+	if len(slow) != 1 {
+		t.Fatalf("tracer has no slowest trace")
+	}
+	var rec *trace.Record
+	records := coll.Records()
+	for i := range records {
+		if records[i].JobID == slow[0].Root.Job {
+			rec = &records[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no record for job %d", slow[0].Root.Job)
+	}
+	if wantLat := rec.Finished - rec.Submitted; (total.dur - wantLat).Abs() > time.Microsecond {
+		t.Fatalf("printed latency %v vs record %v", total.dur, wantLat)
+	}
+	sbc := power.DefaultSBCModel()
+	wantJ := rec.Boot.Seconds()*float64(sbc.Power(power.Booting)) +
+		(rec.Overhead+rec.Exec).Seconds()*float64(sbc.Power(power.Busy))
+	if diff := math.Abs(total.j - wantJ); diff > 0.01*wantJ {
+		t.Fatalf("printed energy %.3f J vs metered %.3f J (%.2f%% off)",
+			total.j, wantJ, 100*diff/wantJ)
+	}
+}
+
+func TestTraceByJobCommand(t *testing.T) {
+	c, out, tr, _ := startTracedSimStack(t)
+	job := tr.Traces()[0].Root.Job
+	if err := c.run([]string{"trace", fmt.Sprintf("%d", job)}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("job %d", job)) {
+		t.Fatalf("trace output missing job id:\n%s", out.String())
+	}
+	parseTraceTable(t, out.String())
+}
+
+func TestTraceCommandUsage(t *testing.T) {
+	c, _, _, _ := startTracedSimStack(t)
+	if err := c.run([]string{"trace"}); err == nil {
+		t.Fatal("bare trace accepted")
+	}
+	if err := c.run([]string{"trace", "999999"}); err == nil {
+		t.Fatal("trace for unknown job succeeded")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"microfaas/internal/gateway"
 	"microfaas/internal/replay"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
 	"microfaas/internal/workload"
 )
 
@@ -47,6 +48,8 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a worker's circuit breaker opens (0 = disabled)")
 	breakerProbe := flag.Duration("breaker-probe", 30*time.Second, "how long an open breaker waits before probing the worker again")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "in serve mode, how long shutdown waits for in-flight jobs")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for per-invocation tracing, 0..1 (1 = every invocation; errors and >30s outliers always kept; 0 = tracing off)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the gateway")
 	flag.Parse()
 
 	opts := cluster.LiveOptions{
@@ -61,13 +64,23 @@ func main() {
 		BreakerProbe:     *breakerProbe,
 		Telemetry:        telemetry.New(),
 	}
-	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout); err != nil {
+	if *traceSample > 0 {
+		// Flag semantics: 0 disables tracing outright. Internally a zero
+		// SampleRate means "sample everything", so pass the rate through
+		// only once we know tracing is on.
+		opts.Tracer = tracing.NewWithConfig(tracing.Config{
+			Seed:          *seed,
+			SampleRate:    *traceSample,
+			SlowThreshold: 30 * time.Second,
+		})
+	}
+	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout, *pprofFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration) error {
+func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration, pprofOn bool) error {
 	l, err := cluster.StartLive(opts)
 	if err != nil {
 		return err
@@ -82,7 +95,7 @@ func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, s
 	if jobs > 0 {
 		return loadMode(os.Stdout, l, jobs, seed)
 	}
-	return serveMode(l, listen, drainTimeout)
+	return serveMode(l, listen, drainTimeout, opts.Tracer, pprofOn)
 }
 
 // replayMode replays a CSV trace against the live cluster, compressing
@@ -147,11 +160,13 @@ func (a *argFiller) Submit(function string, _ []byte) int64 {
 	return a.orch.Submit(function, args)
 }
 
-func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration) error {
+func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, tracer *tracing.Tracer, pprofOn bool) error {
 	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{
-		Timeout:   5 * time.Minute,
-		Mode:      "live",
-		Telemetry: l.Telemetry,
+		Timeout:     5 * time.Minute,
+		Mode:        "live",
+		Telemetry:   l.Telemetry,
+		Tracer:      tracer,
+		EnablePprof: pprofOn,
 	})
 	if err != nil {
 		return err
@@ -166,6 +181,12 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration) error
 	fmt.Printf("  faasctl -gateway %s invoke CascSHA '{\"rounds\":1000,\"seed\":\"hi\"}'\n", addr)
 	fmt.Printf("  faasctl -gateway %s top\n", addr)
 	fmt.Printf("  curl http://%s/metrics\n", addr)
+	if tracer != nil {
+		fmt.Printf("  faasctl -gateway %s trace --slowest 5\n", addr)
+	}
+	if pprofOn {
+		fmt.Printf("  go tool pprof http://%s/debug/pprof/profile?seconds=10\n", addr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

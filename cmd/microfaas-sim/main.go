@@ -16,6 +16,8 @@
 //	       to the given file
 //	-prom  write a Prometheus text-format metrics snapshot of fig3's
 //	       MicroFaaS run to the given file
+//	-trace write a Chrome trace_event dump (chrome://tracing, Perfetto)
+//	       of fig3's MicroFaaS run to the given file
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"microfaas/internal/experiments"
 	"microfaas/internal/model"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
 )
 
 // options carries the parsed flags into the experiment dispatch.
@@ -36,9 +39,10 @@ type options struct {
 	n        int
 	seed     int64
 	parallel int
-	csvPath  string
-	promPath string
-	asCSV    bool
+	csvPath   string
+	promPath  string
+	tracePath string
+	asCSV     bool
 }
 
 func main() {
@@ -47,6 +51,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size for independent sim instances (1 = serial; output is identical at any value)")
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
+	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
@@ -61,7 +66,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microfaas-sim: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	opts := options{n: *n, seed: *seed, parallel: *parallel, csvPath: *csvPath, promPath: *promPath, asCSV: *format == "csv"}
+	opts := options{n: *n, seed: *seed, parallel: *parallel, csvPath: *csvPath, promPath: *promPath,
+		tracePath: *tracePath, asCSV: *format == "csv"}
 	if err := run(os.Stdout, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
 		os.Exit(1)
@@ -91,7 +97,12 @@ func run(out io.Writer, experiment string, opts options) error {
 			}
 		}
 		if opts.promPath != "" {
-			return writePromSnapshot(opts.promPath, n, seed)
+			if err := writePromSnapshot(opts.promPath, n, seed); err != nil {
+				return err
+			}
+		}
+		if opts.tracePath != "" {
+			return writeChromeTrace(opts.tracePath, n, seed)
 		}
 		return nil
 	case "fig4":
@@ -251,5 +262,30 @@ func writePromSnapshot(path string, n int, seed int64) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
+	return f.Close()
+}
+
+// writeChromeTrace re-runs the MicroFaaS cluster with span recording
+// enabled (sample-all) and dumps every committed trace in Chrome
+// trace_event format — load the file in chrome://tracing or Perfetto to
+// see the queue→boot→exec→reboot timeline per worker.
+func writeChromeTrace(path string, n int, seed int64) error {
+	tr := tracing.NewWithConfig(tracing.Config{Seed: seed, MaxTraces: 1 << 20})
+	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cluster.SimConfig{Seed: seed, Tracer: tr})
+	if err != nil {
+		return err
+	}
+	if _, err := s.RunSuite(n, nil); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tracing.WriteChromeTrace(f, tr.Traces()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d traces to %s\n", tr.Len(), path)
 	return f.Close()
 }

@@ -12,6 +12,7 @@ import (
 	"microfaas/internal/power"
 	"microfaas/internal/sqlstore"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
 	"microfaas/internal/workload"
 )
 
@@ -50,6 +51,10 @@ type LiveOptions struct {
 	// OP, the workers, and (when Meter is on) the power meter. Nil
 	// disables instrumentation entirely.
 	Telemetry *telemetry.Telemetry
+	// Tracer enables per-invocation lifecycle span recording across the
+	// OP and the workers, with trace ids propagated to the workers over
+	// the wire protocol. Nil disables tracing entirely.
+	Tracer *tracing.Tracer
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -144,6 +149,10 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			cfg.Telemetry = opts.Telemetry
 			cfg.Clock = l.Runtime.Now // events stamp on the cluster clock
 		}
+		if opts.Tracer != nil {
+			cfg.Tracer = opts.Tracer
+			cfg.Clock = l.Runtime.Now // spans stamp on the cluster clock
+		}
 		w, err := node.StartLiveWorker(cfg)
 		if err != nil {
 			return nil, err
@@ -163,6 +172,7 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerProbe:     opts.BreakerProbe,
 			Telemetry:        opts.Telemetry,
+			Tracer:           opts.Tracer,
 		})
 		if err != nil {
 			return nil, err

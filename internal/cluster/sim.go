@@ -26,6 +26,7 @@ import (
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/tracing"
 )
 
 // SimConfig tunes a simulated cluster.
@@ -77,6 +78,11 @@ type SimConfig struct {
 	// seeded RNG or schedules events, enabling it leaves a seeded run's
 	// trace bit-identical.
 	Telemetry *telemetry.Telemetry
+	// Tracer enables per-invocation lifecycle span recording across the
+	// OP and the workers, with the same bit-identical guarantee as
+	// Telemetry (the tracer never draws randomness; sampling hashes the
+	// deterministic trace id).
+	Tracer *tracing.Tracer
 }
 
 // coreConfig assembles the OP config shared by every sim constructor.
@@ -93,6 +99,7 @@ func (c SimConfig) coreConfig(engine *sim.Engine, workers []core.Worker) core.Co
 		BreakerThreshold: c.BreakerThreshold,
 		BreakerProbe:     c.BreakerProbe,
 		Telemetry:        c.Telemetry,
+		Tracer:           c.Tracer,
 	}
 }
 
@@ -151,6 +158,7 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
 			Telemetry:     cfg.Telemetry,
+			Tracer:        cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -200,6 +208,7 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
 			Telemetry:     cfg.Telemetry,
+			Tracer:        cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -255,6 +264,7 @@ func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, err
 				SlowFactor:    cfg.SlowFactor,
 				KeepWarm:      cfg.KeepWarm,
 				Telemetry:     cfg.Telemetry,
+				Tracer:        cfg.Tracer,
 			})
 			if err != nil {
 				return nil, err

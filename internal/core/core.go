@@ -37,6 +37,7 @@ import (
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/tracing"
 )
 
 // Job is one queued function invocation.
@@ -54,6 +55,14 @@ type Job struct {
 	// expires the OP synthesizes a failed Result and moves on (retrying the
 	// job elsewhere while attempts remain). Zero means no deadline.
 	Timeout time.Duration
+	// Trace is the job's tracing context (the invalid zero Context when
+	// tracing is disabled). Workers record their boot/exec spans under it,
+	// and live workers propagate it over the wire protocol.
+	Trace tracing.Context
+	// queuedAt is when the current attempt entered its worker's queue, for
+	// the queue span. Reassignment away from a wedged worker preserves it:
+	// the job was waiting the whole time.
+	queuedAt time.Duration
 }
 
 // Result is a completed (or failed) invocation as reported by a worker.
@@ -298,6 +307,10 @@ type Config struct {
 	// the disabled path costs one nil check per site and leaves seeded
 	// runs bit-identical — telemetry never touches the RNG or the clock).
 	Telemetry *telemetry.Telemetry
+	// Tracer records per-invocation lifecycle spans (nil = disabled, with
+	// the same bit-identical guarantee as Telemetry: the tracer never
+	// draws randomness or schedules events).
+	Tracer *tracing.Tracer
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -306,6 +319,7 @@ type Orchestrator struct {
 	runtime   Runtime
 	collector *trace.Collector
 	tel       *telemetry.Telemetry
+	tracer    *tracing.Tracer
 	m         orchMetrics
 
 	policy           AssignPolicy
@@ -352,9 +366,10 @@ type inflight struct {
 
 // parkedRetry is a failed job waiting out its backoff delay.
 type parkedRetry struct {
-	job     Job
-	exclude string // the worker the previous attempt failed on
-	cancel  func()
+	job      Job
+	exclude  string // the worker the previous attempt failed on
+	parkedAt time.Duration
+	cancel   func()
 }
 
 // New builds an orchestrator over the given workers.
@@ -406,6 +421,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		retryMax:         retryMax,
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerProbe:     breakerProbe,
+		tracer:           cfg.Tracer,
 		rng:              rand.New(rand.NewSource(cfg.Seed)),
 		slots:            make([]*workerSlot, 0, len(cfg.Workers)),
 		byID:             make(map[string]*workerSlot, len(cfg.Workers)),
@@ -429,6 +445,13 @@ func New(cfg Config) (*Orchestrator, error) {
 
 // Telemetry returns the orchestrator's telemetry (nil when disabled).
 func (o *Orchestrator) Telemetry() *telemetry.Telemetry { return o.tel }
+
+// Tracer returns the orchestrator's tracer (nil when disabled).
+func (o *Orchestrator) Tracer() *tracing.Tracer { return o.tracer }
+
+// Now returns the current cluster-clock offset (virtual in sim mode,
+// wall-clock-since-start in live mode).
+func (o *Orchestrator) Now() time.Duration { return o.runtime.Now() }
 
 // Collector returns the orchestrator's trace collector.
 func (o *Orchestrator) Collector() *trace.Collector { return o.collector }
@@ -612,6 +635,8 @@ func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte
 	o.nextID++
 	id := o.nextID
 	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
+	job.Trace = o.tracer.StartTrace(function, id, function, job.SubmittedAt)
+	o.spanMarker(job, tracing.PhaseSubmit, "", job.SubmittedAt, "")
 	o.m.submitted.Inc()
 	o.emit(telemetry.EventSubmit, job, "", "")
 	o.pushJobLocked(s, job, "")
@@ -627,6 +652,11 @@ func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte
 // queue-depth gauge current and emitting the queue lifecycle event.
 // Caller holds o.mu.
 func (o *Orchestrator) pushJobLocked(s *workerSlot, job Job, detail string) {
+	// A reassigned job keeps its original queuedAt: it has been waiting
+	// since it first entered a queue, and the queue span should show that.
+	if detail != "reassigned" {
+		job.queuedAt = o.runtime.Now()
+	}
 	s.queue = append(s.queue, job)
 	o.queueDepthChangedLocked(s)
 	o.emit(telemetry.EventQueue, job, s.id, detail)
@@ -647,7 +677,10 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 	o.queueDepthChangedLocked(s)
 	o.m.busy[s.id].Set(1)
 	o.emit(telemetry.EventAssign, job, s.id, "")
-	fl := &inflight{job: job, slot: s, started: o.runtime.Now()}
+	started := o.runtime.Now()
+	o.span(job, tracing.PhaseQueue, s.id, job.queuedAt, started, "")
+	o.spanMarker(job, tracing.PhaseDispatch, s.id, started, "")
+	fl := &inflight{job: job, slot: s, started: started}
 	if job.Timeout > 0 {
 		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl) })
 	}
@@ -701,9 +734,12 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	if res.Err == "" {
 		o.noteAttemptMetrics(s.id, "ok")
 		o.emit(telemetry.EventSettle, job, s.id, "ok")
+		o.spanMarker(job, tracing.PhaseSettle, s.id, finished, "ok")
 	} else {
 		o.noteAttemptMetrics(s.id, "error")
 		o.emit(telemetry.EventSettle, job, s.id, "error")
+		o.spanMarker(job, tracing.PhaseSettle, s.id, finished, "error")
+		o.faultSpan(job, s.id, finished, res.Err)
 	}
 	runs, cb := o.resolveAttemptLocked(s, job, res, finished)
 	if run := o.maybeDispatchLocked(s); run != nil {
@@ -755,6 +791,8 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 	o.noteAttemptLocked(s, false, true)
 	o.noteAttemptMetrics(s.id, "timeout")
 	o.emit(telemetry.EventSettle, job, s.id, "timeout")
+	o.spanMarker(job, tracing.PhaseSettle, s.id, now, "timeout")
+	o.faultSpan(job, s.id, now, res.Err)
 	runs := o.reassignQueueLocked(s)
 	more, cb := o.resolveAttemptLocked(s, job, res, now)
 	runs = append(runs, more...)
@@ -802,11 +840,12 @@ func (o *Orchestrator) resolveAttemptLocked(failedOn *workerSlot, job Job, res R
 		next := job
 		next.Attempt++
 		if delay := o.retryDelayLocked(next.Attempt); delay > 0 {
-			p := &parkedRetry{job: next, exclude: failedOn.id}
+			p := &parkedRetry{job: next, exclude: failedOn.id, parkedAt: finished}
 			o.parked[next.ID] = p
 			p.cancel = o.runtime.After(delay, func() { o.requeueParked(next.ID) })
 			return nil, nil
 		}
+		o.span(next, tracing.PhaseRetry, "", finished, finished, "immediate")
 		s := o.pickRetryWorkerLocked(failedOn)
 		o.pushJobLocked(s, next, "retry")
 		if run := o.maybeDispatchLocked(s); run != nil {
@@ -814,6 +853,7 @@ func (o *Orchestrator) resolveAttemptLocked(failedOn *workerSlot, job Job, res R
 		}
 		return runs, nil
 	}
+	o.tracer.EndTrace(job.Trace, finished, res.WorkerID, res.Err)
 	o.noteFinal(job, res, finished)
 	o.pending--
 	o.m.pending.Set(float64(o.pending))
@@ -855,6 +895,7 @@ func (o *Orchestrator) requeueParked(id int64) {
 		return
 	}
 	delete(o.parked, id)
+	o.span(p.job, tracing.PhaseRetry, "", p.parkedAt, o.runtime.Now(), "backoff")
 	var s *workerSlot
 	if failed, ok := o.byID[p.exclude]; ok {
 		s = o.pickRetryWorkerLocked(failed)
@@ -1065,6 +1106,12 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 		delete(o.parked, id)
 	}
 	sort.Slice(abandoned, func(i, j int) bool { return abandoned[i].ID < abandoned[j].ID })
+	if o.tracer != nil {
+		now := o.runtime.Now()
+		for _, j := range abandoned {
+			o.tracer.EndTrace(j.Trace, now, "", "core: abandoned at drain")
+		}
+	}
 	o.pending -= len(abandoned)
 	o.m.pending.Set(float64(o.pending))
 	for _, j := range abandoned {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"time"
+
+	"microfaas/internal/tracing"
+)
+
+// Orchestrator-side span recording. These helpers mirror the telemetry
+// emit path: they are callable while holding o.mu (the tracer's lock is a
+// leaf), and every method is a no-op on a nil tracer or an untraced job,
+// so the disabled path costs one nil/validity check and — like telemetry —
+// never touches the RNG or the clock beyond reads, keeping seeded sim
+// runs bit-identical.
+
+// span records one orchestrator-side interval span for the job.
+func (o *Orchestrator) span(job Job, phase tracing.Phase, worker string, start, end time.Duration, detail string) {
+	o.tracer.Record(job.Trace, tracing.Span{
+		Phase:    phase,
+		Job:      job.ID,
+		Function: job.Function,
+		Worker:   worker,
+		Attempt:  job.Attempt,
+		Start:    start,
+		End:      end,
+		Detail:   detail,
+	})
+}
+
+// spanMarker records a zero-length annotation span (submit, dispatch,
+// settle) at the given instant.
+func (o *Orchestrator) spanMarker(job Job, phase tracing.Phase, worker string, at time.Duration, detail string) {
+	o.span(job, phase, worker, at, at, detail)
+}
+
+// faultSpan annotates a failed or timed-out attempt.
+func (o *Orchestrator) faultSpan(job Job, worker string, at time.Duration, errMsg string) {
+	o.tracer.Record(job.Trace, tracing.Span{
+		Phase:    tracing.PhaseFault,
+		Job:      job.ID,
+		Function: job.Function,
+		Worker:   worker,
+		Attempt:  job.Attempt,
+		Start:    at,
+		End:      at,
+		Err:      errMsg,
+	})
+}

@@ -13,6 +13,10 @@
 //	GET  /healthz          liveness probe: mode, uptime, build version
 //	GET  /metrics          Prometheus text exposition (telemetry-enabled servers)
 //	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N)
+//	GET  /traces           per-invocation trace summaries (?job=N | ?slowest=N | ?limit=N;
+//	                       ?format=chrome|ndjson streams a raw export instead)
+//	GET  /traces/{id}      one trace's critical-path breakdown plus its raw spans
+//	GET  /debug/pprof/*    net/http/pprof profiler (only when Options.EnablePprof)
 //
 // Async results are retained for a bounded window (RetainAsync, default
 // 10 minutes) and deleted on first successful read.
@@ -31,6 +35,7 @@ import (
 	"microfaas/internal/core"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/tracing"
 	"microfaas/internal/version"
 	"microfaas/internal/workload"
 )
@@ -103,6 +108,14 @@ type Options struct {
 	// Telemetry, when set, backs GET /metrics and GET /events. Without it
 	// both routes answer 404.
 	Telemetry *telemetry.Telemetry
+	// Tracer, when set, backs GET /traces and GET /traces/{id}. Without it
+	// both routes answer 404. Usually the same tracer wired into the
+	// cluster behind the orchestrator.
+	Tracer *tracing.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: the profiler exposes heap and goroutine internals, so it is
+	// strictly opt-in).
+	EnablePprof bool
 }
 
 // HealthResponse is the GET /healthz reply.
@@ -114,12 +127,15 @@ type HealthResponse struct {
 }
 
 // EventsResponse is the GET /events reply. LastSeq is the newest sequence
-// number the ring holds; pass it back as ?since= to poll incrementally
-// (a gap between your last seen sequence and the first event returned
-// means the ring overwrote older events).
+// number the ring holds; pass it back as ?since= to poll incrementally.
+// Dropped is the exact number of events newer than ?since= the ring
+// overwrote before this page was read — a poller that sees Dropped > 0
+// lost that many events, no seq-jump inference needed. Events is always
+// a JSON array, [] when the page is empty.
 type EventsResponse struct {
 	Events  []telemetry.Event `json:"events"`
 	LastSeq int64             `json:"last_seq"`
+	Dropped int64             `json:"dropped"`
 }
 
 // Server serves the gateway over HTTP.
@@ -128,6 +144,8 @@ type Server struct {
 	timeout time.Duration
 	mode    string
 	tel     *telemetry.Telemetry
+	tracer  *tracing.Tracer
+	pprof   bool
 	start   time.Time
 
 	mu      sync.Mutex
@@ -164,6 +182,8 @@ func NewWithOptions(orch *core.Orchestrator, opts Options) (*Server, error) {
 		timeout: opts.Timeout,
 		mode:    opts.Mode,
 		tel:     opts.Telemetry,
+		tracer:  opts.Tracer,
+		pprof:   opts.EnablePprof,
 		start:   time.Now(),
 		pending: make(map[int64]time.Time),
 		done:    make(map[int64]asyncEntry),
@@ -182,6 +202,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/", s.handleTraceByID)
+	if s.pprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -240,12 +265,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if max > 4096 {
 		max = 4096
 	}
-	log := s.tel.Events()
-	events := log.Since(since, max)
+	events, gap, last := s.tel.Events().Page(since, max)
 	if events == nil {
+		// Keep the JSON shape stable: an empty page is [], never null.
 		events = []telemetry.Event{}
 	}
-	writeJSON(w, http.StatusOK, EventsResponse{Events: events, LastSeq: log.LastSeq()})
+	writeJSON(w, http.StatusOK, EventsResponse{Events: events, LastSeq: last, Dropped: gap})
 }
 
 // Listen binds addr and serves in the background, returning the bound
@@ -448,7 +473,7 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		core.WorkerHealth
 		Breaker string `json:"breaker"`
 	}
-	var out []workerInfo
+	out := []workerInfo{} // stable shape: [] even with nothing to report
 	for _, h := range s.orch.Health() {
 		out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String()})
 	}

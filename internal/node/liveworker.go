@@ -11,6 +11,7 @@ import (
 	"microfaas/internal/power"
 	"microfaas/internal/proto"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
 	"microfaas/internal/workload"
 )
 
@@ -63,6 +64,12 @@ type LiveWorkerConfig struct {
 	// joules attribution. Events stamped on the worker's server side carry
 	// attempt 0: the attempt number does not travel the wire.
 	Telemetry *telemetry.Telemetry
+	// Tracer optionally records worker-side boot/exec spans. The trace
+	// context arrives over the wire protocol (proto.Request.TraceID), so
+	// the server side of the worker joins the OP's trace exactly the way a
+	// remote SBC would. Span timestamps use Clock, so set a cluster clock
+	// when tracing.
+	Tracer *tracing.Tracer
 }
 
 // LiveWorker implements core.Worker by serving the invocation protocol on
@@ -219,13 +226,19 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 	// so every start is cold.
 	w.m.bootsCold.Inc()
 	bootStart := time.Now()
+	bootStartC := w.now()
 	if w.cfg.BootDelay > 0 {
 		time.Sleep(w.cfg.BootDelay)
 	}
 	boot := time.Since(bootStart)
+	bootEndC := w.now()
 	recvStart := time.Now()
 	proto.Serve(conn, func(req proto.Request) proto.Response { //nolint:errcheck // peer gone: nothing to do
 		overheadIn := time.Since(recvStart)
+		// The boot predates the request frame, so its span is recorded
+		// here, once the wire has delivered the trace context to join.
+		ctx := tracing.ContextFromWire(req.TraceID, req.ParentSpan)
+		w.traceSpan(ctx, req, tracing.PhaseBoot, bootStartC, bootEndC, "cold")
 		w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, "cold")
 		if fault == faultError {
 			return proto.Response{
@@ -248,6 +261,9 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 		w.m.rawEvent(w.now(), telemetry.EventExec, req.JobID, req.Function, w.cfg.ID, "")
 		out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
 		exec := time.Since(execStart)
+		// The exec span starts where the boot span ended, covering the
+		// request receive, any injected delay, and the execution itself.
+		w.traceSpan(ctx, req, tracing.PhaseExec, bootEndC, w.now(), "overhead+exec")
 		resp := proto.Response{
 			Output:     out,
 			BootMs:     float64(boot) / float64(time.Millisecond),
@@ -259,6 +275,29 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 			resp.Output = nil
 		}
 		return resp
+	})
+}
+
+// traceSpan records one worker-side span under the wire-delivered trace
+// context, with the phase's metered joules when the worker has a meter.
+func (w *LiveWorker) traceSpan(ctx tracing.Context, req proto.Request, phase tracing.Phase, start, end time.Duration, detail string) {
+	if w.cfg.Tracer == nil || !ctx.Valid() {
+		return
+	}
+	var energy float64
+	if w.cfg.Meter != nil {
+		energy = float64(w.cfg.Meter.Energy(w.cfg.ID, end) - w.cfg.Meter.Energy(w.cfg.ID, start))
+	}
+	w.cfg.Tracer.Record(ctx, tracing.Span{
+		Phase:    phase,
+		Job:      req.JobID,
+		Function: req.Function,
+		Worker:   w.cfg.ID,
+		Attempt:  req.Attempt,
+		Start:    start,
+		End:      end,
+		EnergyJ:  energy,
+		Detail:   detail,
 	})
 }
 
@@ -277,8 +316,10 @@ func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
 			energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
 			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
 		}
+		traceID, parentSpan := job.Trace.Wire()
 		resp, err := proto.Invoke(w.addr, proto.Request{
 			JobID: job.ID, Function: job.Function, Args: job.Args,
+			TraceID: traceID, ParentSpan: parentSpan, Attempt: job.Attempt,
 		}, timeout)
 		res := core.Result{Job: job, WorkerID: w.cfg.ID, StartedAt: started}
 		if err != nil {

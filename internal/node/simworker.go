@@ -12,6 +12,7 @@ import (
 	"microfaas/internal/power"
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
 )
 
 // SimWorkerConfig assembles a discrete-event worker.
@@ -77,6 +78,11 @@ type SimWorkerConfig struct {
 	// per-function joules attribution. Nil disables all of it with zero
 	// overhead and leaves seeded runs bit-identical.
 	Telemetry *telemetry.Telemetry
+	// Tracer optionally records per-invocation boot/exec/reboot spans,
+	// with per-span joules from meter snapshots at the span boundaries on
+	// metered ARM workers. Nil disables with the same bit-identical
+	// guarantee as Telemetry.
+	Tracer *tracing.Tracer
 }
 
 // SimWorker is a discrete-event worker node implementing core.Worker.
@@ -238,6 +244,8 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		// never invokes done. Only an OP deadline can reclaim the job.
 		w.hangs++
 		w.m.faultHang.Inc()
+		recordSpan(w.cfg.Tracer, job, tracing.PhaseFault, w.cfg.ID,
+			engine.Now(), engine.Now(), 0, "injected-hang", "node: injected worker hang")
 		w.warm = false
 		w.setState(power.Busy, fmt.Sprintf("wedged (job %d)", job.ID))
 		return
@@ -262,13 +270,21 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 
 	finish := func() {
 		w.cycles++
+		rebootDetail := "power-down"
 		if fail {
 			// A crashed worker cannot be trusted warm: the OP power-cycles
 			// it regardless of the keep-warm/no-reboot policy.
 			w.warm = false
 			w.setState(power.Off, "fault: forced power-off")
+			rebootDetail = "fault-power-off"
 		} else {
 			w.afterJob()
+			switch {
+			case w.cfg.DisableReboot:
+				rebootDetail = "stay-up"
+			case w.cfg.KeepWarm > 0:
+				rebootDetail = "keep-warm"
+			}
 		}
 		res := core.Result{
 			Job: job, WorkerID: w.cfg.ID,
@@ -289,6 +305,10 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 			delta := w.cfg.Meter.Energy(w.cfg.ID, engine.Now()) - energyStart
 			w.m.energy(job.Function).Add(float64(delta))
 		}
+		// The post-job power transition is instantaneous in the sim, so the
+		// reboot span is a zero-length marker naming the policy applied.
+		recordSpan(w.cfg.Tracer, job, tracing.PhaseReboot, w.cfg.ID,
+			engine.Now(), engine.Now(), 0, rebootDetail, "")
 		done(res)
 	}
 
@@ -328,24 +348,58 @@ func (w *SimWorker) ColdStarts() int { return w.coldStart }
 // WarmStarts reports boot-skipping job starts (keep-warm / no-reboot).
 func (w *SimWorker) WarmStarts() int { return w.warmStart }
 
+// traceJoules snapshots the worker's metered energy for span attribution.
+// Zero when the job is untraced or the worker unmetered, so both
+// boundaries of a span read zero and the span's energy stays zero.
+func (w *SimWorker) traceJoules(job core.Job, now time.Duration) float64 {
+	if w.cfg.Tracer == nil || !job.Trace.Valid() ||
+		w.cfg.Platform != model.ARM || w.cfg.Meter == nil {
+		return 0
+	}
+	return float64(w.cfg.Meter.Energy(w.cfg.ID, now))
+}
+
 // runARM chains the SBC's phases on the engine; nothing contends, so each
-// phase is a plain delay with the right meter state.
+// phase is a plain delay with the right meter state. Boot and exec spans
+// are recorded with contiguous boundaries (exec starts the instant boot
+// ends) so a trace's phase durations telescope to its end-to-end latency,
+// and with meter-snapshot energy deltas so its phase joules telescope to
+// the invocation's metered energy.
 func (w *SimWorker) runARM(job core.Job, boot, overhead, exec time.Duration, finish func()) {
 	engine := w.cfg.Engine
 	if boot > 0 {
+		bootStart := engine.Now()
+		e0 := w.traceJoules(job, bootStart)
 		w.setState(power.Booting, fmt.Sprintf("PWR_BUT press (job %d)", job.ID))
-		w.m.event(engine.Now(), telemetry.EventBoot, job, w.cfg.ID, "cold")
+		w.m.event(bootStart, telemetry.EventBoot, job, w.cfg.ID, "cold")
 		engine.Schedule(boot, func() {
+			bootEnd := engine.Now()
+			e1 := w.traceJoules(job, bootEnd)
+			recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID,
+				bootStart, bootEnd, e1-e0, "cold", "")
 			w.setState(power.Busy, fmt.Sprintf("boot complete (job %d)", job.ID))
-			w.m.event(engine.Now(), telemetry.EventExec, job, w.cfg.ID, "")
-			engine.Schedule(overhead+exec, finish)
+			w.m.event(bootEnd, telemetry.EventExec, job, w.cfg.ID, "")
+			engine.Schedule(overhead+exec, func() {
+				end := engine.Now()
+				recordSpan(w.cfg.Tracer, job, tracing.PhaseExec, w.cfg.ID,
+					bootEnd, end, w.traceJoules(job, end)-e1, "overhead+exec", "")
+				finish()
+			})
 		})
 		return
 	}
 	// Warm start: already booted, straight to work.
+	start := engine.Now()
+	e0 := w.traceJoules(job, start)
+	recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID, start, start, 0, "warm", "")
 	w.setState(power.Busy, fmt.Sprintf("warm start (job %d)", job.ID))
-	w.m.event(engine.Now(), telemetry.EventExec, job, w.cfg.ID, "warm")
-	engine.Schedule(overhead+exec, finish)
+	w.m.event(start, telemetry.EventExec, job, w.cfg.ID, "warm")
+	engine.Schedule(overhead+exec, func() {
+		end := engine.Now()
+		recordSpan(w.cfg.Tracer, job, tracing.PhaseExec, w.cfg.ID,
+			start, end, w.traceJoules(job, end)-e0, "overhead+exec", "")
+		finish()
+	})
 }
 
 // runX86 runs the microVM's phases as rack-server CPU tasks: wall time
@@ -361,14 +415,30 @@ func (w *SimWorker) runX86(job core.Job, spec model.FunctionSpec, boot, overhead
 		demand = 1 // a 1-vCPU microVM cannot exceed one core
 	}
 	cpuSeconds := demand * jobWall.Seconds()
+	engine := w.cfg.Engine
+	// A microVM is not a metered device (its host rack server is), so its
+	// spans carry zero joules — host energy is attributed at cluster level.
+	runExec := func(from time.Duration) {
+		w.cfg.Server.Run(cpuSeconds, demand, func() {
+			recordSpan(w.cfg.Tracer, job, tracing.PhaseExec, w.cfg.ID,
+				from, engine.Now(), 0, "overhead+exec", "")
+			finish()
+		})
+	}
 	if boot == 0 {
-		w.m.event(w.cfg.Engine.Now(), telemetry.EventExec, job, w.cfg.ID, "warm")
-		w.cfg.Server.Run(cpuSeconds, demand, finish)
+		start := engine.Now()
+		recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID, start, start, 0, "warm", "")
+		w.m.event(start, telemetry.EventExec, job, w.cfg.ID, "warm")
+		runExec(start)
 		return
 	}
-	w.m.event(w.cfg.Engine.Now(), telemetry.EventBoot, job, w.cfg.ID, "cold")
+	bootStart := engine.Now()
+	w.m.event(bootStart, telemetry.EventBoot, job, w.cfg.ID, "cold")
 	w.cfg.Server.Run(bootCPU, bootDemand, func() {
-		w.m.event(w.cfg.Engine.Now(), telemetry.EventExec, job, w.cfg.ID, "")
-		w.cfg.Server.Run(cpuSeconds, demand, finish)
+		bootEnd := engine.Now()
+		recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID,
+			bootStart, bootEnd, 0, "cold", "")
+		w.m.event(bootEnd, telemetry.EventExec, job, w.cfg.ID, "")
+		runExec(bootEnd)
 	})
 }

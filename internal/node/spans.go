@@ -1,0 +1,30 @@
+package node
+
+import (
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/tracing"
+)
+
+// recordSpan records one worker-side lifecycle span for the job. No-op
+// when the tracer is nil or the job untraced, so disabled tracing costs a
+// nil check — and callers guard their meter snapshots the same way, so no
+// extra work happens either.
+func recordSpan(tr *tracing.Tracer, job core.Job, phase tracing.Phase, worker string, start, end time.Duration, energyJ float64, detail, errMsg string) {
+	if tr == nil || !job.Trace.Valid() {
+		return
+	}
+	tr.Record(job.Trace, tracing.Span{
+		Phase:    phase,
+		Job:      job.ID,
+		Function: job.Function,
+		Worker:   worker,
+		Attempt:  job.Attempt,
+		Start:    start,
+		End:      end,
+		EnergyJ:  energyJ,
+		Detail:   detail,
+		Err:      errMsg,
+	})
+}

@@ -25,6 +25,14 @@ type Request struct {
 	Function string `json:"function"`
 	// Args is the JSON argument payload.
 	Args []byte `json:"args"`
+	// TraceID and ParentSpan propagate the invocation's tracing context
+	// (hex, per tracing.Context.Wire; empty when untraced), so the
+	// worker's boot/exec spans join the OP's trace across the wire.
+	// Attempt travels with them so worker-side spans carry the OP's
+	// attempt number.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
 }
 
 // Response is the worker's reply.

@@ -60,6 +60,11 @@ func (l *EventLog) Since(seq int64, max int) []Event {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.sinceLocked(seq, max)
+}
+
+// sinceLocked implements Since under l.mu.
+func (l *EventLog) sinceLocked(seq int64, max int) []Event {
 	oldest := l.next - int64(len(l.ring))
 	if oldest < 0 {
 		oldest = 0
@@ -80,6 +85,46 @@ func (l *EventLog) Since(seq int64, max int) []Event {
 		out = append(out, l.ring[s%int64(len(l.ring))])
 	}
 	return out
+}
+
+// Gap returns how many events with sequence numbers strictly greater
+// than seq the ring has already overwritten — the precise count a
+// consumer who last saw seq has lost, rather than the seq-jump inference
+// it would otherwise make. Pass seq = -1 to count all loss ever.
+func (l *EventLog) Gap(seq int64) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gapLocked(seq)
+}
+
+// gapLocked computes Gap under l.mu.
+func (l *EventLog) gapLocked(seq int64) int64 {
+	oldest := l.next - int64(len(l.ring))
+	if oldest < 0 {
+		oldest = 0
+	}
+	lost := oldest - (seq + 1)
+	if lost < 0 {
+		return 0
+	}
+	return lost
+}
+
+// Page atomically reads one poll's worth of state: the events Since(seq,
+// max) would return, the Gap(seq) loss count, and LastSeq — all under one
+// lock acquisition, so a concurrent appender cannot make the three
+// disagree (a gap computed after a separate Since call could blame events
+// the page actually delivered).
+func (l *EventLog) Page(seq int64, max int) (events []Event, gap, lastSeq int64) {
+	if l == nil {
+		return nil, 0, -1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceLocked(seq, max), l.gapLocked(seq), l.next - 1
 }
 
 // LastSeq returns the sequence number of the most recent event, or -1

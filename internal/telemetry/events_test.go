@@ -56,6 +56,60 @@ func TestEventLogSinceMaxIsOldestFirst(t *testing.T) {
 	}
 }
 
+func TestEventLogGap(t *testing.T) {
+	l := NewEventLog(4)
+	// Nothing appended: no loss from any vantage point.
+	if g := l.Gap(-1); g != 0 {
+		t.Fatalf("empty gap = %d", g)
+	}
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Job: int64(i)})
+	}
+	// Ring holds seqs 6..9; a from-scratch consumer lost 0..5.
+	if g := l.Gap(-1); g != 6 {
+		t.Fatalf("gap(-1) = %d, want 6", g)
+	}
+	// A consumer current through seq 4 lost 5 only.
+	if g := l.Gap(4); g != 1 {
+		t.Fatalf("gap(4) = %d, want 1", g)
+	}
+	// Current through the oldest survivor or later: nothing lost.
+	for _, seq := range []int64{5, 6, 9, 42} {
+		if g := l.Gap(seq); g != 0 {
+			t.Fatalf("gap(%d) = %d, want 0", seq, g)
+		}
+	}
+	var nilLog *EventLog
+	if g := nilLog.Gap(-1); g != 0 {
+		t.Fatalf("nil gap = %d", g)
+	}
+}
+
+func TestEventLogPageAtomicity(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Job: int64(i)})
+	}
+	events, gap, last := l.Page(-1, 0)
+	if len(events) != 4 || events[0].Seq != 6 || gap != 6 || last != 9 {
+		t.Fatalf("page = %d events from %d, gap %d, last %d", len(events), events[0].Seq, gap, last)
+	}
+	// Page respects max while still reporting the full gap.
+	events, gap, last = l.Page(-1, 2)
+	if len(events) != 2 || events[0].Seq != 6 || gap != 6 || last != 9 {
+		t.Fatalf("paged = %d events, gap %d, last %d", len(events), gap, last)
+	}
+	// A caught-up consumer: empty page, no loss.
+	events, gap, last = l.Page(9, 0)
+	if len(events) != 0 || gap != 0 || last != 9 {
+		t.Fatalf("caught-up page = %d events, gap %d, last %d", len(events), gap, last)
+	}
+	var nilLog *EventLog
+	if ev, g, lastSeq := nilLog.Page(-1, 0); ev != nil || g != 0 || lastSeq != -1 {
+		t.Fatalf("nil page = %v, %d, %d", ev, g, lastSeq)
+	}
+}
+
 func TestTelemetryEmit(t *testing.T) {
 	tel := NewWithConfig(Config{EventCapacity: 8})
 	tel.Emit(1500*time.Millisecond, EventBoot, 7, "CascSHA", "sbc-001", 1, "cold")

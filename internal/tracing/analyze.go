@@ -1,0 +1,88 @@
+package tracing
+
+import "time"
+
+// PhaseStat aggregates one phase's contribution to a trace: total
+// duration, total metered joules, and the number of spans merged (more
+// than one when the invocation retried).
+type PhaseStat struct {
+	Phase    Phase         `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+	EnergyJ  float64       `json:"energy_j"`
+	Count    int           `json:"count"`
+}
+
+// Summary is a trace's critical-path breakdown. Because the instrumented
+// phases are recorded with contiguous boundaries (each phase starts where
+// the previous one ended), the phase durations telescope: their sum plus
+// Unattributed equals the end-to-end Latency exactly. In simulation runs
+// Unattributed is zero for clean invocations; in live mode it absorbs
+// scheduling gaps the instrumentation cannot see, and for hung/timed-out
+// attempts it absorbs the interval the dead worker never reported.
+// Likewise EnergyJ is the sum of the phase energies, which equals the
+// invocation's metered energy (boot + exec meter deltas) by construction.
+type Summary struct {
+	Trace    TraceID       `json:"trace"`
+	Job      int64         `json:"job"`
+	Function string        `json:"function"`
+	Worker   string        `json:"worker,omitempty"`
+	Attempts int           `json:"attempts"`
+	Err      string        `json:"err,omitempty"`
+	Start    time.Duration `json:"start_ns"`
+	End      time.Duration `json:"end_ns"`
+	Latency  time.Duration `json:"latency_ns"`
+	// Phases lists only the phases present, in canonical lifecycle order.
+	Phases []PhaseStat `json:"phases"`
+	// Unattributed is the part of Latency no recorded phase covers,
+	// clamped at zero (retries can overlap a parked wait with nothing
+	// else, never the reverse).
+	Unattributed time.Duration `json:"unattributed_ns"`
+	EnergyJ      float64       `json:"energy_j"`
+}
+
+// Summarize computes the critical-path breakdown of one trace.
+func Summarize(tr Trace) Summary {
+	sum := Summary{
+		Trace:    tr.ID,
+		Job:      tr.Root.Job,
+		Function: tr.Root.Function,
+		Worker:   tr.Root.Worker,
+		Attempts: tr.Root.Attempt + 1,
+		Err:      tr.Root.Err,
+		Start:    tr.Root.Start,
+		End:      tr.Root.End,
+		Latency:  tr.Root.Duration(),
+	}
+	byPhase := map[Phase]*PhaseStat{}
+	var covered time.Duration
+	for _, s := range tr.Spans {
+		st, ok := byPhase[s.Phase]
+		if !ok {
+			st = &PhaseStat{Phase: s.Phase}
+			byPhase[s.Phase] = st
+		}
+		st.Duration += s.Duration()
+		st.EnergyJ += s.EnergyJ
+		st.Count++
+		covered += s.Duration()
+		sum.EnergyJ += s.EnergyJ
+	}
+	for _, p := range PhaseOrder() {
+		if st, ok := byPhase[p]; ok {
+			sum.Phases = append(sum.Phases, *st)
+		}
+	}
+	if gap := sum.Latency - covered; gap > 0 {
+		sum.Unattributed = gap
+	}
+	return sum
+}
+
+// SummarizeAll summarizes every trace, preserving order.
+func SummarizeAll(traces []Trace) []Summary {
+	out := make([]Summary, len(traces))
+	for i, tr := range traces {
+		out[i] = Summarize(tr)
+	}
+	return out
+}

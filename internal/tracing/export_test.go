@@ -1,0 +1,174 @@
+package tracing
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTraces builds a small fixed pair of traces by hand: one clean
+// warm invocation and one retried cold invocation with a fault.
+func goldenTraces() []Trace {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	t1 := Trace{
+		ID: 0x1111,
+		Root: Span{Trace: 0x1111, ID: 1, Phase: PhaseInvocation, Name: "CascSHA",
+			Job: 1, Function: "CascSHA", Worker: "sbc-001", Start: ms(0), End: ms(40)},
+		Spans: []Span{
+			{Trace: 0x1111, ID: 2, Parent: 1, Phase: PhaseSubmit, Start: ms(0), End: ms(0)},
+			{Trace: 0x1111, ID: 3, Parent: 1, Phase: PhaseQueue, Start: ms(0), End: ms(10)},
+			{Trace: 0x1111, ID: 4, Parent: 1, Phase: PhaseDispatch, Start: ms(10), End: ms(10)},
+			{Trace: 0x1111, ID: 5, Parent: 1, Phase: PhaseBoot, Worker: "sbc-001", Start: ms(10), End: ms(10), Detail: "warm"},
+			{Trace: 0x1111, ID: 6, Parent: 1, Phase: PhaseExec, Worker: "sbc-001", Start: ms(10), End: ms(40), EnergyJ: 0.0588, Detail: "overhead+exec"},
+			{Trace: 0x1111, ID: 7, Parent: 1, Phase: PhaseReboot, Worker: "sbc-001", Start: ms(40), End: ms(40), Detail: "power-down"},
+			{Trace: 0x1111, ID: 8, Parent: 1, Phase: PhaseSettle, Start: ms(40), End: ms(40), Detail: "ok"},
+		},
+	}
+	t2 := Trace{
+		ID: 0x2222,
+		Root: Span{Trace: 0x2222, ID: 9, Phase: PhaseInvocation, Name: "JSON",
+			Job: 2, Function: "JSON", Worker: "sbc-002", Attempt: 1, Start: ms(5), End: ms(3100),
+			Err: ""},
+		Spans: []Span{
+			{Trace: 0x2222, ID: 10, Parent: 9, Phase: PhaseQueue, Start: ms(5), End: ms(20)},
+			{Trace: 0x2222, ID: 11, Parent: 9, Phase: PhaseFault, Worker: "sbc-003", Start: ms(1500), End: ms(1500), Err: "node: injected worker error"},
+			{Trace: 0x2222, ID: 12, Parent: 9, Phase: PhaseRetry, Start: ms(1500), End: ms(1520), Detail: "backoff"},
+			{Trace: 0x2222, ID: 13, Parent: 9, Phase: PhaseBoot, Worker: "sbc-002", Attempt: 1, Start: ms(1540), End: ms(3050), EnergyJ: 2.9596, Detail: "cold"},
+			{Trace: 0x2222, ID: 14, Parent: 9, Phase: PhaseExec, Worker: "sbc-002", Attempt: 1, Start: ms(3050), End: ms(3100), EnergyJ: 0.098, Detail: "overhead+exec"},
+		},
+	}
+	return []Trace{t1, t2}
+}
+
+// TestChromeTraceGolden locks the exporter's exact byte output against a
+// committed fixture: the trace_event format is consumed by external
+// tools (Perfetto, chrome://tracing), so accidental shape drift must
+// show up as a test diff. Regenerate with `go test -run Golden -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from golden file %s\ngot:  %s\nwant: %s", path, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the structural invariants any
+// trace_event consumer relies on, independent of the golden bytes.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    *float64          `json:"ts"`
+			Dur   *float64          `json:"dur"`
+			PID   *int              `json:"pid"`
+			TID   *int              `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	var meta, complete int
+	workerTIDs := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Fatalf("metadata event %q", ev.Name)
+			}
+		case "X":
+			complete++
+			if ev.TS == nil || ev.Dur == nil || ev.PID == nil || ev.TID == nil {
+				t.Fatalf("complete event missing ts/dur/pid/tid: %+v", ev)
+			}
+			if *ev.Dur < 0 {
+				t.Fatalf("negative duration: %+v", ev)
+			}
+			if ev.Args["trace"] == "" {
+				t.Fatalf("complete event without trace arg: %+v", ev)
+			}
+			if w := ev.Args["worker"]; w != "" && (ev.Name == "boot" || ev.Name == "exec" || ev.Name == "reboot") {
+				if *ev.TID == 0 {
+					t.Fatalf("worker phase on orchestrator track: %+v", ev)
+				}
+				workerTIDs[*ev.TID] = true
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Phase)
+		}
+	}
+	// process_name + orchestrator thread + 2 worker threads (sbc-003 only
+	// appears on a fault span, which renders on the orchestrator track).
+	if meta != 4 {
+		t.Fatalf("metadata events = %d, want 4", meta)
+	}
+	wantComplete := 2 + 7 + 5 // roots + t1 children + t2 children
+	if complete != wantComplete {
+		t.Fatalf("complete events = %d, want %d", complete, wantComplete)
+	}
+	if len(workerTIDs) != 2 {
+		t.Fatalf("worker tracks = %d, want 2 (sbc-001, sbc-002)", len(workerTIDs))
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	traces := goldenTraces()
+	if err := WriteNDJSON(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	wantLines := 0
+	for _, tr := range traces {
+		wantLines += 1 + len(tr.Spans)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not a span: %v\n%s", lines, err, sc.Text())
+		}
+		if s.Trace == 0 {
+			t.Fatalf("line %d lost its trace id: %s", lines, sc.Text())
+		}
+	}
+	if lines != wantLines {
+		t.Fatalf("lines = %d, want %d", lines, wantLines)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"microfaas/internal/tco"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/tracing"
 	"microfaas/internal/workload"
 )
 
@@ -106,6 +107,43 @@ func ParseMetrics(r io.Reader) (MetricSamples, error) { return telemetry.ParseTe
 
 // InvocationEvent is one entry of the gateway's /events stream.
 type InvocationEvent = telemetry.Event
+
+// --- Tracing ---
+
+// Tracer records per-invocation lifecycle spans; pass one via
+// LiveOptions.Tracer or SimOptions.Tracer and read it back through a
+// Gateway's /traces routes or directly. Nil disables tracing with zero
+// overhead — seeded sim runs are bit-identical either way.
+type Tracer = tracing.Tracer
+
+// TracerConfig tunes a Tracer's sampling and retention bounds.
+type TracerConfig = tracing.Config
+
+// InvocationTrace is one committed trace: a root invocation span plus
+// its lifecycle child spans.
+type InvocationTrace = tracing.Trace
+
+// TraceSpan is one span of an InvocationTrace.
+type TraceSpan = tracing.Span
+
+// TraceSummary is a trace's critical-path breakdown: per-phase latency
+// and energy that sum to the invocation's end-to-end totals.
+type TraceSummary = tracing.Summary
+
+// NewTracer returns a sample-everything tracer with default bounds.
+func NewTracer() *Tracer { return tracing.New() }
+
+// NewTracerWithConfig returns a tracer with explicit sampling/bounds.
+func NewTracerWithConfig(cfg TracerConfig) *Tracer { return tracing.NewWithConfig(cfg) }
+
+// SummarizeTrace computes a trace's critical-path phase breakdown.
+func SummarizeTrace(tr InvocationTrace) TraceSummary { return tracing.Summarize(tr) }
+
+// WriteChromeTrace dumps traces in Chrome trace_event format, loadable
+// in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, traces []InvocationTrace) error {
+	return tracing.WriteChromeTrace(w, traces)
+}
 
 // SBCPowerModel maps an SBC worker's operating state to its power draw;
 // PowerState enumerates the states. Together they let user code derive
