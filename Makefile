@@ -1,9 +1,10 @@
 GO ?= go
 
-# `make check` is the CI gate: vet, full build, and the race-enabled test
-# suite (-count=1 defeats the test cache so every run really runs).
+# `make check` is the CI gate: vet, full build, the documentation gate,
+# and the race-enabled test suite (-count=1 defeats the test cache so
+# every run really runs).
 .PHONY: check
-check: vet build race
+check: vet build docslint race
 
 .PHONY: vet
 vet:
@@ -20,6 +21,13 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race -count=1 ./...
+
+# `make docslint` fails if any exported identifier in the API packages
+# lacks a doc comment, or any relative link in the top-level docs is
+# broken. See cmd/docslint.
+.PHONY: docslint
+docslint:
+	$(GO) run ./cmd/docslint
 
 # `make bench` runs the full benchmark suite and records it as a JSON
 # baseline (BENCH_pr3.json) via cmd/benchjson. `make bench-smoke` is the

@@ -12,6 +12,8 @@
 //	faasctl [-gateway host:port] trace <job-id>
 //	faasctl [-gateway host:port] trace --slowest <n>
 //	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0]
+//	faasctl [-gateway host:port] power
+//	faasctl [-gateway host:port] power cap <watts>
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "top: refresh interval")
 	iterations := flag.Int("iterations", 0, "top: stop after N refreshes (0 = until interrupted)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|trace|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|power|trace|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,6 +72,15 @@ func (c *client) run(args []string) error {
 		return c.get("/stats")
 	case "top":
 		return c.top(c.interval, c.iterations)
+	case "power":
+		switch {
+		case len(args) == 1:
+			return c.get("/power")
+		case len(args) == 3 && args[1] == "cap":
+			return c.powerCap(args[2])
+		default:
+			return fmt.Errorf("usage: power | power cap <watts>")
+		}
 	case "invoke":
 		if len(args) < 2 {
 			return fmt.Errorf("invoke requires a function name")
@@ -212,6 +223,31 @@ func (c *client) workersTable() error {
 	for _, w := range workers {
 		fmt.Fprintf(c.out, "%-12s %-9s %5d %9d %7d %9d %6d %5v\n",
 			w.ID, w.Breaker, w.QueueDepth, w.Completed, w.Failed, w.TimedOut, w.Consec, w.Busy)
+	}
+	return nil
+}
+
+// powerCap posts a new cluster power budget in watts (0 removes the cap)
+// and prints the resulting snapshot.
+func (c *client) powerCap(watts string) error {
+	var w float64
+	if _, err := fmt.Sscanf(watts, "%f", &w); err != nil {
+		return fmt.Errorf("power cap: %q is not a wattage", watts)
+	}
+	body, err := json.Marshal(map[string]float64{"cap_w": w})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/power/cap", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := c.prettyPrint(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway returned %s", resp.Status)
 	}
 	return nil
 }

@@ -63,6 +63,12 @@ func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, 
 		joules, _ := samples.Value("microfaas_cluster_energy_joules_total")
 		fmt.Fprintf(c.out, "  power %.2fW (%.1fJ total)", watts, joules)
 	}
+	if powered, ok := samples.Value("microfaas_workers_powered"); ok {
+		fmt.Fprintf(c.out, "  powered %.0f", powered)
+		if cap, ok := samples.Value("microfaas_power_cap_watts"); ok && cap > 0 {
+			fmt.Fprintf(c.out, "  cap %.2fW", cap)
+		}
+	}
 	fmt.Fprintln(c.out)
 
 	if fns := samples.LabelValues("microfaas_function_invocations_total", "function"); len(fns) > 0 {
@@ -78,36 +84,67 @@ func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, 
 			fmt.Fprintf(c.out, "%-14s %8.0f %7.0f %12s\n", fn, okCount, errCount, jpf)
 		}
 	}
-	c.renderBreakers()
+	c.renderWorkers(samples)
 }
 
-// renderBreakers appends the /workers health line; metrics expose breaker
-// transitions, but the current state lives in the workers endpoint.
-func (c *client) renderBreakers() {
+// renderWorkers appends the per-worker health line. Busy, queue-depth, and
+// power state come from the same /metrics snapshot as the rest of the
+// dashboard, so every number on screen is one consistent cut of the
+// cluster — the previous implementation re-fetched /workers after the
+// scrape, and its busy/queue counts raced the metrics they sat next to.
+// Breaker state is not a gauge (metrics expose only transition counters),
+// so it alone still comes from /workers, purely as an annotation.
+func (c *client) renderWorkers(samples telemetry.Samples) {
+	ids := samples.LabelValues("microfaas_worker_busy", "worker")
+	if len(ids) == 0 {
+		return
+	}
+	sort.Strings(ids)
+	breakers := c.fetchBreakers()
+	fmt.Fprintf(c.out, "workers:")
+	for _, id := range ids {
+		state := breakers[id]
+		if state == "" {
+			state = "?"
+		}
+		if busy, _ := samples.Value("microfaas_worker_busy", "worker", id); busy > 0 {
+			state += ",busy"
+		}
+		if powered, ok := samples.Value("microfaas_worker_powered", "worker", id); ok {
+			if powered > 0 {
+				state += ",on"
+			} else {
+				state += ",off"
+			}
+		}
+		queue, _ := samples.Value("microfaas_queue_depth", "worker", id)
+		fmt.Fprintf(c.out, " %s=%s(q%.0f)", id, state, queue)
+	}
+	fmt.Fprintln(c.out)
+}
+
+// fetchBreakers maps worker id → current breaker state from /workers.
+// Best-effort: on any error the dashboard renders with "?" states rather
+// than failing the refresh.
+func (c *client) fetchBreakers() map[string]string {
 	resp, err := c.http.Get(c.base + "/workers")
 	if err != nil {
-		return
+		return nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return
+		return nil
 	}
 	var workers []struct {
 		ID      string `json:"id"`
 		Breaker string `json:"breaker"`
-		Queue   int    `json:"queue_depth"`
-		Busy    bool   `json:"busy"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
-		return
+		return nil
 	}
-	fmt.Fprintf(c.out, "workers:")
+	states := make(map[string]string, len(workers))
 	for _, w := range workers {
-		state := w.Breaker
-		if w.Busy {
-			state += ",busy"
-		}
-		fmt.Fprintf(c.out, " %s=%s(q%d)", w.ID, state, w.Queue)
+		states[w.ID] = w.Breaker
 	}
-	fmt.Fprintln(c.out)
+	return states
 }

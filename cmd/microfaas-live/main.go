@@ -11,6 +11,10 @@
 // statistics and the cluster's energy accounting, then exit.
 //
 //	microfaas-live -jobs 170 -boot-delay 100ms
+//
+// Dynamic power management (the MicroFaaS power manager) is opt-in:
+//
+//	microfaas-live -power-idle 30s -power-cap 12 -policy energy-aware
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 	"microfaas/internal/cluster"
 	"microfaas/internal/core"
 	"microfaas/internal/gateway"
+	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
 	"microfaas/internal/replay"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/tracing"
@@ -50,6 +56,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "in serve mode, how long shutdown waits for in-flight jobs")
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for per-invocation tracing, 0..1 (1 = every invocation; errors and >30s outliers always kept; 0 = tracing off)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the gateway")
+	powerIdle := flag.Duration("power-idle", 0, "enable dynamic power management: power-gate workers idle this long (0 = static power, every worker always on)")
+	powerCap := flag.Float64("power-cap", 0, "cluster power budget in watts; bounds simultaneously powered workers (0 = no cap; requires -power-idle)")
+	powerMinUp := flag.Duration("power-minup", 0, "hysteresis: minimum time a woken worker stays powered (0 = powermgr default; requires -power-idle)")
+	policyFlag := flag.String("policy", "", "assignment policy: round-robin, random, least-loaded, or energy-aware (default: platform default; energy-aware pairs with -power-idle)")
 	flag.Parse()
 
 	opts := cluster.LiveOptions{
@@ -63,6 +73,24 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerProbe:     *breakerProbe,
 		Telemetry:        telemetry.New(),
+	}
+	if *policyFlag != "" {
+		pol, err := core.ParsePolicy(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microfaas-live:", err)
+			os.Exit(2)
+		}
+		opts.Policy = pol
+	}
+	if *powerIdle > 0 {
+		opts.Power = &powermgr.Policy{
+			IdleTimeout: *powerIdle,
+			MinUp:       *powerMinUp,
+			CapW:        power.Watts(*powerCap),
+		}
+	} else if *powerCap != 0 || *powerMinUp != 0 {
+		fmt.Fprintln(os.Stderr, "microfaas-live: -power-cap and -power-minup require -power-idle")
+		os.Exit(2)
 	}
 	if *traceSample > 0 {
 		// Flag semantics: 0 disables tracing outright. Internally a zero
@@ -180,6 +208,9 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, trace
 	fmt.Printf("  faasctl -gateway %s functions\n", addr)
 	fmt.Printf("  faasctl -gateway %s invoke CascSHA '{\"rounds\":1000,\"seed\":\"hi\"}'\n", addr)
 	fmt.Printf("  faasctl -gateway %s top\n", addr)
+	if l.PowerMgr != nil {
+		fmt.Printf("  faasctl -gateway %s power\n", addr)
+	}
 	fmt.Printf("  curl http://%s/metrics\n", addr)
 	if tracer != nil {
 		fmt.Printf("  faasctl -gateway %s trace --slowest 5\n", addr)

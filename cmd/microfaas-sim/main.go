@@ -54,7 +54,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|loadsweep|keepwarm|diurnal|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -165,6 +165,12 @@ func run(out io.Writer, experiment string, opts options) error {
 			return err
 		}
 		return experiments.WriteDiurnal(out, res)
+	case "powermgmt":
+		res, err := experiments.PowerMgmt(experiments.PowerMgmtConfig{Seed: seed, Parallel: par})
+		if err != nil {
+			return err
+		}
+		return experiments.WritePowerMgmt(out, res)
 	case "sensitivity":
 		res, err := experiments.Sensitivity(experiments.SensitivityConfig{Seed: seed, Parallel: par})
 		if err != nil {

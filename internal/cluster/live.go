@@ -5,11 +5,13 @@ import (
 	"time"
 
 	"microfaas/internal/core"
+	"microfaas/internal/gpio"
 	"microfaas/internal/kvstore"
 	"microfaas/internal/mq"
 	"microfaas/internal/node"
 	"microfaas/internal/objstore"
 	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
 	"microfaas/internal/sqlstore"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/tracing"
@@ -55,6 +57,15 @@ type LiveOptions struct {
 	// OP and the workers, with trace ids propagated to the workers over
 	// the wire protocol. Nil disables tracing entirely.
 	Tracer *tracing.Tracer
+	// Policy selects the OP's queue-assignment policy (default
+	// AssignRandom, the paper's).
+	Policy core.AssignPolicy
+	// Power enables the dynamic power-management plane: workers run
+	// managed — powered off until the OP wakes them (a wake pays
+	// BootDelay of real wall-clock time), powered down after the policy's
+	// idle timeout — and every power-state transition lands in the
+	// cluster's GPIO audit log.
+	Power *powermgr.Policy
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -69,6 +80,10 @@ type Live struct {
 	// Telemetry is the cluster's metrics registry and event stream (nil
 	// when LiveOptions.Telemetry was nil).
 	Telemetry *telemetry.Telemetry
+	// PowerMgr is the dynamic power-management plane and GPIO its power
+	// audit log (both nil unless LiveOptions.Power was set).
+	PowerMgr *powermgr.Manager
+	GPIO     *gpio.Controller
 
 	kv  *kvstore.Server
 	sql *sqlstore.Server
@@ -128,6 +143,9 @@ func StartLive(opts LiveOptions) (*Live, error) {
 		return nil, err
 	}
 
+	if opts.Power != nil {
+		l.GPIO = gpio.NewController()
+	}
 	workers := make([]core.Worker, 0, n)
 	for i := 0; i < n; i++ {
 		cfg := node.LiveWorkerConfig{
@@ -153,6 +171,11 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			cfg.Tracer = opts.Tracer
 			cfg.Clock = l.Runtime.Now // spans stamp on the cluster clock
 		}
+		if opts.Power != nil {
+			cfg.Managed = true
+			cfg.GPIO = l.GPIO
+			cfg.Clock = l.Runtime.Now // power transitions stamp on the cluster clock
+		}
 		w, err := node.StartLiveWorker(cfg)
 		if err != nil {
 			return nil, err
@@ -161,10 +184,11 @@ func StartLive(opts LiveOptions) (*Live, error) {
 		workers = append(workers, w)
 	}
 	if n > 0 {
-		orch, err := core.New(core.Config{
+		cc := core.Config{
 			Runtime:          l.Runtime,
 			Workers:          workers,
 			Seed:             opts.Seed,
+			Policy:           opts.Policy,
 			MaxAttempts:      opts.MaxAttempts,
 			JobTimeout:       opts.JobTimeout,
 			RetryBase:        opts.RetryBase,
@@ -173,7 +197,25 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			BreakerProbe:     opts.BreakerProbe,
 			Telemetry:        opts.Telemetry,
 			Tracer:           opts.Tracer,
-		})
+		}
+		if opts.Power != nil {
+			nodes := make([]powermgr.Node, len(l.Workers))
+			for i, w := range l.Workers {
+				nodes[i] = w
+			}
+			pm, err := powermgr.New(powermgr.Config{
+				Runtime:   l.Runtime,
+				Nodes:     nodes,
+				Policy:    *opts.Power,
+				Telemetry: opts.Telemetry,
+			})
+			if err != nil {
+				return nil, err
+			}
+			l.PowerMgr = pm
+			cc.PowerManager = pm
+		}
+		orch, err := core.New(cc)
 		if err != nil {
 			return nil, err
 		}

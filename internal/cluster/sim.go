@@ -23,6 +23,7 @@ import (
 	"microfaas/internal/netsim"
 	"microfaas/internal/node"
 	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
@@ -83,6 +84,13 @@ type SimConfig struct {
 	// Telemetry (the tracer never draws randomness; sampling hashes the
 	// deterministic trace id).
 	Tracer *tracing.Tracer
+	// Power enables the dynamic power-management plane (MicroFaaS
+	// clusters only): workers run managed — powered off until the OP
+	// wakes them, idle-powered-down per the policy — instead of the
+	// static per-job power cycle. Mutually exclusive with DisableReboot
+	// and KeepWarm. Nil (the default) leaves seeded runs byte-identical
+	// to clusters built before the power manager existed.
+	Power *powermgr.Policy
 }
 
 // coreConfig assembles the OP config shared by every sim constructor.
@@ -127,6 +135,9 @@ type Sim struct {
 	// Telemetry is the cluster's metrics registry and event stream (nil
 	// when SimConfig.Telemetry was nil).
 	Telemetry *telemetry.Telemetry
+	// PowerMgr is the dynamic power-management plane (nil unless
+	// SimConfig.Power was set; MicroFaaS clusters only).
+	PowerMgr *powermgr.Manager
 }
 
 // NewMicroFaaSSim builds an n-SBC MicroFaaS cluster.
@@ -157,6 +168,7 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 			SlowRate:      cfg.SlowRate,
 			SlowFactor:    cfg.SlowFactor,
 			KeepWarm:      cfg.KeepWarm,
+			Managed:       cfg.Power != nil,
 			Telemetry:     cfg.Telemetry,
 			Tracer:        cfg.Tracer,
 		})
@@ -166,7 +178,25 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 		s.Workers = append(s.Workers, w)
 		workers = append(workers, w)
 	}
-	orch, err := core.New(cfg.coreConfig(engine, workers))
+	cc := cfg.coreConfig(engine, workers)
+	if cfg.Power != nil {
+		nodes := make([]powermgr.Node, len(s.Workers))
+		for i, w := range s.Workers {
+			nodes[i] = w
+		}
+		pm, err := powermgr.New(powermgr.Config{
+			Runtime:   core.SimRuntime{Engine: engine},
+			Nodes:     nodes,
+			Policy:    *cfg.Power,
+			Telemetry: cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.PowerMgr = pm
+		cc.PowerManager = pm
+	}
+	orch, err := core.New(cc)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +209,9 @@ func NewMicroFaaSSim(n int, cfg SimConfig) (*Sim, error) {
 func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 	if vms <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one VM, got %d", vms)
+	}
+	if cfg.Power != nil {
+		return nil, fmt.Errorf("cluster: power management applies to MicroFaaS SBC clusters only")
 	}
 	cores := cfg.Cores
 	if cores == 0 {
@@ -231,6 +264,9 @@ func NewConventionalSim(vms int, cfg SimConfig) (*Sim, error) {
 func NewConventionalRackSim(servers, vmsPerServer int, cfg SimConfig) (*Sim, error) {
 	if servers <= 0 || vmsPerServer <= 0 {
 		return nil, fmt.Errorf("cluster: need positive servers (%d) and VMs per server (%d)", servers, vmsPerServer)
+	}
+	if cfg.Power != nil {
+		return nil, fmt.Errorf("cluster: power management applies to MicroFaaS SBC clusters only")
 	}
 	cores := cfg.Cores
 	if cores == 0 {

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"microfaas/internal/powermgr"
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
@@ -42,9 +43,14 @@ import (
 
 // Job is one queued function invocation.
 type Job struct {
-	ID          int64
-	Function    string
-	Args        []byte
+	// ID is the job's cluster-unique identifier, assigned at Submit.
+	ID int64
+	// Function names the workload function to run (see internal/workload).
+	Function string
+	// Args is the function's JSON-encoded argument object.
+	Args []byte
+	// SubmittedAt is when the job entered the platform, on the cluster
+	// clock (virtual time in sim, wall time since start in live mode).
 	SubmittedAt time.Duration
 	// Attempt counts retries: 0 for the first execution. The OP re-queues
 	// failed jobs onto a different worker while attempts remain (hardware
@@ -67,10 +73,14 @@ type Job struct {
 
 // Result is a completed (or failed) invocation as reported by a worker.
 type Result struct {
-	Job      Job
+	// Job is the invocation this result settles (its final attempt).
+	Job Job
+	// WorkerID names the worker that produced the result.
 	WorkerID string
-	Output   []byte
-	Err      string
+	// Output is the function's JSON-encoded return value (nil on failure).
+	Output []byte
+	// Err is the failure message, empty on success.
+	Err string
 
 	// TimedOut marks a Result synthesized by the OP because the attempt's
 	// deadline expired before the worker reported back.
@@ -91,7 +101,10 @@ type Result struct {
 // at all; the OP's deadline covers that case. The orchestrator never calls
 // RunJob concurrently on the same worker.
 type Worker interface {
+	// ID returns the worker's stable, cluster-unique name.
 	ID() string
+	// RunJob executes one job cycle and reports through done (see the
+	// interface comment for the invocation contract).
 	RunJob(job Job, done func(Result))
 }
 
@@ -105,7 +118,10 @@ type Runtime interface {
 }
 
 // SimRuntime adapts a sim.Engine to the Runtime interface.
-type SimRuntime struct{ Engine *sim.Engine }
+type SimRuntime struct {
+	// Engine is the discrete-event engine supplying virtual time.
+	Engine *sim.Engine
+}
 
 // Now returns the engine's virtual time.
 func (r SimRuntime) Now() time.Duration { return r.Engine.Now() }
@@ -117,7 +133,10 @@ func (r SimRuntime) After(d time.Duration, fn func()) func() {
 }
 
 // WallRuntime is the live cluster's clock: time elapsed since Start.
-type WallRuntime struct{ Start time.Time }
+type WallRuntime struct {
+	// Start anchors the clock; Now reports time elapsed since it.
+	Start time.Time
+}
 
 // NewWallRuntime returns a runtime anchored at the current instant.
 func NewWallRuntime() WallRuntime { return WallRuntime{Start: time.Now()} }
@@ -142,8 +161,17 @@ const (
 	// AssignLeastLoaded picks the worker with the fewest queued+running
 	// jobs (ties broken by registration order).
 	AssignLeastLoaded
+	// AssignEnergyAware packs load to maximize power-gated nodes: it
+	// prefers an idle, already-powered worker; wakes a powered-down one
+	// only when every powered worker is occupied (and the power cap
+	// admits another node); and otherwise queues behind the least-loaded
+	// powered worker. Deterministic — ties break by registration order
+	// and it never draws randomness. Without a power manager configured
+	// every worker counts as powered, so it degrades to least-loaded.
+	AssignEnergyAware
 )
 
+// String returns the policy's CLI name (the form ParsePolicy accepts).
 func (p AssignPolicy) String() string {
 	switch p {
 	case AssignRandom:
@@ -152,9 +180,22 @@ func (p AssignPolicy) String() string {
 		return "round-robin"
 	case AssignLeastLoaded:
 		return "least-loaded"
+	case AssignEnergyAware:
+		return "energy-aware"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
+}
+
+// ParsePolicy maps a policy's String form back to its value (for CLI
+// flags): "random", "round-robin", "least-loaded", or "energy-aware".
+func ParsePolicy(s string) (AssignPolicy, error) {
+	for _, p := range []AssignPolicy{AssignRandom, AssignRoundRobin, AssignLeastLoaded, AssignEnergyAware} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown assignment policy %q", s)
 }
 
 // BreakerState is a worker's circuit-breaker position.
@@ -172,6 +213,8 @@ const (
 	BreakerHalfOpen
 )
 
+// String renders the state as reported in WorkerHealth ("closed",
+// "open", "half-open").
 func (s BreakerState) String() string {
 	switch s {
 	case BreakerClosed:
@@ -188,16 +231,27 @@ func (s BreakerState) String() string {
 // WorkerHealth is a point-in-time snapshot of one worker's failure
 // tracking, as exposed by Orchestrator.Health.
 type WorkerHealth struct {
-	ID                  string       `json:"id"`
-	State               BreakerState `json:"-"`
-	ConsecutiveFailures int          `json:"consecutive_failures"`
+	// ID names the worker.
+	ID string `json:"id"`
+	// State is the circuit-breaker position (serialized via Breaker).
+	State BreakerState `json:"-"`
+	// ConsecutiveFailures counts failures since the last success; it arms
+	// the breaker threshold.
+	ConsecutiveFailures int `json:"consecutive_failures"`
 	// Completed/Failed count attempts (not jobs); TimedOut attempts are a
 	// subset of Failed.
-	Completed  int  `json:"completed"`
-	Failed     int  `json:"failed"`
-	TimedOut   int  `json:"timed_out"`
-	QueueDepth int  `json:"queue_depth"`
-	Busy       bool `json:"busy"`
+	Completed int `json:"completed"`
+	// Failed counts failed attempts; TimedOut ones are the subset that
+	// hit the per-attempt deadline.
+	Failed   int `json:"failed"`
+	TimedOut int `json:"timed_out"` // deadline expiries among Failed
+	// QueueDepth is the worker's queued (not yet running) job count.
+	QueueDepth int `json:"queue_depth"`
+	// Busy reports whether the worker is executing a job right now.
+	Busy bool `json:"busy"`
+	// Power is the worker's power-plane state ("off", "waking", "on") when
+	// a power manager is configured; empty otherwise.
+	Power string `json:"power,omitempty"`
 }
 
 // workerHealth is the mutable per-worker record behind WorkerHealth.
@@ -223,6 +277,16 @@ type workerSlot struct {
 
 	queue []Job
 	busy  bool
+
+	// waking is set while a wake-on-demand power-up requested for this
+	// worker is in flight; dispatch waits for the manager's ready
+	// callback. wakeStart is when that wake was requested (cluster clock),
+	// the boot span's earliest possible start. bootPending marks the first
+	// dispatch after a wake so it records the boot span the queue wait
+	// absorbed. All three are meaningful only with a power manager.
+	waking      bool
+	wakeStart   time.Duration
+	bootPending bool
 
 	health workerHealth
 
@@ -271,7 +335,11 @@ func (h *paroleHeap) Pop() any {
 
 // Config assembles an Orchestrator.
 type Config struct {
-	Runtime   Runtime
+	// Runtime supplies the cluster clock and timers (SimRuntime or
+	// WallRuntime).
+	Runtime Runtime
+	// Workers is the fixed worker fleet, in registration order (the order
+	// round-robin and tie-breaks follow).
 	Workers   []Worker
 	Collector *trace.Collector // optional; a fresh one is created if nil
 	// Seed drives the random queue-assignment sampling, retry jitter, and
@@ -311,6 +379,14 @@ type Config struct {
 	// the same bit-identical guarantee as Telemetry: the tracer never
 	// draws randomness or schedules events).
 	Tracer *tracing.Tracer
+	// PowerManager, when set, puts every scheduling decision through the
+	// dynamic power-management plane: dispatch against a powered-down
+	// worker first wakes it (the job's queue wait absorbs the boot), idle
+	// workers power off after the manager's timeout, and failed attempts
+	// power-cycle their node. The manager must be built over the same
+	// workers (matching ids) and the same Runtime. Nil keeps the static
+	// per-job power policy and leaves seeded runs byte-identical.
+	PowerManager *powermgr.Manager
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -321,6 +397,8 @@ type Orchestrator struct {
 	tel       *telemetry.Telemetry
 	tracer    *tracing.Tracer
 	m         orchMetrics
+
+	pm *powermgr.Manager // nil = static power policy
 
 	policy           AssignPolicy
 	maxAttempts      int
@@ -385,7 +463,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		coll = trace.NewCollector()
 	}
 	switch cfg.Policy {
-	case AssignRandom, AssignRoundRobin, AssignLeastLoaded:
+	case AssignRandom, AssignRoundRobin, AssignLeastLoaded, AssignEnergyAware:
 	default:
 		return nil, fmt.Errorf("core: unknown assignment policy %d", int(cfg.Policy))
 	}
@@ -414,6 +492,7 @@ func New(cfg Config) (*Orchestrator, error) {
 	o := &Orchestrator{
 		runtime:          cfg.Runtime,
 		collector:        coll,
+		pm:               cfg.PowerManager,
 		policy:           cfg.Policy,
 		maxAttempts:      maxAttempts,
 		jobTimeout:       cfg.JobTimeout,
@@ -449,6 +528,10 @@ func (o *Orchestrator) Telemetry() *telemetry.Telemetry { return o.tel }
 // Tracer returns the orchestrator's tracer (nil when disabled).
 func (o *Orchestrator) Tracer() *tracing.Tracer { return o.tracer }
 
+// PowerManager returns the power-management plane (nil when the cluster
+// runs the static per-job power policy).
+func (o *Orchestrator) PowerManager() *powermgr.Manager { return o.pm }
+
 // Now returns the current cluster-clock offset (virtual in sim mode,
 // wall-clock-since-start in live mode).
 func (o *Orchestrator) Now() time.Duration { return o.runtime.Now() }
@@ -482,7 +565,7 @@ func (o *Orchestrator) Health() []WorkerHealth {
 				st = BreakerOpen
 			}
 		}
-		out = append(out, WorkerHealth{
+		wh := WorkerHealth{
 			ID:                  s.id,
 			State:               st,
 			ConsecutiveFailures: h.consec,
@@ -491,7 +574,11 @@ func (o *Orchestrator) Health() []WorkerHealth {
 			TimedOut:            h.timedOut,
 			QueueDepth:          len(s.queue),
 			Busy:                s.busy,
-		})
+		}
+		if o.pm != nil {
+			wh.Power = o.pm.StateName(s.id)
+		}
+		out = append(out, wh)
 	}
 	return out
 }
@@ -603,8 +690,55 @@ func (o *Orchestrator) pickWorkerLocked() *workerSlot {
 			}
 		}
 		return best
+	case AssignEnergyAware:
+		return o.pickEnergyAwareLocked(ws)
 	default: // AssignRandom, the paper's policy
 		return ws[o.rng.Intn(len(ws))]
+	}
+}
+
+// pickEnergyAwareLocked packs load onto powered nodes so the rest can stay
+// power-gated. Preference order: (1) an idle, already-powered worker —
+// zero boot cost; (2) a powered-down worker, woken on demand, when every
+// powered worker is occupied and the power cap admits another node;
+// (3) the least-loaded powered worker; (4) a powered-down worker even
+// against a binding cap (the wake parks in the manager's FIFO and the job
+// feels it as queue wait). All ties break by registration order; the
+// policy draws no randomness, so its picks are independent of evaluation
+// order. Without a power manager every worker counts as powered and the
+// policy degrades to least-loaded. Caller holds o.mu.
+func (o *Orchestrator) pickEnergyAwareLocked(ws []*workerSlot) *workerSlot {
+	const maxInt = int(^uint(0) >> 1)
+	var idleUp, down, leastUp *workerSlot
+	leastLoad := maxInt
+	for _, s := range ws {
+		poweredUp := o.pm == nil || s.waking || o.pm.IsUp(s.id)
+		load := len(s.queue)
+		if s.busy {
+			load++
+		}
+		if !poweredUp {
+			if down == nil || s.idx < down.idx {
+				down = s
+			}
+			continue
+		}
+		if load == 0 && (idleUp == nil || s.idx < idleUp.idx) {
+			idleUp = s
+		}
+		if load < leastLoad || (load == leastLoad && s.idx < leastUp.idx) {
+			leastUp, leastLoad = s, load
+		}
+	}
+	switch {
+	case idleUp != nil:
+		return idleUp
+	case down != nil && (leastUp == nil || o.pm.CanWake()):
+		return down
+	case leastUp != nil:
+		return leastUp
+	default:
+		return down
 	}
 }
 
@@ -671,6 +805,19 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 	if s.busy || len(s.queue) == 0 {
 		return nil
 	}
+	if o.pm != nil && !s.bootPending {
+		if s.waking {
+			return nil // the manager's ready callback resumes this queue
+		}
+		cause := fmt.Sprintf("wake-on-demand (job %d)", s.queue[0].ID)
+		if !o.pm.RequestUp(s.id, cause, func() { o.workerPowered(s) }) {
+			// Powered down (or cap-parked): the wake is in flight and the
+			// queued jobs wait it out — their queue spans absorb the boot.
+			s.waking = true
+			s.wakeStart = o.runtime.Now()
+			return nil
+		}
+	}
 	job := s.queue[0]
 	s.queue = s.queue[1:]
 	s.busy = true
@@ -678,7 +825,20 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 	o.m.busy[s.id].Set(1)
 	o.emit(telemetry.EventAssign, job, s.id, "")
 	started := o.runtime.Now()
-	o.span(job, tracing.PhaseQueue, s.id, job.queuedAt, started, "")
+	if s.bootPending {
+		// First dispatch after a wake: split the wait into the true queue
+		// span and the boot the wake paid, so the critical path shows the
+		// power-up instead of blaming scheduling.
+		s.bootPending = false
+		bootStart := job.queuedAt
+		if s.wakeStart > bootStart {
+			bootStart = s.wakeStart
+		}
+		o.span(job, tracing.PhaseQueue, s.id, job.queuedAt, bootStart, "")
+		o.span(job, tracing.PhaseBoot, s.id, bootStart, started, "wake")
+	} else {
+		o.span(job, tracing.PhaseQueue, s.id, job.queuedAt, started, "")
+	}
 	o.spanMarker(job, tracing.PhaseDispatch, s.id, started, "")
 	fl := &inflight{job: job, slot: s, started: started}
 	if job.Timeout > 0 {
@@ -687,6 +847,36 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 	return func() {
 		s.w.RunJob(job, func(res Result) { o.completed(fl, res) })
 	}
+}
+
+// workerPowered is the power manager's ready callback: the wake requested
+// for this worker has completed and it may dispatch. Runs outside both the
+// manager's lock and (on entry) the orchestrator's.
+func (o *Orchestrator) workerPowered(s *workerSlot) {
+	o.mu.Lock()
+	s.waking = false
+	s.bootPending = true
+	run := o.maybeDispatchLocked(s)
+	if run == nil {
+		// The queue emptied while the node booted (deadline reassignment or
+		// drain took the jobs); hand the fresh node to the idle policy.
+		s.bootPending = false
+		o.noteWorkerIdleLocked(s)
+	}
+	o.mu.Unlock()
+	if run != nil {
+		run()
+	}
+}
+
+// noteWorkerIdleLocked reports a genuinely idle worker (no queue, not
+// executing, no wake in flight) to the power manager, starting its idle
+// power-down countdown. No-op without a manager. Caller holds o.mu.
+func (o *Orchestrator) noteWorkerIdleLocked(s *workerSlot) {
+	if o.pm == nil || s.busy || s.waking || len(s.queue) > 0 {
+		return
+	}
+	o.pm.NoteIdle(s.id)
 }
 
 // completed handles a worker's done callback: it records the attempt,
@@ -704,6 +894,9 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		s.busy = false
 		o.m.busy[s.id].Set(0)
 		run := o.maybeDispatchLocked(s)
+		if run == nil {
+			o.noteWorkerIdleLocked(s)
+		}
 		o.mu.Unlock()
 		if run != nil {
 			run()
@@ -740,10 +933,18 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		o.emit(telemetry.EventSettle, job, s.id, "error")
 		o.spanMarker(job, tracing.PhaseSettle, s.id, finished, "error")
 		o.faultSpan(job, s.id, finished, res.Err)
+		if o.pm != nil {
+			// A crashed worker can't be trusted warm: power-cycle it, so
+			// the next dispatch (possibly this job's retry elsewhere) finds
+			// a fresh environment.
+			o.pm.NoteFault(s.id)
+		}
 	}
 	runs, cb := o.resolveAttemptLocked(s, job, res, finished)
 	if run := o.maybeDispatchLocked(s); run != nil {
 		runs = append(runs, run)
+	} else {
+		o.noteWorkerIdleLocked(s)
 	}
 	o.mu.Unlock()
 	for _, run := range runs {
@@ -1079,6 +1280,13 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 	if o.arrivalCancel != nil {
 		o.arrivalCancel()
 		o.arrivalCancel = nil
+	}
+	if o.pm != nil {
+		// Stop the power plane first: parked wakes are cancelled (their
+		// jobs are about to be abandoned below), idle nodes power off now,
+		// and a wake completing mid-drain powers straight back down
+		// instead of resurrecting a worker.
+		o.pm.Drain()
 	}
 	// cond.Wait cannot select on ctx; poke the cond when ctx expires.
 	stopWatch := context.AfterFunc(ctx, func() {

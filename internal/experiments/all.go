@@ -89,6 +89,13 @@ func WriteAll(w io.Writer, cfg AllConfig) error {
 			return WriteDiurnal(w, res)
 		},
 		func(w io.Writer) error {
+			res, err := PowerMgmt(PowerMgmtConfig{Seed: seed, Parallel: par})
+			if err != nil {
+				return err
+			}
+			return WritePowerMgmt(w, res)
+		},
+		func(w io.Writer) error {
 			res, err := Sensitivity(SensitivityConfig{Seed: seed, Parallel: par})
 			if err != nil {
 				return err

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/core"
+	"microfaas/internal/model"
+	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
+	"microfaas/internal/replay"
+)
+
+// PowerMgmt measures what the dynamic power manager buys over the static
+// power policies. At each utilization level it replays the same diurnal
+// arrival trace into three otherwise-identical MicroFaaS clusters:
+//
+//   - per-job: the paper's policy — power-cycle around every invocation;
+//   - always-on: the conventional serverless stance — boot once, idle warm
+//     forever (the DisableReboot ablation);
+//   - managed: the power manager — wake-on-demand, idle power-down, and
+//     the energy-aware assignment policy packing load onto powered nodes.
+//
+// The headline number is J/function; the savings column is the managed
+// cluster's reduction versus always-on at the same load. The lower the
+// utilization, the more idle wattage there is to reclaim.
+type PowerMgmtResult struct {
+	// Day is the replayed trace length (virtual time).
+	Day time.Duration
+	// IdleTimeout is the managed arms' idle power-down timeout.
+	IdleTimeout time.Duration
+	Levels      []PowerMgmtLevel
+}
+
+// PowerMgmtLevel is one utilization point: the same trace through all
+// three power policies.
+type PowerMgmtLevel struct {
+	// Utilization is the offered load as a fraction of cluster capacity;
+	// RatePerMin the resulting mean arrival rate; Invocations the trace
+	// size.
+	Utilization float64
+	RatePerMin  float64
+	Invocations int
+
+	PerJob, AlwaysOn, Managed PowerMgmtArm
+
+	// SavingsVsAlwaysOn is 1 − managed/always-on in J/function (the
+	// fraction of the always-on energy bill the manager reclaims);
+	// SavingsVsPerJob is the same against the per-job power cycle.
+	SavingsVsAlwaysOn float64
+	SavingsVsPerJob   float64
+}
+
+// PowerMgmtArm is one cluster's replay of the level's trace.
+type PowerMgmtArm struct {
+	// Name is "per-job", "always-on", or "managed".
+	Name      string
+	Completed int
+	// JoulesPer is whole-cluster metered energy per completed function (J);
+	// MeanPowerW the cluster's mean draw over the run (W).
+	JoulesPer  float64
+	MeanPowerW float64
+	// MeanLatency includes queueing (and, for managed, any wake boots the
+	// queue wait absorbed).
+	MeanLatency time.Duration
+	// PowerOns counts Off→powered transitions in the GPIO audit log —
+	// PWR_BUT presses. Per-job pays one per invocation; managed pays one
+	// per wake.
+	PowerOns int
+}
+
+// PowerMgmtConfig sizes the experiment.
+type PowerMgmtConfig struct {
+	// Levels are the utilization points (fractions of cluster capacity;
+	// default 0.1, 0.3, 0.6).
+	Levels []float64
+	// Day is the trace length (default 2 h of virtual time — long enough
+	// for the diurnal shape to matter, short enough to fan out widely).
+	Day time.Duration
+	// IdleTimeout for the managed arm (default 15 s).
+	IdleTimeout time.Duration
+	Seed        int64
+	// Parallel bounds the worker pool (<=0 = GOMAXPROCS, 1 = serial). All
+	// levels × arms fan through it; output is identical at any value.
+	Parallel int
+}
+
+// PowerMgmt runs the three-way power-policy comparison across the
+// configured utilization levels.
+func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = []float64{0.1, 0.3, 0.6}
+	}
+	day := cfg.Day
+	if day <= 0 {
+		day = 2 * time.Hour
+	}
+	idle := cfg.IdleTimeout
+	if idle <= 0 {
+		idle = 15 * time.Second
+	}
+	capacity := model.ClusterThroughput(model.SBCCount, model.ARM, model.DefaultWorkerLink(model.ARM))
+	var fns []string
+	for _, f := range model.Functions() {
+		fns = append(fns, f.Name)
+	}
+	// Generate each level's trace serially (cheap), then fan the expensive
+	// replays — len(levels)×3 day-long sims — through the bounded pool.
+	res := PowerMgmtResult{Day: day, IdleTimeout: idle, Levels: make([]PowerMgmtLevel, len(levels))}
+	scheds := make([]replay.Schedule, len(levels))
+	for i, u := range levels {
+		rate := u * capacity
+		sched, err := replay.Diurnal(replay.DiurnalConfig{
+			Duration:       day,
+			BaseRatePerMin: 0.5 * rate,
+			PeakRatePerMin: 1.5 * rate,
+			Functions:      fns,
+			Seed:           DeriveSeed(cfg.Seed, i),
+		})
+		if err != nil {
+			return PowerMgmtResult{}, err
+		}
+		scheds[i] = sched
+		res.Levels[i] = PowerMgmtLevel{
+			Utilization: u,
+			RatePerMin:  sched.Rate(),
+			Invocations: len(sched),
+		}
+	}
+	arms := []string{"per-job", "always-on", "managed"}
+	runs, err := RunParallel(Parallelism(cfg.Parallel), len(levels)*len(arms), func(i int) (PowerMgmtArm, error) {
+		return runPowerArm(arms[i%len(arms)], scheds[i/len(arms)], day, cfg.Seed, idle)
+	})
+	if err != nil {
+		return PowerMgmtResult{}, err
+	}
+	for i := range levels {
+		lv := &res.Levels[i]
+		lv.PerJob, lv.AlwaysOn, lv.Managed = runs[i*len(arms)], runs[i*len(arms)+1], runs[i*len(arms)+2]
+		if lv.AlwaysOn.JoulesPer > 0 {
+			lv.SavingsVsAlwaysOn = 1 - lv.Managed.JoulesPer/lv.AlwaysOn.JoulesPer
+		}
+		if lv.PerJob.JoulesPer > 0 {
+			lv.SavingsVsPerJob = 1 - lv.Managed.JoulesPer/lv.PerJob.JoulesPer
+		}
+	}
+	return res, nil
+}
+
+// runPowerArm replays one trace into one power-policy arm and summarizes
+// its energy bill.
+func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int64, idle time.Duration) (PowerMgmtArm, error) {
+	cfg := cluster.SimConfig{Seed: seed}
+	switch arm {
+	case "always-on":
+		cfg.DisableReboot = true
+	case "managed":
+		cfg.Power = &powermgr.Policy{IdleTimeout: idle}
+		cfg.Policy = core.AssignEnergyAware
+	}
+	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cfg)
+	if err != nil {
+		return PowerMgmtArm{}, err
+	}
+	if _, err := replay.Feed(core.SimRuntime{Engine: s.Engine}, s.Orch, sched); err != nil {
+		return PowerMgmtArm{}, err
+	}
+	s.Engine.Run(day)
+	s.Engine.RunAll() // drain the tail (and the managed arm's idle timers)
+
+	out := PowerMgmtArm{Name: arm}
+	var latSum time.Duration
+	for _, r := range s.Orch.Collector().Records() {
+		if r.Err != "" {
+			continue
+		}
+		out.Completed++
+		latSum += r.Latency()
+	}
+	if out.Completed == 0 {
+		return PowerMgmtArm{}, fmt.Errorf("experiments: power-mgmt %s arm completed nothing", arm)
+	}
+	out.MeanLatency = latSum / time.Duration(out.Completed)
+	total := float64(s.Meter.TotalEnergy(s.Engine.Now()))
+	out.JoulesPer = total / float64(out.Completed)
+	out.MeanPowerW = total / s.Engine.Now().Seconds()
+	for _, e := range s.GPIO.Events() {
+		if e.From == power.Off {
+			out.PowerOns++
+		}
+	}
+	return out, nil
+}
+
+// WritePowerMgmt prints the power-management comparison.
+func WritePowerMgmt(w io.Writer, r PowerMgmtResult) error {
+	if _, err := fmt.Fprintf(w, "Power management: %v diurnal trace per level, %d-SBC cluster, idle timeout %v\n",
+		r.Day, model.SBCCount, r.IdleTimeout); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-5s %-10s %10s %11s %10s %12s %9s %8s\n",
+		"util", "arm", "completed", "J/function", "mean-W", "mean-latency", "power-ons", "savings"); err != nil {
+		return err
+	}
+	for _, lv := range r.Levels {
+		for _, arm := range []PowerMgmtArm{lv.PerJob, lv.AlwaysOn, lv.Managed} {
+			savings := ""
+			if arm.Name == "managed" {
+				savings = fmt.Sprintf("%.1f%%", 100*lv.SavingsVsAlwaysOn)
+			}
+			if _, err := fmt.Fprintf(w, "  %-5.0f%% %-9s %10d %11.2f %10.3f %12s %9d %8s\n",
+				100*lv.Utilization, arm.Name, arm.Completed, arm.JoulesPer, arm.MeanPowerW,
+				arm.MeanLatency.Round(time.Millisecond), arm.PowerOns, savings); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	GET  /functions        list of deployable function names
 //	GET  /workers          per-worker health: breaker state, failure counts, queue depth
 //	GET  /stats            per-function runtime statistics and cluster totals
+//	GET  /power            power-manager snapshot: per-node power states, cap, pending wakes
+//	POST /power/cap        {"cap_w": N} adjusts the cluster power cap (0 removes it)
 //	GET  /healthz          liveness probe: mode, uptime, build version
 //	GET  /metrics          Prometheus text exposition (telemetry-enabled servers)
 //	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N)
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"microfaas/internal/core"
+	"microfaas/internal/power"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 	"microfaas/internal/tracing"
@@ -199,6 +202,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/functions", s.handleFunctions)
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/power", s.handlePower)
+	mux.HandleFunc("/power/cap", s.handlePowerCap)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
@@ -478,6 +483,50 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String()})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePower serves GET /power: the power manager's live snapshot —
+// per-node states, the active cap, and cap-parked wakes. Clusters running
+// the static power policy (no manager) answer 404.
+func (s *Server) handlePower(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	pm := s.orch.PowerManager()
+	if pm == nil {
+		writeError(w, http.StatusNotFound, "power management disabled on this cluster")
+		return
+	}
+	writeJSON(w, http.StatusOK, pm.Snapshot())
+}
+
+// handlePowerCap serves POST /power/cap with body {"cap_w": N}: it adjusts
+// the cluster power budget at runtime (0 removes the cap) and returns the
+// resulting snapshot. Lowering the cap never force-kills powered nodes;
+// the cluster converges downward as they idle out.
+func (s *Server) handlePowerCap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	pm := s.orch.PowerManager()
+	if pm == nil {
+		writeError(w, http.StatusNotFound, "power management disabled on this cluster")
+		return
+	}
+	var req struct {
+		CapW float64 `json:"cap_w"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := pm.SetCapW(power.Watts(req.CapW)); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, pm.Snapshot())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

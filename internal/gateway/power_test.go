@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/powermgr"
+)
+
+// startManagedGateway boots a power-managed live cluster with a gateway in
+// front of it.
+func startManagedGateway(t *testing.T) (base string, l *cluster.Live) {
+	t.Helper()
+	l, err := cluster.StartLive(cluster.LiveOptions{
+		Workers: 2,
+		Seed:    9,
+		Power:   &powermgr.Policy{IdleTimeout: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	gw, err := New(l.Orch, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return "http://" + addr, l
+}
+
+func getPower(t *testing.T, base string) (int, powermgr.Status) {
+	t.Helper()
+	resp, err := http.Get(base + "/power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st powermgr.Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func TestPowerEndpoint(t *testing.T) {
+	base, _ := startManagedGateway(t)
+	code, st := getPower(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("GET /power → %d", code)
+	}
+	if st.Total != 2 || len(st.Nodes) != 2 {
+		t.Fatalf("snapshot = %+v, want 2 nodes", st)
+	}
+	// The managed cluster starts fully power-gated.
+	if st.Powered != 0 {
+		t.Fatalf("powered at start = %d, want 0", st.Powered)
+	}
+	// An invocation wakes a worker; the snapshot must reflect it.
+	resp, out := postInvoke(t, base, `{"function":"CascSHA","args":{"rounds":3,"seed":"pm"}}`)
+	if resp.StatusCode != http.StatusOK || out.Error != "" {
+		t.Fatalf("invoke on managed cluster: status %d, %+v", resp.StatusCode, out)
+	}
+	if _, st = getPower(t, base); st.Powered == 0 {
+		t.Fatalf("no worker powered after an invocation: %+v", st)
+	}
+}
+
+func TestPowerCapEndpoint(t *testing.T) {
+	base, _ := startManagedGateway(t)
+	body := bytes.NewReader([]byte(`{"cap_w":3.92}`))
+	resp, err := http.Post(base+"/power/cap", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /power/cap → %d", resp.StatusCode)
+	}
+	var st powermgr.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CapW != 3.92 || st.MaxPowered != 2 {
+		t.Fatalf("snapshot after cap = %+v, want CapW 3.92 MaxPowered 2", st)
+	}
+	// Negative caps are rejected.
+	resp2, err := http.Post(base+"/power/cap", "application/json",
+		bytes.NewReader([]byte(`{"cap_w":-1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative cap → %d, want 400", resp2.StatusCode)
+	}
+	// So is a GET on the cap endpoint.
+	resp3, err := http.Get(base + "/power/cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /power/cap → %d, want 405", resp3.StatusCode)
+	}
+}
+
+func TestPowerEndpointDisabled(t *testing.T) {
+	// A cluster with the static power policy has no manager: 404.
+	base, _ := startGateway(t)
+	if code, _ := getPower(t, base); code != http.StatusNotFound {
+		t.Fatalf("GET /power on unmanaged cluster → %d, want 404", code)
+	}
+}

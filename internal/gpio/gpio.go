@@ -27,7 +27,8 @@ type Event struct {
 	At time.Duration
 	// Node is the worker id; Pin the GPIO line that actuated it.
 	Node string
-	Pin  int
+	// Pin is the GPIO line number wired to the node's PWR_BUT header.
+	Pin int
 	// From/To are the power states around the transition.
 	From, To power.State
 	// Cause describes the actuation, e.g. "PWR_BUT press (job 42)".
@@ -119,6 +120,30 @@ func (c *Controller) Transition(node string, at time.Duration, from, to power.St
 	}
 	if n := len(c.events); n > 0 && c.events[n-1].At > at {
 		return fmt.Errorf("gpio: transition at %v is earlier than the last logged event (%v)", at, c.events[n-1].At)
+	}
+	c.events = append(c.events, Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
+	return nil
+}
+
+// TransitionMonotone records a transition like Transition but clamps `at`
+// forward to the last logged event's timestamp instead of rejecting it.
+// Live-mode workers use it: concurrent wall-clock callers can observe
+// their timestamps slightly out of order by the time they reach the
+// controller's lock, and the audit log must stay lossless and monotone.
+// The sim's single-threaded virtual clock never needs the clamp and keeps
+// the strict Transition.
+func (c *Controller) TransitionMonotone(node string, at time.Duration, from, to power.State, cause string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pin, ok := c.pins[node]
+	if !ok {
+		return fmt.Errorf("gpio: node %s is not wired", node)
+	}
+	if from == to {
+		return fmt.Errorf("gpio: node %s transition %v -> %v is not a transition", node, from, to)
+	}
+	if n := len(c.events); n > 0 && c.events[n-1].At > at {
+		at = c.events[n-1].At
 	}
 	c.events = append(c.events, Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
 	return nil

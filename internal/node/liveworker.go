@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"microfaas/internal/core"
+	"microfaas/internal/gpio"
 	"microfaas/internal/power"
 	"microfaas/internal/proto"
 	"microfaas/internal/telemetry"
@@ -70,6 +71,18 @@ type LiveWorkerConfig struct {
 	// remote SBC would. Span timestamps use Clock, so set a cluster clock
 	// when tracing.
 	Tracer *tracing.Tracer
+	// Managed hands the worker's power lifecycle to a powermgr.Manager:
+	// the worker implements powermgr.Node (PowerUp sleeps BootDelay on
+	// the wall clock as the modeled boot, PowerDown gates it off), tracks
+	// a modeled power state (Off/Booting/Idle/Busy) for the meter and the
+	// GPIO audit log, and skips the per-job reboot — the manager's wake
+	// already paid it. Requires Clock.
+	Managed bool
+	// GPIO, when set with Managed, wires this worker into the power
+	// manager's audit log: every modeled power-state transition is
+	// recorded there with wall-clock timestamps, the live counterpart of
+	// the sim's Fig 5 power timeline.
+	GPIO *gpio.Controller
 }
 
 // LiveWorker implements core.Worker by serving the invocation protocol on
@@ -86,7 +99,8 @@ type LiveWorker struct {
 
 	mu     sync.Mutex
 	closed bool
-	rng    *rand.Rand // fault draws; guarded by mu
+	rng    *rand.Rand  // fault draws; guarded by mu
+	state  power.State // modeled power state (managed mode); guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -101,7 +115,13 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 	if cfg.Meter != nil && cfg.Clock == nil {
 		return nil, fmt.Errorf("node: live worker %s has a meter but no clock", cfg.ID)
 	}
-	w := &LiveWorker{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Managed && cfg.Clock == nil {
+		return nil, fmt.Errorf("node: managed live worker %s needs a clock", cfg.ID)
+	}
+	if cfg.GPIO != nil && !cfg.Managed {
+		return nil, fmt.Errorf("node: live worker %s: GPIO audit logging requires managed mode", cfg.ID)
+	}
+	w := &LiveWorker{cfg: cfg, quit: make(chan struct{}), state: power.Off}
 	w.m = newWorkerMetrics(cfg.Telemetry, cfg.ID)
 	if cfg.Faults != nil {
 		w.rng = rand.New(rand.NewSource(cfg.Faults.Seed))
@@ -119,6 +139,12 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 	w.addr = ln.Addr().String()
 	if cfg.Meter != nil {
 		cfg.Meter.Set(cfg.ID, w.sbc.Power(power.Off), cfg.Clock())
+	}
+	if cfg.GPIO != nil {
+		if _, err := cfg.GPIO.WireNext(cfg.ID); err != nil {
+			ln.Close() //nolint:errcheck
+			return nil, err
+		}
 	}
 	w.wg.Add(1)
 	go w.acceptLoop()
@@ -152,6 +178,79 @@ func (w *LiveWorker) Close() error {
 	err := w.ln.Close()
 	w.wg.Wait()
 	return err
+}
+
+// setState moves the modeled power state (managed mode only).
+func (w *LiveWorker) setState(to power.State, cause string) {
+	w.mu.Lock()
+	w.setStateLocked(to, cause)
+	w.mu.Unlock()
+}
+
+// setStateLocked records a modeled power-state transition: it repoints the
+// meter at the new state's draw and appends to the GPIO audit log. Same-
+// state calls are no-ops. Callers hold w.mu. Timestamps come from the
+// cluster clock; the audit log uses the monotone-clamping variant because
+// concurrent wall-clock callers can race to the controller's lock.
+func (w *LiveWorker) setStateLocked(to power.State, cause string) {
+	if w.state == to {
+		return
+	}
+	from := w.state
+	w.state = to
+	now := w.now()
+	if w.cfg.Meter != nil {
+		w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(to), now)
+	}
+	if w.cfg.GPIO != nil {
+		w.cfg.GPIO.TransitionMonotone(w.cfg.ID, now, from, to, cause) //nolint:errcheck // wired at start; clamp keeps the log monotone
+	}
+}
+
+// PowerUp implements powermgr.Node: it models the GPIO-triggered boot by
+// holding the worker in Booting for BootDelay of wall-clock time, then
+// settling to Idle and invoking ready. ready always runs from a fresh
+// goroutine or timer — never synchronously — because the manager calls
+// PowerUp while holding both its own and the orchestrator's locks. An
+// already-powered worker skips straight to ready.
+func (w *LiveWorker) PowerUp(cause string, ready func()) {
+	w.mu.Lock()
+	if w.state != power.Off {
+		w.mu.Unlock()
+		if ready != nil {
+			go ready()
+		}
+		return
+	}
+	w.m.bootsCold.Inc()
+	w.setStateLocked(power.Booting, cause)
+	w.mu.Unlock()
+	time.AfterFunc(w.cfg.BootDelay, func() {
+		w.mu.Lock()
+		if w.state == power.Booting {
+			w.setStateLocked(power.Idle, "boot complete (managed)")
+		}
+		w.mu.Unlock()
+		if ready != nil {
+			ready()
+		}
+	})
+}
+
+// PowerDown implements powermgr.Node: it gates the worker off when safely
+// idle. A Busy or Booting worker refuses (returns false) and the manager
+// leaves it up; an already-off worker reports success without logging.
+func (w *LiveWorker) PowerDown(cause string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.state {
+	case power.Busy, power.Booting:
+		return false
+	case power.Off:
+		return true
+	}
+	w.setStateLocked(power.Off, cause)
+	return true
 }
 
 // faultAction is the fate fault injection deals one invocation.
@@ -223,12 +322,20 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 		return
 	}
 	// Every live invocation pays the simulated reboot: the paper's policy,
-	// so every start is cold.
-	w.m.bootsCold.Inc()
+	// so every start is cold. Managed workers skip it — the power
+	// manager's wake already paid the boot before the job was dispatched,
+	// so the job lands warm.
 	bootStart := time.Now()
 	bootStartC := w.now()
-	if w.cfg.BootDelay > 0 {
-		time.Sleep(w.cfg.BootDelay)
+	bootDetail := "cold"
+	if w.cfg.Managed {
+		w.m.bootsWarm.Inc()
+		bootDetail = "warm"
+	} else {
+		w.m.bootsCold.Inc()
+		if w.cfg.BootDelay > 0 {
+			time.Sleep(w.cfg.BootDelay)
+		}
 	}
 	boot := time.Since(bootStart)
 	bootEndC := w.now()
@@ -238,8 +345,8 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 		// The boot predates the request frame, so its span is recorded
 		// here, once the wire has delivered the trace context to join.
 		ctx := tracing.ContextFromWire(req.TraceID, req.ParentSpan)
-		w.traceSpan(ctx, req, tracing.PhaseBoot, bootStartC, bootEndC, "cold")
-		w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, "cold")
+		w.traceSpan(ctx, req, tracing.PhaseBoot, bootStartC, bootEndC, bootDetail)
+		w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, bootDetail)
 		if fault == faultError {
 			return proto.Response{
 				Err:    fmt.Sprintf("node: injected worker fault on %s", w.cfg.ID),
@@ -311,9 +418,15 @@ func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
 	go func() {
 		var started time.Duration
 		var energyStart power.Joules
-		if w.cfg.Meter != nil {
+		if w.cfg.Meter != nil || w.cfg.Managed {
 			started = w.cfg.Clock()
+		}
+		if w.cfg.Meter != nil {
 			energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
+		}
+		if w.cfg.Managed {
+			w.setState(power.Busy, fmt.Sprintf("exec (job %d)", job.ID))
+		} else if w.cfg.Meter != nil {
 			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
 		}
 		traceID, parentSpan := job.Trace.Wire()
@@ -331,14 +444,22 @@ func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
 			res.Overhead = resp.Overhead()
 			res.Exec = resp.Exec()
 		}
-		if w.cfg.Meter != nil {
+		if w.cfg.Meter != nil || w.cfg.Managed {
 			now := w.cfg.Clock()
 			res.FinishedAt = now
-			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
-			// Failed attempts are charged too: the joules were burned on
-			// this function's behalf even if the result was lost.
-			delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
-			w.m.energy(job.Function).Add(float64(delta))
+			if w.cfg.Managed {
+				// The manager decides when the worker powers off; the job
+				// just hands the node back to idle draw.
+				w.setState(power.Idle, "job done (managed idle)")
+			} else if w.cfg.Meter != nil {
+				w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
+			}
+			if w.cfg.Meter != nil {
+				// Failed attempts are charged too: the joules were burned on
+				// this function's behalf even if the result was lost.
+				delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
+				w.m.energy(job.Function).Add(float64(delta))
+			}
 		}
 		done(res)
 	}()

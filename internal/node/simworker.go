@@ -73,6 +73,13 @@ type SimWorkerConfig struct {
 	// and some energy proportionality. Zero (the paper's policy) powers
 	// down immediately. Ignored when DisableReboot is set (always warm).
 	KeepWarm time.Duration
+	// Managed hands the worker's power lifecycle to a powermgr.Manager:
+	// the worker implements powermgr.Node (PowerUp boots it over the
+	// modeled boot time, PowerDown gates it off), stays idle-warm between
+	// jobs instead of power-cycling, and skips the in-job boot when warm
+	// — the manager's wake already paid it, absorbed into the job's queue
+	// wait. ARM only; mutually exclusive with DisableReboot and KeepWarm.
+	Managed bool
 	// Telemetry optionally receives boot/exec lifecycle events, boot and
 	// fault-injection counters, and — for metered ARM workers — the
 	// per-function joules attribution. Nil disables all of it with zero
@@ -143,6 +150,14 @@ func NewSimWorker(cfg SimWorkerConfig) (*SimWorker, error) {
 	}
 	if cfg.Platform == model.X86 && cfg.GPIO != nil {
 		return nil, fmt.Errorf("node: worker %s: GPIO power control wires worker SBCs only", cfg.ID)
+	}
+	if cfg.Managed {
+		if cfg.Platform != model.ARM {
+			return nil, fmt.Errorf("node: worker %s: power management gates worker SBCs only", cfg.ID)
+		}
+		if cfg.DisableReboot || cfg.KeepWarm > 0 {
+			return nil, fmt.Errorf("node: worker %s: Managed excludes DisableReboot/KeepWarm (the manager owns the power policy)", cfg.ID)
+		}
 	}
 	w.m = newWorkerMetrics(cfg.Telemetry, cfg.ID)
 	w.state = power.Off
@@ -216,7 +231,7 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		return
 	}
 	boot := perturb(w.boot, w.jitter())
-	if w.warm && (w.cfg.DisableReboot || w.cfg.KeepWarm > 0) {
+	if w.warm && (w.cfg.DisableReboot || w.cfg.KeepWarm > 0 || w.cfg.Managed) {
 		boot = 0
 	}
 	if w.powerOff != nil {
@@ -271,19 +286,29 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 	finish := func() {
 		w.cycles++
 		rebootDetail := "power-down"
-		if fail {
+		switch {
+		case fail && w.cfg.Managed:
+			// The environment is suspect but the manager owns the power
+			// plane: go cold-idle and let the orchestrator's NoteFault
+			// power-cycle the node through the manager.
+			w.warm = false
+			w.setState(power.Idle, "fault: awaiting power-cycle")
+			rebootDetail = "fault-power-cycle"
+		case fail:
 			// A crashed worker cannot be trusted warm: the OP power-cycles
 			// it regardless of the keep-warm/no-reboot policy.
 			w.warm = false
 			w.setState(power.Off, "fault: forced power-off")
 			rebootDetail = "fault-power-off"
-		} else {
+		default:
 			w.afterJob()
 			switch {
 			case w.cfg.DisableReboot:
 				rebootDetail = "stay-up"
 			case w.cfg.KeepWarm > 0:
 				rebootDetail = "keep-warm"
+			case w.cfg.Managed:
+				rebootDetail = "managed-idle"
 			}
 		}
 		res := core.Result{
@@ -320,10 +345,14 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 }
 
 // afterJob applies the worker's post-job power policy: the paper's
-// immediate power-down, DisableReboot's stay-up, or KeepWarm's bounded
-// idle window that expires into power-off.
+// immediate power-down, DisableReboot's stay-up, KeepWarm's bounded idle
+// window that expires into power-off, or Managed's stay-warm-idle (the
+// power manager decides when the node actually powers off).
 func (w *SimWorker) afterJob() {
 	switch {
+	case w.cfg.Managed:
+		w.warm = true
+		w.setState(power.Idle, "job done (managed idle)")
 	case w.cfg.DisableReboot:
 		w.warm = true
 		w.setState(power.Idle, "job done (no-reboot ablation)")
@@ -339,6 +368,46 @@ func (w *SimWorker) afterJob() {
 		w.warm = false
 		w.setState(power.Off, "job done (power down)")
 	}
+}
+
+// PowerUp implements powermgr.Node (managed mode): Off→Booting now,
+// Booting→Idle (warm) after the worker's jittered boot time on the
+// virtual clock, then ready fires on the engine thread. A node that is
+// not Off boots nothing; ready is still scheduled (never synchronously —
+// the manager may call PowerUp while holding locks the callback retakes).
+func (w *SimWorker) PowerUp(cause string, ready func()) {
+	engine := w.cfg.Engine
+	if w.state != power.Off {
+		if ready != nil {
+			engine.Schedule(0, ready)
+		}
+		return
+	}
+	w.m.bootsCold.Inc()
+	w.setState(power.Booting, cause)
+	engine.Schedule(perturb(w.boot, w.jitter()), func() {
+		w.warm = true
+		w.setState(power.Idle, "boot complete (managed)")
+		if ready != nil {
+			ready()
+		}
+	})
+}
+
+// PowerDown implements powermgr.Node (managed mode): an Idle node goes
+// Off (cold), logging the transition to the meter and the GPIO audit log;
+// a Busy or Booting node refuses and reports false. Powering an Off node
+// down is a true no-op.
+func (w *SimWorker) PowerDown(cause string) bool {
+	switch w.state {
+	case power.Busy, power.Booting:
+		return false
+	case power.Off:
+		return true
+	}
+	w.warm = false
+	w.setState(power.Off, cause)
+	return true
 }
 
 // ColdStarts and WarmStarts report how many jobs paid the boot versus

@@ -48,6 +48,8 @@ const (
 
 var stateNames = [...]string{"off", "booting", "idle", "busy"}
 
+// String renders the state as logged by the GPIO audit trail ("off",
+// "booting", "idle", "busy").
 func (s State) String() string {
 	if s < 0 || int(s) >= len(stateNames) {
 		return fmt.Sprintf("state(%d)", int(s))
@@ -218,8 +220,12 @@ func (m SBCModel) Power(s State) Watts {
 // 32.0 J/function at 211.7 func/min; the calibration test lives in
 // internal/model.
 type ServerModel struct {
-	IdleW    Watts
-	LoadedW  Watts
+	// IdleW is the draw in watts at 0% CPU.
+	IdleW Watts
+	// LoadedW is the draw in watts at 100% CPU.
+	LoadedW Watts
+	// Exponent shapes the concave idle-to-loaded curve (1 = linear;
+	// values below 1 reach peak draw early).
 	Exponent float64
 }
 
@@ -248,6 +254,7 @@ func (m ServerModel) Power(u float64) Watts {
 // SwitchModel is the constant draw of a top-of-rack Ethernet switch
 // (40.87 W for the Cisco Catalyst 2960S-48LPS in the paper's Appendix).
 type SwitchModel struct {
+	// DrawW is the switch's constant draw in watts, load-independent.
 	DrawW Watts
 }
 

@@ -1,0 +1,278 @@
+// Tests drive the Manager over real SimWorkers on the discrete-event
+// engine, so every scenario — including the same-instant races — runs the
+// exact node and GPIO code the managed sim cluster uses. (The external
+// test package avoids the core→powermgr import cycle.)
+package powermgr_test
+
+import (
+	"testing"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/gpio"
+	"microfaas/internal/model"
+	"microfaas/internal/node"
+	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
+	"microfaas/internal/sim"
+)
+
+const bootTime = time.Second
+
+// rig is a manager over n managed SimWorkers with a 1-second boot and no
+// jitter, so event times are exact.
+type rig struct {
+	engine  *sim.Engine
+	gpio    *gpio.Controller
+	mgr     *powermgr.Manager
+	workers []*node.SimWorker
+}
+
+func newRig(t *testing.T, n int, pol powermgr.Policy) *rig {
+	t.Helper()
+	r := &rig{engine: sim.NewEngine(1), gpio: gpio.NewController()}
+	meter := power.NewMeter()
+	nodes := make([]powermgr.Node, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := node.NewSimWorker(node.SimWorkerConfig{
+			ID:       string(rune('a' + i)),
+			Platform: model.ARM,
+			Engine:   r.engine,
+			Meter:    meter,
+			GPIO:     r.gpio,
+			BootTime: bootTime,
+			Managed:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.workers = append(r.workers, w)
+		nodes = append(nodes, w)
+	}
+	mgr, err := powermgr.New(powermgr.Config{
+		Runtime: core.SimRuntime{Engine: r.engine},
+		Nodes:   nodes,
+		Policy:  pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mgr = mgr
+	return r
+}
+
+// transitions renders a node's audit log as "from>to" steps.
+func (r *rig) transitions(id string) []string {
+	var out []string
+	for _, e := range r.gpio.EventsFor(id) {
+		out = append(out, e.From.String()+">"+e.To.String())
+	}
+	return out
+}
+
+func sameSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWakeOnDemand(t *testing.T) {
+	r := newRig(t, 1, powermgr.Policy{IdleTimeout: 10 * time.Second})
+	ready := false
+	if r.mgr.RequestUp("a", "test wake", func() { ready = true }) {
+		t.Fatal("RequestUp on a powered-down node returned true")
+	}
+	if got := r.mgr.StateName("a"); got != "waking" {
+		t.Fatalf("state = %q, want waking", got)
+	}
+	r.engine.Run(bootTime)
+	if !ready {
+		t.Fatal("ready callback did not fire after the boot latency")
+	}
+	if got := r.mgr.StateName("a"); got != "on" {
+		t.Fatalf("state = %q, want on", got)
+	}
+	if !r.mgr.RequestUp("a", "again", nil) {
+		t.Fatal("RequestUp on an up node returned false")
+	}
+	if got := r.mgr.PoweredUp(); got != 1 {
+		t.Fatalf("PoweredUp = %d, want 1", got)
+	}
+}
+
+// TestIdlePowerDownWakeRace is the same-instant race table test: the idle
+// power-down timer and a new wake request land on the same virtual
+// instant, in both orders. Either way the GPIO audit log must stay
+// monotone and the node must end up powered: when the timer fires first
+// the log shows a power-cycle (on>off then off>booting at the same
+// timestamp); when the wake lands first it cancels the timer and the node
+// never blips off.
+func TestIdlePowerDownWakeRace(t *testing.T) {
+	const idle = 4 * time.Second
+	cases := []struct {
+		name       string
+		timerFirst bool // arm the idle timer before scheduling the wake
+		want       []string
+	}{
+		{
+			name:       "power-down-fires-first",
+			timerFirst: true,
+			want:       []string{"off>booting", "booting>idle", "idle>off", "off>booting", "booting>idle"},
+		},
+		{
+			name:       "wake-cancels-power-down",
+			timerFirst: false,
+			want:       []string{"off>booting", "booting>idle"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, 1, powermgr.Policy{IdleTimeout: idle, MinUp: time.Millisecond})
+			r.mgr.RequestUp("a", "first wake", nil)
+			r.engine.Run(bootTime) // node is up at t=bootTime
+			raceAt := bootTime + idle
+			wake := func() { r.mgr.RequestUp("a", "racing wake", nil) }
+			if tc.timerFirst {
+				// NoteIdle arms the timer for raceAt; the wake event is
+				// scheduled after it, so with equal timestamps the engine
+				// fires the power-down first.
+				r.mgr.NoteIdle("a")
+				r.engine.Schedule(raceAt-r.engine.Now(), wake)
+			} else {
+				r.engine.Schedule(raceAt-r.engine.Now(), wake)
+				r.mgr.NoteIdle("a")
+			}
+			r.engine.RunAll()
+			if got := r.mgr.StateName("a"); got != "on" {
+				t.Fatalf("state after race = %q, want on", got)
+			}
+			if got := r.transitions("a"); !sameSeq(got, tc.want) {
+				t.Fatalf("audit log = %v, want %v", got, tc.want)
+			}
+			// The audit log must be monotone even with two transitions on
+			// the same instant.
+			events := r.gpio.Events()
+			for i := 1; i < len(events); i++ {
+				if events[i].At < events[i-1].At {
+					t.Fatalf("audit log went backwards: %v after %v", events[i], events[i-1])
+				}
+			}
+		})
+	}
+}
+
+// TestWakeMidDrainDoesNotResurrect is the drain regression test: a wake
+// in flight when Drain is called must power straight back down when the
+// boot completes — never hand the node to the orchestrator.
+func TestWakeMidDrainDoesNotResurrect(t *testing.T) {
+	r := newRig(t, 1, powermgr.Policy{IdleTimeout: 10 * time.Second})
+	ready := false
+	r.mgr.RequestUp("a", "doomed wake", func() { ready = true })
+	r.engine.Run(bootTime / 2)
+	r.mgr.Drain()
+	r.engine.RunAll()
+	if ready {
+		t.Fatal("ready callback fired for a wake that completed mid-drain")
+	}
+	if got := r.mgr.StateName("a"); got != "off" {
+		t.Fatalf("state after drain = %q, want off", got)
+	}
+	if got := r.mgr.PoweredUp(); got != 0 {
+		t.Fatalf("PoweredUp = %d, want 0", got)
+	}
+	want := []string{"off>booting", "booting>idle", "idle>off"}
+	if got := r.transitions("a"); !sameSeq(got, want) {
+		t.Fatalf("audit log = %v, want %v", got, want)
+	}
+	// And a fresh request during drain must refuse outright.
+	if r.mgr.RequestUp("a", "post-drain", func() { t.Fatal("ready fired during drain") }) {
+		t.Fatal("RequestUp succeeded on a draining manager")
+	}
+	r.engine.RunAll()
+}
+
+func TestPowerCapFIFO(t *testing.T) {
+	// Cap admits two nodes at 1 W each; the third and fourth wakes park
+	// and must start in FIFO order as capacity frees.
+	r := newRig(t, 4, powermgr.Policy{IdleTimeout: time.Hour, CapW: 2, NodeW: 1})
+	order := make([]string, 0, 4)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		id := id
+		r.mgr.RequestUp(id, "cap test", func() { order = append(order, id) })
+	}
+	if !r.mgr.CanWake() {
+		// expected: cap is saturated with a and b waking
+	} else {
+		t.Fatal("CanWake true with the cap saturated")
+	}
+	r.engine.RunAll()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("ready order under cap = %v, want [a b]", order)
+	}
+	if got := r.mgr.Snapshot().PendingWakes; got != 2 {
+		t.Fatalf("PendingWakes = %d, want 2", got)
+	}
+	// Fault a powered node: its budget frees and c (first in) wakes.
+	r.mgr.NoteFault("a")
+	r.engine.RunAll()
+	if len(order) != 3 || order[2] != "c" {
+		t.Fatalf("ready order after freed budget = %v, want [a b c]", order)
+	}
+	// Raising the cap starts the rest.
+	if err := r.mgr.SetCapW(4); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunAll()
+	if len(order) != 4 || order[3] != "d" {
+		t.Fatalf("ready order after raising cap = %v, want [a b c d]", order)
+	}
+}
+
+func TestMinUpHysteresis(t *testing.T) {
+	const minUp = 10 * time.Second
+	r := newRig(t, 1, powermgr.Policy{IdleTimeout: time.Second, MinUp: minUp})
+	r.mgr.RequestUp("a", "wake", nil)
+	r.engine.Run(bootTime)
+	r.mgr.NoteIdle("a") // idle immediately after boot
+	r.engine.RunAll()
+	evs := r.gpio.EventsFor("a")
+	last := evs[len(evs)-1]
+	if last.To != power.Off {
+		t.Fatalf("node did not power down: %v", last)
+	}
+	// The 1 s idle timeout is floored by MinUp: off at bootTime+minUp.
+	if want := bootTime + minUp; last.At != want {
+		t.Fatalf("powered down at %v, want %v (MinUp hysteresis)", last.At, want)
+	}
+}
+
+func TestSetCapWRejectsNegative(t *testing.T) {
+	r := newRig(t, 1, powermgr.Policy{})
+	if err := r.mgr.SetCapW(-1); err == nil {
+		t.Fatal("SetCapW(-1) succeeded")
+	}
+}
+
+func TestNoteFaultPowerCycles(t *testing.T) {
+	r := newRig(t, 1, powermgr.Policy{IdleTimeout: time.Hour})
+	r.mgr.RequestUp("a", "wake", nil)
+	r.engine.RunAll()
+	r.mgr.NoteFault("a")
+	if got := r.mgr.StateName("a"); got != "off" {
+		t.Fatalf("state after fault = %q, want off (power-cycled)", got)
+	}
+	// The next request boots it fresh.
+	if r.mgr.RequestUp("a", "rewake", nil) {
+		t.Fatal("RequestUp returned true on a power-cycled node")
+	}
+	r.engine.RunAll()
+	if got := r.mgr.StateName("a"); got != "on" {
+		t.Fatalf("state after rewake = %q, want on", got)
+	}
+}

@@ -1,0 +1,70 @@
+package powermgr
+
+import (
+	"microfaas/internal/telemetry"
+)
+
+// Metric names the power manager owns (see DESIGN.md §7 for the catalogue
+// and the label-cardinality rules).
+const (
+	// metricWorkersPowered is the cluster-wide powered-node count (Up or
+	// Waking), evaluated at scrape time.
+	metricWorkersPowered = "microfaas_workers_powered"
+	// metricWorkerPowered is the per-worker 0/1 powered gauge faasctl top
+	// renders its worker rows from.
+	metricWorkerPowered = "microfaas_worker_powered"
+	metricCapWatts      = "microfaas_power_cap_watts"
+	metricWakes         = "microfaas_power_wakes_total"
+	metricDowns         = "microfaas_power_downs_total"
+	metricCapDeferred   = "microfaas_power_cap_deferred_total"
+)
+
+// mgrMetrics holds the manager's pre-created metric handles. Every handle
+// no-ops on nil and a nil map lookup yields a nil handle, so the zero
+// value is the disabled-instrumentation path.
+type mgrMetrics struct {
+	wakes       *telemetry.Counter
+	capDeferred *telemetry.Counter
+	downsBy     map[string]*telemetry.Counter // reason → counter
+	powered     map[string]*telemetry.Gauge   // worker id → 0/1
+}
+
+// initTelemetry pre-creates the manager's metric families so every
+// per-worker series is present (at zero) from the first scrape. The two
+// cluster-level readings are func-backed and evaluated at scrape time.
+func (m *Manager) initTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	reg := tel.Registry()
+	reg.GaugeFunc(metricWorkersPowered,
+		"Workers currently powered (booting or up); the rest draw only off-state power.",
+		func() float64 { return float64(m.PoweredUp()) })
+	reg.GaugeFunc(metricCapWatts,
+		"Active cluster power cap in watts (0 = uncapped).",
+		func() float64 { return float64(m.CapW()) })
+	m.m = mgrMetrics{
+		wakes: reg.Counter(metricWakes,
+			"Wake-on-demand power-ups issued by the power manager."),
+		capDeferred: reg.Counter(metricCapDeferred,
+			"Wakes parked in the FIFO because the power cap was binding."),
+		downsBy: make(map[string]*telemetry.Counter, 3),
+		powered: make(map[string]*telemetry.Gauge, len(m.order)),
+	}
+	for _, reason := range []string{"idle", "fault", "drain"} {
+		m.m.downsBy[reason] = reg.Counter(metricDowns,
+			"Power-downs issued by the power manager, by reason.", "reason", reason)
+	}
+	for _, n := range m.order {
+		m.m.powered[n.node.ID()] = reg.Gauge(metricWorkerPowered,
+			"1 while the worker is powered (booting or up), 0 while powered off.",
+			"worker", n.node.ID())
+	}
+}
+
+// poweredGauge returns the per-worker powered gauge (nil when telemetry is
+// disabled; the handle no-ops).
+func (m *mgrMetrics) poweredGauge(id string) *telemetry.Gauge { return m.powered[id] }
+
+// downs returns the power-down counter for a reason (nil-safe).
+func (m *mgrMetrics) downs(reason string) *telemetry.Counter { return m.downsBy[reason] }

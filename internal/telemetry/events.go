@@ -7,16 +7,24 @@ import "sync"
 // polling Since(lastSeq) can detect loss when the ring overwrote entries
 // it had not yet read (returned events then start above lastSeq+1).
 type Event struct {
+	// Seq is the gap-free append ordinal (see the loss-detection note
+	// above).
 	Seq int64 `json:"seq"`
 	// AtMs is the cluster-clock offset in milliseconds (virtual in sim
 	// mode, wall in live mode).
-	AtMs     float64 `json:"at_ms"`
-	Type     string  `json:"type"`
-	Job      int64   `json:"job,omitempty"`
-	Function string  `json:"function,omitempty"`
-	Worker   string  `json:"worker,omitempty"`
-	Attempt  int     `json:"attempt"`
-	Detail   string  `json:"detail,omitempty"`
+	AtMs float64 `json:"at_ms"`
+	// Type is the lifecycle event kind ("submitted", "dispatched", ...).
+	Type string `json:"type"`
+	// Job is the invocation's job id (0 for cluster-level events).
+	Job int64 `json:"job,omitempty"`
+	// Function names the invoked workload function.
+	Function string `json:"function,omitempty"`
+	// Worker names the worker involved, when one is.
+	Worker string `json:"worker,omitempty"`
+	// Attempt is the retry ordinal the event belongs to (0 = first).
+	Attempt int `json:"attempt"`
+	// Detail carries event-specific context (fault cause, boot kind, ...).
+	Detail string `json:"detail,omitempty"`
 }
 
 // EventLog is a fixed-capacity ring buffer of events. Appends never block

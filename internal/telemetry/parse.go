@@ -14,9 +14,12 @@ import (
 // the sample value. Histogram series appear under their expanded names
 // (name_bucket with an "le" label, name_sum, name_count).
 type Sample struct {
-	Name   string
+	// Name is the metric name (histogram series use expanded names).
+	Name string
+	// Labels is the sample's label set (nil when unlabelled).
 	Labels map[string]string
-	Value  float64
+	// Value is the sample value.
+	Value float64
 }
 
 // Samples is a scrape result with lookup helpers.

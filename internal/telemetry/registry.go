@@ -20,6 +20,7 @@ const (
 	TypeHistogram
 )
 
+// String returns the Prometheus TYPE keyword for the metric kind.
 func (t MetricType) String() string {
 	switch t {
 	case TypeCounter:

@@ -6,10 +6,14 @@ import "time"
 // duration, total metered joules, and the number of spans merged (more
 // than one when the invocation retried).
 type PhaseStat struct {
-	Phase    Phase         `json:"phase"`
+	// Phase identifies the lifecycle phase aggregated here.
+	Phase Phase `json:"phase"`
+	// Duration is the phase's total time on the cluster clock.
 	Duration time.Duration `json:"duration_ns"`
-	EnergyJ  float64       `json:"energy_j"`
-	Count    int           `json:"count"`
+	// EnergyJ is the phase's total metered energy in joules.
+	EnergyJ float64 `json:"energy_j"`
+	// Count is the number of spans merged into this row.
+	Count int `json:"count"`
 }
 
 // Summary is a trace's critical-path breakdown. Because the instrumented
@@ -22,22 +26,32 @@ type PhaseStat struct {
 // Likewise EnergyJ is the sum of the phase energies, which equals the
 // invocation's metered energy (boot + exec meter deltas) by construction.
 type Summary struct {
-	Trace    TraceID       `json:"trace"`
-	Job      int64         `json:"job"`
-	Function string        `json:"function"`
-	Worker   string        `json:"worker,omitempty"`
-	Attempts int           `json:"attempts"`
-	Err      string        `json:"err,omitempty"`
-	Start    time.Duration `json:"start_ns"`
-	End      time.Duration `json:"end_ns"`
-	Latency  time.Duration `json:"latency_ns"`
+	// Trace is the summarized trace's id.
+	Trace TraceID `json:"trace"`
+	// Job is the invocation's job id.
+	Job int64 `json:"job"`
+	// Function names the invoked workload function.
+	Function string `json:"function"`
+	// Worker is the final attempt's worker (empty if none started).
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts executions (1 = no retries).
+	Attempts int `json:"attempts"`
+	// Err is the final failure message, empty on success.
+	Err string `json:"err,omitempty"`
+	// Start is when the invocation was submitted, on the cluster clock.
+	Start time.Duration `json:"start_ns"`
+	// End is when the final result settled.
+	End time.Duration `json:"end_ns"`
+	// Latency is End - Start: the end-to-end invocation latency.
+	Latency time.Duration `json:"latency_ns"`
 	// Phases lists only the phases present, in canonical lifecycle order.
 	Phases []PhaseStat `json:"phases"`
 	// Unattributed is the part of Latency no recorded phase covers,
 	// clamped at zero (retries can overlap a parked wait with nothing
 	// else, never the reverse).
 	Unattributed time.Duration `json:"unattributed_ns"`
-	EnergyJ      float64       `json:"energy_j"`
+	// EnergyJ is the invocation's total metered energy in joules.
+	EnergyJ float64 `json:"energy_j"`
 }
 
 // Summarize computes the critical-path breakdown of one trace.

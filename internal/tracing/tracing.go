@@ -127,8 +127,10 @@ func PhaseOrder() []Phase {
 // to and which span is its parent. The zero Context is invalid and makes
 // every recording call a no-op, so untraced jobs cost nothing.
 type Context struct {
+	// Trace is the owning trace's id (0 = invalid/untraced).
 	Trace TraceID `json:"trace"`
-	Span  SpanID  `json:"span"`
+	// Span is the parent span new children attach under.
+	Span SpanID `json:"span"`
 }
 
 // Valid reports whether the context refers to a real trace.
@@ -164,20 +166,34 @@ func ContextFromWire(traceID, spanID string) Context {
 // the cluster clock; EnergyJ is the metered joules the phase consumed
 // (boot and exec spans on metered workers; zero elsewhere).
 type Span struct {
-	Trace    TraceID       `json:"trace"`
-	ID       SpanID        `json:"id"`
-	Parent   SpanID        `json:"parent,omitempty"`
-	Phase    Phase         `json:"phase"`
-	Name     string        `json:"name,omitempty"`
-	Job      int64         `json:"job,omitempty"`
-	Function string        `json:"function,omitempty"`
-	Worker   string        `json:"worker,omitempty"`
-	Attempt  int           `json:"attempt"`
-	Start    time.Duration `json:"start_ns"`
-	End      time.Duration `json:"end_ns"`
-	EnergyJ  float64       `json:"energy_j,omitempty"`
-	Detail   string        `json:"detail,omitempty"`
-	Err      string        `json:"err,omitempty"`
+	// Trace is the owning trace's id.
+	Trace TraceID `json:"trace"`
+	// ID is the span's trace-unique id.
+	ID SpanID `json:"id"`
+	// Parent is the parent span's id (0 for root spans).
+	Parent SpanID `json:"parent,omitempty"`
+	// Phase classifies the lifecycle interval (queue, boot, exec, ...).
+	Phase Phase `json:"phase"`
+	// Name is a free-form label (root spans: the function name).
+	Name string `json:"name,omitempty"`
+	// Job is the job id the span belongs to (0 for non-job spans).
+	Job int64 `json:"job,omitempty"`
+	// Function names the workload function being traced.
+	Function string `json:"function,omitempty"`
+	// Worker names the worker the phase ran on (empty off-worker).
+	Worker string `json:"worker,omitempty"`
+	// Attempt is the retry ordinal the span belongs to (0 = first).
+	Attempt int `json:"attempt"`
+	// Start is the span's opening offset on the cluster clock.
+	Start time.Duration `json:"start_ns"`
+	// End is the span's closing offset on the cluster clock.
+	End time.Duration `json:"end_ns"`
+	// EnergyJ is the metered joules the phase consumed.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	// Detail annotates the span ("cold"/"warm"/"wake" boots, fault kinds).
+	Detail string `json:"detail,omitempty"`
+	// Err carries the failure that ended the span, empty on success.
+	Err string `json:"err,omitempty"`
 }
 
 // Duration is the span's length on the cluster clock.
@@ -186,8 +202,10 @@ func (s Span) Duration() time.Duration { return s.End - s.Start }
 // Trace is one committed invocation trace: the root span plus its child
 // phase spans in recording order.
 type Trace struct {
-	ID   TraceID `json:"trace"`
-	Root Span    `json:"root"`
+	// ID is the trace id (also stamped on every span).
+	ID TraceID `json:"trace"`
+	// Root is the invocation-level span bracketing the whole job.
+	Root Span `json:"root"`
 	// Spans holds the child spans in the order they were recorded.
 	Spans []Span `json:"spans"`
 }
@@ -223,14 +241,18 @@ type Config struct {
 type Stats struct {
 	// Committed traces currently retained; Active traces still open.
 	Committed int `json:"committed"`
-	Active    int `json:"active"`
+	// Active counts traces started but not yet committed.
+	Active int `json:"active"`
 	// Unsampled traces discarded at commit by the head-sampling decision;
 	// Evicted committed traces overwritten by the ring; Overflow traces
 	// dropped at birth by the MaxActive bound; TruncatedSpans child spans
 	// dropped by the per-trace MaxSpans bound.
-	Unsampled      int64 `json:"unsampled"`
-	Evicted        int64 `json:"evicted"`
-	Overflow       int64 `json:"overflow"`
+	Unsampled int64 `json:"unsampled"`
+	// Evicted counts committed traces overwritten by the ring buffer.
+	Evicted int64 `json:"evicted"`
+	// Overflow counts traces dropped at birth by the MaxActive bound.
+	Overflow int64 `json:"overflow"`
+	// TruncatedSpans counts child spans dropped by the MaxSpans bound.
 	TruncatedSpans int64 `json:"truncated_spans"`
 }
 

@@ -31,6 +31,7 @@ import (
 	"microfaas/internal/model"
 	"microfaas/internal/node"
 	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
 	"microfaas/internal/tco"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
@@ -166,6 +167,41 @@ const (
 // the paper's Appendix.
 func DefaultSBCPowerModel() SBCPowerModel { return power.DefaultSBCModel() }
 
+// --- Dynamic power management ---
+
+// PowerPolicy tunes the dynamic power manager: idle timeout before a
+// worker is power-gated, minimum-up hysteresis, and an optional cluster
+// watt budget. Pass one via LiveOptions.Power or SimOptions.Power to turn
+// power management on; leave nil for the static per-job power cycle.
+type PowerPolicy = powermgr.Policy
+
+// PowerManager owns worker power states when a PowerPolicy is set: it
+// wakes powered-down workers on demand, powers idle ones down, and
+// enforces the watt budget. Reach a running cluster's manager through
+// LiveCluster.PowerMgr / SimCluster.PowerMgr or a gateway's /power route.
+type PowerManager = powermgr.Manager
+
+// PowerStatus is a PowerManager snapshot: per-node power states, the
+// active cap, and cap-parked wakes.
+type PowerStatus = powermgr.Status
+
+// AssignPolicy selects how the orchestrator places jobs on workers.
+type AssignPolicy = core.AssignPolicy
+
+// Assignment policies for Orchestrator configuration. AssignEnergyAware
+// pairs with a PowerPolicy: it packs load onto powered workers so idle
+// ones can be power-gated.
+const (
+	AssignRoundRobin  = core.AssignRoundRobin
+	AssignRandom      = core.AssignRandom
+	AssignLeastLoaded = core.AssignLeastLoaded
+	AssignEnergyAware = core.AssignEnergyAware
+)
+
+// ParseAssignPolicy maps a policy name ("round-robin", "random",
+// "least-loaded", "energy-aware") to its AssignPolicy.
+func ParseAssignPolicy(s string) (AssignPolicy, error) { return core.ParsePolicy(s) }
+
 // --- Simulated clusters ---
 
 // SimOptions configures a simulated cluster.
@@ -264,6 +300,8 @@ type (
 	KeepWarmPoint     = experiments.KeepWarmPoint
 	DiurnalConfig     = experiments.DiurnalConfig
 	DiurnalResult     = experiments.DiurnalResult
+	PowerMgmtConfig   = experiments.PowerMgmtConfig
+	PowerMgmtResult   = experiments.PowerMgmtResult
 	SensitivityConfig = experiments.SensitivityConfig
 	SensitivityResult = experiments.SensitivityResult
 	BootImpactConfig  = experiments.BootImpactConfig
@@ -305,6 +343,10 @@ func KeepWarm(cfg KeepWarmConfig) ([]KeepWarmPoint, error) { return experiments.
 // Diurnal replays a synthetic day into both clusters and compares their
 // daily energy bills.
 func Diurnal(cfg DiurnalConfig) (DiurnalResult, error) { return experiments.Diurnal(cfg) }
+
+// PowerMgmt compares the dynamic power manager against the per-job power
+// cycle and an always-on baseline across utilization levels.
+func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) { return experiments.PowerMgmt(cfg) }
 
 // Sensitivity re-measures the headline energy comparison under random
 // perturbations of the calibrated service times.
