@@ -30,9 +30,9 @@ docslint:
 	$(GO) run ./cmd/docslint
 
 # `make bench` runs the full benchmark suite and records it as a JSON
-# baseline (BENCH_pr3.json) via cmd/benchjson. `make bench-smoke` is the
+# baseline (BENCH_pr6.json) via cmd/benchjson. `make bench-smoke` is the
 # CI variant: one iteration of everything, just proving the benchmarks run.
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr6.json
 
 .PHONY: bench
 bench:
@@ -43,3 +43,15 @@ bench:
 .PHONY: bench-smoke
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# `make bench-diff` re-runs the hot-path benchmarks and gates them against
+# the committed baseline: a >20% regression in ns/op or allocs/op fails
+# (cmd/benchjson -diff). CI runs this in the bench-smoke job.
+BENCH_BASELINE ?= BENCH_pr6.json
+BENCH_GATED := BenchmarkLiveInvocation,BenchmarkSimulatorEventRate,BenchmarkRackScale10K
+
+.PHONY: bench-diff
+bench-diff:
+	$(GO) test -bench '^(BenchmarkLiveInvocation|BenchmarkSimulatorEventRate|BenchmarkRackScale10K)$$' -benchmem -run '^$$' . | tee .bench-diff.out
+	$(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE) -gate $(BENCH_GATED) < .bench-diff.out
+	rm -f .bench-diff.out

@@ -8,6 +8,12 @@
 //
 // plus the goos/goarch/cpu/pkg header lines, and ignores everything else
 // (PASS, ok, test log noise).
+//
+// With -diff BASELINE.json it instead compares a fresh run (bench text on
+// stdin, or another JSON document via -new) against the committed
+// baseline and exits nonzero when a gated benchmark regressed more than
+// -threshold percent in ns/op or allocs/op — the CI regression gate
+// (`make bench-diff`).
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,15 +52,42 @@ type Document struct {
 func main() {
 	label := flag.String("label", "", "free-form label recorded in the document")
 	hardware := flag.String("hardware", "", "hardware note recorded in the document")
+	diff := flag.String("diff", "", "baseline BENCH_*.json to compare against (enables diff mode)")
+	newDoc := flag.String("new", "", "diff mode: read the fresh run from this JSON document instead of bench text on stdin")
+	gate := flag.String("gate", "", "diff mode: comma-separated benchmark names to gate (default: every benchmark present in both documents)")
+	threshold := flag.Float64("threshold", 20, "diff mode: max allowed regression percent in ns/op or allocs/op")
 	flag.Parse()
 
-	doc := Document{
-		Label:    *label,
-		Hardware: *hardware,
-		Date:     time.Now().UTC().Format("2006-01-02"),
+	if *diff != "" {
+		if err := runDiff(*diff, *newDoc, *gate, *threshold, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
+
+	doc, err := parseBenchText(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Label = *label
+	doc.Hardware = *hardware
+	doc.Date = time.Now().UTC().Format("2006-01-02")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchText parses `go test -bench` text output into a Document
+// (header fields only; label/hardware/date are the caller's).
+func parseBenchText(r io.Reader) (Document, error) {
+	var doc Document
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -72,16 +107,7 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return doc, sc.Err()
 }
 
 // parseBenchLine parses one result line; ok is false for lines that only
@@ -111,4 +137,113 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+// gatedMetrics are the units the diff gate enforces; other units are
+// reported but never fail the run.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// runDiff loads the baseline document and a fresh run, prints per-
+// benchmark deltas, and errors if any gated benchmark regressed beyond
+// thresholdPct in a gated metric (or vanished from the fresh run).
+func runDiff(baselinePath, newPath, gateList string, thresholdPct float64, w io.Writer) error {
+	baseline, err := loadDocument(baselinePath)
+	if err != nil {
+		return err
+	}
+	var fresh Document
+	if newPath != "" {
+		fresh, err = loadDocument(newPath)
+	} else {
+		fresh, err = parseBenchText(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	old := indexByName(baseline)
+	cur := indexByName(fresh)
+
+	var gated []string
+	if gateList != "" {
+		for _, name := range strings.Split(gateList, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				gated = append(gated, name)
+			}
+		}
+	} else {
+		// Default gate: everything the two documents share.
+		for name := range old {
+			if _, ok := cur[name]; ok {
+				gated = append(gated, name)
+			}
+		}
+		sort.Strings(gated)
+	}
+	if len(gated) == 0 {
+		return fmt.Errorf("diff %s: no benchmarks in common to gate", baselinePath)
+	}
+
+	var failures []string
+	fmt.Fprintf(w, "baseline %s (%s)\n", baselinePath, baseline.Label)
+	for _, name := range gated {
+		ob, okOld := old[name]
+		nb, okNew := cur[name]
+		if !okOld || !okNew {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s document", name, missingSide(okOld, okNew)))
+			continue
+		}
+		for _, unit := range gatedMetrics {
+			ov, haveOld := ob.Metrics[unit]
+			nv, haveNew := nb.Metrics[unit]
+			if !haveOld || !haveNew || ov == 0 {
+				continue // e.g. a baseline recorded without -benchmem
+			}
+			pct := (nv - ov) / ov * 100
+			fmt.Fprintf(w, "  %-32s %-10s %14.5g -> %-14.5g %+.1f%%\n", name, unit, ov, nv, pct)
+			if pct > thresholdPct {
+				failures = append(failures,
+					fmt.Sprintf("%s %s regressed %+.1f%% (%.5g -> %.5g, limit +%.0f%%)", name, unit, pct, ov, nv, thresholdPct))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "gate passed: %d benchmarks within +%.0f%%\n", len(gated), thresholdPct)
+	return nil
+}
+
+// loadDocument reads one BENCH_*.json file.
+func loadDocument(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// indexByName maps benchmark name → result (last entry wins when a name
+// repeats, matching go test's own "last run counts" convention).
+func indexByName(doc Document) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// missingSide names which document dropped a gated benchmark.
+func missingSide(okOld, okNew bool) string {
+	switch {
+	case !okOld && !okNew:
+		return "both"
+	case !okOld:
+		return "the baseline"
+	default:
+		return "the fresh"
+	}
 }

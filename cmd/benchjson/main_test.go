@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkHeadline-8   \t       5\t 229537616 ns/op\t       200.6 sbc-func/min\t         5.457 gain-x")
@@ -36,5 +42,86 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Fatalf("accepted noise line %q", line)
 		}
+	}
+}
+
+func writeDoc(t *testing.T, name string, doc Document) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Label: "pr3", Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 148496, 189),
+		bench("BenchmarkSimulatorEventRate", 40874, 17),
+	}})
+	fresh := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 36528, 34),     // big improvement
+		bench("BenchmarkSimulatorEventRate", 44000, 17), // +7.6%, inside +20%
+	}})
+	var out strings.Builder
+	if err := runDiff(old, fresh, "", 20, &out); err != nil {
+		t.Fatalf("gate failed on an improvement: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Fatalf("no pass line in:\n%s", out.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 100, 10),
+	}})
+	fresh := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 130, 10), // +30% ns/op
+	}})
+	var out strings.Builder
+	err := runDiff(old, fresh, "BenchmarkLiveInvocation", 20, &out)
+	if err == nil {
+		t.Fatalf("a +30%% ns/op regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "ns/op regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 100, 10),
+	}})
+	fresh := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 100, 13), // +30% allocs/op
+	}})
+	if err := runDiff(old, fresh, "", 20, &strings.Builder{}); err == nil {
+		t.Fatal("a +30% allocs/op regression passed the gate")
+	}
+}
+
+func TestDiffFailsWhenGatedBenchmarkVanishes(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 100, 10),
+		bench("BenchmarkRackScale10K", 3e9, 100),
+	}})
+	fresh := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkLiveInvocation", 90, 9),
+	}})
+	err := runDiff(old, fresh, "BenchmarkLiveInvocation,BenchmarkRackScale10K", 20, &strings.Builder{})
+	if err == nil {
+		t.Fatal("a vanished gated benchmark passed the gate")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unexpected gate error: %v", err)
 	}
 }

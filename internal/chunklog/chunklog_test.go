@@ -1,0 +1,72 @@
+package chunklog
+
+import "testing"
+
+func TestAppendFlattenOrder(t *testing.T) {
+	var l Log[int]
+	const n = chunkSize*3 + 17 // cross several chunk boundaries
+	for i := 0; i < n; i++ {
+		l.Append(i)
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+	flat := l.Flatten()
+	if len(flat) != n {
+		t.Fatalf("Flatten len = %d, want %d", len(flat), n)
+	}
+	for i, v := range flat {
+		if v != i {
+			t.Fatalf("Flatten[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestLast(t *testing.T) {
+	var l Log[string]
+	if _, ok := l.Last(); ok {
+		t.Fatal("Last on empty log reported an entry")
+	}
+	l.Append("a")
+	l.Append("b")
+	if v, ok := l.Last(); !ok || v != "b" {
+		t.Fatalf("Last = %q, %v; want \"b\", true", v, ok)
+	}
+	// Cross a chunk boundary and check Last tracks the newest chunk.
+	for i := 0; i < chunkSize; i++ {
+		l.Append("x")
+	}
+	l.Append("tail")
+	if v, _ := l.Last(); v != "tail" {
+		t.Fatalf("Last after boundary = %q, want \"tail\"", v)
+	}
+}
+
+func TestEachVisitsAllInOrder(t *testing.T) {
+	var l Log[int]
+	const n = chunkSize + 5
+	for i := 0; i < n; i++ {
+		l.Append(i)
+	}
+	next := 0
+	l.Each(func(v int) {
+		if v != next {
+			t.Fatalf("Each visited %d, want %d", v, next)
+		}
+		next++
+	})
+	if next != n {
+		t.Fatalf("Each visited %d entries, want %d", next, n)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l Log[byte]
+	if l.Len() != 0 {
+		t.Fatalf("zero log Len = %d", l.Len())
+	}
+	if got := l.Flatten(); len(got) != 0 {
+		t.Fatalf("zero log Flatten = %v", got)
+	}
+	l.Each(func(byte) { t.Fatal("zero log Each visited an entry") })
+}

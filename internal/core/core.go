@@ -275,7 +275,13 @@ type workerSlot struct {
 	id  string
 	idx int // registration order
 
+	// queue[qhead:] is the worker's FIFO of waiting jobs. Popping advances
+	// qhead instead of reslicing (`queue = queue[1:]`), which would strand
+	// the backing array's head and force append to reallocate on every
+	// push/pop cycle; once the queue drains both reset and the array is
+	// reused in place.
 	queue []Job
+	qhead int
 	busy  bool
 
 	// waking is set while a wake-on-demand power-up requested for this
@@ -295,6 +301,44 @@ type workerSlot struct {
 	// (-1 while assignable). Exactly one is >= 0 at any time.
 	eligPos   int
 	parolePos int
+}
+
+// qlen returns the number of jobs waiting in the slot's queue.
+func (s *workerSlot) qlen() int { return len(s.queue) - s.qhead }
+
+// qpush appends a job to the slot's queue.
+func (s *workerSlot) qpush(j Job) { s.queue = append(s.queue, j) }
+
+// qhead0 returns the next job without removing it. Call only when qlen > 0.
+func (s *workerSlot) qhead0() Job { return s.queue[s.qhead] }
+
+// qpop removes and returns the next job. The vacated element is zeroed so
+// the queue does not pin the job's Args past its dispatch.
+func (s *workerSlot) qpop() Job {
+	j := s.queue[s.qhead]
+	s.queue[s.qhead] = Job{}
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	}
+	return j
+}
+
+// qtake removes and returns every waiting job (nil when empty), leaving
+// the backing array in place for reuse.
+func (s *workerSlot) qtake() []Job {
+	if s.qlen() == 0 {
+		return nil
+	}
+	out := make([]Job, s.qlen())
+	copy(out, s.queue[s.qhead:])
+	for i := s.qhead; i < len(s.queue); i++ {
+		s.queue[i] = Job{}
+	}
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	return out
 }
 
 // paroleHeap orders breaker-ejected workers by reopen time (ties broken by
@@ -428,18 +472,66 @@ type Orchestrator struct {
 	pending   int // queued + running + backoff-parked jobs
 	draining  bool
 	idle      *sync.Cond
+	flFree    *inflight // recycled inflight records (see inflight)
 
 	arrivalCancel func()
 }
 
 // inflight tracks one dispatched attempt. Exactly one of the worker's done
 // callback or the deadline timer settles it; the loser is ignored.
+//
+// inflight records are pooled on the orchestrator's free list: dispatch is
+// the per-invocation hot path, and recycling the record (together with its
+// doneFn closure, built once per record and reused for every job it ever
+// carries) makes a steady-state dispatch allocation-free. gen increments
+// at every recycle so the deadline timer — whose callback may race the
+// recycle in wall-clock mode — can detect that its record has moved on.
+// A record is recycled only from completed (the worker's one done call is
+// being consumed, so no reference survives); a deadline-settled record
+// whose worker is still wedged stays out of the pool until the late done
+// arrives, or forever — a wedged worker holds its doneFn indefinitely.
 type inflight struct {
+	o             *Orchestrator
 	job           Job
 	slot          *workerSlot
 	started       time.Duration
 	settled       bool
+	gen           uint64
 	cancelTimeout func()
+	doneFn        func(Result) // stable across reuses; calls o.completed(fl, ·)
+	next          *inflight    // free-list link
+}
+
+// run starts the attempt on its worker. Must be called after o.mu is
+// released: RunJob can block (live workers write to TCP) and must never
+// run under the orchestrator lock.
+func (fl *inflight) run() { fl.slot.w.RunJob(fl.job, fl.doneFn) }
+
+// getInflightLocked pops a recycled record or builds a fresh one (with its
+// reusable done closure). Caller holds o.mu.
+func (o *Orchestrator) getInflightLocked() *inflight {
+	fl := o.flFree
+	if fl != nil {
+		o.flFree = fl.next
+		fl.next = nil
+		return fl
+	}
+	fl = &inflight{o: o}
+	fl.doneFn = func(res Result) { fl.o.completed(fl, res) }
+	return fl
+}
+
+// putInflightLocked recycles a record whose references are all dead: the
+// generation bump orphans any still-pending deadline callback. Caller
+// holds o.mu.
+func (o *Orchestrator) putInflightLocked(fl *inflight) {
+	fl.gen++
+	fl.job = Job{}
+	fl.slot = nil
+	fl.settled = false
+	fl.cancelTimeout = nil
+	fl.next = o.flFree
+	o.flFree = fl
 }
 
 // parkedRetry is a failed job waiting out its backoff delay.
@@ -572,7 +664,7 @@ func (o *Orchestrator) Health() []WorkerHealth {
 			Completed:           h.completed,
 			Failed:              h.failed,
 			TimedOut:            h.timedOut,
-			QueueDepth:          len(s.queue),
+			QueueDepth:          s.qlen(),
 			Busy:                s.busy,
 		}
 		if o.pm != nil {
@@ -610,7 +702,7 @@ func (o *Orchestrator) SubmitWithTimeout(function string, args []byte, timeout t
 	id, run := o.enqueueLocked(o.pickWorkerLocked(), function, args, timeout, cb)
 	o.mu.Unlock()
 	if run != nil {
-		run()
+		run.run()
 	}
 	return id
 }
@@ -681,7 +773,7 @@ func (o *Orchestrator) pickWorkerLocked() *workerSlot {
 		var best *workerSlot
 		bestLoad := int(^uint(0) >> 1)
 		for _, s := range ws {
-			load := len(s.queue)
+			load := s.qlen()
 			if s.busy {
 				load++
 			}
@@ -713,7 +805,7 @@ func (o *Orchestrator) pickEnergyAwareLocked(ws []*workerSlot) *workerSlot {
 	leastLoad := maxInt
 	for _, s := range ws {
 		poweredUp := o.pm == nil || s.waking || o.pm.IsUp(s.id)
-		load := len(s.queue)
+		load := s.qlen()
 		if s.busy {
 			load++
 		}
@@ -757,15 +849,15 @@ func (o *Orchestrator) SubmitTo(workerID, function string, args []byte) (int64, 
 	id, run := o.enqueueLocked(s, function, args, o.jobTimeout, nil)
 	o.mu.Unlock()
 	if run != nil {
-		run()
+		run.run()
 	}
 	return id, nil
 }
 
-// enqueueLocked appends the job and returns its id plus a dispatch closure
-// to invoke once o.mu is released (nil when the worker is already busy).
-// Caller holds o.mu.
-func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, func()) {
+// enqueueLocked appends the job and returns its id plus the dispatched
+// attempt to run once o.mu is released (nil when the worker is already
+// busy). Caller holds o.mu.
+func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, *inflight) {
 	o.nextID++
 	id := o.nextID
 	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
@@ -791,25 +883,25 @@ func (o *Orchestrator) pushJobLocked(s *workerSlot, job Job, detail string) {
 	if detail != "reassigned" {
 		job.queuedAt = o.runtime.Now()
 	}
-	s.queue = append(s.queue, job)
+	s.qpush(job)
 	o.queueDepthChangedLocked(s)
 	o.emit(telemetry.EventQueue, job, s.id, detail)
 }
 
 // maybeDispatchLocked pops the worker's next queued job if it is free and
-// returns a closure that starts the worker on it. The closure must run
-// after o.mu is released: RunJob can block (live workers dial TCP) and
-// must never be entered while holding the orchestrator lock. Caller holds
-// o.mu.
-func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
-	if s.busy || len(s.queue) == 0 {
+// returns the pooled attempt record whose run() starts the worker on it.
+// run() must be called after o.mu is released: RunJob can block (live
+// workers write to TCP) and must never be entered while holding the
+// orchestrator lock. Caller holds o.mu.
+func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) *inflight {
+	if s.busy || s.qlen() == 0 {
 		return nil
 	}
 	if o.pm != nil && !s.bootPending {
 		if s.waking {
 			return nil // the manager's ready callback resumes this queue
 		}
-		cause := fmt.Sprintf("wake-on-demand (job %d)", s.queue[0].ID)
+		cause := fmt.Sprintf("wake-on-demand (job %d)", s.qhead0().ID)
 		if !o.pm.RequestUp(s.id, cause, func() { o.workerPowered(s) }) {
 			// Powered down (or cap-parked): the wake is in flight and the
 			// queued jobs wait it out — their queue spans absorb the boot.
@@ -818,8 +910,7 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 			return nil
 		}
 	}
-	job := s.queue[0]
-	s.queue = s.queue[1:]
+	job := s.qpop()
 	s.busy = true
 	o.queueDepthChangedLocked(s)
 	o.m.busy[s.id].Set(1)
@@ -840,13 +931,18 @@ func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) func() {
 		o.span(job, tracing.PhaseQueue, s.id, job.queuedAt, started, "")
 	}
 	o.spanMarker(job, tracing.PhaseDispatch, s.id, started, "")
-	fl := &inflight{job: job, slot: s, started: started}
+	fl := o.getInflightLocked()
+	fl.job = job
+	fl.slot = s
+	fl.started = started
 	if job.Timeout > 0 {
-		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl) })
+		// The callback captures the generation so a timer that outlives
+		// this attempt (wall mode can fire it concurrently with the
+		// settling done callback) finds a recycled record and stands down.
+		gen := fl.gen
+		fl.cancelTimeout = o.runtime.After(job.Timeout, func() { o.deadlineExpired(fl, gen) })
 	}
-	return func() {
-		s.w.RunJob(job, func(res Result) { o.completed(fl, res) })
-	}
+	return fl
 }
 
 // workerPowered is the power manager's ready callback: the wake requested
@@ -865,7 +961,7 @@ func (o *Orchestrator) workerPowered(s *workerSlot) {
 	}
 	o.mu.Unlock()
 	if run != nil {
-		run()
+		run.run()
 	}
 }
 
@@ -873,7 +969,7 @@ func (o *Orchestrator) workerPowered(s *workerSlot) {
 // executing, no wake in flight) to the power manager, starting its idle
 // power-down countdown. No-op without a manager. Caller holds o.mu.
 func (o *Orchestrator) noteWorkerIdleLocked(s *workerSlot) {
-	if o.pm == nil || s.busy || s.waking || len(s.queue) > 0 {
+	if o.pm == nil || s.busy || s.waking || s.qlen() > 0 {
 		return
 	}
 	o.pm.NoteIdle(s.id)
@@ -890,7 +986,10 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	if fl.settled {
 		// The deadline timer already synthesized this attempt's Result (and
 		// possibly retried the job elsewhere). The worker has finally come
-		// back — un-wedge it and dispatch its next queued job.
+		// back — un-wedge it and dispatch its next queued job. With the one
+		// permitted done call consumed and the deadline long fired, the
+		// record has no live references left and rejoins the pool.
+		o.putInflightLocked(fl)
 		s.busy = false
 		o.m.busy[s.id].Set(0)
 		run := o.maybeDispatchLocked(s)
@@ -899,7 +998,7 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		}
 		o.mu.Unlock()
 		if run != nil {
-			run()
+			run.run()
 		}
 		return
 	}
@@ -940,18 +1039,30 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 			o.pm.NoteFault(s.id)
 		}
 	}
+	// One batched drain per wake: collect every attempt this completion
+	// unblocks — the retry's dispatch on another worker and this worker's
+	// next queued job — and start them together after one unlock, instead
+	// of a lock round-trip per dispatch. The common case (no retry) keeps
+	// runs nil and allocates nothing.
 	runs, cb := o.resolveAttemptLocked(s, job, res, finished)
-	if run := o.maybeDispatchLocked(s); run != nil {
-		runs = append(runs, run)
-	} else {
+	selfRun := o.maybeDispatchLocked(s)
+	if selfRun == nil {
 		o.noteWorkerIdleLocked(s)
 	}
+	started := fl.started
+	// Both possible references are dead — the worker's single done call is
+	// this very frame, and cancelTimeout ran above (a wall-mode timer that
+	// already fired concurrently is gen-guarded) — so recycle the record.
+	o.putInflightLocked(fl)
 	o.mu.Unlock()
 	for _, run := range runs {
-		run()
+		run.run()
+	}
+	if selfRun != nil {
+		selfRun.run()
 	}
 	if cb != nil {
-		res.StartedAt, res.FinishedAt = fl.started, finished
+		res.StartedAt, res.FinishedAt = started, finished
 		cb(res)
 	}
 }
@@ -961,9 +1072,11 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 // wedged worker marked busy until (if ever) its late callback arrives, and
 // reassigns the wedged worker's queued jobs so they do not wait behind a
 // hang.
-func (o *Orchestrator) deadlineExpired(fl *inflight) {
+func (o *Orchestrator) deadlineExpired(fl *inflight, gen uint64) {
 	o.mu.Lock()
-	if fl.settled {
+	if fl.gen != gen || fl.settled {
+		// gen mismatch: the attempt settled and its record was recycled (and
+		// possibly reissued) before this wall-mode timer got the lock.
 		o.mu.Unlock()
 		return
 	}
@@ -994,12 +1107,15 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 	o.emit(telemetry.EventSettle, job, s.id, "timeout")
 	o.spanMarker(job, tracing.PhaseSettle, s.id, now, "timeout")
 	o.faultSpan(job, s.id, now, res.Err)
+	// fl is deliberately NOT recycled: the wedged worker still holds its
+	// doneFn and may yet call it — the late-arrival path in completed
+	// reclaims the record then.
 	runs := o.reassignQueueLocked(s)
 	more, cb := o.resolveAttemptLocked(s, job, res, now)
 	runs = append(runs, more...)
 	o.mu.Unlock()
 	for _, run := range runs {
-		run()
+		run.run()
 	}
 	if cb != nil {
 		cb(res)
@@ -1010,14 +1126,13 @@ func (o *Orchestrator) deadlineExpired(fl *inflight) {
 // jobs onto other workers. With a single-worker cluster there is nowhere
 // to move them, so they stay put and wait for the worker's late recovery.
 // Caller holds o.mu.
-func (o *Orchestrator) reassignQueueLocked(wedged *workerSlot) []func() {
-	q := wedged.queue
-	if len(q) == 0 || len(o.slots) == 1 {
+func (o *Orchestrator) reassignQueueLocked(wedged *workerSlot) []*inflight {
+	if wedged.qlen() == 0 || len(o.slots) == 1 {
 		return nil
 	}
-	wedged.queue = nil
+	q := wedged.qtake()
 	o.queueDepthChangedLocked(wedged)
-	var runs []func()
+	var runs []*inflight
 	for _, job := range q {
 		s := o.pickRetryWorkerLocked(wedged)
 		o.pushJobLocked(s, job, "reassigned")
@@ -1031,7 +1146,7 @@ func (o *Orchestrator) reassignQueueLocked(wedged *workerSlot) []func() {
 // resolveAttemptLocked decides retry-versus-final for a finished attempt.
 // It returns dispatch closures to run after o.mu is released and, when the
 // outcome is final, the job's completion callback. Caller holds o.mu.
-func (o *Orchestrator) resolveAttemptLocked(failedOn *workerSlot, job Job, res Result, finished time.Duration) (runs []func(), cb func(Result)) {
+func (o *Orchestrator) resolveAttemptLocked(failedOn *workerSlot, job Job, res Result, finished time.Duration) (runs []*inflight, cb func(Result)) {
 	retry := res.Err != "" && job.Attempt+1 < o.maxAttempts && !o.draining
 	if retry {
 		// The job stays pending: re-queue it on a different worker (a
@@ -1107,7 +1222,7 @@ func (o *Orchestrator) requeueParked(id int64) {
 	run := o.maybeDispatchLocked(s)
 	o.mu.Unlock()
 	if run != nil {
-		run()
+		run.run()
 	}
 }
 
@@ -1188,7 +1303,7 @@ func (o *Orchestrator) QueueDepth(workerID string) int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if s, ok := o.byID[workerID]; ok {
-		return len(s.queue)
+		return s.qlen()
 	}
 	return 0
 }
@@ -1219,7 +1334,7 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 	stopped := false
 	var tick func()
 	tick = func() {
-		var runs []func()
+		var runs []*inflight
 		o.mu.Lock()
 		if stopped || o.draining {
 			o.mu.Unlock()
@@ -1241,7 +1356,7 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 		o.arrivalCancel = o.runtime.After(interval, tick)
 		o.mu.Unlock()
 		for _, run := range runs {
-			run()
+			run.run()
 		}
 	}
 	o.arrivalCancel = o.runtime.After(interval, tick)
@@ -1304,8 +1419,7 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 	}
 	var abandoned []Job
 	for _, s := range o.slots {
-		abandoned = append(abandoned, s.queue...)
-		s.queue = nil
+		abandoned = append(abandoned, s.qtake()...)
 		o.queueDepthChangedLocked(s)
 	}
 	for id, p := range o.parked {

@@ -109,5 +109,5 @@ func (o *Orchestrator) noteFinal(job Job, res Result, finished time.Duration) {
 // queueDepthChangedLocked refreshes a worker's queue-depth gauge. Caller
 // holds o.mu.
 func (o *Orchestrator) queueDepthChangedLocked(s *workerSlot) {
-	o.m.queueDepth[s.id].Set(float64(len(s.queue)))
+	o.m.queueDepth[s.id].Set(float64(s.qlen()))
 }

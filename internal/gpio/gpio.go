@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"microfaas/internal/chunklog"
 	"microfaas/internal/power"
 )
 
@@ -42,7 +43,11 @@ type Controller struct {
 	pins    map[string]int // node -> pin
 	used    map[int]string // pin -> node
 	nextPin int
-	events  []Event
+	// events is chunked: the log grows by one entry per power transition
+	// on the simulator's hot path, and a flat slice's geometric regrowth
+	// (zero + copy the whole array at every doubling) was the dominant
+	// allocation cost of long runs.
+	events chunklog.Log[Event]
 }
 
 // NewController returns an empty controller whose pins number from 1.
@@ -118,10 +123,10 @@ func (c *Controller) Transition(node string, at time.Duration, from, to power.St
 	if from == to {
 		return fmt.Errorf("gpio: node %s transition %v -> %v is not a transition", node, from, to)
 	}
-	if n := len(c.events); n > 0 && c.events[n-1].At > at {
-		return fmt.Errorf("gpio: transition at %v is earlier than the last logged event (%v)", at, c.events[n-1].At)
+	if last, ok := c.events.Last(); ok && last.At > at {
+		return fmt.Errorf("gpio: transition at %v is earlier than the last logged event (%v)", at, last.At)
 	}
-	c.events = append(c.events, Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
+	c.events.Append(Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
 	return nil
 }
 
@@ -142,10 +147,10 @@ func (c *Controller) TransitionMonotone(node string, at time.Duration, from, to 
 	if from == to {
 		return fmt.Errorf("gpio: node %s transition %v -> %v is not a transition", node, from, to)
 	}
-	if n := len(c.events); n > 0 && c.events[n-1].At > at {
-		at = c.events[n-1].At
+	if last, ok := c.events.Last(); ok && last.At > at {
+		at = last.At
 	}
-	c.events = append(c.events, Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
+	c.events.Append(Event{At: at, Node: node, Pin: pin, From: from, To: to, Cause: cause})
 	return nil
 }
 
@@ -153,31 +158,33 @@ func (c *Controller) TransitionMonotone(node string, at time.Duration, from, to 
 func (c *Controller) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Event, len(c.events))
-	copy(out, c.events)
-	return out
+	return c.events.Flatten()
 }
 
 // EventsFor returns one node's transitions.
 func (c *Controller) EventsFor(node string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []Event
-	for _, e := range c.Events() {
+	c.events.Each(func(e Event) {
 		if e.Node == node {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
 // PowerOnCount returns how many times a node was powered on (Off →
 // anything) — the number of PWR_BUT presses the OP issued for it.
 func (c *Controller) PowerOnCount(node string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
-	for _, e := range c.EventsFor(node) {
-		if e.From == power.Off {
+	c.events.Each(func(e Event) {
+		if e.Node == node && e.From == power.Off {
 			n++
 		}
-	}
+	})
 	return n
 }
 

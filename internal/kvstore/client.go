@@ -14,18 +14,22 @@ import (
 // It is safe for sequential use only; the workload functions each open
 // their own client, matching the paper's one-function-per-node model.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration // per-operation I/O deadline (0 = none)
 }
 
-// Dial connects to a kvstore server with the given timeout.
+// Dial connects to a kvstore server with the given timeout. The timeout
+// also bounds each subsequent operation's I/O as a deadline, so a server
+// dying mid-frame fails the call instead of wedging the client forever
+// with the connection held open.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}, nil
 }
 
 // Close terminates the connection.
@@ -33,6 +37,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // do sends one command and reads one reply.
 func (c *Client) do(args ...[]byte) (respValue, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return respValue{}, fmt.Errorf("kvstore: deadline: %w", err)
+		}
+	}
 	if err := writeCommand(c.w, args...); err != nil {
 		return respValue{}, fmt.Errorf("kvstore: send: %w", err)
 	}

@@ -216,24 +216,36 @@ func (s *Server) handle(req request) response {
 // Client speaks the broker protocol over TCP. Like the other service
 // clients it is single-connection and sequential.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration // per-operation I/O deadline (0 = none)
 }
 
-// Dial connects to an mq server.
+// Dial connects to an mq server. The timeout bounds the dial and, as a
+// per-operation I/O deadline, each subsequent call (long polls extend it
+// by their wait), so a broker dying mid-frame fails the call instead of
+// wedging the client forever with the connection held open.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}, nil
 }
 
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) do(req request) (response, error) {
+	if c.timeout > 0 {
+		// Long-polling ops legitimately sit quiet for WaitMs; the
+		// deadline budgets that on top of the base timeout.
+		deadline := c.timeout + time.Duration(req.WaitMs)*time.Millisecond
+		if err := c.conn.SetDeadline(time.Now().Add(deadline)); err != nil {
+			return response{}, fmt.Errorf("mq: deadline: %w", err)
+		}
+	}
 	if err := wire.WriteJSON(c.w, req); err != nil {
 		return response{}, err
 	}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
 	"net"
@@ -85,10 +86,19 @@ type LiveWorkerConfig struct {
 	GPIO *gpio.Controller
 }
 
+// liveJob is one dispatch queued to the worker's invoker goroutine.
+type liveJob struct {
+	job  core.Job
+	done func(core.Result)
+}
+
 // LiveWorker implements core.Worker by serving the invocation protocol on
-// a real TCP listener and executing internal/workload functions. Each
-// RunJob dials the worker over loopback TCP, so the full protocol path —
-// connect, framed request, execution, framed response — runs for real.
+// a real TCP listener and executing internal/workload functions. The OP
+// side holds one persistent multiplexed connection (proto.Conn) to the
+// worker for its whole life — dialed lazily, redialed after faults or
+// power cycles — so steady-state invocations pay framing and execution
+// but no per-job dial or goroutine spawn. The full protocol path —
+// framed request, execution, framed response — still runs over real TCP.
 type LiveWorker struct {
 	cfg  LiveWorkerConfig
 	sbc  power.SBCModel
@@ -96,6 +106,8 @@ type LiveWorker struct {
 	addr string
 	m    workerMetrics
 	quit chan struct{} // closed on Close; releases hung invocations
+	pc   *proto.Conn   // the OP's persistent connection to this worker
+	jobs chan liveJob  // RunJob → invokeLoop handoff
 
 	mu     sync.Mutex
 	closed bool
@@ -146,8 +158,11 @@ func StartLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) {
 			return nil, err
 		}
 	}
-	w.wg.Add(1)
+	w.pc = proto.NewConn(w.addr)
+	w.jobs = make(chan liveJob, 1)
+	w.wg.Add(2)
 	go w.acceptLoop()
+	go w.invokeLoop()
 	return w, nil
 }
 
@@ -175,6 +190,7 @@ func (w *LiveWorker) Close() error {
 	w.closed = true
 	w.mu.Unlock()
 	close(w.quit) // release invocations wedged by fault injection
+	w.pc.Close()  // settle in-flight invokes so the invoker can drain
 	err := w.ln.Close()
 	w.wg.Wait()
 	return err
@@ -239,17 +255,23 @@ func (w *LiveWorker) PowerUp(cause string, ready func()) {
 
 // PowerDown implements powermgr.Node: it gates the worker off when safely
 // idle. A Busy or Booting worker refuses (returns false) and the manager
-// leaves it up; an already-off worker reports success without logging.
+// leaves it up; an already-off worker reports success without logging. A
+// successful power-down also drops the OP's persistent connection — a
+// gated-off SBC cannot hold a TCP session — so the next dispatch redials
+// against the freshly booted node.
 func (w *LiveWorker) PowerDown(cause string) bool {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	switch w.state {
 	case power.Busy, power.Booting:
+		w.mu.Unlock()
 		return false
 	case power.Off:
+		w.mu.Unlock()
 		return true
 	}
 	w.setStateLocked(power.Off, cause)
+	w.mu.Unlock()
+	w.pc.Reset(fmt.Sprintf("power-cycled (%s)", cause))
 	return true
 }
 
@@ -294,33 +316,63 @@ func (w *LiveWorker) acceptLoop() {
 		go func(c net.Conn) {
 			defer w.wg.Done()
 			defer c.Close()
-			w.serveOne(c)
+			w.serveConn(c)
 		}(conn)
 	}
 }
 
-// serveOne handles a single invocation: the simulated reboot, then the
-// protocol exchange around real function execution. The worker is
-// stateless between jobs by construction — each invocation builds all of
-// its state from scratch, the Go equivalent of the prototype's
-// reboot-to-initramfs reproducible environment.
-func (w *LiveWorker) serveOne(conn net.Conn) {
+// serveConn handles invocations on one connection sequentially until the
+// peer hangs up. The persistent session is the OP's management plane; the
+// worker itself stays single-tenant and run-to-completion — each request
+// pays the modeled reboot (unless managed) and builds all of its state
+// from scratch, the Go equivalent of the prototype's reboot-to-initramfs
+// reproducible environment. The request frame is the dispatch signal, so
+// the boot is modeled after the frame arrives (with per-job connections
+// the connect itself carried that signal).
+func (w *LiveWorker) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var scratch []byte
+	for {
+		req, err := proto.ReadRequest(br, &scratch)
+		if err != nil {
+			return
+		}
+		recvAt := time.Now()
+		resp, replied := w.handleRequest(req, recvAt)
+		if !replied {
+			// A wedged node: the TCP peer is alive but the reply never
+			// comes — and neither does any later reply on this session.
+			// The OP's deadline fires first; its invoke timeout drops the
+			// connection and the next dispatch redials fresh.
+			<-w.quit
+			return
+		}
+		if err := proto.WriteResponse(bw, req, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleRequest executes one invocation: fault draw, the simulated reboot,
+// then real function execution. It reports replied=false when fault
+// injection wedged the invocation (the caller must never answer).
+func (w *LiveWorker) handleRequest(req proto.Request, recvAt time.Time) (resp proto.Response, replied bool) {
 	fault := w.drawFault()
 	switch fault {
 	case faultHang:
 		w.m.faultHang.Inc()
+		return proto.Response{}, false
 	case faultError:
 		w.m.faultError.Inc()
 	case faultSlow:
 		w.m.faultSlow.Inc()
 	}
-	if fault == faultHang {
-		// A wedged node: the TCP peer is alive but the reply never comes.
-		// The OP's deadline fires first; the connection is released when
-		// the worker shuts down (or the OP-side invoke timeout drops it).
-		<-w.quit
-		return
-	}
+	// overheadIn is the protocol overhead between the request frame's
+	// arrival and the start of the modeled cycle. With a persistent
+	// session this is decode + dispatch only — the dial/accept cost that
+	// used to dominate it is paid once per connection, not per job.
+	overheadIn := time.Since(recvAt)
 	// Every live invocation pays the simulated reboot: the paper's policy,
 	// so every start is cold. Managed workers skip it — the power
 	// manager's wake already paid the boot before the job was dispatched,
@@ -339,50 +391,44 @@ func (w *LiveWorker) serveOne(conn net.Conn) {
 	}
 	boot := time.Since(bootStart)
 	bootEndC := w.now()
-	recvStart := time.Now()
-	proto.Serve(conn, func(req proto.Request) proto.Response { //nolint:errcheck // peer gone: nothing to do
-		overheadIn := time.Since(recvStart)
-		// The boot predates the request frame, so its span is recorded
-		// here, once the wire has delivered the trace context to join.
-		ctx := tracing.ContextFromWire(req.TraceID, req.ParentSpan)
-		w.traceSpan(ctx, req, tracing.PhaseBoot, bootStartC, bootEndC, bootDetail)
-		w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, bootDetail)
-		if fault == faultError {
-			return proto.Response{
-				Err:    fmt.Sprintf("node: injected worker fault on %s", w.cfg.ID),
-				BootMs: float64(boot) / float64(time.Millisecond),
-			}
+	ctx := tracing.ContextFromWire(req.TraceID, req.ParentSpan)
+	w.traceSpan(ctx, req, tracing.PhaseBoot, bootStartC, bootEndC, bootDetail)
+	w.m.rawEvent(w.now(), telemetry.EventBoot, req.JobID, req.Function, w.cfg.ID, bootDetail)
+	if fault == faultError {
+		return proto.Response{
+			Err:    fmt.Sprintf("node: injected worker fault on %s", w.cfg.ID),
+			BootMs: float64(boot) / float64(time.Millisecond),
+		}, true
+	}
+	if fault == faultSlow {
+		delay := w.cfg.Faults.SlowDelay
+		if delay <= 0 {
+			delay = time.Second
 		}
-		if fault == faultSlow {
-			delay := w.cfg.Faults.SlowDelay
-			if delay <= 0 {
-				delay = time.Second
-			}
-			select {
-			case <-time.After(delay):
-			case <-w.quit:
-				return proto.Response{Err: "node: worker shut down mid-job"}
-			}
+		select {
+		case <-time.After(delay):
+		case <-w.quit:
+			return proto.Response{Err: "node: worker shut down mid-job"}, true
 		}
-		execStart := time.Now()
-		w.m.rawEvent(w.now(), telemetry.EventExec, req.JobID, req.Function, w.cfg.ID, "")
-		out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
-		exec := time.Since(execStart)
-		// The exec span starts where the boot span ended, covering the
-		// request receive, any injected delay, and the execution itself.
-		w.traceSpan(ctx, req, tracing.PhaseExec, bootEndC, w.now(), "overhead+exec")
-		resp := proto.Response{
-			Output:     out,
-			BootMs:     float64(boot) / float64(time.Millisecond),
-			OverheadMs: float64(overheadIn) / float64(time.Millisecond),
-			ExecMs:     float64(exec) / float64(time.Millisecond),
-		}
-		if err != nil {
-			resp.Err = err.Error()
-			resp.Output = nil
-		}
-		return resp
-	})
+	}
+	execStart := time.Now()
+	w.m.rawEvent(w.now(), telemetry.EventExec, req.JobID, req.Function, w.cfg.ID, "")
+	out, err := workload.Invoke(w.cfg.Env, req.Function, req.Args)
+	exec := time.Since(execStart)
+	// The exec span starts where the boot span ended, covering any
+	// injected delay and the execution itself.
+	w.traceSpan(ctx, req, tracing.PhaseExec, bootEndC, w.now(), "overhead+exec")
+	resp = proto.Response{
+		Output:     out,
+		BootMs:     float64(boot) / float64(time.Millisecond),
+		OverheadMs: float64(overheadIn) / float64(time.Millisecond),
+		ExecMs:     float64(exec) / float64(time.Millisecond),
+	}
+	if err != nil {
+		resp.Err = err.Error()
+		resp.Output = nil
+	}
+	return resp, true
 }
 
 // traceSpan records one worker-side span under the wire-delivered trace
@@ -408,59 +454,93 @@ func (w *LiveWorker) traceSpan(ctx tracing.Context, req proto.Request, phase tra
 	})
 }
 
-// RunJob implements core.Worker: it performs the invocation over real TCP
-// from a fresh goroutine (the OP side of the exchange).
+// RunJob implements core.Worker: it hands the job to the worker's
+// long-lived invoker goroutine, which performs the invocation over the
+// persistent TCP connection (the OP side of the exchange). The handoff is
+// allocation-free; after Close, jobs settle immediately with an error.
 func (w *LiveWorker) RunJob(job core.Job, done func(core.Result)) {
+	select {
+	case w.jobs <- liveJob{job: job, done: done}:
+	case <-w.quit:
+		done(core.Result{Job: job, WorkerID: w.cfg.ID, Err: "node: worker closed"})
+	}
+}
+
+// invokeLoop is the OP-side invoker: one goroutine per worker, alive for
+// the worker's lifetime, replacing the per-job goroutine spawn. The
+// orchestrator dispatches at most one job at a time per worker, so a
+// single loop never delays a job.
+func (w *LiveWorker) invokeLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case lj := <-w.jobs:
+			w.invoke(lj.job, lj.done)
+		case <-w.quit:
+			// Settle anything that raced into the queue before the close.
+			for {
+				select {
+				case lj := <-w.jobs:
+					lj.done(core.Result{Job: lj.job, WorkerID: w.cfg.ID, Err: "node: worker closed"})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// invoke performs one invocation over the persistent connection and
+// settles it through done exactly once.
+func (w *LiveWorker) invoke(job core.Job, done func(core.Result)) {
 	timeout := w.cfg.InvokeTimeout
 	if timeout <= 0 {
 		timeout = 2 * time.Minute
 	}
-	go func() {
-		var started time.Duration
-		var energyStart power.Joules
-		if w.cfg.Meter != nil || w.cfg.Managed {
-			started = w.cfg.Clock()
+	var started time.Duration
+	var energyStart power.Joules
+	if w.cfg.Meter != nil || w.cfg.Managed {
+		started = w.cfg.Clock()
+	}
+	if w.cfg.Meter != nil {
+		energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
+	}
+	if w.cfg.Managed {
+		w.setState(power.Busy, fmt.Sprintf("exec (job %d)", job.ID))
+	} else if w.cfg.Meter != nil {
+		w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
+	}
+	traceID, parentSpan := job.Trace.Wire()
+	resp, err := w.pc.Invoke(proto.Request{
+		JobID: job.ID, Function: job.Function, Args: job.Args,
+		TraceID: traceID, ParentSpan: parentSpan, Attempt: job.Attempt,
+	}, timeout)
+	res := core.Result{Job: job, WorkerID: w.cfg.ID, StartedAt: started}
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Output = resp.Output
+		res.Err = resp.Err
+		res.Boot = resp.Boot()
+		res.Overhead = resp.Overhead()
+		res.Exec = resp.Exec()
+	}
+	if w.cfg.Meter != nil || w.cfg.Managed {
+		now := w.cfg.Clock()
+		res.FinishedAt = now
+		if w.cfg.Managed {
+			// The manager decides when the worker powers off; the job
+			// just hands the node back to idle draw.
+			w.setState(power.Idle, "job done (managed idle)")
+		} else if w.cfg.Meter != nil {
+			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
 		}
 		if w.cfg.Meter != nil {
-			energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
+			// Failed attempts are charged too: the joules were burned on
+			// this function's behalf even if the result was lost.
+			delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
+			w.m.energy(job.Function).Add(float64(delta))
 		}
-		if w.cfg.Managed {
-			w.setState(power.Busy, fmt.Sprintf("exec (job %d)", job.ID))
-		} else if w.cfg.Meter != nil {
-			w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Busy), started)
-		}
-		traceID, parentSpan := job.Trace.Wire()
-		resp, err := proto.Invoke(w.addr, proto.Request{
-			JobID: job.ID, Function: job.Function, Args: job.Args,
-			TraceID: traceID, ParentSpan: parentSpan, Attempt: job.Attempt,
-		}, timeout)
-		res := core.Result{Job: job, WorkerID: w.cfg.ID, StartedAt: started}
-		if err != nil {
-			res.Err = err.Error()
-		} else {
-			res.Output = resp.Output
-			res.Err = resp.Err
-			res.Boot = resp.Boot()
-			res.Overhead = resp.Overhead()
-			res.Exec = resp.Exec()
-		}
-		if w.cfg.Meter != nil || w.cfg.Managed {
-			now := w.cfg.Clock()
-			res.FinishedAt = now
-			if w.cfg.Managed {
-				// The manager decides when the worker powers off; the job
-				// just hands the node back to idle draw.
-				w.setState(power.Idle, "job done (managed idle)")
-			} else if w.cfg.Meter != nil {
-				w.cfg.Meter.Set(w.cfg.ID, w.sbc.Power(power.Off), now)
-			}
-			if w.cfg.Meter != nil {
-				// Failed attempts are charged too: the joules were burned on
-				// this function's behalf even if the result was lost.
-				delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
-				w.m.energy(job.Function).Add(float64(delta))
-			}
-		}
-		done(res)
-	}()
+	}
+	done(res)
 }

@@ -44,7 +44,7 @@ type cpuTask struct {
 	remaining float64 // cpu-seconds left
 	rate      float64 // current rate in cores
 	done      func()
-	event     *sim.Event
+	event     sim.Timer
 }
 
 // NewRackServer registers the server with the meter (it idles immediately).
@@ -122,9 +122,7 @@ func (rs *RackServer) rebalance() {
 	}
 	for _, t := range rs.tasks {
 		t.rate = t.demand * scale
-		if t.event != nil {
-			t.event.Cancel()
-		}
+		t.event.Cancel()
 		t := t
 		eta := time.Duration(t.remaining / t.rate * float64(time.Second))
 		t.event = rs.engine.Schedule(eta, func() { rs.complete(t) })

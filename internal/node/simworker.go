@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"microfaas/internal/bootos"
@@ -99,13 +100,14 @@ type SimWorker struct {
 	sbc       power.SBCModel
 	boot      time.Duration
 	specs     map[string]model.FunctionSpec
+	outputs   map[string][]byte // per-function canned payloads (read-only)
 	warm      bool        // booted state survives to the next job
 	state     power.State // current power state (ARM accounting)
 	cycles    int
 	hangs     int // injected wedges (jobs that never reported back)
 	coldStart int        // jobs that paid the boot
 	warmStart int        // jobs that skipped it
-	powerOff  *sim.Event // pending keep-warm expiry
+	powerOff  sim.Timer  // pending keep-warm expiry (zero when none)
 	m         workerMetrics
 }
 
@@ -145,8 +147,12 @@ func NewSimWorker(cfg SimWorkerConfig) (*SimWorker, error) {
 		specs = model.Functions()
 	}
 	w.specs = make(map[string]model.FunctionSpec, len(specs))
+	w.outputs = make(map[string][]byte, len(specs))
 	for _, s := range specs {
 		w.specs[s.Name] = s
+		// The simulated payload depends only on the function name, so one
+		// shared, never-mutated []byte per function serves every job.
+		w.outputs[s.Name] = []byte(fmt.Sprintf(`{"simulated":true,"function":%q}`, s.Name))
 	}
 	if cfg.Platform == model.X86 && cfg.GPIO != nil {
 		return nil, fmt.Errorf("node: worker %s: GPIO power control wires worker SBCs only", cfg.ID)
@@ -192,6 +198,26 @@ func (w *SimWorker) setState(to power.State, cause string) {
 	w.state = to
 }
 
+// setStateJob is setState with a lazily built "<prefix> (job <id>)" cause:
+// the string is only materialized when a GPIO audit log will record it,
+// and via strconv instead of fmt — these transitions run several times per
+// simulated job, and fmt's reflection dominated the sim's alloc profile.
+func (w *SimWorker) setStateJob(to power.State, prefix string, jobID int64) {
+	if w.cfg.Platform != model.ARM || to == w.state {
+		return
+	}
+	var cause string
+	if w.cfg.GPIO != nil {
+		var arr [64]byte
+		buf := append(arr[:0], prefix...)
+		buf = append(buf, " (job "...)
+		buf = strconv.AppendInt(buf, jobID, 10)
+		buf = append(buf, ')')
+		cause = string(buf)
+	}
+	w.setState(to, cause)
+}
+
 // ID implements core.Worker.
 func (w *SimWorker) ID() string { return w.cfg.ID }
 
@@ -234,10 +260,8 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 	if w.warm && (w.cfg.DisableReboot || w.cfg.KeepWarm > 0 || w.cfg.Managed) {
 		boot = 0
 	}
-	if w.powerOff != nil {
-		w.powerOff.Cancel()
-		w.powerOff = nil
-	}
+	w.powerOff.Cancel()
+	w.powerOff = sim.Timer{}
 	if boot == 0 {
 		w.warmStart++
 		w.m.bootsWarm.Inc()
@@ -262,7 +286,7 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		recordSpan(w.cfg.Tracer, job, tracing.PhaseFault, w.cfg.ID,
 			engine.Now(), engine.Now(), 0, "injected-hang", "node: injected worker hang")
 		w.warm = false
-		w.setState(power.Busy, fmt.Sprintf("wedged (job %d)", job.ID))
+		w.setStateJob(power.Busy, "wedged", job.ID)
 		return
 	}
 	if slow := w.cfg.SlowRate > 0 && engine.Rand().Float64() < w.cfg.SlowRate; slow {
@@ -313,7 +337,7 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		}
 		res := core.Result{
 			Job: job, WorkerID: w.cfg.ID,
-			Output:     []byte(fmt.Sprintf(`{"simulated":true,"function":%q}`, job.Function)),
+			Output:     w.outputs[job.Function],
 			StartedAt:  started,
 			FinishedAt: engine.Now(),
 			Boot:       boot,
@@ -361,7 +385,7 @@ func (w *SimWorker) afterJob() {
 		w.setState(power.Idle, "job done (parked warm)")
 		w.powerOff = w.cfg.Engine.Schedule(w.cfg.KeepWarm, func() {
 			w.warm = false
-			w.powerOff = nil
+			w.powerOff = sim.Timer{}
 			w.setState(power.Off, "keep-warm window expired")
 		})
 	default: // the paper's policy
@@ -439,14 +463,14 @@ func (w *SimWorker) runARM(job core.Job, boot, overhead, exec time.Duration, fin
 	if boot > 0 {
 		bootStart := engine.Now()
 		e0 := w.traceJoules(job, bootStart)
-		w.setState(power.Booting, fmt.Sprintf("PWR_BUT press (job %d)", job.ID))
+		w.setStateJob(power.Booting, "PWR_BUT press", job.ID)
 		w.m.event(bootStart, telemetry.EventBoot, job, w.cfg.ID, "cold")
 		engine.Schedule(boot, func() {
 			bootEnd := engine.Now()
 			e1 := w.traceJoules(job, bootEnd)
 			recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID,
 				bootStart, bootEnd, e1-e0, "cold", "")
-			w.setState(power.Busy, fmt.Sprintf("boot complete (job %d)", job.ID))
+			w.setStateJob(power.Busy, "boot complete", job.ID)
 			w.m.event(bootEnd, telemetry.EventExec, job, w.cfg.ID, "")
 			engine.Schedule(overhead+exec, func() {
 				end := engine.Now()
@@ -461,7 +485,7 @@ func (w *SimWorker) runARM(job core.Job, boot, overhead, exec time.Duration, fin
 	start := engine.Now()
 	e0 := w.traceJoules(job, start)
 	recordSpan(w.cfg.Tracer, job, tracing.PhaseBoot, w.cfg.ID, start, start, 0, "warm", "")
-	w.setState(power.Busy, fmt.Sprintf("warm start (job %d)", job.ID))
+	w.setStateJob(power.Busy, "warm start", job.ID)
 	w.m.event(start, telemetry.EventExec, job, w.cfg.ID, "warm")
 	engine.Schedule(overhead+exec, func() {
 		end := engine.Now()

@@ -5,10 +5,17 @@
 // the engine's virtual clock. Events are callbacks ordered by (time, seq);
 // ties are broken by scheduling order, which makes runs fully deterministic
 // for a fixed seed.
+//
+// The event queue is allocation-free in steady state: fired and cancelled
+// event nodes are recycled through an engine-local free list (the engine is
+// single-threaded by construction, so no locking is needed), and the heap
+// is a hand-rolled typed binary heap over a flat node slice — no
+// container/heap interface dispatch on the hot path. Callers hold events
+// through the generation-checked Timer handle, so a stale handle to a
+// recycled node can never cancel the wrong event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,7 +25,7 @@ import (
 // The zero value is not usable; create one with NewEngine.
 type Engine struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []*event // typed binary min-heap by (at, seq)
 	seq     uint64
 	rng     *rand.Rand
 	running bool
@@ -27,6 +34,11 @@ type Engine struct {
 	// still physically in the heap awaiting lazy removal.
 	live  int
 	tombs int
+	// free heads the recycled-node list. Nodes come off it on Schedule/At
+	// and go back when they fire, are popped as tombstones, or are evicted
+	// by compaction, so a steady-state simulation stops allocating event
+	// nodes entirely.
+	free *event
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -41,38 +53,83 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
-type Event struct {
+// event is a scheduled callback node. Nodes are owned by the engine and
+// recycled through its free list; external code refers to them only via
+// the generation-checked Timer handle.
+type event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
 	index     int // heap index; -1 once removed
 	cancelled bool
-	eng       *Engine
+	// gen increments every time the node is recycled; a Timer whose
+	// generation no longer matches refers to an earlier life of the node
+	// and all its operations become no-ops.
+	gen  uint64
+	next *event // free-list link (meaningful only while recycled)
+}
+
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and inert: Cancel is a no-op and Time reports zero. Timers are
+// values — copy them freely. A Timer outliving its event (already fired,
+// cancelled, or the engine recycled the node for a new event) is harmless:
+// the generation check turns every operation on it into a no-op.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint64
 }
 
 // Time returns the virtual time at which the event fires (or would have).
-func (ev *Event) Time() time.Duration { return ev.at }
+// Zero once the event has fired and its node moved on.
+func (t Timer) Time() time.Duration {
+	if t.ev == nil || t.ev.gen != t.gen {
+		return 0
+	}
+	return t.ev.at
+}
 
 // Cancel prevents the event's callback from running. Cancelling an event
 // that already fired or was already cancelled is a no-op. A cancelled
 // event stays in the heap as a tombstone until it is popped or the engine
 // compacts; the engine's live/tombstone counters are updated here so that
 // Pending never has to walk the heap.
-func (ev *Event) Cancel() {
-	if ev.cancelled || ev.index < 0 {
-		ev.cancelled = true
+func (t Timer) Cancel() {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.cancelled {
 		return
 	}
 	ev.cancelled = true
-	ev.eng.live--
-	ev.eng.tombs++
-	ev.eng.maybeCompact()
+	ev.fn = nil
+	t.eng.live--
+	t.eng.tombs++
+	t.eng.maybeCompact()
+}
+
+// getNode pops a recycled node or allocates a fresh one.
+func (e *Engine) getNode() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{}
+}
+
+// putNode recycles a node: its generation moves on (orphaning any
+// outstanding Timer handles) and it joins the free list.
+func (e *Engine) putNode(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancelled = false
+	ev.index = -1
+	ev.next = e.free
+	e.free = ev
 }
 
 // Schedule runs fn after delay of virtual time. A negative delay panics:
 // the simulation cannot travel backwards.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -80,18 +137,21 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 }
 
 // At runs fn at absolute virtual time t (>= Now).
-func (e *Engine) At(t time.Duration, fn func()) *Event {
+func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
+	ev := e.getNode()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	e.live++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // Step fires the next pending event, advancing the clock to its time.
@@ -100,14 +160,20 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 // one event or the queue drains).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.heapPop()
 		if ev.cancelled {
 			e.tombs--
+			e.putNode(ev)
 			continue
 		}
 		e.live--
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: fn may schedule new events, and the node
+		// is free to carry one of them (any Timer to this firing is already
+		// orphaned by the generation bump).
+		e.putNode(ev)
+		fn()
 		return true
 	}
 	return false
@@ -126,17 +192,20 @@ func (e *Engine) Run(until time.Duration) int {
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.cancelled {
-			heap.Pop(&e.queue)
+			e.heapPop()
 			e.tombs--
+			e.putNode(next)
 			continue
 		}
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.heapPop()
 		e.live--
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.putNode(next)
+		fn()
 		n++
 	}
 	// Even if no event lands exactly at until, the clock advances to it so
@@ -178,7 +247,7 @@ func (e *Engine) maybeCompact() {
 	kept := 0
 	for _, ev := range e.queue {
 		if ev.cancelled {
-			ev.index = -1
+			e.putNode(ev)
 			continue
 		}
 		e.queue[kept] = ev
@@ -189,40 +258,85 @@ func (e *Engine) maybeCompact() {
 		e.queue[i] = nil
 	}
 	e.queue = e.queue[:kept]
-	heap.Init(&e.queue)
+	e.heapInit()
 	e.tombs = 0
 }
 
-// eventQueue is a min-heap ordered by (time, sequence number).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders the heap by (time, sequence number).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// heapPush appends ev and restores the heap invariant.
+func (e *Engine) heapPush(ev *event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// heapPop removes and returns the minimum (time, seq) event.
+func (e *Engine) heapPop() *event {
+	q := e.queue
+	root := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].index = 0
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// heapInit re-establishes the heap invariant over the whole slice
+// (after compaction).
+func (e *Engine) heapInit() {
+	for i := len(e.queue)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(q[right], q[left]) {
+			least = right
+		}
+		if !eventLess(q[least], ev) {
+			break
+		}
+		q[i] = q[least]
+		q[i].index = i
+		i = least
+	}
+	q[i] = ev
+	ev.index = i
 }

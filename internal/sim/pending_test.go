@@ -14,7 +14,7 @@ import (
 func TestPendingAfterMassCancel(t *testing.T) {
 	const n = 10_000
 	e := NewEngine(1)
-	events := make([]*Event, n)
+	events := make([]Timer, n)
 	for i := range events {
 		events[i] = e.Schedule(time.Duration(i)*time.Microsecond, func() {})
 	}

@@ -21,7 +21,7 @@ type modelEvent struct {
 	seq       int
 	cancelled bool
 	fired     bool
-	real      *Event
+	real      Timer
 }
 
 // firingOrder returns the ids of not-cancelled, not-yet-fired events at or
@@ -169,7 +169,7 @@ func tail(xs []int) []int {
 // against a ground-truth walk of the heap before and after.
 func TestEnginePendingConsistentAcrossCompaction(t *testing.T) {
 	e := NewEngine(1)
-	var events []*Event
+	var events []Timer
 	for i := 0; i < 500; i++ {
 		events = append(events, e.Schedule(time.Duration(i)*time.Millisecond, func() {}))
 	}

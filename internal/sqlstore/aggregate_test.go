@@ -3,6 +3,7 @@ package sqlstore
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // The emp fixture (newTestDB): eng={alice 90.5, bob 80, erin NULL},
@@ -140,7 +141,7 @@ func TestAggregateErrors(t *testing.T) {
 
 func TestAggregatesOverTheWire(t *testing.T) {
 	addr := startSQLServer(t)
-	c, err := Dial(addr)
+	c, err := Dial(addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

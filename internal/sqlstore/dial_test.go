@@ -1,0 +1,68 @@
+package sqlstore
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialTimeoutBoundsDeadBackend is the regression test for the
+// unbounded net.Dial: a dead SQL backend must fail the dial within the
+// client's timeout instead of hanging a live worker forever (the OP's
+// deadline machinery never sees time spent inside a workload function).
+func TestDialTimeoutBoundsDeadBackend(t *testing.T) {
+	// A listener with a full accept backlog behaves like a dead backend
+	// for connect purposes on some platforms; a closed port fails fast
+	// everywhere. Either way the dial must return within the timeout.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the port is now dead
+	start := time.Now()
+	if _, err := Dial(addr, 500*time.Millisecond); err == nil {
+		t.Fatal("dialing a dead backend succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("dial to a dead backend took %v, should be bounded by the timeout", waited)
+	}
+}
+
+// TestQuerySilentBackendTimesOut is the regression test for missing I/O
+// deadlines: a backend that accepts the connection and then goes silent
+// must fail the query at the client's deadline, not hang it forever.
+func TestQuerySilentBackendTimesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // swallow the connection: never read, never reply
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query("SELECT 1 FROM kv")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("query against a silent backend succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query against a silent backend hung past its deadline")
+	}
+}

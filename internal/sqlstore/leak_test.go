@@ -1,0 +1,58 @@
+package sqlstore
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestClientMidFrameErrorDoesNotLeakConn pairs the client with a raw
+// listener that answers a query with a truncated frame (the header
+// promises 200 bytes, one arrives) and never finishes it. The client
+// must surface an error at its deadline, and Close must actually release
+// the TCP connection — the peer proves it by observing EOF instead of a
+// read timeout.
+func TestClientMidFrameErrorDoesNotLeakConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conns := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conns <- conn
+		buf := make([]byte, 4096)
+		conn.Read(buf)                           //nolint:errcheck // the request; content irrelevant
+		conn.Write([]byte{0, 0, 0, 200, '{'})    //nolint:errcheck // truncated frame, never completed
+	}()
+	c, err := Dial(ln.Addr().String(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT 1 FROM kv"); err == nil {
+		t.Fatal("truncated reply did not error")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after mid-frame error: %v", err)
+	}
+	sconn := <-conns
+	defer sconn.Close()
+	sconn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 64)
+	for {
+		_, rerr := sconn.Read(buf)
+		if rerr == nil {
+			continue
+		}
+		if errors.Is(rerr, os.ErrDeadlineExceeded) {
+			t.Fatal("client connection still open after Close: leaked")
+		}
+		return // EOF or reset: the client really hung up
+	}
+}

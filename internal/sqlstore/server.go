@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"microfaas/internal/wire"
 )
@@ -167,25 +168,37 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // Client speaks the framed JSON protocol to a sqlstore server.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration // per-operation I/O deadline (0 = none)
 }
 
-// Dial connects to a sqlstore server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a sqlstore server with the given timeout, matching
+// kvstore.Dial and mq.Dial. The timeout also bounds each subsequent
+// Query's I/O (as a per-operation deadline), so a backend that dies
+// mid-conversation fails the call instead of hanging the worker forever.
+// A zero timeout disables both bounds.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("sqlstore: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}, nil
 }
 
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Query executes one SQL statement on the server.
+// Query executes one SQL statement on the server. Each call runs under
+// the client's dial timeout as an I/O deadline: a backend that goes
+// silent mid-conversation fails the query instead of hanging it.
 func (c *Client) Query(sql string) (*Result, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("sqlstore: deadline: %w", err)
+		}
+	}
 	if err := wire.WriteJSON(c.w, request{Query: sql}); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 	"testing/quick"
 )
 
@@ -402,7 +403,7 @@ func startSQLServer(t *testing.T) string {
 
 func TestEndToEndQuery(t *testing.T) {
 	addr := startSQLServer(t)
-	c, err := Dial(addr)
+	c, err := Dial(addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +432,7 @@ func TestEndToEndQuery(t *testing.T) {
 
 func TestEndToEndErrorKeepsConnection(t *testing.T) {
 	addr := startSQLServer(t)
-	c, err := Dial(addr)
+	c, err := Dial(addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestEndToEndErrorKeepsConnection(t *testing.T) {
 
 func TestEndToEndFloatsSurviveWire(t *testing.T) {
 	addr := startSQLServer(t)
-	c, err := Dial(addr)
+	c, err := Dial(addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"strconv"
@@ -69,10 +70,23 @@ func FuzzParseMetrics(f *testing.F) {
 	f.Add("{} 3\n")        // empty name, empty labels
 	f.Add("broken{a= 1\n") // unterminated label set
 	f.Add("novalue\n")
+	// A line over MaxLineBytes: must surface LineTooLongError with the
+	// preceding samples intact, never a silent whole-document failure.
+	f.Add("before_wall 1\nhuge{x=\"" + strings.Repeat("a", MaxLineBytes+1) + "\"} 2\n")
 
 	f.Fuzz(func(t *testing.T, text string) {
 		ss, err := ParseText(strings.NewReader(text))
 		if err != nil {
+			var tooLong *LineTooLongError
+			if errors.As(err, &tooLong) {
+				// The degraded-scrape contract: the samples returned
+				// alongside a LineTooLongError are fully parsed and must
+				// round trip like any accepted document.
+				ss2, err2 := ParseText(strings.NewReader(exposeSamples(ss)))
+				if err2 != nil || len(ss2) != len(ss) {
+					t.Fatalf("partial samples did not round trip: %v (%d -> %d)", err2, len(ss), len(ss2))
+				}
+			}
 			return // rejected input is fine; panics are the failure mode
 		}
 		rendered := exposeSamples(ss)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,28 @@ import (
 	"strconv"
 	"strings"
 )
+
+// MaxLineBytes is the per-line limit ParseText accepts. Exposition lines
+// are one sample each, so even pathological label cardinality fits far
+// below it; anything longer is reported as a LineTooLongError instead of
+// silently failing the whole document.
+const MaxLineBytes = 1024 * 1024
+
+// LineTooLongError reports an exposition line exceeding MaxLineBytes.
+// ParseText returns it together with every sample parsed before the
+// oversized line, so a scrape with one high-cardinality outlier degrades
+// to a partial view instead of nothing. Match with errors.As.
+type LineTooLongError struct {
+	// Line is the 1-based number of the line where parsing stopped.
+	Line int
+	// Limit is the per-line byte limit that was exceeded.
+	Limit int
+}
+
+// Error implements the error interface.
+func (e *LineTooLongError) Error() string {
+	return fmt.Sprintf("telemetry: line %d exceeds the %d-byte line limit (parse stopped there; earlier samples are valid)", e.Line, e.Limit)
+}
 
 // Sample is one parsed exposition line: a metric name, its label set, and
 // the sample value. Histogram series appear under their expanded names
@@ -29,10 +52,15 @@ type Samples []Sample
 // package writes: # comments, name{labels} value lines, +Inf/NaN values).
 // It is the client half of WritePrometheus, used by faasctl top and by
 // tests cross-checking /metrics against trace-derived numbers.
+//
+// A line longer than MaxLineBytes stops the parse there: ParseText
+// returns the samples parsed so far together with a *LineTooLongError
+// carrying the offending line's position, so one high-cardinality
+// outlier line degrades the scrape instead of erasing it.
 func ParseText(r io.Reader) (Samples, error) {
 	var out Samples
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -47,6 +75,11 @@ func ParseText(r io.Reader) (Samples, error) {
 		out = append(out, s)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stopped at the line after the last one it
+			// delivered; hand back what parsed cleanly.
+			return out, &LineTooLongError{Line: lineNo + 1, Limit: MaxLineBytes}
+		}
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	return out, nil

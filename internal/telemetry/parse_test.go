@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseTextLineTooLongReturnsPartial locks the degraded-scrape
+// contract: a line over MaxLineBytes yields the samples parsed before it
+// plus a typed *LineTooLongError naming the line where parsing stopped.
+func TestParseTextLineTooLongReturnsPartial(t *testing.T) {
+	doc := "good_metric 1\nanother{w=\"sbc-0\"} 2\n" +
+		"huge{x=\"" + strings.Repeat("a", MaxLineBytes+1) + "\"} 3\n" +
+		"after_the_wall 4\n"
+	ss, err := ParseText(strings.NewReader(doc))
+	if err == nil {
+		t.Fatal("oversized line parsed without error")
+	}
+	var tooLong *LineTooLongError
+	if !errors.As(err, &tooLong) {
+		t.Fatalf("error %v (%T) is not a *LineTooLongError", err, err)
+	}
+	if tooLong.Line != 3 {
+		t.Fatalf("LineTooLongError.Line = %d, want 3", tooLong.Line)
+	}
+	if tooLong.Limit != MaxLineBytes {
+		t.Fatalf("LineTooLongError.Limit = %d, want %d", tooLong.Limit, MaxLineBytes)
+	}
+	// The two clean lines before the wall must have survived.
+	if len(ss) != 2 {
+		t.Fatalf("partial parse returned %d samples, want 2", len(ss))
+	}
+	if v, ok := ss.Value("good_metric"); !ok || v != 1 {
+		t.Fatalf("good_metric = %v, %v", v, ok)
+	}
+	if v, ok := ss.Value("another", "w", "sbc-0"); !ok || v != 2 {
+		t.Fatalf("another = %v, %v", v, ok)
+	}
+}
+
+// TestParseTextMaxLengthLineStillParses pins the boundary: a line of
+// exactly MaxLineBytes parses normally.
+func TestParseTextMaxLengthLineStillParses(t *testing.T) {
+	line := "m{x=\"" + strings.Repeat("a", MaxLineBytes-10) + "\"} 7"
+	if len(line) > MaxLineBytes {
+		t.Fatalf("test bug: line is %d bytes", len(line))
+	}
+	ss, err := ParseText(strings.NewReader(line + "\n"))
+	if err != nil {
+		t.Fatalf("max-length line failed: %v", err)
+	}
+	if v, ok := ss.Value("m"); !ok || v != 7 {
+		t.Fatalf("m = %v, %v", v, ok)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"microfaas/internal/chunklog"
 )
 
 // Record is one completed (or failed) function invocation.
@@ -44,8 +46,11 @@ func (r Record) Latency() time.Duration { return r.Finished - r.Submitted }
 
 // Collector accumulates records; safe for concurrent use.
 type Collector struct {
-	mu      sync.Mutex
-	records []Record
+	mu sync.Mutex
+	// records is chunked: Add runs once per completed invocation on the
+	// hot path, and a flat slice's geometric regrowth (zero + copy the
+	// whole backing array at every doubling) dominated long runs.
+	records chunklog.Log[Record]
 }
 
 // NewCollector returns an empty collector.
@@ -55,23 +60,28 @@ func NewCollector() *Collector { return &Collector{} }
 func (c *Collector) Add(r Record) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.records = append(c.records, r)
+	c.records.Append(r)
 }
 
 // Len returns the number of records.
 func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.records)
+	return c.records.Len()
 }
 
 // Records returns a copy of all records.
 func (c *Collector) Records() []Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Record, len(c.records))
-	copy(out, c.records)
-	return out
+	return c.records.Flatten()
+}
+
+// each visits every record in insertion order under the collector's lock.
+func (c *Collector) each(fn func(Record)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records.Each(fn)
 }
 
 // FunctionStats summarizes one function's invocations.
@@ -92,9 +102,9 @@ type FunctionStats struct {
 // by function name.
 func (c *Collector) ByFunction() []FunctionStats {
 	groups := map[string][]Record{}
-	for _, r := range c.Records() {
+	c.each(func(r Record) {
 		groups[r.Function] = append(groups[r.Function], r)
-	}
+	})
 	names := make([]string, 0, len(groups))
 	for n := range groups {
 		names = append(names, n)
@@ -164,22 +174,22 @@ func (c *Collector) Throughput(start, end time.Duration) float64 {
 		return 0
 	}
 	n := 0
-	for _, r := range c.Records() {
+	c.each(func(r Record) {
 		if r.Err == "" && r.Finished >= start && r.Finished <= end {
 			n++
 		}
-	}
+	})
 	return float64(n) / (end - start).Minutes()
 }
 
 // ErrorCount returns the number of failed invocations.
 func (c *Collector) ErrorCount() int {
 	n := 0
-	for _, r := range c.Records() {
+	c.each(func(r Record) {
 		if r.Err != "" {
 			n++
 		}
-	}
+	})
 	return n
 }
 

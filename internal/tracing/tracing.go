@@ -150,6 +150,11 @@ func (c Context) Wire() (traceID, spanID string) {
 // empty input yields the invalid Context (a peer without tracing simply
 // doesn't record).
 func ContextFromWire(traceID, spanID string) Context {
+	if traceID == "" {
+		// The common untraced case: skip the parse so it costs nothing
+		// (ParseTraceID would build and discard an error per call).
+		return Context{}
+	}
 	tr, err := ParseTraceID(traceID)
 	if err != nil {
 		return Context{}

@@ -74,10 +74,13 @@ func runCascSHA(_ *Env, raw []byte) ([]byte, error) {
 	if args.Rounds <= 0 {
 		return nil, fmt.Errorf("workload: CascSHA: rounds must be positive")
 	}
+	// Reuse one buffer across rounds: `digest = sum[:]` would heap-escape
+	// a fresh 32-byte array every iteration, turning the cascade into an
+	// allocation loop.
 	digest := []byte(args.Seed)
 	for i := 0; i < args.Rounds; i++ {
 		sum := sha256.Sum256(digest)
-		digest = sum[:]
+		digest = append(digest[:0], sum[:]...)
 	}
 	return mustJSON(cascadeResult{Rounds: args.Rounds, Digest: hex.EncodeToString(digest)}), nil
 }
@@ -93,7 +96,7 @@ func runCascMD5(_ *Env, raw []byte) ([]byte, error) {
 	digest := []byte(args.Seed)
 	for i := 0; i < args.Rounds; i++ {
 		sum := md5.Sum(digest)
-		digest = sum[:]
+		digest = append(digest[:0], sum[:]...)
 	}
 	return mustJSON(cascadeResult{Rounds: args.Rounds, Digest: hex.EncodeToString(digest)}), nil
 }

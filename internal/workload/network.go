@@ -63,7 +63,7 @@ func SetupBackends(env *Env) error {
 }
 
 func setupSQL(env *Env) error {
-	c, err := sqlstore.Dial(env.SQLStoreAddr)
+	c, err := sqlstore.Dial(env.SQLStoreAddr, env.dialTimeout())
 	if err != nil {
 		return fmt.Errorf("workload: setup sql: %w", err)
 	}
@@ -205,7 +205,7 @@ func runSQLSelect(env *Env, raw []byte) ([]byte, error) {
 	if env.SQLStoreAddr == "" {
 		return nil, errors.New("workload: SQLSelect: no sqlstore configured")
 	}
-	c, err := sqlstore.Dial(env.SQLStoreAddr)
+	c, err := sqlstore.Dial(env.SQLStoreAddr, env.dialTimeout())
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +241,7 @@ func runSQLUpdate(env *Env, raw []byte) ([]byte, error) {
 	if env.SQLStoreAddr == "" {
 		return nil, errors.New("workload: SQLUpdate: no sqlstore configured")
 	}
-	c, err := sqlstore.Dial(env.SQLStoreAddr)
+	c, err := sqlstore.Dial(env.SQLStoreAddr, env.dialTimeout())
 	if err != nil {
 		return nil, err
 	}
