@@ -397,3 +397,30 @@ func BenchmarkRackScale10K(b *testing.B) {
 	b.ReportMetric(res.SBCThroughput, "sbc-rack-func/min")
 	b.ReportMetric(res.SBCThroughput/res.ServerThroughput, "throughput-ratio")
 }
+
+// BenchmarkShardedRackScale runs the sharded-control-plane experiment at
+// full scale — 64 shards × 1100 SBCs behind the consistent-hash
+// load-balancer tier — and reports the sustained cluster throughput
+// (the >1M func/min target), the bounded-load + aggregator gain over
+// plain consistent hashing, and the hot-key p99 relief the cross-shard
+// work stealer provides.
+func BenchmarkShardedRackScale(b *testing.B) {
+	var res experiments.ShardedRackResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ShardedRack(experiments.ShardedRackConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]experiments.ShardedArm{}
+	for _, a := range res.Arms {
+		byName[a.Name] = a
+	}
+	full, plain := byName["uniform/full"], byName["uniform/plain"]
+	hotPlain, hotSteal := byName["hotkey/plain"], byName["hotkey/steal"]
+	b.ReportMetric(full.SustainedPerMin, "sustained-func/min")
+	b.ReportMetric(full.SustainedPerMin/plain.SustainedPerMin, "bounded-load-gain-x")
+	b.ReportMetric(hotPlain.P99S/hotSteal.P99S, "steal-p99-relief-x")
+	b.ReportMetric(float64(hotSteal.Stolen), "stolen-jobs")
+}

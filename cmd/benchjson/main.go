@@ -13,7 +13,10 @@
 // stdin, or another JSON document via -new) against the committed
 // baseline and exits nonzero when a gated benchmark regressed more than
 // -threshold percent in ns/op or allocs/op — the CI regression gate
-// (`make bench-diff`).
+// (`make bench-diff`). A gate entry may pin the gated unit with a
+// "Name:unit" suffix (e.g. BenchmarkShardedRackScale:allocs/op) for
+// benchmarks whose wall-clock is dominated by machine load rather than
+// code — allocs/op is deterministic, ns/op on a shared box is not.
 package main
 
 import (
@@ -54,7 +57,7 @@ func main() {
 	hardware := flag.String("hardware", "", "hardware note recorded in the document")
 	diff := flag.String("diff", "", "baseline BENCH_*.json to compare against (enables diff mode)")
 	newDoc := flag.String("new", "", "diff mode: read the fresh run from this JSON document instead of bench text on stdin")
-	gate := flag.String("gate", "", "diff mode: comma-separated benchmark names to gate (default: every benchmark present in both documents)")
+	gate := flag.String("gate", "", "diff mode: comma-separated benchmark names to gate, each optionally suffixed :unit to gate that unit alone (default: every benchmark present in both documents)")
 	threshold := flag.Float64("threshold", 20, "diff mode: max allowed regression percent in ns/op or allocs/op")
 	flag.Parse()
 
@@ -164,9 +167,17 @@ func runDiff(baselinePath, newPath, gateList string, thresholdPct float64, w io.
 	cur := indexByName(fresh)
 
 	var gated []string
+	units := map[string][]string{}
 	if gateList != "" {
-		for _, name := range strings.Split(gateList, ",") {
-			if name = strings.TrimSpace(name); name != "" {
+		for _, entry := range strings.Split(gateList, ",") {
+			if entry = strings.TrimSpace(entry); entry == "" {
+				continue
+			}
+			name, unit, pinned := strings.Cut(entry, ":")
+			if pinned {
+				units[name] = append(units[name], unit)
+			}
+			if len(units[name]) <= 1 {
 				gated = append(gated, name)
 			}
 		}
@@ -192,7 +203,11 @@ func runDiff(baselinePath, newPath, gateList string, thresholdPct float64, w io.
 			failures = append(failures, fmt.Sprintf("%s: missing from %s document", name, missingSide(okOld, okNew)))
 			continue
 		}
-		for _, unit := range gatedMetrics {
+		enforce := gatedMetrics
+		if pinned := units[name]; len(pinned) > 0 {
+			enforce = pinned
+		}
+		for _, unit := range enforce {
 			ov, haveOld := ob.Metrics[unit]
 			nv, haveNew := nb.Metrics[unit]
 			if !haveOld || !haveNew || ov == 0 {

@@ -109,6 +109,34 @@ func TestDiffFailsOnAllocRegression(t *testing.T) {
 	}
 }
 
+func TestDiffPinnedUnitGatesOnlyThatUnit(t *testing.T) {
+	old := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkShardedRackScale", 6e10, 3e7),
+		bench("BenchmarkLiveInvocation", 100, 10),
+	}})
+	fresh := writeDoc(t, "new.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkShardedRackScale", 9e10, 3e7), // +50% ns/op, allocs flat
+		bench("BenchmarkLiveInvocation", 100, 10),
+	}})
+	gate := "BenchmarkLiveInvocation,BenchmarkShardedRackScale:allocs/op"
+	var out strings.Builder
+	if err := runDiff(old, fresh, gate, 20, &out); err != nil {
+		t.Fatalf("ns/op noise failed an allocs/op-pinned gate: %v\n%s", err, out.String())
+	}
+	// The pinned unit itself must still be enforced.
+	worse := writeDoc(t, "worse.json", Document{Benchmarks: []Benchmark{
+		bench("BenchmarkShardedRackScale", 6e10, 4.5e7), // +50% allocs/op
+		bench("BenchmarkLiveInvocation", 100, 10),
+	}})
+	err := runDiff(old, worse, gate, 20, &strings.Builder{})
+	if err == nil {
+		t.Fatal("a +50% allocs/op regression passed an allocs/op-pinned gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
 func TestDiffFailsWhenGatedBenchmarkVanishes(t *testing.T) {
 	old := writeDoc(t, "old.json", Document{Benchmarks: []Benchmark{
 		bench("BenchmarkLiveInvocation", 100, 10),

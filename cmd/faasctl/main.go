@@ -6,6 +6,7 @@
 //	faasctl [-gateway host:port] functions
 //	faasctl [-gateway host:port] workers [-v]
 //	faasctl [-gateway host:port] stats
+//	faasctl [-gateway host:port] shards
 //	faasctl [-gateway host:port] invoke <function> [args-json]
 //	faasctl [-gateway host:port] -async invoke <function> [args-json]
 //	faasctl [-gateway host:port] job <id>
@@ -14,6 +15,11 @@
 //	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0]
 //	faasctl [-gateway host:port] power
 //	faasctl [-gateway host:port] power cap <watts>
+//
+// -gateway accepts a comma-separated address list; workers, top, and
+// shards aggregate across every listed gateway (one dashboard over a
+// multi-gateway sharded deployment), while the single-target commands
+// (invoke, job, trace, stats, power) talk to the first address.
 package main
 
 import (
@@ -24,17 +30,18 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 )
 
 func main() {
-	gatewayAddr := flag.String("gateway", "127.0.0.1:8080", "gateway address")
+	gatewayAddr := flag.String("gateway", "127.0.0.1:8080", "gateway address, or a comma-separated list (workers/top/shards aggregate across all)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "invocation timeout")
 	async := flag.Bool("async", false, "submit invocations asynchronously (poll with 'job <id>')")
 	interval := flag.Duration("interval", 2*time.Second, "top: refresh interval")
 	iterations := flag.Int("iterations", 0, "top: stop after N refreshes (0 = until interrupted)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|top|power|trace|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|shards|top|power|trace|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,7 +49,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: "http://" + *gatewayAddr, http: &http.Client{Timeout: *timeout}, out: os.Stdout,
+	var bases []string
+	for _, addr := range strings.Split(*gatewayAddr, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			bases = append(bases, "http://"+addr)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "faasctl: no gateway address")
+		os.Exit(2)
+	}
+	c := &client{base: bases[0], bases: bases, http: &http.Client{Timeout: *timeout}, out: os.Stdout,
 		async: *async, interval: *interval, iterations: *iterations}
 	if err := c.run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "faasctl:", err)
@@ -51,12 +68,22 @@ func main() {
 }
 
 type client struct {
-	base       string
+	base       string   // primary gateway, for single-target commands
+	bases      []string // every gateway; empty means just base
 	http       *http.Client
 	out        io.Writer
 	async      bool
 	interval   time.Duration
 	iterations int
+}
+
+// allBases returns every configured gateway base URL; clients built
+// with only base get a one-element list.
+func (c *client) allBases() []string {
+	if len(c.bases) > 0 {
+		return c.bases
+	}
+	return []string{c.base}
 }
 
 func (c *client) run(args []string) error {
@@ -70,6 +97,8 @@ func (c *client) run(args []string) error {
 		return c.workersTable()
 	case "stats":
 		return c.get("/stats")
+	case "shards":
+		return c.shardsTable()
 	case "top":
 		return c.top(c.interval, c.iterations)
 	case "power":
@@ -194,36 +223,132 @@ func fmtJoules(v float64) string {
 	return fmt.Sprintf("%.3f J", v)
 }
 
-// workersTable renders /workers as a compact health table; `workers -v`
-// prints the raw JSON instead.
+// workerRow mirrors one /workers entry (the shard label is empty on
+// unsharded gateways).
+type workerRow struct {
+	ID         string `json:"id"`
+	Shard      string `json:"shard"`
+	Breaker    string `json:"breaker"`
+	Consec     int    `json:"consecutive_failures"`
+	Completed  int64  `json:"completed"`
+	Failed     int64  `json:"failed"`
+	TimedOut   int64  `json:"timed_out"`
+	QueueDepth int    `json:"queue_depth"`
+	Busy       bool   `json:"busy"`
+}
+
+// fetchWorkers concatenates /workers from every configured gateway.
+func (c *client) fetchWorkers() ([]workerRow, error) {
+	var all []workerRow
+	for _, base := range c.allBases() {
+		resp, err := c.http.Get(base + "/workers")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s/workers returned %s: %s", base, resp.Status, bytes.TrimSpace(body))
+		}
+		var page []workerRow
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+	}
+	return all, nil
+}
+
+// workersTable renders /workers — aggregated across every configured
+// gateway — as a compact health table; `workers -v` prints the primary
+// gateway's raw JSON instead.
 func (c *client) workersTable() error {
-	resp, err := c.http.Get(c.base + "/workers")
+	workers, err := c.fetchWorkers()
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return c.prettyPrint(resp.Body)
-	}
-	var workers []struct {
-		ID         string `json:"id"`
-		Breaker    string `json:"breaker"`
-		Consec     int    `json:"consecutive_failures"`
-		Completed  int64  `json:"completed"`
-		Failed     int64  `json:"failed"`
-		TimedOut   int64  `json:"timed_out"`
-		QueueDepth int    `json:"queue_depth"`
-		Busy       bool   `json:"busy"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
-		return err
-	}
-	fmt.Fprintf(c.out, "%-12s %-9s %5s %9s %7s %9s %6s %5s\n",
-		"worker", "breaker", "queue", "completed", "failed", "timed-out", "consec", "busy")
+	sharded := false
 	for _, w := range workers {
+		if w.Shard != "" {
+			sharded = true
+			break
+		}
+	}
+	shardCol := ""
+	if sharded {
+		shardCol = fmt.Sprintf("%-10s ", "shard")
+	}
+	fmt.Fprintf(c.out, "%s%-12s %-9s %5s %9s %7s %9s %6s %5s\n",
+		shardCol, "worker", "breaker", "queue", "completed", "failed", "timed-out", "consec", "busy")
+	for _, w := range workers {
+		if sharded {
+			fmt.Fprintf(c.out, "%-10s ", w.Shard)
+		}
 		fmt.Fprintf(c.out, "%-12s %-9s %5d %9d %7d %9d %6d %5v\n",
 			w.ID, w.Breaker, w.QueueDepth, w.Completed, w.Failed, w.TimedOut, w.Consec, w.Busy)
 	}
+	return nil
+}
+
+// shardsTable renders the /shards capacity snapshot — shard label,
+// worker-partition size, pending and queued depth, ring weight, and
+// steal counters — aggregated across every configured gateway. Gateways
+// fronting an unsharded control plane are skipped when several are
+// listed; with a single unsharded gateway the 404 is reported.
+func (c *client) shardsTable() error {
+	type shardRow struct {
+		Index     int     `json:"index"`
+		Label     string  `json:"label"`
+		Workers   int     `json:"workers"`
+		Pending   int     `json:"pending"`
+		Queued    int     `json:"queued"`
+		Weight    float64 `json:"weight"`
+		StolenIn  int64   `json:"stolen_in"`
+		StolenOut int64   `json:"stolen_out"`
+	}
+	var rows []shardRow
+	bases := c.allBases()
+	for _, base := range bases {
+		resp, err := c.http.Get(base + "/shards")
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusNotFound && len(bases) > 1 {
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("%s/shards returned %s: %s", base, resp.Status, bytes.TrimSpace(body))
+		}
+		var page []shardRow
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, page...)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no configured gateway fronts a sharded control plane")
+	}
+	fmt.Fprintf(c.out, "%-10s %8s %8s %7s %7s %10s %11s\n",
+		"shard", "workers", "pending", "queued", "weight", "stolen-in", "stolen-out")
+	var tw, tp, tq int
+	var tin, tout int64
+	for _, r := range rows {
+		fmt.Fprintf(c.out, "%-10s %8d %8d %7d %7.2f %10d %11d\n",
+			r.Label, r.Workers, r.Pending, r.Queued, r.Weight, r.StolenIn, r.StolenOut)
+		tw += r.Workers
+		tp += r.Pending
+		tq += r.Queued
+		tin += r.StolenIn
+		tout += r.StolenOut
+	}
+	fmt.Fprintf(c.out, "%-10s %8d %8d %7d %7s %10d %11d\n", "total", tw, tp, tq, "", tin, tout)
 	return nil
 }
 

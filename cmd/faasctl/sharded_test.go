@@ -1,0 +1,146 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"microfaas/internal/cluster"
+	"microfaas/internal/core"
+	"microfaas/internal/gateway"
+	"microfaas/internal/shard"
+	"microfaas/internal/telemetry"
+)
+
+// startShardedStack boots two live clusters as shards behind one plane
+// gateway and returns a client aimed at it.
+func startShardedStack(t *testing.T) (*client, *strings.Builder) {
+	t.Helper()
+	orchs := make([]*core.Orchestrator, 2)
+	var rt core.Runtime
+	for i := range orchs {
+		l, err := cluster.StartLive(cluster.LiveOptions{
+			Workers:    2,
+			Seed:       int64(21 + i),
+			Telemetry:  telemetry.New(),
+			ShardLabel: []string{"shard-00", "shard-01"}[i],
+			JobIDBase:  int64(i) << 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(l.Close)
+		orchs[i] = l.Orch
+		rt = l.Runtime
+	}
+	plane, err := shard.NewPlane(rt, orchs, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.NewSharded(plane, gateway.Options{Timeout: 30 * time.Second, Mode: "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	var sb strings.Builder
+	return &client{
+		base: "http://" + addr,
+		http: &http.Client{Timeout: 30 * time.Second},
+		out:  &sb,
+	}, &sb
+}
+
+func TestShardsCommand(t *testing.T) {
+	c, out := startShardedStack(t)
+	if err := c.run([]string{"invoke", "CascSHA", `{"rounds":2,"seed":"sh"}`}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := c.run([]string{"shards"}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"shard-00", "shard-01", "stolen-in", "total"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("shards output missing %q:\n%s", want, got)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 { // header + 2 shards + total
+		t.Fatalf("shards table has %d lines:\n%s", len(lines), got)
+	}
+}
+
+func TestShardsCommandOnUnshardedGateway(t *testing.T) {
+	c, _ := startStack(t)
+	if err := c.run([]string{"shards"}); err == nil {
+		t.Fatal("shards against an unsharded gateway succeeded")
+	}
+}
+
+func TestWorkersTableShardColumn(t *testing.T) {
+	c, out := startShardedStack(t)
+	if err := c.run([]string{"workers"}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "shard") || !strings.Contains(got, "shard-01") {
+		t.Fatalf("workers table missing shard column:\n%s", got)
+	}
+	if got := strings.Count(got, "live-"); got != 4 {
+		t.Fatalf("workers table lists %d workers, want 4:\n%s", got, out.String())
+	}
+}
+
+// TestMultiGatewayAggregation points one client at two independent
+// unsharded gateways (the -gateway comma-list path) and checks workers
+// and top merge both clusters' views.
+func TestMultiGatewayAggregation(t *testing.T) {
+	var bases []string
+	for i := 0; i < 2; i++ {
+		l, err := cluster.StartLive(cluster.LiveOptions{Workers: 2, Seed: int64(31 + i), Telemetry: telemetry.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(l.Close)
+		gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{Timeout: 30 * time.Second, Telemetry: l.Telemetry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := gw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { gw.Close() })
+		bases = append(bases, "http://"+addr)
+	}
+	var sb strings.Builder
+	c := &client{base: bases[0], bases: bases, http: &http.Client{Timeout: 30 * time.Second}, out: &sb}
+
+	if err := c.run([]string{"invoke", "CascSHA", `{"rounds":2,"seed":"mg"}`}); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := c.run([]string{"workers"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "live-"); got != 4 {
+		t.Fatalf("aggregated workers table lists %d workers, want 4:\n%s", got, sb.String())
+	}
+	sb.Reset()
+	if err := c.top(time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "invocations 1") {
+		t.Fatalf("aggregated top missing the invocation:\n%s", got)
+	}
+	if !strings.Contains(got, "live-000") {
+		t.Fatalf("aggregated top missing workers line:\n%s", got)
+	}
+}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,10 +9,14 @@ import (
 	"microfaas/internal/telemetry"
 )
 
-// top polls the gateway's /metrics (and /workers for breaker states) and
-// renders a cluster dashboard every interval: throughput, latency
-// quantiles, per-function J/function, worker health. iterations > 0 stops
-// after that many refreshes (scripts and tests); 0 runs until interrupted.
+// top polls /metrics (and /workers for breaker states) on every
+// configured gateway and renders one cluster dashboard every interval:
+// throughput, latency quantiles, per-function J/function, worker
+// health. Sharded gateways expose shard-labeled samples and multiple
+// gateways each contribute their own — both aggregate the same way,
+// by summing counters and merging histogram buckets before any
+// quantile is taken. iterations > 0 stops after that many refreshes
+// (scripts and tests); 0 runs until interrupted.
 func (c *client) top(interval time.Duration, iterations int) error {
 	var prevTotal float64
 	var prevAt time.Time
@@ -34,21 +37,35 @@ func (c *client) top(interval time.Duration, iterations int) error {
 	return nil
 }
 
-// scrapeMetrics fetches and parses one /metrics exposition.
+// scrapeMetrics fetches and parses one /metrics exposition from every
+// configured gateway, concatenating the samples into one set.
 func (c *client) scrapeMetrics() (telemetry.Samples, error) {
-	resp, err := c.http.Get(c.base + "/metrics")
-	if err != nil {
-		return nil, err
+	var all telemetry.Samples
+	for _, base := range c.allBases() {
+		resp, err := c.http.Get(base + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s/metrics returned %s (telemetry disabled?)", base, resp.Status)
+		}
+		samples, err := telemetry.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, samples...)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("gateway /metrics returned %s (telemetry disabled?)", resp.Status)
-	}
-	return telemetry.ParseText(resp.Body)
+	return all, nil
 }
 
+// renderTop writes one dashboard frame. Scalar families are read with
+// Sum, not Value: a sharded gateway splits microfaas_jobs_pending and
+// friends into one sample per shard, and a multi-gateway scrape yields
+// one per gateway — the cluster view is always their sum.
 func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, now, prevAt time.Time) {
-	pending, _ := samples.Value("microfaas_jobs_pending")
+	pending := samples.Sum("microfaas_jobs_pending")
 	fmt.Fprintf(c.out, "invocations %.0f  pending %.0f", total, pending)
 	if !prevAt.IsZero() && now.After(prevAt) {
 		rate := (total - prevTotal) / now.Sub(prevAt).Minutes()
@@ -59,15 +76,19 @@ func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, 
 	if p50 > 0 || p99 > 0 {
 		fmt.Fprintf(c.out, "  latency p50 ≤ %.0fms p99 ≤ %.0fms", p50*1000, p99*1000)
 	}
-	if watts, ok := samples.Value("microfaas_cluster_power_watts"); ok {
-		joules, _ := samples.Value("microfaas_cluster_energy_joules_total")
+	if _, ok := samples.Value("microfaas_cluster_power_watts"); ok {
+		watts := samples.Sum("microfaas_cluster_power_watts")
+		joules := samples.Sum("microfaas_cluster_energy_joules_total")
 		fmt.Fprintf(c.out, "  power %.2fW (%.1fJ total)", watts, joules)
 	}
-	if powered, ok := samples.Value("microfaas_workers_powered"); ok {
-		fmt.Fprintf(c.out, "  powered %.0f", powered)
-		if cap, ok := samples.Value("microfaas_power_cap_watts"); ok && cap > 0 {
+	if _, ok := samples.Value("microfaas_workers_powered"); ok {
+		fmt.Fprintf(c.out, "  powered %.0f", samples.Sum("microfaas_workers_powered"))
+		if cap := samples.Sum("microfaas_power_cap_watts"); cap > 0 {
 			fmt.Fprintf(c.out, "  cap %.2fW", cap)
 		}
+	}
+	if stolen := samples.Sum("microfaas_shard_stolen_total", "direction", "in"); stolen > 0 {
+		fmt.Fprintf(c.out, "  stolen %.0f", stolen)
 	}
 	fmt.Fprintln(c.out)
 
@@ -75,10 +96,10 @@ func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, 
 		sort.Strings(fns)
 		fmt.Fprintf(c.out, "%-14s %8s %7s %12s\n", "function", "ok", "errors", "J/function")
 		for _, fn := range fns {
-			okCount, _ := samples.Value("microfaas_function_invocations_total", "function", fn, "result", "ok")
-			errCount, _ := samples.Value("microfaas_function_invocations_total", "function", fn, "result", "error")
+			okCount := samples.Sum("microfaas_function_invocations_total", "function", fn, "result", "ok")
+			errCount := samples.Sum("microfaas_function_invocations_total", "function", fn, "result", "error")
 			jpf := "-"
-			if joules, ok := samples.Value("microfaas_function_energy_joules_total", "function", fn); ok && okCount+errCount > 0 {
+			if joules := samples.Sum("microfaas_function_energy_joules_total", "function", fn); joules > 0 && okCount+errCount > 0 {
 				jpf = fmt.Sprintf("%.3f", joules/(okCount+errCount))
 			}
 			fmt.Fprintf(c.out, "%-14s %8.0f %7.0f %12s\n", fn, okCount, errCount, jpf)
@@ -123,23 +144,12 @@ func (c *client) renderWorkers(samples telemetry.Samples) {
 	fmt.Fprintln(c.out)
 }
 
-// fetchBreakers maps worker id → current breaker state from /workers.
-// Best-effort: on any error the dashboard renders with "?" states rather
-// than failing the refresh.
+// fetchBreakers maps worker id → current breaker state from /workers on
+// every configured gateway. Best-effort: on any error the dashboard
+// renders with "?" states rather than failing the refresh.
 func (c *client) fetchBreakers() map[string]string {
-	resp, err := c.http.Get(c.base + "/workers")
+	workers, err := c.fetchWorkers()
 	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil
-	}
-	var workers []struct {
-		ID      string `json:"id"`
-		Breaker string `json:"breaker"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
 		return nil
 	}
 	states := make(map[string]string, len(workers))

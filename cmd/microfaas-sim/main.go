@@ -5,7 +5,7 @@
 //
 //	microfaas-sim [flags] <experiment>
 //
-// Experiments: fig1, fig3, fig4, fig5, headline, table2, ablations, all.
+// Experiments: fig1, fig3, fig4, fig5, headline, table2, shardedrack, ablations, all.
 //
 // Flags:
 //
@@ -36,9 +36,10 @@ import (
 
 // options carries the parsed flags into the experiment dispatch.
 type options struct {
-	n        int
-	seed     int64
-	parallel int
+	n         int
+	seed      int64
+	parallel  int
+	shards    int
 	csvPath   string
 	promPath  string
 	tracePath string
@@ -49,12 +50,13 @@ func main() {
 	n := flag.Int("n", 100, "invocations per function (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size for independent sim instances (1 = serial; output is identical at any value)")
+	shards := flag.Int("shards", 0, "control-plane shard count for shardedrack (0 = the experiment default, 64)")
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|shardedrack|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,7 +68,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microfaas-sim: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	opts := options{n: *n, seed: *seed, parallel: *parallel, csvPath: *csvPath, promPath: *promPath,
+	opts := options{n: *n, seed: *seed, parallel: *parallel, shards: *shards,
+		csvPath: *csvPath, promPath: *promPath,
 		tracePath: *tracePath, asCSV: *format == "csv"}
 	if err := run(os.Stdout, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
@@ -194,6 +197,17 @@ func run(out io.Writer, experiment string, opts options) error {
 			return err
 		}
 		return experiments.WriteRackScale(out, res)
+	case "shardedrack":
+		// The sharded-control-plane demonstration: 64 shards × 1100 SBCs
+		// behind the consistent-hash tier, sustaining >1M func/min, with
+		// hot-key arms isolating the work stealer's p99 effect.
+		res, err := experiments.ShardedRack(experiments.ShardedRackConfig{
+			Shards: opts.shards, Seed: seed, Parallel: par,
+		})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteShardedRack(out, res)
 	case "ablations":
 		return writeAblations(out, seed, n, par)
 	case "all":

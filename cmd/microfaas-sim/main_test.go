@@ -35,6 +35,21 @@ func TestRunEachExperiment(t *testing.T) {
 	}
 }
 
+// TestRunShardedRack drives the sharded experiment through the CLI
+// dispatch at a reduced shard count (the -shards flag) so the test
+// stays fast while covering the real code path.
+func TestRunShardedRack(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "shardedrack", options{seed: 1, shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Sharded control plane (2 shards", "uniform/full", "hotkey/steal", "sustained"} {
+		if !strings.Contains(sb.String(), w) {
+			t.Fatalf("shardedrack output missing %q:\n%s", w, sb.String())
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "fig99", options{n: 10, seed: 1}); err == nil {

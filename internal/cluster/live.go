@@ -66,6 +66,12 @@ type LiveOptions struct {
 	// idle timeout — and every power-state transition lands in the
 	// cluster's GPIO audit log.
 	Power *powermgr.Policy
+	// ShardLabel names this cluster's orchestrator as one shard of a
+	// larger deployment (see core.Config.ShardLabel); JobIDBase gives it
+	// a disjoint job-id space so ids stay cluster-unique when several
+	// live clusters sit behind one shard.Plane.
+	ShardLabel string
+	JobIDBase  int64
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -197,6 +203,8 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			BreakerProbe:     opts.BreakerProbe,
 			Telemetry:        opts.Telemetry,
 			Tracer:           opts.Tracer,
+			ShardLabel:       opts.ShardLabel,
+			JobIDBase:        opts.JobIDBase,
 		}
 		if opts.Power != nil {
 			nodes := make([]powermgr.Node, len(l.Workers))

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/gpio"
+	"microfaas/internal/model"
+	"microfaas/internal/node"
+	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
+	"microfaas/internal/shard"
+	"microfaas/internal/sim"
+	"microfaas/internal/telemetry"
+	"microfaas/internal/trace"
+)
+
+// shardIDSpan is the job-id space reserved per shard (shard i's ids
+// start at i*shardIDSpan + 1). A disjoint, cluster-unique id space is
+// what lets the work stealer migrate jobs identity-intact.
+const shardIDSpan = int64(1) << 40
+
+// ShardedSim is a MicroFaaS cluster split into N control-plane shards
+// behind a consistent-hash load-balancer tier (see internal/shard).
+// All shards share ONE discrete-event engine — a single virtual clock —
+// so cross-shard interactions (work stealing, ring rebalancing) are
+// deterministic under a seed, exactly like a single-shard sim. Each
+// shard owns a disjoint worker partition, its own telemetry registry,
+// its own trace collector, and (when power management is enabled) its
+// own power manager; the tracer is shared so a stolen job's spans stay
+// in one trace.
+type ShardedSim struct {
+	// Engine is the single virtual clock every shard runs on.
+	Engine *sim.Engine
+	// Meter is the whole-cluster power meter.
+	Meter *power.Meter
+	// GPIO is the shared power-control plane audit log.
+	GPIO *gpio.Controller
+	// Plane is the load-balancer tier routing by function key.
+	Plane *shard.Plane
+	// Orchs are the per-shard orchestrators, in ring order.
+	Orchs []*core.Orchestrator
+	// Workers are the per-shard worker partitions, in ring order.
+	Workers [][]*node.SimWorker
+	// Telemetries are the per-shard metric registries (nil entries when
+	// SimConfig.Telemetry was nil).
+	Telemetries []*telemetry.Telemetry
+	// PowerMgrs are the per-shard power managers (nil unless
+	// SimConfig.Power was set).
+	PowerMgrs []*powermgr.Manager
+}
+
+// NewShardedMicroFaaSSim builds shards × workersPerShard SBCs split
+// into that many control-plane shards behind a load-balancer tier.
+// SimConfig applies per shard (its Telemetry field acts as an on/off
+// switch: when non-nil, each shard gets its OWN fresh registry, and
+// the passed-in instance carries only the shared power-meter gauges).
+// The Tracer is shared by every shard.
+func NewShardedMicroFaaSSim(shards, workersPerShard int, cfg SimConfig, scfg shard.Config) (*ShardedSim, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one shard, got %d", shards)
+	}
+	if workersPerShard <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one SBC per shard, got %d", workersPerShard)
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	meter := power.NewMeter()
+	controller := gpio.NewController()
+	s := &ShardedSim{Engine: engine, Meter: meter, GPIO: controller}
+	registerMeterMetrics(cfg.Telemetry, meter, engine.Now)
+	for si := 0; si < shards; si++ {
+		var tel *telemetry.Telemetry
+		if cfg.Telemetry != nil {
+			tel = telemetry.New()
+		}
+		s.Telemetries = append(s.Telemetries, tel)
+		workers := make([]core.Worker, 0, workersPerShard)
+		var simWorkers []*node.SimWorker
+		for i := 0; i < workersPerShard; i++ {
+			w, err := node.NewSimWorker(node.SimWorkerConfig{
+				ID:            fmt.Sprintf("s%02d-sbc-%04d", si, i),
+				Platform:      model.ARM,
+				Link:          cfg.Link,
+				Engine:        engine,
+				Meter:         meter,
+				GPIO:          controller,
+				Jitter:        cfg.jitter(),
+				BootTime:      cfg.BootTime,
+				Specs:         cfg.Specs,
+				DisableReboot: cfg.DisableReboot,
+				FailureRate:   cfg.FailureRate,
+				HangRate:      cfg.HangRate,
+				SlowRate:      cfg.SlowRate,
+				SlowFactor:    cfg.SlowFactor,
+				KeepWarm:      cfg.KeepWarm,
+				Managed:       cfg.Power != nil,
+				Telemetry:     tel,
+				Tracer:        cfg.Tracer,
+			})
+			if err != nil {
+				return nil, err
+			}
+			simWorkers = append(simWorkers, w)
+			workers = append(workers, w)
+		}
+		s.Workers = append(s.Workers, simWorkers)
+		cc := cfg.coreConfig(engine, workers)
+		// Each shard draws from its own RNG stream and owns a disjoint
+		// job-id space.
+		cc.Seed = cfg.Seed + 1 + int64(si)
+		cc.Telemetry = tel
+		cc.JobIDBase = int64(si) * shardIDSpan
+		cc.ShardLabel = fmt.Sprintf("shard-%02d", si)
+		if cfg.Power != nil {
+			nodes := make([]powermgr.Node, len(simWorkers))
+			for i, w := range simWorkers {
+				nodes[i] = w
+			}
+			pm, err := powermgr.New(powermgr.Config{
+				Runtime:   core.SimRuntime{Engine: engine},
+				Nodes:     nodes,
+				Policy:    *cfg.Power,
+				Telemetry: tel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.PowerMgrs = append(s.PowerMgrs, pm)
+			cc.PowerManager = pm
+		}
+		orch, err := core.New(cc)
+		if err != nil {
+			return nil, err
+		}
+		s.Orchs = append(s.Orchs, orch)
+	}
+	plane, err := shard.NewPlane(core.SimRuntime{Engine: engine}, s.Orchs, scfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Plane = plane
+	return s, nil
+}
+
+// Run drives the engine until every submitted job settles, returning an
+// error if any job is still pending when the event queue empties.
+func (s *ShardedSim) Run() error {
+	s.Engine.RunAll()
+	if p := s.Plane.Pending(); p != 0 {
+		return fmt.Errorf("cluster: %d jobs stuck after sharded run", p)
+	}
+	return nil
+}
+
+// ShardedStats aggregates a drained sharded run across all shards.
+type ShardedStats struct {
+	// Completed/Errors count settled invocations cluster-wide.
+	Completed int
+	Errors    int
+	// MeanCycle is the mean boot+overhead+exec across invocations.
+	MeanCycle time.Duration
+	// ThroughputPerMin is completed work over the makespan, in functions
+	// per minute. Open-loop runs include the ramp and the drain tail
+	// (the last straggler worker), so this understates capacity.
+	ThroughputPerMin float64
+	// SustainedPerMin is the completion rate over the middle of the run
+	// (finishes inside [20%, 60%] of the makespan), when every worker is
+	// busy — the sharded experiments' headline number.
+	SustainedPerMin float64
+	// P50/P99 are end-to-end (submit→settle) latency percentiles.
+	P50, P99 time.Duration
+	// Stolen counts cross-shard job migrations.
+	Stolen int64
+	// TotalEnergyJ is whole-cluster metered energy; JoulesPerFunction
+	// the paper's headline efficiency metric.
+	TotalEnergyJ      float64
+	JoulesPerFunction float64
+	// MakespanS is the virtual time the run took.
+	MakespanS float64
+}
+
+// Stats summarizes the cluster after Run, merging every shard's trace
+// collector.
+func (s *ShardedSim) Stats() ShardedStats {
+	makespan := s.Engine.Now()
+	st := ShardedStats{MakespanS: makespan.Seconds(), Stolen: s.Plane.StolenTotal()}
+	winLo, winHi := makespan/5, makespan*3/5
+	inWindow := 0
+	var cycle time.Duration
+	var lat []time.Duration
+	for _, o := range s.Orchs {
+		for _, r := range o.Collector().Records() {
+			if r.Err != "" {
+				st.Errors++
+				continue
+			}
+			st.Completed++
+			cycle += r.Total()
+			lat = append(lat, r.Latency())
+			if r.Finished >= winLo && r.Finished < winHi {
+				inWindow++
+			}
+		}
+	}
+	if st.Completed > 0 {
+		st.MeanCycle = cycle / time.Duration(st.Completed)
+		st.P50 = trace.Percentile(lat, 50)
+		st.P99 = trace.Percentile(lat, 99)
+	}
+	if st.MakespanS > 0 {
+		st.ThroughputPerMin = float64(st.Completed) / (st.MakespanS / 60)
+	}
+	if window := winHi - winLo; window > 0 {
+		st.SustainedPerMin = float64(inWindow) / window.Minutes()
+	}
+	st.TotalEnergyJ = float64(s.Meter.TotalEnergy(s.Engine.Now()))
+	if st.Completed > 0 {
+		st.JoulesPerFunction = st.TotalEnergyJ / float64(st.Completed)
+	}
+	return st
+}

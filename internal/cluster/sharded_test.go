@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+
+	"microfaas/internal/core"
+	"microfaas/internal/shard"
+)
+
+// newSmallSharded builds a 4-shard × 8-SBC cluster for tests.
+func newSmallSharded(t *testing.T, seed int64, scfg shard.Config) *ShardedSim {
+	t.Helper()
+	s, err := NewShardedMicroFaaSSim(4, 8, SimConfig{Seed: seed, Policy: core.AssignLeastLoaded}, scfg)
+	if err != nil {
+		t.Fatalf("NewShardedMicroFaaSSim: %v", err)
+	}
+	return s
+}
+
+func TestShardedSimDrainsUniformLoad(t *testing.T) {
+	s := newSmallSharded(t, 1, shard.Config{})
+	const jobs = 96
+	for j := 0; j < jobs; j++ {
+		id, idx := s.Plane.Submit("k/"+strconv.Itoa(j%16), "FloatOps", nil, nil)
+		if id == 0 {
+			t.Fatalf("job %d: zero id", j)
+		}
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("job %d: shard index %d out of range", j, idx)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != jobs {
+		t.Fatalf("completed %d of %d (errors %d)", st.Completed, jobs, st.Errors)
+	}
+	if st.ThroughputPerMin <= 0 {
+		t.Fatalf("throughput %v", st.ThroughputPerMin)
+	}
+}
+
+// TestShardedJobIDsDisjoint checks that JobIDBase gives every shard its
+// own id space — the invariant that makes identity-preserving steals
+// safe.
+func TestShardedJobIDsDisjoint(t *testing.T) {
+	s := newSmallSharded(t, 2, shard.Config{})
+	seen := map[int64]bool{}
+	for j := 0; j < 64; j++ {
+		id, idx := s.Plane.Submit("k/"+strconv.Itoa(j), "CascSHA", nil, nil)
+		if seen[id] {
+			t.Fatalf("duplicate job id %d", id)
+		}
+		seen[id] = true
+		if want := int64(idx) * (1 << 40); id <= want || id > want+(1<<40) {
+			t.Fatalf("job id %d outside shard %d's id space", id, idx)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStealReducesTailLatency runs the same hot-key workload
+// with stealing off and on: one key receives most of the traffic, so
+// without relief its home shard's queue (and the cluster p99) blows up,
+// while the aggregator drains it onto idle shards.
+func TestShardedStealReducesTailLatency(t *testing.T) {
+	run := func(scfg shard.Config) (p99 float64, stolen int64) {
+		s := newSmallSharded(t, 3, scfg)
+		const jobs = 256
+		for j := 0; j < jobs; j++ {
+			key := "u/" + strconv.Itoa(j%16)
+			if j%10 < 8 {
+				key = "hot"
+			}
+			s.Plane.Submit(key, "FloatOps", nil, nil)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.Completed != jobs {
+			t.Fatalf("completed %d of %d", st.Completed, jobs)
+		}
+		return st.P99.Seconds(), st.Stolen
+	}
+	plain := shard.Config{BoundFactor: -1}
+	p99Off, stolenOff := run(plain)
+	stealing := shard.Config{BoundFactor: -1, Steal: shard.StealConfig{Enabled: true}}
+	p99On, stolenOn := run(stealing)
+	if stolenOff != 0 {
+		t.Fatalf("stole %d jobs with stealing disabled", stolenOff)
+	}
+	if stolenOn == 0 {
+		t.Fatal("hot-key run with stealing enabled migrated nothing")
+	}
+	if p99On >= p99Off {
+		t.Fatalf("stealing did not reduce p99: off=%.2fs on=%.2fs", p99Off, p99On)
+	}
+}
+
+// TestShardedBoundedLoadDivertsHotKey checks that bounded-load routing
+// alone (no stealing) spreads a hot key across shards once its home
+// shard saturates.
+func TestShardedBoundedLoadDivertsHotKey(t *testing.T) {
+	s := newSmallSharded(t, 4, shard.Config{BoundFactor: 1.25})
+	counts := map[int]int{}
+	for j := 0; j < 128; j++ {
+		_, idx := s.Plane.Submit("hot", "FloatOps", nil, nil)
+		counts[idx]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("bounded-load routing kept all 128 hot jobs on one shard: %v", counts)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedDeterminism replays the same seeded sharded workload (with
+// stealing and rebalancing on) and compares full result equality.
+func TestShardedDeterminism(t *testing.T) {
+	run := func() ShardedStats {
+		s := newSmallSharded(t, 5, shard.Config{
+			Steal:     shard.StealConfig{Enabled: true},
+			Rebalance: shard.RebalanceConfig{Enabled: true},
+		})
+		for j := 0; j < 256; j++ {
+			key := "u/" + strconv.Itoa(j%8)
+			if j%2 == 0 {
+				key = "hot"
+			}
+			s.Plane.Submit(key, "FloatOps", nil, nil)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sharded runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestShardedCallbacksSurviveSteal submits hot-key jobs with callbacks
+// and checks that every callback fires exactly once with its own job id
+// even when the job migrated shards.
+func TestShardedCallbacksSurviveSteal(t *testing.T) {
+	s := newSmallSharded(t, 6, shard.Config{
+		BoundFactor: -1,
+		Steal:       shard.StealConfig{Enabled: true},
+	})
+	const jobs = 128
+	fired := map[int64]int{}
+	ids := make([]int64, 0, jobs)
+	for j := 0; j < jobs; j++ {
+		var id int64
+		id, _ = s.Plane.Submit("hot", "FloatOps", nil, func(res core.Result) {
+			fired[res.Job.ID]++
+		})
+		ids = append(ids, id)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Plane.StolenTotal() == 0 {
+		t.Fatal("workload was expected to trigger stealing")
+	}
+	for _, id := range ids {
+		if fired[id] != 1 {
+			t.Fatalf("job %d callback fired %d times", id, fired[id])
+		}
+	}
+}

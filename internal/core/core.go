@@ -431,6 +431,17 @@ type Config struct {
 	// workers (matching ids) and the same Runtime. Nil keeps the static
 	// per-job power policy and leaves seeded runs byte-identical.
 	PowerManager *powermgr.Manager
+	// JobIDBase offsets this orchestrator's job-id sequence (ids start at
+	// JobIDBase+1). A sharded control plane gives each shard a disjoint
+	// id space so job ids — and everything keyed by them: async pickup,
+	// trace lookups, collector records — stay cluster-unique when jobs
+	// migrate between shards. Zero keeps the historical 1,2,3,… sequence.
+	JobIDBase int64
+	// ShardLabel names the control-plane shard this orchestrator is (for
+	// example "shard-03") on every span it records, so a sharded
+	// cluster's critical-path analysis shows which control plane owned
+	// each phase. Empty (the default) adds nothing.
+	ShardLabel string
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -444,6 +455,7 @@ type Orchestrator struct {
 
 	pm *powermgr.Manager // nil = static power policy
 
+	shardLabel       string
 	policy           AssignPolicy
 	maxAttempts      int
 	jobTimeout       time.Duration
@@ -581,10 +593,14 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.BreakerThreshold > 0 && breakerProbe == 0 {
 		breakerProbe = 30 * time.Second
 	}
+	if cfg.JobIDBase < 0 {
+		return nil, fmt.Errorf("core: negative JobIDBase %d", cfg.JobIDBase)
+	}
 	o := &Orchestrator{
 		runtime:          cfg.Runtime,
 		collector:        coll,
 		pm:               cfg.PowerManager,
+		shardLabel:       cfg.ShardLabel,
 		policy:           cfg.Policy,
 		maxAttempts:      maxAttempts,
 		jobTimeout:       cfg.JobTimeout,
@@ -599,6 +615,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		eligible:         make([]*workerSlot, 0, len(cfg.Workers)),
 		parked:           make(map[int64]*parkedRetry),
 		callbacks:        make(map[int64]func(Result)),
+		nextID:           cfg.JobIDBase,
 	}
 	o.idle = sync.NewCond(&o.mu)
 	for i, w := range cfg.Workers {
@@ -627,6 +644,10 @@ func (o *Orchestrator) PowerManager() *powermgr.Manager { return o.pm }
 // Now returns the current cluster-clock offset (virtual in sim mode,
 // wall-clock-since-start in live mode).
 func (o *Orchestrator) Now() time.Duration { return o.runtime.Now() }
+
+// ShardLabel returns the control-plane shard name this orchestrator was
+// configured with ("" for an unsharded deployment).
+func (o *Orchestrator) ShardLabel() string { return o.shardLabel }
 
 // Collector returns the orchestrator's trace collector.
 func (o *Orchestrator) Collector() *trace.Collector { return o.collector }
@@ -878,9 +899,10 @@ func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte
 // queue-depth gauge current and emitting the queue lifecycle event.
 // Caller holds o.mu.
 func (o *Orchestrator) pushJobLocked(s *workerSlot, job Job, detail string) {
-	// A reassigned job keeps its original queuedAt: it has been waiting
-	// since it first entered a queue, and the queue span should show that.
-	if detail != "reassigned" {
+	// A reassigned or stolen job keeps its original queuedAt: it has been
+	// waiting since it first entered a queue, and the queue span should
+	// show that.
+	if detail != "reassigned" && detail != "stolen" {
 		job.queuedAt = o.runtime.Now()
 	}
 	s.qpush(job)
@@ -1296,6 +1318,19 @@ func (o *Orchestrator) Pending() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.pending
+}
+
+// Queued returns the total queued (not yet running) jobs across all
+// workers. O(workers); the capacity aggregator and the per-shard
+// queue-depth gauge poll it.
+func (o *Orchestrator) Queued() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, s := range o.slots {
+		total += s.qlen()
+	}
+	return total
 }
 
 // QueueDepth returns the queued (not yet running) jobs for a worker.

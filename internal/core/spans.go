@@ -20,6 +20,7 @@ func (o *Orchestrator) span(job Job, phase tracing.Phase, worker string, start, 
 		Job:      job.ID,
 		Function: job.Function,
 		Worker:   worker,
+		Shard:    o.shardLabel,
 		Attempt:  job.Attempt,
 		Start:    start,
 		End:      end,
@@ -40,6 +41,7 @@ func (o *Orchestrator) faultSpan(job Job, worker string, at time.Duration, errMs
 		Job:      job.ID,
 		Function: job.Function,
 		Worker:   worker,
+		Shard:    o.shardLabel,
 		Attempt:  job.Attempt,
 		Start:    at,
 		End:      at,

@@ -18,7 +18,13 @@
 //	GET  /traces           per-invocation trace summaries (?job=N | ?slowest=N | ?limit=N;
 //	                       ?format=chrome|ndjson streams a raw export instead)
 //	GET  /traces/{id}      one trace's critical-path breakdown plus its raw spans
+//	GET  /shards           per-shard capacity snapshots (sharded gateways only)
 //	GET  /debug/pprof/*    net/http/pprof profiler (only when Options.EnablePprof)
+//
+// A gateway fronts either one orchestrator (New / NewWithOptions) or a
+// whole sharded control plane (NewSharded); in the sharded case /invoke
+// routes through the consistent-hash tier and the read endpoints merge
+// every shard's view.
 //
 // Async results are retained for a bounded window (RetainAsync, default
 // 10 minutes) and deleted on first successful read.
@@ -36,6 +42,8 @@ import (
 
 	"microfaas/internal/core"
 	"microfaas/internal/power"
+	"microfaas/internal/powermgr"
+	"microfaas/internal/shard"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 	"microfaas/internal/tracing"
@@ -43,10 +51,14 @@ import (
 	"microfaas/internal/workload"
 )
 
-// InvokeRequest is the POST /invoke body.
+// InvokeRequest is the POST /invoke body. Key only matters on sharded
+// gateways: it is the consistent-hash routing key, defaulting to the
+// function name (so a function's invocations colocate on one shard);
+// pass a compound key like "user/123" to spread a hot function.
 type InvokeRequest struct {
 	Function string          `json:"function"`
 	Args     json.RawMessage `json:"args"`
+	Key      string          `json:"key,omitempty"`
 }
 
 // InvokeResponse is the POST /invoke reply.
@@ -119,14 +131,23 @@ type Options struct {
 	// default: the profiler exposes heap and goroutine internals, so it is
 	// strictly opt-in).
 	EnablePprof bool
+	// ShardID overrides the shard label reported in /healthz. Defaults to
+	// the fronted orchestrator's core.Config.ShardLabel ("" when
+	// unsharded, or when the gateway fronts a whole plane).
+	ShardID string
 }
 
-// HealthResponse is the GET /healthz reply.
+// HealthResponse is the GET /healthz reply. ShardID and ShardCount are
+// always present: an unsharded gateway reports "" and 1, a gateway
+// fronting a whole plane reports "" and the shard count, and a gateway
+// fronting one shard of a larger deployment reports that shard's label.
 type HealthResponse struct {
-	Status  string  `json:"status"`
-	Mode    string  `json:"mode"`
-	UptimeS float64 `json:"uptime_s"`
-	Version string  `json:"version"`
+	Status     string  `json:"status"`
+	Mode       string  `json:"mode"`
+	UptimeS    float64 `json:"uptime_s"`
+	Version    string  `json:"version"`
+	ShardID    string  `json:"shard_id"`
+	ShardCount int     `json:"shard_count"`
 }
 
 // EventsResponse is the GET /events reply. LastSeq is the newest sequence
@@ -141,11 +162,14 @@ type EventsResponse struct {
 	Dropped int64             `json:"dropped"`
 }
 
-// Server serves the gateway over HTTP.
+// Server serves the gateway over HTTP. Exactly one of orch and plane is
+// set: handlers branch to the merged cross-shard view when plane is.
 type Server struct {
 	orch    *core.Orchestrator
+	plane   *shard.Plane
 	timeout time.Duration
 	mode    string
+	shardID string
 	tel     *telemetry.Telemetry
 	tracer  *tracing.Tracer
 	pprof   bool
@@ -174,6 +198,32 @@ func NewWithOptions(orch *core.Orchestrator, opts Options) (*Server, error) {
 	if orch == nil {
 		return nil, fmt.Errorf("gateway: orchestrator required")
 	}
+	s := newServer(opts)
+	s.orch = orch
+	if s.shardID == "" {
+		s.shardID = orch.ShardLabel()
+	}
+	return s, nil
+}
+
+// NewSharded fronts a whole sharded control plane: /invoke routes
+// through the plane's consistent-hash tier, and /workers, /stats,
+// /power, and /metrics merge every shard's view. Options.Telemetry and
+// Options.Tracer should be the instances shared across the shards (the
+// tracer always is in a sharded sim; per-shard telemetry is merged via
+// the plane regardless).
+func NewSharded(plane *shard.Plane, opts Options) (*Server, error) {
+	if plane == nil {
+		return nil, fmt.Errorf("gateway: shard plane required")
+	}
+	s := newServer(opts)
+	s.plane = plane
+	return s, nil
+}
+
+// newServer applies option defaults and builds the handler-independent
+// core of a Server; callers attach the orchestrator or plane.
+func newServer(opts Options) *Server {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Minute
 	}
@@ -181,9 +231,9 @@ func NewWithOptions(orch *core.Orchestrator, opts Options) (*Server, error) {
 		opts.Mode = "live"
 	}
 	return &Server{
-		orch:    orch,
 		timeout: opts.Timeout,
 		mode:    opts.Mode,
+		shardID: opts.ShardID,
 		tel:     opts.Telemetry,
 		tracer:  opts.Tracer,
 		pprof:   opts.EnablePprof,
@@ -191,7 +241,7 @@ func NewWithOptions(orch *core.Orchestrator, opts Options) (*Server, error) {
 		pending: make(map[int64]time.Time),
 		done:    make(map[int64]asyncEntry),
 		settled: make(map[int64]time.Time),
-	}, nil
+	}
 }
 
 // Handler returns the HTTP handler (useful for embedding and tests).
@@ -204,6 +254,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/power", s.handlePower)
 	mux.HandleFunc("/power/cap", s.handlePowerCap)
+	mux.HandleFunc("/shards", s.handleShards)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
@@ -216,17 +267,31 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	shards := 1
+	if s.plane != nil {
+		shards = s.plane.NumShards()
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:  "ok",
-		Mode:    s.mode,
-		UptimeS: time.Since(s.start).Seconds(),
-		Version: version.Version,
+		Status:     "ok",
+		Mode:       s.mode,
+		UptimeS:    time.Since(s.start).Seconds(),
+		Version:    version.Version,
+		ShardID:    s.shardID,
+		ShardCount: shards,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.plane != nil {
+		// The plane's registry (queue depth, weights, steal counters)
+		// always exists; per-shard registries are appended with a shard
+		// label injected into every sample.
+		w.Header().Set("Content-Type", telemetry.TextContentType)
+		s.plane.WriteMergedMetrics(w) //nolint:errcheck // peer gone: nothing to do
 		return
 	}
 	if s.tel == nil {
@@ -338,11 +403,11 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		args = []byte("{}")
 	}
 	if r.URL.Query().Get("async") != "" {
-		s.invokeAsync(w, req.Function, args)
+		s.invokeAsync(w, req, args)
 		return
 	}
 	resCh := make(chan core.Result, 1)
-	jobID := s.orch.SubmitAsync(req.Function, args, func(res core.Result) {
+	jobID := s.submit(req, args, func(res core.Result) {
 		resCh <- res
 	})
 	if jobID == 0 {
@@ -364,9 +429,25 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// submit hands one invocation to the cluster: straight to the
+// orchestrator on a single-shard gateway, through the consistent-hash
+// tier (keyed by req.Key, defaulting to the function name) when
+// fronting a sharded plane. Returns 0 when the cluster is draining.
+func (s *Server) submit(req InvokeRequest, args []byte, cb func(core.Result)) int64 {
+	if s.plane != nil {
+		key := req.Key
+		if key == "" {
+			key = req.Function
+		}
+		id, _ := s.plane.Submit(key, req.Function, args, cb)
+		return id
+	}
+	return s.orch.SubmitAsync(req.Function, args, cb)
+}
+
 // invokeAsync submits without waiting and returns 202 with the job id.
-func (s *Server) invokeAsync(w http.ResponseWriter, function string, args []byte) {
-	jobID := s.orch.SubmitAsync(function, args, s.recordAsync)
+func (s *Server) invokeAsync(w http.ResponseWriter, req InvokeRequest, args []byte) {
+	jobID := s.submit(req, args, s.recordAsync)
 	if jobID == 0 {
 		writeError(w, http.StatusServiceUnavailable, "gateway draining; not accepting new invocations")
 		return
@@ -477,20 +558,75 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	type workerInfo struct {
 		core.WorkerHealth
 		Breaker string `json:"breaker"`
+		Shard   string `json:"shard,omitempty"`
 	}
 	out := []workerInfo{} // stable shape: [] even with nothing to report
-	for _, h := range s.orch.Health() {
-		out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String()})
+	if s.plane != nil {
+		labels := s.plane.Labels()
+		for si, o := range s.plane.Shards() {
+			for _, h := range o.Health() {
+				out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String(), Shard: labels[si]})
+			}
+		}
+	} else {
+		for _, h := range s.orch.Health() {
+			out = append(out, workerInfo{WorkerHealth: h, Breaker: h.State.String(), Shard: s.orch.ShardLabel()})
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleShards serves GET /shards: every shard's capacity snapshot —
+// worker count, pending and queued depth, ring weight, and steal
+// counters — in ring order. Unsharded gateways answer 404.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.plane == nil {
+		writeError(w, http.StatusNotFound, "this gateway fronts an unsharded control plane")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.plane.Status())
+}
+
+// shardPower is one shard's power snapshot inside the sharded /power
+// and /power/cap replies.
+type shardPower struct {
+	Shard    string          `json:"shard"`
+	Snapshot powermgr.Status `json:"snapshot"`
+}
+
+// powerSnapshots collects every shard's power-manager snapshot; ok is
+// false when no shard runs a manager.
+func (s *Server) powerSnapshots() (out []shardPower, ok bool) {
+	labels := s.plane.Labels()
+	out = []shardPower{}
+	for si, o := range s.plane.Shards() {
+		if pm := o.PowerManager(); pm != nil {
+			out = append(out, shardPower{Shard: labels[si], Snapshot: pm.Snapshot()})
+		}
+	}
+	return out, len(out) > 0
+}
+
 // handlePower serves GET /power: the power manager's live snapshot —
-// per-node states, the active cap, and cap-parked wakes. Clusters running
+// per-node states, the active cap, and cap-parked wakes. A sharded
+// gateway returns the per-shard snapshots as an array. Clusters running
 // the static power policy (no manager) answer 404.
 func (s *Server) handlePower(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.plane != nil {
+		snaps, ok := s.powerSnapshots()
+		if !ok {
+			writeError(w, http.StatusNotFound, "power management disabled on this cluster")
+			return
+		}
+		writeJSON(w, http.StatusOK, snaps)
 		return
 	}
 	pm := s.orch.PowerManager()
@@ -503,16 +639,14 @@ func (s *Server) handlePower(w http.ResponseWriter, r *http.Request) {
 
 // handlePowerCap serves POST /power/cap with body {"cap_w": N}: it adjusts
 // the cluster power budget at runtime (0 removes the cap) and returns the
-// resulting snapshot. Lowering the cap never force-kills powered nodes;
-// the cluster converges downward as they idle out.
+// resulting snapshot. On a sharded gateway the budget is divided evenly
+// across the shards that run a power manager (each shard caps its own
+// partition) and the per-shard snapshots come back as an array. Lowering
+// the cap never force-kills powered nodes; the cluster converges downward
+// as they idle out.
 func (s *Server) handlePowerCap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	pm := s.orch.PowerManager()
-	if pm == nil {
-		writeError(w, http.StatusNotFound, "power management disabled on this cluster")
 		return
 	}
 	var req struct {
@@ -520,6 +654,32 @@ func (s *Server) handlePowerCap(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if s.plane != nil {
+		snaps, ok := s.powerSnapshots()
+		if !ok {
+			writeError(w, http.StatusNotFound, "power management disabled on this cluster")
+			return
+		}
+		perShard := req.CapW / float64(len(snaps))
+		for _, o := range s.plane.Shards() {
+			pm := o.PowerManager()
+			if pm == nil {
+				continue
+			}
+			if err := pm.SetCapW(power.Watts(perShard)); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		snaps, _ = s.powerSnapshots()
+		writeJSON(w, http.StatusOK, snaps)
+		return
+	}
+	pm := s.orch.PowerManager()
+	if pm == nil {
+		writeError(w, http.StatusNotFound, "power management disabled on this cluster")
 		return
 	}
 	if err := pm.SetCapW(power.Watts(req.CapW)); err != nil {
@@ -534,11 +694,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	coll := s.orch.Collector()
+	var coll *trace.Collector
+	var pending int
+	if s.plane != nil {
+		// Merge every shard's trace records into one collector so the
+		// per-function stats cover the whole cluster.
+		coll = trace.NewCollector()
+		for _, o := range s.plane.Shards() {
+			for _, r := range o.Collector().Records() {
+				coll.Add(r)
+			}
+		}
+		pending = s.plane.Pending()
+	} else {
+		coll = s.orch.Collector()
+		pending = s.orch.Pending()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Completed: coll.Len() - coll.ErrorCount(),
 		Errors:    coll.ErrorCount(),
-		Pending:   s.orch.Pending(),
+		Pending:   pending,
 		Functions: coll.ByFunction(),
 	})
 }

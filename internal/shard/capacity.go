@@ -1,0 +1,207 @@
+package shard
+
+import "microfaas/internal/core"
+
+// The capacity aggregator: a periodic tick that snapshots every shard's
+// queue depth and (a) steals queued work off backlogged shards onto the
+// least-loaded ones, (b) shifts ring weight away from shards whose
+// queues run deeper than the cluster mean. The tick self-schedules only
+// while work is in flight — an idle cluster runs no events, so a
+// discrete-event simulation over a Plane still terminates.
+//
+// Determinism: the tick fires at clock-scheduled instants, visits
+// shards in index order, and every decision (victim choice, steal
+// count, destination choice, weight delta) is computed from snapshot
+// integers — no randomness, no map iteration — so seeded sims replay
+// byte-identically.
+
+// armTick schedules the next aggregator tick unless one is pending, the
+// aggregator is disabled, or the plane is closed.
+func (p *Plane) armTick() {
+	if !p.cfg.Steal.Enabled && !p.cfg.Rebalance.Enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.tickArmed {
+		return
+	}
+	p.tickArmed = true
+	p.cancelTick = p.runtime.After(p.cfg.Steal.Interval, p.tick)
+}
+
+// tick runs one aggregator pass: snapshot, steal, rebalance, re-arm.
+func (p *Plane) tick() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.tickArmed = false
+	p.cancelTick = nil
+	p.ticks++
+	p.mu.Unlock()
+
+	n := len(p.shards)
+	queued := make([]int, n)
+	pending := make([]int, n)
+	totalQ, totalP := 0, 0
+	for i, o := range p.shards {
+		queued[i] = o.Queued()
+		pending[i] = o.Pending()
+		totalQ += queued[i]
+		totalP += pending[i]
+		p.queueDepth[i].Set(float64(queued[i]))
+	}
+	if p.cfg.Steal.Enabled {
+		p.stealTick(queued, pending, totalQ)
+	}
+	if p.cfg.Rebalance.Enabled {
+		p.rebalanceTick(queued, totalQ)
+	}
+	// Re-arm only while jobs are in flight; the next Submit re-arms an
+	// idle plane. Without this guard RunAll on a sim engine would never
+	// run out of events.
+	if totalP > 0 {
+		p.armTick()
+	}
+}
+
+// stealTick raids every shard whose queue exceeds Threshold × the mean
+// depth, moving the newest half of its excess onto the least-loaded
+// shards. Queue heads are never stolen (core.TakeQueued keeps them), so
+// relief never delays work that was about to dispatch locally.
+func (p *Plane) stealTick(queued, pending []int, totalQ int) {
+	n := len(p.shards)
+	if n < 2 || totalQ == 0 {
+		return
+	}
+	mean := float64(totalQ) / float64(n)
+	trigger := p.cfg.Steal.Threshold * mean
+	if trigger < 2 {
+		// Below two queued jobs there is nothing stealable anyway (heads
+		// stay local); don't thrash on near-empty clusters.
+		trigger = 2
+	}
+	budget := p.cfg.Steal.MaxPerTick
+	moved := 0
+	for v := 0; v < n && budget > 0; v++ {
+		if float64(queued[v]) <= trigger || p.shards[v].Draining() {
+			continue
+		}
+		take := (queued[v] - int(mean)) / 2
+		if take > budget {
+			take = budget
+		}
+		if take <= 0 {
+			continue
+		}
+		stolen := p.shards[v].TakeQueued(take)
+		if len(stolen) == 0 {
+			continue
+		}
+		budget -= len(stolen)
+		p.stolenOut[v].Add(float64(len(stolen)))
+		queued[v] -= len(stolen)
+		pending[v] -= len(stolen)
+		for _, st := range stolen {
+			d := p.leastLoaded(pending, v)
+			if d < 0 {
+				d = v // nowhere better; send it home
+			}
+			d = p.place(st, d, v)
+			pending[d]++
+			queued[d]++
+			if d != v {
+				p.stolenIn[d].Add(1)
+				moved++
+			}
+		}
+	}
+	if moved > 0 {
+		p.mu.Lock()
+		p.stolenTotal += int64(moved)
+		p.mu.Unlock()
+	}
+}
+
+// place submits a stolen job to shard d, falling back to the victim and
+// then to any accepting shard if destinations are draining. Returns the
+// index of the shard that took the job. A job is never dropped: at
+// least one shard must accept, because the victim itself was verified
+// non-draining this tick (and in sim mode drain state cannot change
+// mid-tick).
+func (p *Plane) place(st core.Stolen, d, victim int) int {
+	if id, err := p.shards[d].SubmitJob(st.Job, st.Callback); err == nil && id != 0 {
+		return d
+	}
+	if id, err := p.shards[victim].SubmitJob(st.Job, st.Callback); err == nil && id != 0 {
+		return victim
+	}
+	for i := range p.shards {
+		if i == d || i == victim {
+			continue
+		}
+		if id, err := p.shards[i].SubmitJob(st.Job, st.Callback); err == nil && id != 0 {
+			return i
+		}
+	}
+	// Every shard is draining; settle the job as failed so the submitter
+	// is not left waiting forever.
+	if st.Callback != nil {
+		res := core.Result{Job: st.Job, Err: "shard: cluster draining, job not rescheduled"}
+		st.Callback(res)
+	}
+	return victim
+}
+
+// leastLoaded returns the non-draining shard with the smallest pending
+// count, excluding skip; ties break to the lower index. Returns -1 when
+// no shard qualifies.
+func (p *Plane) leastLoaded(pending []int, skip int) int {
+	best := -1
+	for i := range p.shards {
+		if i == skip || p.shards[i].Draining() {
+			continue
+		}
+		if best == -1 || pending[i] < pending[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// rebalanceTick nudges ring weights toward equal queue depth: a shard
+// with a deeper-than-mean queue sheds ring share, a shallower one gains
+// it, damped by Gain. The ring only rebuilds when some weight moved
+// more than 5% — point placement is weight-independent (see pointHash),
+// so a rebuild moves only the keys the weight change implies.
+func (p *Plane) rebalanceTick(queued []int, totalQ int) {
+	n := len(p.shards)
+	if n < 2 || totalQ == 0 {
+		return
+	}
+	mean := float64(totalQ) / float64(n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	weights := make([]float64, n)
+	material := false
+	for i := range weights {
+		w := p.ring.Weight(i)
+		target := w * (mean + 1) / (float64(queued[i]) + 1)
+		nw := w + p.cfg.Rebalance.Gain*(target-w)
+		weights[i] = nw
+		if diff := nw - w; diff > 0.05*w || diff < -0.05*w {
+			material = true
+		}
+	}
+	if !material {
+		return
+	}
+	if err := p.ring.SetWeights(weights); err != nil {
+		return
+	}
+	for i := range weights {
+		p.weight[i].Set(p.ring.Weight(i))
+	}
+}

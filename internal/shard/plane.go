@@ -1,0 +1,349 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"microfaas/internal/core"
+	"microfaas/internal/telemetry"
+)
+
+// Default tuning for the capacity aggregator. The steal interval is a
+// compromise between reaction time (a hot shard's queue is visible for
+// at most one interval before relief arrives) and overhead (each tick
+// snapshots every shard under its own lock).
+const (
+	// DefaultStealInterval is how often the capacity aggregator runs.
+	DefaultStealInterval = 250 * time.Millisecond
+	// DefaultStealThreshold is the queue-depth multiple of the cluster
+	// mean beyond which a shard becomes a steal victim.
+	DefaultStealThreshold = 2.0
+	// DefaultMaxStealPerTick bounds jobs migrated per aggregator tick.
+	DefaultMaxStealPerTick = 256
+	// DefaultRebalanceGain damps ring-weight adjustments per tick.
+	DefaultRebalanceGain = 0.25
+	// DefaultBoundFactor is the bounded-load factor c: no shard accepts
+	// more than c × (mean load) + 1 routed jobs while a less-loaded
+	// successor exists.
+	DefaultBoundFactor = 1.25
+)
+
+// StealConfig tunes cross-shard work stealing.
+type StealConfig struct {
+	// Enabled turns the stealing half of the aggregator on.
+	Enabled bool
+	// Interval is the aggregator tick period (default 250ms).
+	Interval time.Duration
+	// Threshold is the queue-depth multiple of the cluster mean beyond
+	// which a shard's queue is raided (default 2.0).
+	Threshold float64
+	// MaxPerTick bounds migrations per tick (default 256).
+	MaxPerTick int
+}
+
+// RebalanceConfig tunes ring-weight rebalancing.
+type RebalanceConfig struct {
+	// Enabled turns weight rebalancing on.
+	Enabled bool
+	// Gain in (0,1] damps per-tick weight movement (default 0.25).
+	Gain float64
+}
+
+// Config configures a Plane.
+type Config struct {
+	// VNodes is the virtual-node count per unit weight (default
+	// DefaultVNodes).
+	VNodes int
+	// BoundFactor is the bounded-load factor for routing; values <= 1
+	// select plain consistent hashing. Zero means DefaultBoundFactor —
+	// pass a negative value to explicitly disable bounded loads.
+	BoundFactor float64
+	// Steal configures cross-shard work stealing.
+	Steal StealConfig
+	// Rebalance configures ring-weight rebalancing.
+	Rebalance RebalanceConfig
+}
+
+// Plane is the load-balancer tier in front of N orchestrator shards.
+// It routes invocations by consistent-hashing the function key onto the
+// shard ring (optionally with bounded loads), and runs a poolmanager-
+// style capacity aggregator that watches per-shard queue depth to
+// rebalance ring weights and steal queued work from backlogged shards.
+//
+// Every scheduling decision the plane makes is a pure function of shard
+// state at deterministic instants — routing reads pending counts, the
+// aggregator runs on the shared runtime clock and visits shards in
+// index order — so a seeded simulation through a Plane replays
+// byte-identically.
+type Plane struct {
+	runtime core.Runtime
+	shards  []*core.Orchestrator
+	labels  []string
+	cfg     Config
+
+	reg        *telemetry.Registry
+	queueDepth []*telemetry.Gauge
+	weight     []*telemetry.Gauge
+	stolenIn   []*telemetry.Counter
+	stolenOut  []*telemetry.Counter
+
+	mu          sync.Mutex
+	ring        *Ring
+	stolenTotal int64
+	ticks       int64
+	tickArmed   bool
+	cancelTick  func()
+	closed      bool
+}
+
+// ShardStatus is one shard's capacity snapshot, as served by the
+// gateway's /shards endpoint and faasctl shards.
+type ShardStatus struct {
+	// Index is the shard's position in the ring.
+	Index int `json:"index"`
+	// Label is the shard's name (spans and metrics carry it).
+	Label string `json:"label"`
+	// Workers is the shard's worker-partition size.
+	Workers int `json:"workers"`
+	// Pending counts queued + running jobs on the shard.
+	Pending int `json:"pending"`
+	// Queued counts jobs waiting in worker queues (not yet running).
+	Queued int `json:"queued"`
+	// Weight is the shard's current ring weight.
+	Weight float64 `json:"weight"`
+	// StolenIn counts jobs this shard received via stealing.
+	StolenIn int64 `json:"stolen_in"`
+	// StolenOut counts jobs raided from this shard.
+	StolenOut int64 `json:"stolen_out"`
+}
+
+// NewPlane builds the shard tier over the given orchestrators, which
+// must each own a disjoint worker partition and a disjoint job-id space
+// (core.Config.JobIDBase). The runtime must be the same clock the
+// shards run on.
+func NewPlane(rt core.Runtime, shards []*core.Orchestrator, cfg Config) (*Plane, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("shard: nil runtime")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: a plane needs at least one shard")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.BoundFactor == 0 {
+		cfg.BoundFactor = DefaultBoundFactor
+	}
+	if cfg.Steal.Interval <= 0 {
+		cfg.Steal.Interval = DefaultStealInterval
+	}
+	if cfg.Steal.Threshold <= 0 {
+		cfg.Steal.Threshold = DefaultStealThreshold
+	}
+	if cfg.Steal.MaxPerTick <= 0 {
+		cfg.Steal.MaxPerTick = DefaultMaxStealPerTick
+	}
+	if cfg.Rebalance.Gain <= 0 || cfg.Rebalance.Gain > 1 {
+		cfg.Rebalance.Gain = DefaultRebalanceGain
+	}
+	ring, err := NewRing(len(shards), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		runtime: rt,
+		shards:  shards,
+		labels:  make([]string, len(shards)),
+		cfg:     cfg,
+		reg:     telemetry.NewRegistry(),
+		ring:    ring,
+	}
+	for i, o := range shards {
+		label := o.ShardLabel()
+		if label == "" {
+			label = fmt.Sprintf("shard-%02d", i)
+		}
+		p.labels[i] = label
+		p.queueDepth = append(p.queueDepth, p.reg.Gauge(
+			"microfaas_shard_queue_depth",
+			"Jobs waiting in the shard's worker queues at the last aggregator tick.",
+			"shard", label))
+		p.weight = append(p.weight, p.reg.Gauge(
+			"microfaas_shard_weight",
+			"The shard's current consistent-hash ring weight.",
+			"shard", label))
+		p.stolenIn = append(p.stolenIn, p.reg.Counter(
+			"microfaas_shard_stolen_total",
+			"Jobs migrated between shards by the work stealer, by direction.",
+			"shard", label, "direction", "in"))
+		p.stolenOut = append(p.stolenOut, p.reg.Counter(
+			"microfaas_shard_stolen_total",
+			"Jobs migrated between shards by the work stealer, by direction.",
+			"shard", label, "direction", "out"))
+		p.weight[i].Set(1)
+	}
+	return p, nil
+}
+
+// NumShards returns the number of shards behind the plane.
+func (p *Plane) NumShards() int { return len(p.shards) }
+
+// Shards returns the orchestrators behind the plane, in ring order.
+func (p *Plane) Shards() []*core.Orchestrator { return p.shards }
+
+// Labels returns the shard labels, in ring order.
+func (p *Plane) Labels() []string { return p.labels }
+
+// Registry returns the plane's own metric registry (shard queue-depth
+// and steal counters). Per-shard metrics live in each shard's registry;
+// WriteMergedMetrics stitches all of them together.
+func (p *Plane) Registry() *telemetry.Registry { return p.reg }
+
+// ShardFor returns the index of the key's home shard — the routing
+// decision ignoring bounded loads. Use it to preview placement.
+func (p *Plane) ShardFor(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring.Lookup(key)
+}
+
+// route picks the destination shard for a key under the configured
+// bounded-load factor, reading live pending counts as the load signal.
+func (p *Plane) route(key string) (*core.Orchestrator, int) {
+	loads := make([]int, len(p.shards))
+	total := 0
+	for i, o := range p.shards {
+		loads[i] = o.Pending()
+		total += loads[i]
+	}
+	p.mu.Lock()
+	idx := p.ring.LookupBounded(key, p.cfg.BoundFactor, total, func(s int) int { return loads[s] })
+	p.mu.Unlock()
+	return p.shards[idx], idx
+}
+
+// Submit routes one invocation by key and submits it asynchronously to
+// the chosen shard. It returns the cluster-unique job id and the shard
+// index that accepted it. The key is typically the function name, so
+// a function's invocations colocate on one shard (warm state, fairness
+// accounting); pass a compound key to spread a hot function.
+func (p *Plane) Submit(key, function string, args []byte, cb func(core.Result)) (int64, int) {
+	o, idx := p.route(key)
+	id := o.SubmitAsync(function, args, cb)
+	p.armTick()
+	return id, idx
+}
+
+// SubmitWithTimeout is Submit with a per-job timeout on the chosen
+// shard.
+func (p *Plane) SubmitWithTimeout(key, function string, args []byte, timeout time.Duration, cb func(core.Result)) (int64, int) {
+	o, idx := p.route(key)
+	id := o.SubmitWithTimeout(function, args, timeout, cb)
+	p.armTick()
+	return id, idx
+}
+
+// Pending returns the cluster-wide pending (queued + running) count.
+func (p *Plane) Pending() int {
+	total := 0
+	for _, o := range p.shards {
+		total += o.Pending()
+	}
+	return total
+}
+
+// Queued returns the cluster-wide queued (not yet running) count.
+func (p *Plane) Queued() int {
+	total := 0
+	for _, o := range p.shards {
+		total += o.Queued()
+	}
+	return total
+}
+
+// StolenTotal returns how many jobs the aggregator has migrated.
+func (p *Plane) StolenTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stolenTotal
+}
+
+// Ticks returns how many aggregator ticks have run.
+func (p *Plane) Ticks() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ticks
+}
+
+// Status snapshots every shard's capacity view, in ring order.
+func (p *Plane) Status() []ShardStatus {
+	p.mu.Lock()
+	weights := make([]float64, len(p.shards))
+	for i := range p.shards {
+		weights[i] = p.ring.Weight(i)
+	}
+	p.mu.Unlock()
+	out := make([]ShardStatus, len(p.shards))
+	for i, o := range p.shards {
+		out[i] = ShardStatus{
+			Index:     i,
+			Label:     p.labels[i],
+			Workers:   len(o.Workers()),
+			Pending:   o.Pending(),
+			Queued:    o.Queued(),
+			Weight:    weights[i],
+			StolenIn:  int64(p.stolenIn[i].Value()),
+			StolenOut: int64(p.stolenOut[i].Value()),
+		}
+	}
+	return out
+}
+
+// WriteMergedMetrics writes one Prometheus exposition covering the
+// whole cluster: the plane's own registry first (its families already
+// carry shard labels), then every shard's registry with a shard label
+// injected into each sample so same-named families stay distinct.
+// Aggregate across shards with Samples.Sum / HistogramQuantile.
+func (p *Plane) WriteMergedMetrics(w io.Writer) error {
+	if err := p.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	for i, o := range p.shards {
+		tel := o.Telemetry()
+		if tel == nil {
+			continue
+		}
+		if err := tel.Registry().WritePrometheusLabeled(w, "shard", p.labels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain stops routing new work and drains every shard in ring order,
+// returning any jobs still unfinished when the context expired.
+func (p *Plane) Drain(ctx context.Context) []core.Job {
+	p.Close()
+	var left []core.Job
+	for _, o := range p.shards {
+		left = append(left, o.Drain(ctx)...)
+	}
+	return left
+}
+
+// Close stops the capacity aggregator. Shards keep running; call Drain
+// to stop them too.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	p.closed = true
+	cancel := p.cancelTick
+	p.cancelTick = nil
+	p.tickArmed = false
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}

@@ -19,6 +19,16 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // and children by creation order, so output is stable between scrapes.
 // A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusLabeled(w, "", "")
+}
+
+// WritePrometheusLabeled is WritePrometheus with one extra label pair
+// injected into every sample line (before any le bucket label). A
+// sharded gateway uses it to merge per-shard registries into one
+// exposition — each shard's samples carry shard="N", so same-named
+// series from different shards stay distinct and aggregate with Sum.
+// Empty labelName injects nothing.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, labelName, labelValue string) error {
 	if r == nil {
 		return nil
 	}
@@ -34,14 +44,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	for _, f := range fams {
-		if err := f.write(w); err != nil {
+		if err := f.write(w, labelName, labelValue); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (f *family) write(w io.Writer) error {
+func (f *family) write(w io.Writer, extraName, extraValue string) error {
 	if f.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 			return err
@@ -51,21 +61,22 @@ func (f *family) write(w io.Writer) error {
 		return err
 	}
 	if f.fn != nil {
-		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+			labelString(nil, nil, extraName, extraValue, "", 0), formatValue(f.fn()))
 		return err
 	}
 	for _, c := range f.order {
-		if err := f.writeChild(w, c); err != nil {
+		if err := f.writeChild(w, c, extraName, extraValue); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (f *family) writeChild(w io.Writer, c *child) error {
+func (f *family) writeChild(w io.Writer, c *child, extraName, extraValue string) error {
 	if f.typ != TypeHistogram {
 		_, err := fmt.Fprintf(w, "%s%s %s\n",
-			f.name, labelString(f.labels, c.labelValues, "", 0),
+			f.name, labelString(f.labels, c.labelValues, extraName, extraValue, "", 0),
 			formatValue(math.Float64frombits(c.bits.Load())))
 		return err
 	}
@@ -75,27 +86,28 @@ func (f *family) writeChild(w io.Writer, c *child) error {
 	c.mu.Unlock()
 	for i, bound := range c.bucketBounds {
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelString(f.labels, c.labelValues, "le", bound), counts[i]); err != nil {
+			f.name, labelString(f.labels, c.labelValues, extraName, extraValue, "le", bound), counts[i]); err != nil {
 			return err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-		f.name, labelString(f.labels, c.labelValues, "le", math.Inf(1)), counts[len(counts)-1]); err != nil {
+		f.name, labelString(f.labels, c.labelValues, extraName, extraValue, "le", math.Inf(1)), counts[len(counts)-1]); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
-		f.name, labelString(f.labels, c.labelValues, "", 0), formatValue(sum)); err != nil {
+		f.name, labelString(f.labels, c.labelValues, extraName, extraValue, "", 0), formatValue(sum)); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
-		f.name, labelString(f.labels, c.labelValues, "", 0), count)
+		f.name, labelString(f.labels, c.labelValues, extraName, extraValue, "", 0), count)
 	return err
 }
 
-// labelString renders {k="v",...}, optionally appending an le bucket
-// label; it returns "" when there are no labels at all.
-func labelString(names, values []string, le string, bound float64) string {
-	if len(names) == 0 && le == "" {
+// labelString renders {k="v",...}, optionally injecting one extra label
+// pair and appending an le bucket label; it returns "" when there are no
+// labels at all.
+func labelString(names, values []string, extraName, extraValue, le string, bound float64) string {
+	if len(names) == 0 && extraName == "" && le == "" {
 		return ""
 	}
 	var b strings.Builder
@@ -109,8 +121,17 @@ func labelString(names, values []string, le string, bound float64) string {
 		b.WriteString(escapeLabel(values[i]))
 		b.WriteByte('"')
 	}
-	if le != "" {
+	if extraName != "" {
 		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 || extraName != "" {
 			b.WriteByte(',')
 		}
 		b.WriteString(le)

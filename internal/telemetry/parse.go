@@ -218,13 +218,12 @@ func (ss Samples) LabelValues(name, label string) []string {
 
 // HistogramQuantile resolves quantile q from a family's parsed _bucket
 // samples (matching the given non-le label pairs), using the same
-// upper-bound convention as Histogram.Quantile.
+// upper-bound convention as Histogram.Quantile. Samples sharing an le
+// bound are summed first, so the quantile works over a merged
+// exposition (e.g. a sharded gateway's /metrics, where every shard
+// contributes the same bucket grid under its own shard label).
 func (ss Samples) HistogramQuantile(name string, q float64, kv ...string) float64 {
-	type bucket struct {
-		le    float64
-		count uint64
-	}
-	var buckets []bucket
+	byLE := map[float64]uint64{}
 	for _, s := range ss {
 		if s.Name != name+"_bucket" || !matchLabels(s.Labels, kv) {
 			continue
@@ -233,21 +232,25 @@ func (ss Samples) HistogramQuantile(name string, q float64, kv ...string) float6
 		if err != nil {
 			continue
 		}
-		buckets = append(buckets, bucket{le: le, count: uint64(s.Value)})
+		byLE[le] += uint64(s.Value)
 	}
-	if len(buckets) == 0 {
+	if len(byLE) == 0 {
 		return 0
 	}
-	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
-	bounds := make([]float64, 0, len(buckets))
-	counts := make([]uint64, 0, len(buckets))
-	for _, b := range buckets {
-		if !math.IsInf(b.le, 1) {
-			bounds = append(bounds, b.le)
-		}
-		counts = append(counts, b.count)
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
 	}
-	total := buckets[len(buckets)-1].count
+	sort.Float64s(les)
+	bounds := make([]float64, 0, len(les))
+	counts := make([]uint64, 0, len(les))
+	for _, le := range les {
+		if !math.IsInf(le, 1) {
+			bounds = append(bounds, le)
+		}
+		counts = append(counts, byLE[le])
+	}
+	total := counts[len(counts)-1]
 	if len(bounds) == 0 || total == 0 {
 		return 0
 	}

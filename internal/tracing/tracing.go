@@ -115,12 +115,16 @@ const (
 	PhaseRetry Phase = "retry"
 	// PhaseFault annotates a failed or timed-out attempt (zero-length).
 	PhaseFault Phase = "fault"
+	// PhaseSteal marks a queued job migrating to another control-plane
+	// shard (zero-length; the job's queue span keeps covering the whole
+	// wait, so phase latencies still telescope to end-to-end latency).
+	PhaseSteal Phase = "steal"
 )
 
 // PhaseOrder returns the canonical display order of the non-root phases.
 func PhaseOrder() []Phase {
 	return []Phase{PhaseSubmit, PhaseQueue, PhaseDispatch, PhaseBoot,
-		PhaseExec, PhaseSettle, PhaseRetry, PhaseFault, PhaseReboot}
+		PhaseExec, PhaseSettle, PhaseRetry, PhaseFault, PhaseSteal, PhaseReboot}
 }
 
 // Context is the propagated trace reference: which trace a span belongs
@@ -187,6 +191,10 @@ type Span struct {
 	Function string `json:"function,omitempty"`
 	// Worker names the worker the phase ran on (empty off-worker).
 	Worker string `json:"worker,omitempty"`
+	// Shard names the control-plane shard that recorded the span (empty
+	// on unsharded clusters and worker-side spans, whose worker ids
+	// already carry the shard prefix).
+	Shard string `json:"shard,omitempty"`
 	// Attempt is the retry ordinal the span belongs to (0 = first).
 	Attempt int `json:"attempt"`
 	// Start is the span's opening offset on the cluster clock.

@@ -32,6 +32,7 @@ import (
 	"microfaas/internal/node"
 	"microfaas/internal/power"
 	"microfaas/internal/powermgr"
+	"microfaas/internal/shard"
 	"microfaas/internal/tco"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
@@ -85,6 +86,62 @@ func ServeGateway(l *LiveCluster, addr string, timeout time.Duration) (*Gateway,
 // mount Handler on a server of your own.
 func NewGateway(orch *Orchestrator, opts GatewayOptions) (*Gateway, error) {
 	return gateway.NewWithOptions(orch, opts)
+}
+
+// --- Sharded control plane ---
+
+// ShardPlane is the consistent-hash load-balancer tier in front of N
+// orchestrator shards: it routes invocations by key (bounded-load
+// hashing), rebalances ring weights, and steals queued work from
+// backlogged shards. See ARCHITECTURE.md's shard-tier section.
+type ShardPlane = shard.Plane
+
+// ShardPlaneConfig tunes a ShardPlane (virtual nodes, bounded-load
+// factor, stealing, rebalancing).
+type ShardPlaneConfig = shard.Config
+
+// ShardStealConfig and ShardRebalanceConfig tune the plane's capacity
+// aggregator.
+type (
+	ShardStealConfig     = shard.StealConfig
+	ShardRebalanceConfig = shard.RebalanceConfig
+)
+
+// ShardStatus is one shard's capacity snapshot (gateway /shards,
+// faasctl shards).
+type ShardStatus = shard.ShardStatus
+
+// Runtime is the clock abstraction orchestrators and the shard plane
+// run on — core.SimRuntime in simulations, core.NewWallRuntime() live.
+type Runtime = core.Runtime
+
+// NewShardPlane builds the load-balancer tier over orchestrators that
+// each own a disjoint worker partition and job-id space (see
+// LiveOptions.ShardLabel / LiveOptions.JobIDBase). The runtime must be
+// the clock the shards run on.
+func NewShardPlane(rt Runtime, shards []*Orchestrator, cfg ShardPlaneConfig) (*ShardPlane, error) {
+	return shard.NewPlane(rt, shards, cfg)
+}
+
+// NewShardedGateway fronts a whole shard plane with one HTTP gateway:
+// /invoke routes through the consistent-hash tier and the read
+// endpoints (/workers, /stats, /power, /metrics, /shards) merge every
+// shard's view.
+func NewShardedGateway(plane *ShardPlane, opts GatewayOptions) (*Gateway, error) {
+	return gateway.NewSharded(plane, opts)
+}
+
+// ShardedSimCluster is a simulated MicroFaaS deployment split into N
+// control-plane shards behind a ShardPlane, all on one virtual clock.
+type ShardedSimCluster = cluster.ShardedSim
+
+// ShardedSimStats summarizes a drained sharded run.
+type ShardedSimStats = cluster.ShardedStats
+
+// NewShardedMicroFaaSSim builds shards × workersPerShard SBCs split
+// into that many control-plane shards behind a load-balancer tier.
+func NewShardedMicroFaaSSim(shards, workersPerShard int, opts SimOptions, scfg ShardPlaneConfig) (*ShardedSimCluster, error) {
+	return cluster.NewShardedMicroFaaSSim(shards, workersPerShard, opts, scfg)
 }
 
 // --- Telemetry ---
@@ -306,6 +363,9 @@ type (
 	SensitivityResult = experiments.SensitivityResult
 	BootImpactConfig  = experiments.BootImpactConfig
 	BootImpactRow     = experiments.BootImpactRow
+	ShardedRackConfig = experiments.ShardedRackConfig
+	ShardedRackResult = experiments.ShardedRackResult
+	ShardedArm        = experiments.ShardedArm
 )
 
 // Fig1 returns the worker-OS boot-time development timeline.
@@ -331,6 +391,13 @@ func TableII() ([]TCOComparison, error) { return tco.TableII() }
 // RackScale simulates the Table II racks (989 SBCs vs 41 servers) and
 // measures their throughput and power.
 func RackScale(cfg RackScaleConfig) (RackScaleResult, error) { return experiments.RackScale(cfg) }
+
+// ShardedRack measures the sharded control plane at full scale: 64
+// shards × 1100 SBCs behind the consistent-hash tier, four arms
+// isolating bounded-load routing and cross-shard work stealing.
+func ShardedRack(cfg ShardedRackConfig) (ShardedRackResult, error) {
+	return experiments.ShardedRack(cfg)
+}
 
 // LoadSweep measures latency and energy per function on both clusters
 // under an open arrival process at fractions of matched capacity.
