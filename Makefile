@@ -30,9 +30,9 @@ docslint:
 	$(GO) run ./cmd/docslint
 
 # `make bench` runs the full benchmark suite and records it as a JSON
-# baseline (BENCH_pr7.json) via cmd/benchjson. `make bench-smoke` is the
+# baseline (BENCH_pr8.json) via cmd/benchjson. `make bench-smoke` is the
 # CI variant: one iteration of everything, just proving the benchmarks run.
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
 .PHONY: bench
 bench:
@@ -47,13 +47,14 @@ bench-smoke:
 # `make bench-diff` re-runs the hot-path benchmarks and gates them against
 # the committed baseline: a >20% regression in ns/op or allocs/op fails
 # (cmd/benchjson -diff). CI runs this in the bench-smoke job.
-BENCH_BASELINE ?= BENCH_pr7.json
-# ShardedRackScale is gated on allocs/op only: one op is a ~60 s
-# deterministic simulation whose wall-clock tracks machine load, not code.
-BENCH_GATED := BenchmarkLiveInvocation,BenchmarkSimulatorEventRate,BenchmarkRackScale10K,BenchmarkShardedRackScale:allocs/op
+BENCH_BASELINE ?= BENCH_pr8.json
+# ShardedRackScale and ShardFailover are gated on allocs/op only: one op
+# is a long deterministic simulation whose wall-clock tracks machine
+# load, not code.
+BENCH_GATED := BenchmarkLiveInvocation,BenchmarkSimulatorEventRate,BenchmarkRackScale10K,BenchmarkShardedRackScale:allocs/op,BenchmarkShardFailover:allocs/op
 
 .PHONY: bench-diff
 bench-diff:
-	$(GO) test -bench '^(BenchmarkLiveInvocation|BenchmarkSimulatorEventRate|BenchmarkRackScale10K|BenchmarkShardedRackScale)$$' -benchmem -run '^$$' . | tee .bench-diff.out
+	$(GO) test -bench '^(BenchmarkLiveInvocation|BenchmarkSimulatorEventRate|BenchmarkRackScale10K|BenchmarkShardedRackScale|BenchmarkShardFailover)$$' -benchmem -run '^$$' . | tee .bench-diff.out
 	$(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE) -gate $(BENCH_GATED) < .bench-diff.out
 	rm -f .bench-diff.out

@@ -424,3 +424,25 @@ func BenchmarkShardedRackScale(b *testing.B) {
 	b.ReportMetric(hotPlain.P99S/hotSteal.P99S, "steal-p99-relief-x")
 	b.ReportMetric(float64(hotSteal.Stolen), "stolen-jobs")
 }
+
+// BenchmarkShardFailover runs the dynamic-membership experiment at full
+// scale — 64 shards, 4 killed mid-run — and reports the failover
+// headlines: accepted invocations lost (must stay 0), the post-recovery
+// throughput as a fraction of the pre-kill rate, and the energy
+// overhead the health checker and drain machinery add over the static
+// baseline.
+func BenchmarkShardFailover(b *testing.B) {
+	var res experiments.ShardFailoverResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ShardFailover(experiments.ShardFailoverConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	static, failover := res.Arms[0], res.Arms[1]
+	b.ReportMetric(float64(failover.Lost), "lost-invocations")
+	b.ReportMetric(failover.Recovery, "throughput-recovery-x")
+	b.ReportMetric(float64(failover.Deaths), "shard-deaths")
+	b.ReportMetric(failover.JoulesPerFunc/static.JoulesPerFunc, "energy-overhead-x")
+}

@@ -7,6 +7,8 @@
 //	faasctl [-gateway host:port] workers [-v]
 //	faasctl [-gateway host:port] stats
 //	faasctl [-gateway host:port] shards
+//	faasctl [-gateway host:port] shards drain <shard>
+//	faasctl [-gateway host:port] shards join <shard>
 //	faasctl [-gateway host:port] invoke <function> [args-json]
 //	faasctl [-gateway host:port] -async invoke <function> [args-json]
 //	faasctl [-gateway host:port] job <id>
@@ -98,7 +100,14 @@ func (c *client) run(args []string) error {
 	case "stats":
 		return c.get("/stats")
 	case "shards":
-		return c.shardsTable()
+		switch {
+		case len(args) == 1:
+			return c.shardsTable()
+		case len(args) == 3 && (args[1] == "drain" || args[1] == "join"):
+			return c.shardOp(args[1], args[2])
+		default:
+			return fmt.Errorf("usage: shards | shards drain <shard> | shards join <shard>")
+		}
 	case "top":
 		return c.top(c.interval, c.iterations)
 	case "power":
@@ -293,10 +302,12 @@ func (c *client) workersTable() error {
 }
 
 // shardsTable renders the /shards capacity snapshot — shard label,
-// worker-partition size, pending and queued depth, ring weight, and
-// steal counters — aggregated across every configured gateway. Gateways
-// fronting an unsharded control plane are skipped when several are
-// listed; with a single unsharded gateway the 404 is reported.
+// membership state and epoch, worker-partition size, pending and queued
+// depth, ring weight, and steal counters — aggregated across every
+// configured gateway. With several gateways listed, ones fronting an
+// unsharded control plane are skipped and unreachable ones degrade to a
+// warning line over the partial table; the command only fails outright
+// when no gateway produced a row.
 func (c *client) shardsTable() error {
 	type shardRow struct {
 		Index     int     `json:"index"`
@@ -307,13 +318,26 @@ func (c *client) shardsTable() error {
 		Weight    float64 `json:"weight"`
 		StolenIn  int64   `json:"stolen_in"`
 		StolenOut int64   `json:"stolen_out"`
+		State     string  `json:"state"`
+		Epoch     int64   `json:"epoch"`
 	}
 	var rows []shardRow
+	var warnings []string
 	bases := c.allBases()
+	degrade := func(err error) error {
+		if len(bases) > 1 {
+			warnings = append(warnings, "warning: "+err.Error())
+			return nil
+		}
+		return err
+	}
 	for _, base := range bases {
 		resp, err := c.http.Get(base + "/shards")
 		if err != nil {
-			return err
+			if err = degrade(err); err != nil {
+				return err
+			}
+			continue
 		}
 		if resp.StatusCode == http.StatusNotFound && len(bases) > 1 {
 			resp.Body.Close()
@@ -322,33 +346,63 @@ func (c *client) shardsTable() error {
 		if resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
-			return fmt.Errorf("%s/shards returned %s: %s", base, resp.Status, bytes.TrimSpace(body))
+			if err = degrade(fmt.Errorf("%s/shards returned %s: %s", base, resp.Status, bytes.TrimSpace(body))); err != nil {
+				return err
+			}
+			continue
 		}
 		var page []shardRow
 		err = json.NewDecoder(resp.Body).Decode(&page)
 		resp.Body.Close()
 		if err != nil {
-			return err
+			if err = degrade(fmt.Errorf("%s/shards: %v", base, err)); err != nil {
+				return err
+			}
+			continue
 		}
 		rows = append(rows, page...)
 	}
 	if len(rows) == 0 {
+		if len(warnings) > 0 {
+			return fmt.Errorf("every configured gateway failed:\n%s", strings.Join(warnings, "\n"))
+		}
 		return fmt.Errorf("no configured gateway fronts a sharded control plane")
 	}
-	fmt.Fprintf(c.out, "%-10s %8s %8s %7s %7s %10s %11s\n",
-		"shard", "workers", "pending", "queued", "weight", "stolen-in", "stolen-out")
+	for _, w := range warnings {
+		fmt.Fprintln(c.out, w)
+	}
+	fmt.Fprintf(c.out, "%-10s %-8s %8s %8s %7s %7s %6s %10s %11s\n",
+		"shard", "state", "workers", "pending", "queued", "weight", "epoch", "stolen-in", "stolen-out")
 	var tw, tp, tq int
 	var tin, tout int64
 	for _, r := range rows {
-		fmt.Fprintf(c.out, "%-10s %8d %8d %7d %7.2f %10d %11d\n",
-			r.Label, r.Workers, r.Pending, r.Queued, r.Weight, r.StolenIn, r.StolenOut)
+		fmt.Fprintf(c.out, "%-10s %-8s %8d %8d %7d %7.2f %6d %10d %11d\n",
+			r.Label, r.State, r.Workers, r.Pending, r.Queued, r.Weight, r.Epoch, r.StolenIn, r.StolenOut)
 		tw += r.Workers
 		tp += r.Pending
 		tq += r.Queued
 		tin += r.StolenIn
 		tout += r.StolenOut
 	}
-	fmt.Fprintf(c.out, "%-10s %8d %8d %7d %7s %10d %11d\n", "total", tw, tp, tq, "", tin, tout)
+	fmt.Fprintf(c.out, "%-10s %-8s %8d %8d %7d %7s %6s %10d %11d\n", "total", "", tw, tp, tq, "", "", tin, tout)
+	return nil
+}
+
+// shardOp posts one administrative membership operation — shards drain
+// <shard> or shards join <shard>, by index or label — to the primary
+// gateway and prints the shard's resulting status snapshot.
+func (c *client) shardOp(op, id string) error {
+	resp, err := c.http.Post(c.base+"/shards/"+id+"/"+op, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := c.prettyPrint(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway returned %s", resp.Status)
+	}
 	return nil
 }
 

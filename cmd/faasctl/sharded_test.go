@@ -76,6 +76,76 @@ func TestShardsCommand(t *testing.T) {
 	}
 }
 
+// TestShardsDrainJoinCommand drives the administrative subcommands:
+// drain takes a shard out of service (the table shows it dead), join
+// brings it back, and malformed invocations get a usage error.
+func TestShardsDrainJoinCommand(t *testing.T) {
+	c, out := startShardedStack(t)
+	if err := c.run([]string{"shards", "drain", "shard-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, `"state": "dead"`) {
+		t.Fatalf("drain output missing dead state:\n%s", got)
+	}
+	out.Reset()
+	if err := c.run([]string{"shards"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "dead") || !strings.Contains(got, "up") {
+		t.Fatalf("shards table after drain:\n%s", got)
+	}
+	out.Reset()
+	if err := c.run([]string{"shards", "join", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, `"state": "up"`) {
+		t.Fatalf("join output missing up state:\n%s", got)
+	}
+	// Draining a shard that is already up twice: second drain conflicts.
+	if err := c.run([]string{"shards", "drain", "shard-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run([]string{"shards", "drain", "shard-01"}); err == nil {
+		t.Fatal("double drain succeeded")
+	}
+	if err := c.run([]string{"shards", "join", "shard-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run([]string{"shards", "drain"}); err == nil {
+		t.Fatal("shards drain without a shard id succeeded")
+	}
+}
+
+// TestShardsCommandDegradedGateway checks the multi-gateway path keeps
+// working when one listed gateway is unreachable: the table renders
+// from the reachable gateways with a warning line, and the command only
+// fails when every gateway is down.
+func TestShardsCommandDegradedGateway(t *testing.T) {
+	c, out := startShardedStack(t)
+	// 127.0.0.1:1 refuses connections; with a healthy gateway alongside
+	// it the table must still render.
+	c.bases = []string{c.base, "http://127.0.0.1:1"}
+	if err := c.run([]string{"shards"}); err != nil {
+		t.Fatalf("shards with one dead gateway: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "warning:") || !strings.Contains(got, "shard-00") || !strings.Contains(got, "total") {
+		t.Fatalf("degraded shards table:\n%s", got)
+	}
+
+	// Every gateway unreachable: now it is an error, carrying the detail.
+	c.bases = []string{"http://127.0.0.1:1", "http://127.0.0.1:1"}
+	if err := c.run([]string{"shards"}); err == nil {
+		t.Fatal("shards with every gateway down succeeded")
+	}
+
+	// A single unreachable gateway stays a hard error too.
+	c.bases = []string{"http://127.0.0.1:1"}
+	if err := c.run([]string{"shards"}); err == nil {
+		t.Fatal("shards against one dead gateway succeeded")
+	}
+}
+
 func TestShardsCommandOnUnshardedGateway(t *testing.T) {
 	c, _ := startStack(t)
 	if err := c.run([]string{"shards"}); err == nil {

@@ -5,7 +5,8 @@
 //
 //	microfaas-sim [flags] <experiment>
 //
-// Experiments: fig1, fig3, fig4, fig5, headline, table2, shardedrack, ablations, all.
+// Experiments: fig1, fig3, fig4, fig5, headline, table2, shardedrack,
+// shardfailover, ablations, all.
 //
 // Flags:
 //
@@ -50,13 +51,13 @@ func main() {
 	n := flag.Int("n", 100, "invocations per function (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size for independent sim instances (1 = serial; output is identical at any value)")
-	shards := flag.Int("shards", 0, "control-plane shard count for shardedrack (0 = the experiment default, 64)")
+	shards := flag.Int("shards", 0, "control-plane shard count for shardedrack/shardfailover (0 = the experiment default, 64)")
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|shardedrack|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|shardedrack|shardfailover|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -208,6 +209,17 @@ func run(out io.Writer, experiment string, opts options) error {
 			return err
 		}
 		return experiments.WriteShardedRack(out, res)
+	case "shardfailover":
+		// The dynamic-membership demonstration: 4 of 64 shards lose their
+		// control-plane hosts mid-run; the health checker drains their
+		// queues into survivors and re-homes their boards, losing nothing.
+		res, err := experiments.ShardFailover(experiments.ShardFailoverConfig{
+			Shards: opts.shards, Seed: seed, Parallel: par,
+		})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteShardFailover(out, res)
 	case "ablations":
 		return writeAblations(out, seed, n, par)
 	case "all":

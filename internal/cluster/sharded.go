@@ -49,6 +49,12 @@ type ShardedSim struct {
 	// PowerMgrs are the per-shard power managers (nil unless
 	// SimConfig.Power was set).
 	PowerMgrs []*powermgr.Manager
+
+	// down is the churn kill mask backing the membership probe (see
+	// churn.go); owner tracks which shard currently holds each board
+	// (nil when membership is disabled — no churn). Engine-thread only.
+	down  []bool
+	owner map[string]int
 }
 
 // NewShardedMicroFaaSSim builds shards × workersPerShard SBCs split
@@ -134,6 +140,37 @@ func NewShardedMicroFaaSSim(shards, workersPerShard int, cfg SimConfig, scfg sha
 			return nil, err
 		}
 		s.Orchs = append(s.Orchs, orch)
+	}
+	s.down = make([]bool, shards)
+	if scfg.Membership.Enabled {
+		if cfg.Power != nil {
+			return nil, fmt.Errorf("cluster: dynamic membership is not supported with power management (a power manager's node set is fixed at construction)")
+		}
+		// Wire the sim's churn machinery into the plane: the kill mask
+		// backs the probe, and worker re-homing chains ahead of any
+		// caller-supplied hooks.
+		if scfg.Membership.Probe == nil {
+			scfg.Membership.Probe = func(i int) bool { return !s.down[i] }
+		}
+		userDeath, userRejoin := scfg.Membership.OnDeath, scfg.Membership.OnRejoin
+		scfg.Membership.OnDeath = func(i int) {
+			s.rehomeDead(i)
+			if userDeath != nil {
+				userDeath(i)
+			}
+		}
+		scfg.Membership.OnRejoin = func(i int) {
+			s.rehomeRejoin(i)
+			if userRejoin != nil {
+				userRejoin(i)
+			}
+		}
+		s.owner = make(map[string]int, shards*workersPerShard)
+		for si, ws := range s.Workers {
+			for _, w := range ws {
+				s.owner[w.ID()] = si
+			}
+		}
 	}
 	plane, err := shard.NewPlane(core.SimRuntime{Engine: engine}, s.Orchs, scfg)
 	if err != nil {

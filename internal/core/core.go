@@ -301,6 +301,14 @@ type workerSlot struct {
 	// (-1 while assignable). Exactly one is >= 0 at any time.
 	eligPos   int
 	parolePos int
+
+	// detached marks a slot spliced out by RemoveWorker: it takes no new
+	// assignments but stays alive for its in-flight attempt.
+	// pendingHandoff is RemoveWorker's deferred release for a
+	// detached-while-busy worker; completed fires it once the attempt
+	// settles.
+	detached       bool
+	pendingHandoff func(Worker)
 }
 
 // qlen returns the number of jobs waiting in the slot's queue.
@@ -480,9 +488,11 @@ type Orchestrator struct {
 	parked    map[int64]*parkedRetry
 	callbacks map[int64]func(Result)
 	nextID    int64
+	nextIdx   int // next worker registration index (never reused)
 	rrNext    int // next round-robin index
 	pending   int // queued + running + backoff-parked jobs
 	draining  bool
+	sealed    bool // Seal called: queued jobs frozen for TakeAll recovery
 	idle      *sync.Cond
 	flFree    *inflight // recycled inflight records (see inflight)
 
@@ -627,6 +637,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		o.byID[s.id] = s
 		o.eligible = append(o.eligible, s)
 	}
+	o.nextIdx = len(cfg.Workers)
 	o.initTelemetry(cfg.Telemetry)
 	return o, nil
 }
@@ -916,7 +927,7 @@ func (o *Orchestrator) pushJobLocked(s *workerSlot, job Job, detail string) {
 // workers write to TCP) and must never be entered while holding the
 // orchestrator lock. Caller holds o.mu.
 func (o *Orchestrator) maybeDispatchLocked(s *workerSlot) *inflight {
-	if s.busy || s.qlen() == 0 {
+	if s.busy || s.qlen() == 0 || o.sealed || s.detached {
 		return nil
 	}
 	if o.pm != nil && !s.bootPending {
@@ -1018,9 +1029,13 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		if run == nil {
 			o.noteWorkerIdleLocked(s)
 		}
+		release := o.takeHandoffLocked(s)
 		o.mu.Unlock()
 		if run != nil {
 			run.run()
+		}
+		if release != nil {
+			release(s.w)
 		}
 		return
 	}
@@ -1071,6 +1086,7 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	if selfRun == nil {
 		o.noteWorkerIdleLocked(s)
 	}
+	release := o.takeHandoffLocked(s)
 	started := fl.started
 	// Both possible references are dead — the worker's single done call is
 	// this very frame, and cancelTimeout ran above (a wall-mode timer that
@@ -1082,6 +1098,9 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 	}
 	if selfRun != nil {
 		selfRun.run()
+	}
+	if release != nil {
+		release(s.w)
 	}
 	if cb != nil {
 		res.StartedAt, res.FinishedAt = started, finished
@@ -1375,10 +1394,16 @@ func (o *Orchestrator) StartArrivals(interval time.Duration, sampleSize int, gen
 			o.mu.Unlock()
 			return
 		}
-		// Sample without replacement within the tick.
+		// Sample without replacement within the tick. The fleet can have
+		// shrunk below sampleSize since validation (RemoveWorker); clamp
+		// rather than index past the permutation.
+		n := sampleSize
+		if n > len(o.slots) {
+			n = len(o.slots)
+		}
 		perm := o.rng.Perm(len(o.slots))
-		targets := make([]*workerSlot, 0, sampleSize)
-		for _, idx := range perm[:sampleSize] {
+		targets := make([]*workerSlot, 0, n)
+		for _, idx := range perm[:n] {
 			targets = append(targets, o.slots[idx])
 		}
 		for _, s := range targets {

@@ -57,20 +57,31 @@ func (o *Orchestrator) initTelemetry(tel *telemetry.Telemetry) {
 		breakerTo:  make(map[string]map[string]*telemetry.Counter, len(o.slots)),
 	}
 	for _, s := range o.slots {
-		id := s.id
-		o.m.queueDepth[id] = reg.Gauge(metricQueueDepth, "Queued (not yet running) jobs per worker.", "worker", id)
-		o.m.busy[id] = reg.Gauge(metricWorkerBusy, "1 while the worker is executing a job.", "worker", id)
-		o.m.attempts[id] = map[string]*telemetry.Counter{}
-		for _, result := range []string{"ok", "error", "timeout"} {
-			o.m.attempts[id][result] = reg.Counter(metricAttempts,
-				"Finished attempts per worker and outcome (timeouts are deadline expiries).",
-				"worker", id, "result", result)
-		}
-		o.m.breakerTo[id] = map[string]*telemetry.Counter{}
-		for _, state := range []string{"open", "closed"} {
-			o.m.breakerTo[id][state] = reg.Counter(metricBreaker,
-				"Circuit-breaker transitions per worker.", "worker", id, "to", state)
-		}
+		o.initWorkerTelemetry(s.id)
+	}
+}
+
+// initWorkerTelemetry (re-)creates one worker's metric series. Called
+// per worker at construction and again from AddWorker — the registry
+// returns the existing series for a repeated (name, labels) pair, so a
+// worker re-homed back to its original shard resumes its old counters.
+func (o *Orchestrator) initWorkerTelemetry(id string) {
+	if o.tel == nil {
+		return
+	}
+	reg := o.tel.Registry()
+	o.m.queueDepth[id] = reg.Gauge(metricQueueDepth, "Queued (not yet running) jobs per worker.", "worker", id)
+	o.m.busy[id] = reg.Gauge(metricWorkerBusy, "1 while the worker is executing a job.", "worker", id)
+	o.m.attempts[id] = map[string]*telemetry.Counter{}
+	for _, result := range []string{"ok", "error", "timeout"} {
+		o.m.attempts[id][result] = reg.Counter(metricAttempts,
+			"Finished attempts per worker and outcome (timeouts are deadline expiries).",
+			"worker", id, "result", result)
+	}
+	o.m.breakerTo[id] = map[string]*telemetry.Counter{}
+	for _, state := range []string{"open", "closed"} {
+		o.m.breakerTo[id][state] = reg.Counter(metricBreaker,
+			"Circuit-breaker transitions per worker.", "worker", id, "to", state)
 	}
 }
 

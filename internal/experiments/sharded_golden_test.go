@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateShardedGolden = flag.Bool("update-sharded-golden", false, "regenerate testdata/shardedrack_golden.txt")
+
+// TestShardedRackGoldenPR7 pins the churn-disabled sharded plane to the
+// exact bytes PR 7 produced: the golden file was rendered before dynamic
+// membership existed, so any drift here means the membership machinery
+// leaked into the static path (an extra RNG draw, a changed event
+// schedule, a reordered aggregator visit). Regenerate only with a
+// deliberate, explained change: go test -run GoldenPR7 -update-sharded-golden.
+func TestShardedRackGoldenPR7(t *testing.T) {
+	var buf bytes.Buffer
+	for seed := int64(1); seed <= 4; seed++ {
+		r, err := ShardedRack(smallShardedCfg(seed, 0))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := WriteShardedRack(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join("testdata", "shardedrack_golden.txt")
+	if *updateShardedGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", buf.Len(), path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-sharded-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("churn-disabled sharded output drifted from the PR 7 golden\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

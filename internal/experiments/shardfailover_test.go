@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFailover keeps the acceptance shape (kill several shards mid-run
+// under open-loop load) at a size the test suite can afford.
+func smallFailover(parallel int) (ShardFailoverResult, error) {
+	return ShardFailover(ShardFailoverConfig{
+		Shards:          8,
+		WorkersPerShard: 4,
+		Kills:           2,
+		Bursts:          60,
+		BurstEvery:      250 * time.Millisecond,
+		JobsPerBurst:    8,
+		KeySpace:        32,
+		Seed:            detSeed,
+		Parallel:        parallel,
+	})
+}
+
+// TestShardFailoverAcceptance is the PR's acceptance check at test
+// scale: killing shards mid-run loses zero accepted invocations, every
+// kill becomes a health-checker death, and throughput recovers to
+// within 10% of the pre-kill rate once the dead shards' boards have
+// re-homed onto survivors.
+func TestShardFailoverAcceptance(t *testing.T) {
+	res, err := smallFailover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 2 || res.Arms[0].Name != "static" || res.Arms[1].Name != "failover" {
+		t.Fatalf("arms = %+v", res.Arms)
+	}
+	jobs := 60 * 8
+	for _, a := range res.Arms {
+		if a.Accepted != jobs {
+			t.Fatalf("%s: accepted %d of %d submissions", a.Name, a.Accepted, jobs)
+		}
+		if a.Lost != 0 {
+			t.Fatalf("%s: lost %d accepted invocations", a.Name, a.Lost)
+		}
+		if a.Completed != jobs || a.Errors != 0 {
+			t.Fatalf("%s: completed %d errors %d, want %d/0", a.Name, a.Completed, a.Errors, jobs)
+		}
+		if a.PrePerMin <= 0 || a.PostPerMin <= 0 {
+			t.Fatalf("%s: empty rate window (pre %.0f post %.0f)", a.Name, a.PrePerMin, a.PostPerMin)
+		}
+	}
+	static, failover := res.Arms[0], res.Arms[1]
+	if static.Deaths != 0 {
+		t.Fatalf("static arm saw %d deaths", static.Deaths)
+	}
+	if failover.Deaths != res.Kills {
+		t.Fatalf("failover arm: %d deaths, want %d", failover.Deaths, res.Kills)
+	}
+	if failover.Recovery < 0.9 {
+		t.Fatalf("throughput recovered to only %.1f%% of the pre-kill rate", 100*failover.Recovery)
+	}
+	if failover.Stolen < static.Stolen {
+		t.Fatalf("failover stole %d < static %d: death drains not counted?", failover.Stolen, static.Stolen)
+	}
+
+	var sb strings.Builder
+	if err := WriteShardFailover(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static", "failover", "recovery", "lost"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestShardFailoverValidates(t *testing.T) {
+	if _, err := ShardFailover(ShardFailoverConfig{Shards: 4, Kills: 4}); err == nil {
+		t.Fatal("killing every shard accepted")
+	}
+}
+
+func TestDeterminismShardFailover(t *testing.T) {
+	runTwiceAndCompare(t, "shardfailover", smallFailover)
+}

@@ -19,6 +19,8 @@
 //	                       ?format=chrome|ndjson streams a raw export instead)
 //	GET  /traces/{id}      one trace's critical-path breakdown plus its raw spans
 //	GET  /shards           per-shard capacity snapshots (sharded gateways only)
+//	POST /shards/{id}/drain  take one shard out of service, migrating its queue
+//	POST /shards/{id}/join   return a drained/dead shard to service
 //	GET  /debug/pprof/*    net/http/pprof profiler (only when Options.EnablePprof)
 //
 // A gateway fronts either one orchestrator (New / NewWithOptions) or a
@@ -255,6 +257,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/power", s.handlePower)
 	mux.HandleFunc("/power/cap", s.handlePowerCap)
 	mux.HandleFunc("/shards", s.handleShards)
+	mux.HandleFunc("/shards/", s.handleShardOp)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
@@ -589,6 +592,58 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.plane.Status())
+}
+
+// handleShardOp serves POST /shards/{id}/drain and /shards/{id}/join:
+// administratively take one shard out of service (its queued work
+// migrates to the others, exactly like a health-detected death) or
+// return it. {id} is the shard index or its label. Replies with the
+// shard's fresh status snapshot.
+func (s *Server) handleShardOp(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.plane == nil {
+		writeError(w, http.StatusNotFound, "this gateway fronts an unsharded control plane")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/shards/")
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" {
+		writeError(w, http.StatusNotFound, "use /shards/{id}/drain or /shards/{id}/join")
+		return
+	}
+	idx := -1
+	if n, err := strconv.Atoi(name); err == nil {
+		idx = n
+	} else {
+		for i, label := range s.plane.Labels() {
+			if label == name {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 || idx >= s.plane.NumShards() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown shard %q", name))
+		return
+	}
+	var err error
+	switch op {
+	case "drain":
+		err = s.plane.DrainShard(idx)
+	case "join":
+		err = s.plane.JoinShard(idx)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown shard operation %q", op))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.plane.Status()[idx])
 }
 
 // shardPower is one shard's power snapshot inside the sharded /power

@@ -18,7 +18,7 @@ import "microfaas/internal/core"
 // armTick schedules the next aggregator tick unless one is pending, the
 // aggregator is disabled, or the plane is closed.
 func (p *Plane) armTick() {
-	if !p.cfg.Steal.Enabled && !p.cfg.Rebalance.Enabled {
+	if !p.cfg.Steal.Enabled && !p.cfg.Rebalance.Enabled && !p.cfg.Membership.Enabled {
 		return
 	}
 	p.mu.Lock()
@@ -30,7 +30,9 @@ func (p *Plane) armTick() {
 	p.cancelTick = p.runtime.After(p.cfg.Steal.Interval, p.tick)
 }
 
-// tick runs one aggregator pass: snapshot, steal, rebalance, re-arm.
+// tick runs one aggregator pass: heartbeat/membership first (so a shard
+// declared dead this pass is off the ring before the steal half reads
+// queue depths), then snapshot, steal, rebalance, re-arm.
 func (p *Plane) tick() {
 	p.mu.Lock()
 	if p.closed {
@@ -41,6 +43,10 @@ func (p *Plane) tick() {
 	p.cancelTick = nil
 	p.ticks++
 	p.mu.Unlock()
+
+	if p.cfg.Membership.Enabled {
+		p.healthTick()
+	}
 
 	n := len(p.shards)
 	queued := make([]int, n)
@@ -59,10 +65,17 @@ func (p *Plane) tick() {
 	if p.cfg.Rebalance.Enabled {
 		p.rebalanceTick(queued, totalQ)
 	}
-	// Re-arm only while jobs are in flight; the next Submit re-arms an
-	// idle plane. Without this guard RunAll on a sim engine would never
-	// run out of events.
-	if totalP > 0 {
+	// Re-arm only while jobs are in flight (the next Submit re-arms an
+	// idle plane — without this guard RunAll on a sim engine would never
+	// run out of events) or while the membership machine is mid-
+	// transition, which resolves in a bounded number of ticks.
+	rearm := totalP > 0
+	if !rearm && p.cfg.Membership.Enabled {
+		p.mu.Lock()
+		rearm = p.membershipTransitionalLocked()
+		p.mu.Unlock()
+	}
+	if rearm {
 		p.armTick()
 	}
 }

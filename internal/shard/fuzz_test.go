@@ -2,16 +2,17 @@ package shard
 
 import "testing"
 
-// FuzzRing drives ring construction, reweighting, and both lookup paths
-// with arbitrary shapes, checking the invariants that matter to the
-// plane: lookups always land on a valid shard, bounded lookups
-// terminate, and a rebuilt ring keeps one point minimum per shard so no
-// shard becomes unroutable.
+// FuzzRing drives ring construction, membership churn, reweighting, and
+// both lookup paths with arbitrary shapes, checking the invariants that
+// matter to the plane: lookups always land on a present shard, bounded
+// lookups terminate, a rebuilt ring keeps one point minimum per present
+// shard so no member becomes unroutable, and an arbitrary interleaving
+// of Add/Remove/SetWeights never breaks any of that.
 func FuzzRing(f *testing.F) {
-	f.Add(uint8(4), uint8(32), "hot", 1.25, uint8(1))
-	f.Add(uint8(1), uint8(1), "", 0.0, uint8(0))
-	f.Add(uint8(64), uint8(255), "a-very-long-function-key/tenant-42", 4.0, uint8(200))
-	f.Fuzz(func(t *testing.T, n, vnodes uint8, key string, factor float64, wseed uint8) {
+	f.Add(uint8(4), uint8(32), "hot", 1.25, uint8(1), uint16(0))
+	f.Add(uint8(1), uint8(1), "", 0.0, uint8(0), uint16(0xffff))
+	f.Add(uint8(64), uint8(255), "a-very-long-function-key/tenant-42", 4.0, uint8(200), uint16(0xa5a5))
+	f.Fuzz(func(t *testing.T, n, vnodes uint8, key string, factor float64, wseed uint8, churn uint16) {
 		shards := int(n)%64 + 1
 		vn := int(vnodes)%DefaultVNodes + 1
 		r, err := NewRing(shards, vn)
@@ -26,18 +27,58 @@ func FuzzRing(f *testing.F) {
 		if err := r.SetWeights(weights); err != nil {
 			t.Fatalf("SetWeights: %v", err)
 		}
-		if got := r.Lookup(key); got < 0 || got >= shards {
-			t.Fatalf("Lookup(%q) = %d outside [0,%d)", key, got, shards)
+
+		// Interleave membership churn with reweights, driven by the churn
+		// bits: each step removes, re-adds, or reweights some shard. The
+		// bounded-load invariant below must hold at every step.
+		check := func(step int) {
+			if r.Members() < 1 || r.Members() > shards {
+				t.Fatalf("step %d: Members() = %d outside [1,%d]", step, r.Members(), shards)
+			}
+			if got := r.Lookup(key); got < 0 || got >= shards || !r.Present(got) {
+				t.Fatalf("step %d: Lookup(%q) = %d not a present shard", step, key, got)
+			}
+			loads := make([]int, shards)
+			total := 0
+			for i := range loads {
+				loads[i] = (int(wseed) * (i + 1)) % 17
+				total += loads[i]
+			}
+			got := r.LookupBounded(key, factor, total, func(s int) int { return loads[s] })
+			if got < 0 || got >= shards || !r.Present(got) {
+				t.Fatalf("step %d: LookupBounded(%q) = %d not a present shard", step, key, got)
+			}
 		}
-		loads := make([]int, shards)
-		total := 0
-		for i := range loads {
-			loads[i] = (int(wseed) * (i + 1)) % 17
-			total += loads[i]
-		}
-		got := r.LookupBounded(key, factor, total, func(s int) int { return loads[s] })
-		if got < 0 || got >= shards {
-			t.Fatalf("LookupBounded(%q) = %d outside [0,%d)", key, got, shards)
+		check(-1)
+		for step := 0; step < 16; step++ {
+			bits := int(churn) >> (step % 16)
+			target := (int(wseed) + step*5) % shards
+			switch bits % 3 {
+			case 0:
+				if err := r.Remove(target); err == nil {
+					if r.Present(target) {
+						t.Fatalf("step %d: Remove(%d) succeeded but shard still present", step, target)
+					}
+				} else if r.Present(target) && r.Members() > 1 {
+					t.Fatalf("step %d: Remove(%d) of a present, non-last shard failed: %v", step, target, err)
+				}
+			case 1:
+				if err := r.Add(target); err == nil {
+					if !r.Present(target) || r.Weight(target) != 1 {
+						t.Fatalf("step %d: Add(%d) left present=%v weight=%v", step, target, r.Present(target), r.Weight(target))
+					}
+				} else if !r.Present(target) {
+					t.Fatalf("step %d: Add(%d) of an absent shard failed: %v", step, target, err)
+				}
+			default:
+				for i := range weights {
+					weights[i] = 0.1 + float64((int(wseed)+step+i*11)%100)/10
+				}
+				if err := r.SetWeights(weights); err != nil {
+					t.Fatalf("step %d: SetWeights: %v", step, err)
+				}
+			}
+			check(step)
 		}
 	})
 }

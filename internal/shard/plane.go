@@ -65,6 +65,10 @@ type Config struct {
 	Steal StealConfig
 	// Rebalance configures ring-weight rebalancing.
 	Rebalance RebalanceConfig
+	// Membership configures the health checker and dynamic shard
+	// membership (see MembershipConfig; disabled by default, leaving the
+	// shard set fixed at construction).
+	Membership MembershipConfig
 }
 
 // Plane is the load-balancer tier in front of N orchestrator shards.
@@ -92,6 +96,8 @@ type Plane struct {
 
 	mu          sync.Mutex
 	ring        *Ring
+	members     []memberRecord
+	epoch       int64
 	stolenTotal int64
 	ticks       int64
 	tickArmed   bool
@@ -116,8 +122,14 @@ type ShardStatus struct {
 	Weight float64 `json:"weight"`
 	// StolenIn counts jobs this shard received via stealing.
 	StolenIn int64 `json:"stolen_in"`
-	// StolenOut counts jobs raided from this shard.
+	// StolenOut counts jobs raided from this shard (including a death
+	// drain).
 	StolenOut int64 `json:"stolen_out"`
+	// State is the shard's membership state: "up", "suspect", or "dead".
+	State string `json:"state"`
+	// Epoch counts the shard's membership transitions (0 = never
+	// churned).
+	Epoch int64 `json:"epoch"`
 }
 
 // NewPlane builds the shard tier over the given orchestrators, which
@@ -149,6 +161,7 @@ func NewPlane(rt core.Runtime, shards []*core.Orchestrator, cfg Config) (*Plane,
 	if cfg.Rebalance.Gain <= 0 || cfg.Rebalance.Gain > 1 {
 		cfg.Rebalance.Gain = DefaultRebalanceGain
 	}
+	normalizeMembership(&cfg.Membership, cfg.Steal.Interval)
 	ring, err := NewRing(len(shards), cfg.VNodes)
 	if err != nil {
 		return nil, err
@@ -160,6 +173,13 @@ func NewPlane(rt core.Runtime, shards []*core.Orchestrator, cfg Config) (*Plane,
 		cfg:     cfg,
 		reg:     telemetry.NewRegistry(),
 		ring:    ring,
+		members: make([]memberRecord, len(shards)),
+	}
+	if cfg.Membership.Enabled {
+		for i := range p.members {
+			p.members[i].lastAlive = true
+			p.members[i].leaseUntil = rt.Now() + cfg.Membership.LeaseTTL
+		}
 	}
 	for i, o := range shards {
 		label := o.ShardLabel()
@@ -233,6 +253,11 @@ func (p *Plane) route(key string) (*core.Orchestrator, int) {
 func (p *Plane) Submit(key, function string, args []byte, cb func(core.Result)) (int64, int) {
 	o, idx := p.route(key)
 	id := o.SubmitAsync(function, args, cb)
+	if id == 0 {
+		id, idx = p.failover(idx, func(o *core.Orchestrator) int64 {
+			return o.SubmitAsync(function, args, cb)
+		})
+	}
 	p.armTick()
 	return id, idx
 }
@@ -242,8 +267,32 @@ func (p *Plane) Submit(key, function string, args []byte, cb func(core.Result)) 
 func (p *Plane) SubmitWithTimeout(key, function string, args []byte, timeout time.Duration, cb func(core.Result)) (int64, int) {
 	o, idx := p.route(key)
 	id := o.SubmitWithTimeout(function, args, timeout, cb)
+	if id == 0 {
+		id, idx = p.failover(idx, func(o *core.Orchestrator) int64 {
+			return o.SubmitWithTimeout(function, args, timeout, cb)
+		})
+	}
 	p.armTick()
 	return id, idx
+}
+
+// failover re-submits an invocation its routed shard rejected — a dying
+// shard is sealed the moment it loses its control plane but lingers on
+// the ring until the health checker declares it dead, and during that
+// window routed work must not be lost. The least-loaded live shard
+// takes it; (0, idx) only when every shard is out of service.
+func (p *Plane) failover(idx int, submit func(*core.Orchestrator) int64) (int64, int) {
+	pending := make([]int, len(p.shards))
+	for i, s := range p.shards {
+		if i != idx {
+			pending[i] = s.Pending()
+		}
+	}
+	d := p.leastLoaded(pending, idx)
+	if d < 0 {
+		return 0, idx
+	}
+	return submit(p.shards[d]), d
 }
 
 // Pending returns the cluster-wide pending (queued + running) count.
@@ -282,8 +331,12 @@ func (p *Plane) Ticks() int64 {
 func (p *Plane) Status() []ShardStatus {
 	p.mu.Lock()
 	weights := make([]float64, len(p.shards))
+	states := make([]string, len(p.shards))
+	epochs := make([]int64, len(p.shards))
 	for i := range p.shards {
 		weights[i] = p.ring.Weight(i)
+		states[i] = p.members[i].state.String()
+		epochs[i] = p.members[i].epoch
 	}
 	p.mu.Unlock()
 	out := make([]ShardStatus, len(p.shards))
@@ -297,6 +350,8 @@ func (p *Plane) Status() []ShardStatus {
 			Weight:    weights[i],
 			StolenIn:  int64(p.stolenIn[i].Value()),
 			StolenOut: int64(p.stolenOut[i].Value()),
+			State:     states[i],
+			Epoch:     epochs[i],
 		}
 	}
 	return out

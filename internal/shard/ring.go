@@ -39,22 +39,27 @@ type ringPoint struct {
 	shard int
 }
 
-// Ring is a weighted consistent-hash ring with virtual nodes. A key maps
-// to the shard owning the first point clockwise of the key's hash;
-// raising a shard's weight gives it more points (and so a proportionally
-// larger share of the key space) without disturbing where other shards'
-// points sit — reweighting or removing one shard only moves the keys
-// that shard gained or lost. Ring is not concurrency-safe; the Plane
-// guards it with its own lock.
+// Ring is a weighted consistent-hash ring with virtual nodes and
+// dynamic membership. A key maps to the shard owning the first point
+// clockwise of the key's hash; raising a shard's weight gives it more
+// points (and so a proportionally larger share of the key space)
+// without disturbing where other shards' points sit — reweighting,
+// removing, or re-adding one shard only moves the keys that shard
+// gained or lost (the ~1/N key-movement property, because point
+// placement is a pure function of (shard, vnode), never of the rest of
+// the membership). Ring is not concurrency-safe; the Plane guards it
+// with its own lock.
 type Ring struct {
 	vnodes  int
 	weights []float64
+	present []bool
+	members int
 	points  []ringPoint
 }
 
-// NewRing builds a ring over n shards (ids 0..n-1) at equal weight.
-// vnodes is the per-unit-weight virtual-node budget (<=0 selects
-// DefaultVNodes).
+// NewRing builds a ring over n shards (ids 0..n-1), all present, at
+// equal weight. vnodes is the per-unit-weight virtual-node budget (<=0
+// selects DefaultVNodes).
 func NewRing(n, vnodes int) (*Ring, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("shard: ring needs at least one shard, got %d", n)
@@ -62,9 +67,10 @@ func NewRing(n, vnodes int) (*Ring, error) {
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
-	r := &Ring{vnodes: vnodes, weights: make([]float64, n)}
+	r := &Ring{vnodes: vnodes, weights: make([]float64, n), present: make([]bool, n), members: n}
 	for i := range r.weights {
 		r.weights[i] = 1
+		r.present[i] = true
 	}
 	r.rebuild()
 	return r, nil
@@ -102,10 +108,16 @@ func pointHash(shard, v int) uint64 {
 	return splitmix64(uint64(shard)<<32 | uint64(v))
 }
 
-// rebuild regenerates the sorted point list from the weight vector.
+// rebuild regenerates the sorted point list from the weight vector,
+// skipping absent shards entirely (their keys fall through to the next
+// present point clockwise — exactly the keys the removed shard owned,
+// nothing else).
 func (r *Ring) rebuild() {
 	r.points = r.points[:0]
 	for s, w := range r.weights {
+		if !r.present[s] {
+			continue
+		}
 		n := int(w*float64(r.vnodes) + 0.5)
 		if n < 1 {
 			n = 1 // a present shard always owns at least one point
@@ -124,11 +136,59 @@ func (r *Ring) rebuild() {
 	})
 }
 
-// Shards returns the number of shards on the ring.
+// Shards returns the number of shard slots the ring was built over
+// (present or not).
 func (r *Ring) Shards() int { return len(r.weights) }
+
+// Members returns the number of shards currently present on the ring.
+func (r *Ring) Members() int { return r.members }
+
+// Present reports whether a shard currently owns points on the ring.
+func (r *Ring) Present(shard int) bool {
+	return shard >= 0 && shard < len(r.present) && r.present[shard]
+}
 
 // Weight returns a shard's current weight.
 func (r *Ring) Weight(shard int) float64 { return r.weights[shard] }
+
+// Add returns a shard to the ring at weight 1 (a rejoining shard starts
+// neutral; the rebalancer re-earns its share from live queue depths).
+// Only the re-added shard's points appear, so the only keys that move
+// are the ones it now owns — no key between two other shards changes
+// hands.
+func (r *Ring) Add(shard int) error {
+	if shard < 0 || shard >= len(r.weights) {
+		return fmt.Errorf("shard: Add(%d) outside [0,%d)", shard, len(r.weights))
+	}
+	if r.present[shard] {
+		return fmt.Errorf("shard: Add(%d): already on the ring", shard)
+	}
+	r.present[shard] = true
+	r.weights[shard] = 1
+	r.members++
+	r.rebuild()
+	return nil
+}
+
+// Remove takes a shard off the ring. Its points vanish and nothing else
+// changes, so exactly the keys it owned (~1/N of the key space at equal
+// weights) move — each to the next present shard clockwise. The last
+// member cannot be removed: an empty ring routes nothing.
+func (r *Ring) Remove(shard int) error {
+	if shard < 0 || shard >= len(r.weights) {
+		return fmt.Errorf("shard: Remove(%d) outside [0,%d)", shard, len(r.weights))
+	}
+	if !r.present[shard] {
+		return fmt.Errorf("shard: Remove(%d): not on the ring", shard)
+	}
+	if r.members == 1 {
+		return fmt.Errorf("shard: Remove(%d) would empty the ring", shard)
+	}
+	r.present[shard] = false
+	r.members--
+	r.rebuild()
+	return nil
+}
 
 // SetWeights replaces the weight vector (one entry per shard, each
 // clamped to [1/4, 4] so a capacity wobble can never starve or flood one
@@ -183,10 +243,10 @@ func (r *Ring) LookupBounded(key string, factor float64, total int, load func(sh
 	if factor <= 1 {
 		return r.points[home].shard
 	}
-	n := len(r.weights)
+	n := r.members
 	bound := factor*float64(total)/float64(n) + 1
 	visited := 0
-	seen := make([]bool, n)
+	seen := make([]bool, len(r.weights))
 	for i := 0; visited < n && i < len(r.points); i++ {
 		p := r.points[(home+i)%len(r.points)]
 		if seen[p.shard] {

@@ -117,6 +117,92 @@ func TestRingReweightMovesFewKeys(t *testing.T) {
 	}
 }
 
+// TestRingStabilityUnderRemoval is the Remove-side ~1/N property test:
+// removing one of n shards must move exactly the keys that shard owned
+// (roughly 1/n of the key space, never more than ~2.5×) and not one key
+// owned by anyone else; re-adding the shard restores every key, since a
+// rejoining shard comes back at weight 1 and point placement is
+// membership-independent.
+func TestRingStabilityUnderRemoval(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		r, _ := NewRing(n, DefaultVNodes)
+		victim := n / 2
+		before := make([]int, keys)
+		for i := range before {
+			before[i] = r.Lookup(fmt.Sprintf("key-%d", i))
+		}
+		if err := r.Remove(victim); err != nil {
+			t.Fatal(err)
+		}
+		if r.Members() != n-1 || r.Present(victim) {
+			t.Fatalf("n=%d: Members()=%d Present(%d)=%v after Remove", n, r.Members(), victim, r.Present(victim))
+		}
+		moved := 0
+		for i := range before {
+			now := r.Lookup(fmt.Sprintf("key-%d", i))
+			if now == victim {
+				t.Fatalf("n=%d: key %d still routes to removed shard %d", n, i, victim)
+			}
+			if now != before[i] {
+				if before[i] != victim {
+					t.Fatalf("n=%d: key %d moved %d→%d but shard %d was not removed", n, i, before[i], now, victim)
+				}
+				moved++
+			}
+		}
+		ideal := float64(keys) / float64(n)
+		if f := float64(moved); f > 2.5*ideal || f < ideal/2.5 {
+			t.Fatalf("n=%d: removal moved %d keys, ideal %.0f", n, moved, ideal)
+		}
+		if err := r.Add(victim); err != nil {
+			t.Fatal(err)
+		}
+		for i := range before {
+			if now := r.Lookup(fmt.Sprintf("key-%d", i)); now != before[i] {
+				t.Fatalf("n=%d: key %d did not return home after re-add: %d→%d", n, i, before[i], now)
+			}
+		}
+	}
+}
+
+// TestRingAddRemoveValidates covers the membership error paths: out-of-
+// range ids, double add/remove, and the empty-ring guard.
+func TestRingAddRemoveValidates(t *testing.T) {
+	r, _ := NewRing(3, 32)
+	if err := r.Add(0); err == nil {
+		t.Fatal("Add of a present shard succeeded")
+	}
+	if err := r.Add(3); err == nil {
+		t.Fatal("Add outside the slot range succeeded")
+	}
+	if err := r.Remove(-1); err == nil {
+		t.Fatal("Remove(-1) succeeded")
+	}
+	if err := r.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(0); err == nil {
+		t.Fatal("double Remove succeeded")
+	}
+	if err := r.SetWeights([]float64{1, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(2); err == nil {
+		t.Fatal("removing the last member succeeded")
+	}
+	// A removed shard re-added after a reweight comes back at weight 1.
+	if err := r.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.Weight(1); w != 1 {
+		t.Fatalf("re-added shard weight %v, want 1", w)
+	}
+}
+
 func TestRingSetWeightsValidates(t *testing.T) {
 	r, _ := NewRing(4, 32)
 	if err := r.SetWeights([]float64{1, 1}); err == nil {

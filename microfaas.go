@@ -111,6 +111,23 @@ type (
 // faasctl shards).
 type ShardStatus = shard.ShardStatus
 
+// ShardMembershipConfig enables the plane's health checker and dynamic
+// membership: probed shards move up → suspect → dead as heartbeats go
+// missing, dead shards drain their queued work into survivors, and
+// recovered shards rejoin the ring after a streak of healthy probes.
+type ShardMembershipConfig = shard.MembershipConfig
+
+// ShardState is a shard's membership state as the health checker sees
+// it: ShardUp, ShardSuspect, or ShardDead.
+type ShardState = shard.ShardState
+
+// The membership states a ShardPlane reports per shard.
+const (
+	ShardUp      = shard.ShardUp
+	ShardSuspect = shard.ShardSuspect
+	ShardDead    = shard.ShardDead
+)
+
 // Runtime is the clock abstraction orchestrators and the shard plane
 // run on — core.SimRuntime in simulations, core.NewWallRuntime() live.
 type Runtime = core.Runtime
