@@ -1,12 +1,16 @@
 package microfaas
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"microfaas/internal/bootos"
 	"microfaas/internal/experiments"
 	"microfaas/internal/model"
+	"microfaas/internal/telemetry"
+	"microfaas/internal/tsdb"
 )
 
 // The benchmark harness: one benchmark per paper table/figure (plus the
@@ -445,4 +449,47 @@ func BenchmarkShardFailover(b *testing.B) {
 	b.ReportMetric(failover.Recovery, "throughput-recovery-x")
 	b.ReportMetric(float64(failover.Deaths), "shard-deaths")
 	b.ReportMetric(failover.JoulesPerFunc/static.JoulesPerFunc, "energy-overhead-x")
+}
+
+// BenchmarkTSDBScrape measures one observability tick at sharded-plane
+// cardinality: 8 shard registries, each carrying 16 functions' outcome
+// counters, energy counters, and latency histograms, scraped into the
+// embedded store with the shipped latency/error/energy burn-rate rules
+// evaluated on every tick. The capacity aggregator runs this hook every
+// tick in sim and the live scraper every -scrape-interval, so this cost
+// sets the floor on how fine the sampling cadence can go.
+func BenchmarkTSDBScrape(b *testing.B) {
+	store := tsdb.New(tsdb.Config{})
+	buckets := telemetry.LogBuckets(1e-3, 60, 20)
+	for s := 0; s < 8; s++ {
+		reg := telemetry.NewRegistry()
+		for f := 0; f < 16; f++ {
+			fn := fmt.Sprintf("fn-%02d", f)
+			reg.Counter("microfaas_function_invocations_total", "Outcomes.", "function", fn, "result", "ok").Add(float64(100 + f))
+			reg.Counter("microfaas_function_invocations_total", "Outcomes.", "function", fn, "result", "error").Add(float64(f % 3))
+			reg.Counter("microfaas_function_energy_joules_total", "Joules.", "function", fn).Add(float64(50 + f))
+			h := reg.Histogram("microfaas_invocation_latency_seconds", "Latency.", buckets, "function", fn)
+			for i := 0; i < 4; i++ {
+				h.Observe(0.01 * float64(f+i+1))
+			}
+		}
+		reg.Counter("microfaas_jobs_submitted_total", "Submitted.").Add(1000)
+		reg.Gauge("microfaas_queue_depth", "Depth.").Set(3)
+		store.AddSource(fmt.Sprintf("shard-%02d", s), reg)
+	}
+	rules, err := tsdb.LoadRules("examples/slo/rules.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.SetRules(rules); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Scrape(now)
+		now += time.Second
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(store.SeriesCount()), "series")
 }

@@ -14,7 +14,10 @@
 //	faasctl [-gateway host:port] job <id>
 //	faasctl [-gateway host:port] trace <job-id>
 //	faasctl [-gateway host:port] trace --slowest <n>
-//	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0]
+//	faasctl [-gateway host:port] top [-interval 2s] [-iterations 0] [-once] [-json]
+//	faasctl [-gateway host:port] watch [-interval 2s] [-once] <metric> [op]
+//	faasctl [-gateway host:port] slo
+//	faasctl [-gateway host:port] alerts
 //	faasctl [-gateway host:port] power
 //	faasctl [-gateway host:port] power cap <watts>
 //
@@ -40,10 +43,12 @@ func main() {
 	gatewayAddr := flag.String("gateway", "127.0.0.1:8080", "gateway address, or a comma-separated list (workers/top/shards aggregate across all)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "invocation timeout")
 	async := flag.Bool("async", false, "submit invocations asynchronously (poll with 'job <id>')")
-	interval := flag.Duration("interval", 2*time.Second, "top: refresh interval")
-	iterations := flag.Int("iterations", 0, "top: stop after N refreshes (0 = until interrupted)")
+	interval := flag.Duration("interval", 2*time.Second, "top/watch: refresh interval")
+	iterations := flag.Int("iterations", 0, "top/watch: stop after N refreshes (0 = until interrupted)")
+	once := flag.Bool("once", false, "top/watch: render a single frame and exit (same as -iterations 1)")
+	jsonOut := flag.Bool("json", false, "top: emit one JSON object per frame instead of the table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|shards|top|power|trace|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|shards|top|watch|slo|alerts|power|trace|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,8 +66,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faasctl: no gateway address")
 		os.Exit(2)
 	}
+	iters := *iterations
+	if *once {
+		iters = 1
+	}
 	c := &client{base: bases[0], bases: bases, http: &http.Client{Timeout: *timeout}, out: os.Stdout,
-		async: *async, interval: *interval, iterations: *iterations}
+		async: *async, interval: *interval, iterations: iters, jsonOut: *jsonOut}
 	if err := c.run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "faasctl:", err)
 		os.Exit(1)
@@ -77,6 +86,39 @@ type client struct {
 	async      bool
 	interval   time.Duration
 	iterations int
+	jsonOut    bool
+}
+
+// observeFlags parses flags appearing after the top/watch subcommand
+// (`faasctl top -once -json`), mirroring the global pre-command
+// spellings so both positions work; the standard flag parser stops at
+// the first positional, so flags and positionals are re-fed until both
+// are consumed. Returns the positional operands.
+func (c *client) observeFlags(name string, args []string) ([]string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	interval := fs.Duration("interval", c.interval, "refresh interval")
+	iterations := fs.Int("iterations", c.iterations, "stop after N refreshes (0 = until interrupted)")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	jsonOut := fs.Bool("json", c.jsonOut, "emit one JSON object per frame")
+	var pos []string
+	for rest := args; len(rest) > 0; {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+		if len(rest) > 0 {
+			pos = append(pos, rest[0])
+			rest = rest[1:]
+		}
+	}
+	c.interval = *interval
+	c.iterations = *iterations
+	if *once {
+		c.iterations = 1
+	}
+	c.jsonOut = *jsonOut
+	return pos, nil
 }
 
 // allBases returns every configured gateway base URL; clients built
@@ -109,7 +151,24 @@ func (c *client) run(args []string) error {
 			return fmt.Errorf("usage: shards | shards drain <shard> | shards join <shard>")
 		}
 	case "top":
+		rest, err := c.observeFlags("top", args[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("top takes no arguments (got %q)", rest[0])
+		}
 		return c.top(c.interval, c.iterations)
+	case "watch":
+		rest, err := c.observeFlags("watch", args[1:])
+		if err != nil {
+			return err
+		}
+		return c.watch(rest, c.interval, c.iterations)
+	case "slo":
+		return c.sloTable()
+	case "alerts":
+		return c.alertsTable()
 	case "power":
 		switch {
 		case len(args) == 1:

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sparkBlocks are the eight levels a sparkline cell can take.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a fixed-height block-character strip,
+// scaled to the series' own min..max (a flat series renders as all-min).
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}
+
+// querySeries mirrors one /query series result.
+type querySeries struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+	Points []struct {
+		AtMs  float64 `json:"at_ms"`
+		Value float64 `json:"value"`
+	} `json:"points"`
+}
+
+// fetchQuery runs one /query against every configured gateway and
+// concatenates the series (shard labels make them distinct; with
+// several gateways each contributes its own shards).
+func (c *client) fetchQuery(params url.Values) ([]querySeries, error) {
+	var all []querySeries
+	for _, base := range c.allBases() {
+		resp, err := c.http.Get(base + "/query?" + params.Encode())
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s/query returned %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var reply struct {
+			Series []querySeries `json:"series"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, reply.Series...)
+	}
+	return all, nil
+}
+
+// labelsColumn renders a label set as sorted k=v pairs for table rows.
+func labelsColumn(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "(cluster)"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// watch renders a per-label-set sparkline table for one metric from the
+// gateway's embedded time-series store, refreshing every interval like
+// top. args: <metric> [op] — op defaults to "last" (use "rate" for
+// counters).
+func (c *client) watch(args []string, interval time.Duration, iterations int) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: watch <metric> [last|avg|min|max|increase|rate]")
+	}
+	metric := args[0]
+	op := "last"
+	if len(args) >= 2 {
+		op = args[1]
+	}
+	params := url.Values{}
+	params.Set("metric", metric)
+	params.Set("op", op)
+	params.Set("range", "1")
+	// The sparkline plots the raw window; ask for enough lookback to
+	// fill a strip at the refresh cadence.
+	params.Set("window", (40 * interval).String())
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+			fmt.Fprintln(c.out)
+		}
+		series, err := c.fetchQuery(params)
+		if err != nil {
+			return err
+		}
+		if len(series) == 0 {
+			fmt.Fprintf(c.out, "%s: no series (metric unseen, or store not scraping yet)\n", metric)
+			continue
+		}
+		fmt.Fprintf(c.out, "%s (%s)\n", metric, op)
+		for _, sr := range series {
+			vals := make([]float64, len(sr.Points))
+			for j, p := range sr.Points {
+				vals[j] = p.Value
+			}
+			fmt.Fprintf(c.out, "  %-40s %12.3f  %s\n", labelsColumn(sr.Labels), sr.Value, sparkline(vals))
+		}
+	}
+	return nil
+}
+
+// sloTable renders GET /slo as one row per burn-rate page.
+func (c *client) sloTable() error {
+	resp, err := c.http.Get(c.base + "/slo")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.prettyPrint(resp.Body)
+	}
+	var rules []struct {
+		Rule struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"rule"`
+		Pages []struct {
+			Page        string  `json:"page"`
+			ShortWindow string  `json:"short_window"`
+			LongWindow  string  `json:"long_window"`
+			Threshold   float64 `json:"threshold"`
+			ShortBurn   float64 `json:"short_burn"`
+			LongBurn    float64 `json:"long_burn"`
+			Firing      bool    `json:"firing"`
+		} `json:"pages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rules); err != nil {
+		return err
+	}
+	if len(rules) == 0 {
+		fmt.Fprintln(c.out, "no SLO rules configured")
+		return nil
+	}
+	fmt.Fprintf(c.out, "%-20s %-14s %-5s %-10s %10s %10s %10s %7s\n",
+		"rule", "kind", "page", "windows", "short-burn", "long-burn", "threshold", "state")
+	for _, r := range rules {
+		for _, p := range r.Pages {
+			state := "ok"
+			if p.Firing {
+				state = "FIRING"
+			}
+			fmt.Fprintf(c.out, "%-20s %-14s %-5s %-10s %10.2f %10.2f %10.2f %7s\n",
+				r.Rule.Name, r.Rule.Kind, p.Page, p.ShortWindow+"/"+p.LongWindow,
+				p.ShortBurn, p.LongBurn, p.Threshold, state)
+		}
+	}
+	return nil
+}
+
+// alertsTable renders GET /alerts: firing pages first, then the
+// transition history (oldest first).
+func (c *client) alertsTable() error {
+	resp, err := c.http.Get(c.base + "/alerts")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.prettyPrint(resp.Body)
+	}
+	var reply struct {
+		Active []struct {
+			Rule      string  `json:"rule"`
+			Page      string  `json:"page"`
+			SinceMs   float64 `json:"since_ms"`
+			ShortBurn float64 `json:"short_burn"`
+			LongBurn  float64 `json:"long_burn"`
+			Threshold float64 `json:"threshold"`
+		} `json:"active"`
+		History []struct {
+			AtMs     float64 `json:"at_ms"`
+			Type     string  `json:"type"`
+			Function string  `json:"function"`
+			Worker   string  `json:"worker"`
+			Detail   string  `json:"detail"`
+		} `json:"history"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return err
+	}
+	if len(reply.Active) == 0 {
+		fmt.Fprintln(c.out, "no alerts firing")
+	} else {
+		fmt.Fprintf(c.out, "%-20s %-5s %12s %10s %10s %10s\n",
+			"rule", "page", "since", "short-burn", "long-burn", "threshold")
+		for _, a := range reply.Active {
+			fmt.Fprintf(c.out, "%-20s %-5s %12s %10.2f %10.2f %10.2f\n",
+				a.Rule, a.Page, fmtMs(a.SinceMs), a.ShortBurn, a.LongBurn, a.Threshold)
+		}
+	}
+	if len(reply.History) > 0 {
+		fmt.Fprintf(c.out, "history:\n")
+		for _, ev := range reply.History {
+			fmt.Fprintf(c.out, "  %12s %-14s %-20s %-5s %s\n",
+				fmtMs(ev.AtMs), ev.Type, ev.Function, ev.Worker, ev.Detail)
+		}
+	}
+	return nil
+}
+
+// topFrame is one machine-readable dashboard frame (`top -json`).
+type topFrame struct {
+	Invocations float64           `json:"invocations"`
+	Pending     float64           `json:"pending"`
+	ThroughputM float64           `json:"throughput_per_min,omitempty"`
+	P50S        float64           `json:"latency_p50_s"`
+	P99S        float64           `json:"latency_p99_s"`
+	PowerW      float64           `json:"power_w,omitempty"`
+	EnergyJ     float64           `json:"energy_j,omitempty"`
+	Stolen      float64           `json:"stolen,omitempty"`
+	Functions   []topFunctionJSON `json:"functions"`
+}
+
+// topFunctionJSON is one function's row inside a topFrame.
+type topFunctionJSON struct {
+	Function string  `json:"function"`
+	OK       float64 `json:"ok"`
+	Errors   float64 `json:"errors"`
+	JoulesPF float64 `json:"joules_per_function,omitempty"`
+}

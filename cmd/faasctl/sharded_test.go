@@ -167,6 +167,40 @@ func TestWorkersTableShardColumn(t *testing.T) {
 	}
 }
 
+// TestTopAggregatesShardLabels drives traffic through a sharded plane
+// and checks top is label-aware: the merged /metrics exposition splits
+// every family into shard-labeled series, and the dashboard sums them
+// into one cluster view — one total, one row per function, never one
+// row per shard.
+func TestTopAggregatesShardLabels(t *testing.T) {
+	c, out := startShardedStack(t)
+	for i := 0; i < 8; i++ {
+		body := `{"rounds":2,"seed":"agg"}`
+		if err := c.run([]string{"invoke", "CascSHA", body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Reset()
+	if err := c.top(time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "invocations 8") {
+		t.Fatalf("top did not sum shard-labeled counters:\n%s", got)
+	}
+	if n := strings.Count(got, "CascSHA"); n != 1 {
+		t.Fatalf("CascSHA rendered %d rows, want one summed row:\n%s", n, got)
+	}
+	if !strings.Contains(got, "       8       0") {
+		t.Fatalf("function row does not sum ok across shards:\n%s", got)
+	}
+	// The health line renders distinct worker ids (shards reuse the same
+	// "live-NNN" names, so the two shards' partitions fold together).
+	if !strings.Contains(got, "workers: live-000") {
+		t.Fatalf("workers line missing:\n%s", got)
+	}
+}
+
 // TestMultiGatewayAggregation points one client at two independent
 // unsharded gateways (the -gateway comma-list path) and checks workers
 // and top merge both clusters' views.

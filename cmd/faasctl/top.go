@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -31,7 +32,13 @@ func (c *client) top(interval time.Duration, iterations int) error {
 		}
 		now := time.Now()
 		total := samples.Sum("microfaas_function_invocations_total")
-		c.renderTop(samples, total, prevTotal, now, prevAt)
+		if c.jsonOut {
+			if err := c.renderTopJSON(samples, total, prevTotal, now, prevAt); err != nil {
+				return err
+			}
+		} else {
+			c.renderTop(samples, total, prevTotal, now, prevAt)
+		}
 		prevTotal, prevAt = total, now
 	}
 	return nil
@@ -106,6 +113,38 @@ func (c *client) renderTop(samples telemetry.Samples, total, prevTotal float64, 
 		}
 	}
 	c.renderWorkers(samples)
+}
+
+// renderTopJSON writes one dashboard frame as a single JSON object —
+// `top -json` for scripts; one object per refresh (NDJSON when looping).
+func (c *client) renderTopJSON(samples telemetry.Samples, total, prevTotal float64, now, prevAt time.Time) error {
+	frame := topFrame{
+		Invocations: total,
+		Pending:     samples.Sum("microfaas_jobs_pending"),
+		P50S:        samples.HistogramQuantile("microfaas_invocation_latency_seconds", 0.50),
+		P99S:        samples.HistogramQuantile("microfaas_invocation_latency_seconds", 0.99),
+		PowerW:      samples.Sum("microfaas_cluster_power_watts"),
+		EnergyJ:     samples.Sum("microfaas_cluster_energy_joules_total"),
+		Stolen:      samples.Sum("microfaas_shard_stolen_total", "direction", "in"),
+		Functions:   []topFunctionJSON{},
+	}
+	if !prevAt.IsZero() && now.After(prevAt) {
+		frame.ThroughputM = (total - prevTotal) / now.Sub(prevAt).Minutes()
+	}
+	fns := samples.LabelValues("microfaas_function_invocations_total", "function")
+	sort.Strings(fns)
+	for _, fn := range fns {
+		row := topFunctionJSON{
+			Function: fn,
+			OK:       samples.Sum("microfaas_function_invocations_total", "function", fn, "result", "ok"),
+			Errors:   samples.Sum("microfaas_function_invocations_total", "function", fn, "result", "error"),
+		}
+		if joules := samples.Sum("microfaas_function_energy_joules_total", "function", fn); joules > 0 && row.OK+row.Errors > 0 {
+			row.JoulesPF = joules / (row.OK + row.Errors)
+		}
+		frame.Functions = append(frame.Functions, row)
+	}
+	return json.NewEncoder(c.out).Encode(frame)
 }
 
 // renderWorkers appends the per-worker health line. Busy, queue-depth, and

@@ -15,6 +15,12 @@
 // Dynamic power management (the MicroFaaS power manager) is opt-in:
 //
 //	microfaas-live -power-idle 30s -power-cap 12 -policy energy-aware
+//
+// Serve mode scrapes cluster telemetry into an embedded time-series
+// store (backing /query, /slo, and /alerts plus `faasctl watch`) and can
+// evaluate SLO burn-rate rules against it:
+//
+//	microfaas-live -slo examples/slo/rules.json -scrape-interval 2s
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"microfaas/internal/replay"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/tracing"
+	"microfaas/internal/tsdb"
 	"microfaas/internal/workload"
 )
 
@@ -60,6 +67,8 @@ func main() {
 	powerCap := flag.Float64("power-cap", 0, "cluster power budget in watts; bounds simultaneously powered workers (0 = no cap; requires -power-idle)")
 	powerMinUp := flag.Duration("power-minup", 0, "hysteresis: minimum time a woken worker stays powered (0 = powermgr default; requires -power-idle)")
 	policyFlag := flag.String("policy", "", "assignment policy: round-robin, random, least-loaded, or energy-aware (default: platform default; energy-aware pairs with -power-idle)")
+	sloPath := flag.String("slo", "", "SLO burn-rate rules (JSON) evaluated on every scrape in serve mode")
+	scrapeEvery := flag.Duration("scrape-interval", time.Second, "telemetry scrape cadence for the embedded time-series store (serve mode)")
 	flag.Parse()
 
 	opts := cluster.LiveOptions{
@@ -102,13 +111,21 @@ func main() {
 			SlowThreshold: 30 * time.Second,
 		})
 	}
-	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout, *pprofFlag); err != nil {
+	var slo []tsdb.Rule
+	if *sloPath != "" {
+		var err error
+		if slo, err = tsdb.LoadRules(*sloPath); err != nil {
+			fmt.Fprintln(os.Stderr, "microfaas-live:", err)
+			os.Exit(2)
+		}
+	}
+	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout, *pprofFlag, slo, *scrapeEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration, pprofOn bool) error {
+func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration) error {
 	l, err := cluster.StartLive(opts)
 	if err != nil {
 		return err
@@ -123,7 +140,7 @@ func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, s
 	if jobs > 0 {
 		return loadMode(os.Stdout, l, jobs, seed)
 	}
-	return serveMode(l, listen, drainTimeout, opts.Tracer, pprofOn)
+	return serveMode(l, listen, drainTimeout, opts.Tracer, pprofOn, slo, scrapeEvery)
 }
 
 // replayMode replays a CSV trace against the live cluster, compressing
@@ -188,13 +205,24 @@ func (a *argFiller) Submit(function string, _ []byte) int64 {
 	return a.orch.Submit(function, args)
 }
 
-func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, tracer *tracing.Tracer, pprofOn bool) error {
+func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, tracer *tracing.Tracer, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration) error {
+	// Serve mode carries the embedded time-series store: it scrapes the
+	// cluster's registry on the wall clock (the sim scrapes on the
+	// aggregator tick instead) and backs /query, /slo, and /alerts.
+	store := tsdb.New(tsdb.Config{Tracer: tracer})
+	if err := store.SetRules(slo); err != nil {
+		return err
+	}
+	store.AddSource("", l.Telemetry.Registry())
+	stopScrape := store.Start(l.Runtime.Now, scrapeEvery)
+	defer stopScrape()
 	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{
 		Timeout:     5 * time.Minute,
 		Mode:        "live",
 		Telemetry:   l.Telemetry,
 		Tracer:      tracer,
 		EnablePprof: pprofOn,
+		TSDB:        store,
 	})
 	if err != nil {
 		return err
@@ -208,6 +236,11 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, trace
 	fmt.Printf("  faasctl -gateway %s functions\n", addr)
 	fmt.Printf("  faasctl -gateway %s invoke CascSHA '{\"rounds\":1000,\"seed\":\"hi\"}'\n", addr)
 	fmt.Printf("  faasctl -gateway %s top\n", addr)
+	fmt.Printf("  faasctl -gateway %s watch microfaas_jobs_submitted_total\n", addr)
+	if len(slo) > 0 {
+		fmt.Printf("  faasctl -gateway %s slo\n", addr)
+		fmt.Printf("  faasctl -gateway %s alerts\n", addr)
+	}
 	if l.PowerMgr != nil {
 		fmt.Printf("  faasctl -gateway %s power\n", addr)
 	}

@@ -19,6 +19,8 @@
 //	       MicroFaaS run to the given file
 //	-trace write a Chrome trace_event dump (chrome://tracing, Perfetto)
 //	       of fig3's MicroFaaS run to the given file
+//	-slo   load SLO burn-rate rules (JSON) and print alert timelines;
+//	       supported by shardfailover and powermgmt
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"microfaas/internal/model"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/tracing"
+	"microfaas/internal/tsdb"
 )
 
 // options carries the parsed flags into the experiment dispatch.
@@ -45,6 +48,7 @@ type options struct {
 	promPath  string
 	tracePath string
 	asCSV     bool
+	slo       []tsdb.Rule
 }
 
 func main() {
@@ -55,6 +59,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write fig3 MicroFaaS trace CSV to this path")
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
+	sloPath := flag.String("slo", "", "SLO burn-rate rule file (JSON); shardfailover and powermgmt print alert timelines")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|shardedrack|shardfailover|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
@@ -72,6 +77,14 @@ func main() {
 	opts := options{n: *n, seed: *seed, parallel: *parallel, shards: *shards,
 		csvPath: *csvPath, promPath: *promPath,
 		tracePath: *tracePath, asCSV: *format == "csv"}
+	if *sloPath != "" {
+		rules, err := tsdb.LoadRules(*sloPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
+			os.Exit(2)
+		}
+		opts.slo = rules
+	}
 	if err := run(os.Stdout, flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-sim:", err)
 		os.Exit(1)
@@ -170,7 +183,7 @@ func run(out io.Writer, experiment string, opts options) error {
 		}
 		return experiments.WriteDiurnal(out, res)
 	case "powermgmt":
-		res, err := experiments.PowerMgmt(experiments.PowerMgmtConfig{Seed: seed, Parallel: par})
+		res, err := experiments.PowerMgmt(experiments.PowerMgmtConfig{Seed: seed, Parallel: par, SLO: opts.slo})
 		if err != nil {
 			return err
 		}
@@ -214,7 +227,7 @@ func run(out io.Writer, experiment string, opts options) error {
 		// control-plane hosts mid-run; the health checker drains their
 		// queues into survivors and re-homes their boards, losing nothing.
 		res, err := experiments.ShardFailover(experiments.ShardFailoverConfig{
-			Shards: opts.shards, Seed: seed, Parallel: par,
+			Shards: opts.shards, Seed: seed, Parallel: par, SLO: opts.slo,
 		})
 		if err != nil {
 			return err

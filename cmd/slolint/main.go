@@ -1,0 +1,73 @@
+// Command slolint validates SLO burn-rate rule files, run by
+// `make check` and CI. A rule file that parses but references a metric
+// the platform never emits would silently never fire; slolint turns
+// that into a build failure instead. For every file it checks:
+//
+//  1. The file parses as a JSON array of rules and every rule passes
+//     structural validation (known kind, parameter signs and ranges,
+//     window ordering) — the same checks the sim and live binaries run
+//     at load time.
+//  2. Every rule's effective metric (its override, or the kind's
+//     default) appears in the platform's metric catalogue.
+//  3. Rule names are unique within the file, so alert timelines and
+//     /slo rows stay unambiguous.
+//
+// Usage:
+//
+//	slolint <rules.json> [more.json ...]
+//
+// Exits non-zero listing every violation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"microfaas/internal/tsdb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run lints every named file and returns the process exit code.
+func run(paths []string, out, errOut io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(errOut, "usage: slolint <rules.json> [more.json ...]")
+		return 2
+	}
+	known := tsdb.KnownMetrics()
+	failed := false
+	for _, path := range paths {
+		if err := lintFile(path, known); err != nil {
+			fmt.Fprintf(errOut, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(out, "%s: ok\n", path)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// lintFile runs every check against one rule file.
+func lintFile(path string, known []string) error {
+	rules, err := tsdb.LoadRules(path)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if seen[r.Name] {
+			return fmt.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if err := r.ValidateMetric(known); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"microfaas/internal/sim"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
+	"microfaas/internal/tsdb"
 )
 
 // shardIDSpan is the job-id space reserved per shard (shard i's ids
@@ -49,6 +50,10 @@ type ShardedSim struct {
 	// PowerMgrs are the per-shard power managers (nil unless
 	// SimConfig.Power was set).
 	PowerMgrs []*powermgr.Manager
+	// SharedTelemetry is the registry passed in SimConfig.Telemetry: it
+	// carries only the cluster-wide power-meter gauges (each shard's
+	// metrics live in Telemetries). Nil when telemetry was disabled.
+	SharedTelemetry *telemetry.Telemetry
 
 	// down is the churn kill mask backing the membership probe (see
 	// churn.go); owner tracks which shard currently holds each board
@@ -73,7 +78,7 @@ func NewShardedMicroFaaSSim(shards, workersPerShard int, cfg SimConfig, scfg sha
 	engine := sim.NewEngine(cfg.Seed)
 	meter := power.NewMeter()
 	controller := gpio.NewController()
-	s := &ShardedSim{Engine: engine, Meter: meter, GPIO: controller}
+	s := &ShardedSim{Engine: engine, Meter: meter, GPIO: controller, SharedTelemetry: cfg.Telemetry}
 	registerMeterMetrics(cfg.Telemetry, meter, engine.Now)
 	for si := 0; si < shards; si++ {
 		var tel *telemetry.Telemetry
@@ -178,6 +183,29 @@ func NewShardedMicroFaaSSim(shards, workersPerShard int, cfg SimConfig, scfg sha
 	}
 	s.Plane = plane
 	return s, nil
+}
+
+// AttachTSDB points the store at every registry this cluster owns — the
+// plane's shard-labeled gauges, the shared power-meter registry, and
+// each shard's own registry under its shard label — and hooks the
+// store's Scrape onto the plane's aggregator tick, so samples land on
+// the same virtual-clock cadence as steal/rebalance decisions. Call
+// before submitting traffic; a nil store is a no-op and leaves the
+// plane's tick schedule byte-identical to an unobserved run.
+func (s *ShardedSim) AttachTSDB(store *tsdb.Store) {
+	if store == nil {
+		return
+	}
+	store.AddSource("", s.Plane.Registry())
+	if s.SharedTelemetry != nil {
+		store.AddSource("", s.SharedTelemetry.Registry())
+	}
+	for si, tel := range s.Telemetries {
+		if tel != nil {
+			store.AddSource(fmt.Sprintf("shard-%02d", si), tel.Registry())
+		}
+	}
+	s.Plane.SetTickHook(store.Scrape)
 }
 
 // Run drives the engine until every submitted job settles, returning an

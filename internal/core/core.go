@@ -896,6 +896,7 @@ func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte
 	job.Trace = o.tracer.StartTrace(function, id, function, job.SubmittedAt)
 	o.spanMarker(job, tracing.PhaseSubmit, "", job.SubmittedAt, "")
 	o.m.submitted.Inc()
+	o.noteSubmittedLocked(function)
 	o.emit(telemetry.EventSubmit, job, "", "")
 	o.pushJobLocked(s, job, "")
 	if cb != nil {

@@ -18,6 +18,7 @@ const (
 	metricBreaker     = "microfaas_breaker_transitions_total"
 	metricInvocations = "microfaas_function_invocations_total"
 	metricLatency     = "microfaas_invocation_latency_seconds"
+	metricFnSubmitted = "microfaas_function_submitted_total"
 )
 
 // orchMetrics holds the orchestrator's pre-created metric handles. Every
@@ -29,6 +30,9 @@ type orchMetrics struct {
 	pending   *telemetry.Gauge
 	retries   *telemetry.Counter
 	latency   *telemetry.Histogram
+	// per-function submission counters, filled lazily on first submit
+	// so the family only carries functions the workload actually uses
+	fnSubmitted map[string]*telemetry.Counter
 	// per-worker series, keyed by worker id
 	queueDepth map[string]*telemetry.Gauge
 	busy       map[string]*telemetry.Gauge
@@ -51,10 +55,11 @@ func (o *Orchestrator) initTelemetry(tel *telemetry.Telemetry) {
 		latency: reg.Histogram(metricLatency,
 			"End-to-end latency of successful invocations (submit to final result).",
 			telemetry.LogBuckets(0.001, 60, 14)),
-		queueDepth: make(map[string]*telemetry.Gauge, len(o.slots)),
-		busy:       make(map[string]*telemetry.Gauge, len(o.slots)),
-		attempts:   make(map[string]map[string]*telemetry.Counter, len(o.slots)),
-		breakerTo:  make(map[string]map[string]*telemetry.Counter, len(o.slots)),
+		fnSubmitted: make(map[string]*telemetry.Counter),
+		queueDepth:  make(map[string]*telemetry.Gauge, len(o.slots)),
+		busy:        make(map[string]*telemetry.Gauge, len(o.slots)),
+		attempts:    make(map[string]map[string]*telemetry.Counter, len(o.slots)),
+		breakerTo:   make(map[string]map[string]*telemetry.Counter, len(o.slots)),
 	}
 	for _, s := range o.slots {
 		o.initWorkerTelemetry(s.id)
@@ -92,6 +97,23 @@ func (o *Orchestrator) emit(typ string, job Job, worker, detail string) {
 		return
 	}
 	o.tel.Emit(o.runtime.Now(), typ, job.ID, job.Function, worker, job.Attempt, detail)
+}
+
+// noteSubmittedLocked bumps the per-function submission counter — the
+// arrival-rate tracker's source series. Caller holds o.mu, which also
+// serializes the lazy map fill.
+func (o *Orchestrator) noteSubmittedLocked(function string) {
+	if o.tel == nil {
+		return
+	}
+	c, ok := o.m.fnSubmitted[function]
+	if !ok {
+		c = o.tel.Registry().Counter(metricFnSubmitted,
+			"Jobs submitted per function (before scheduling or retries).",
+			"function", function)
+		o.m.fnSubmitted[function] = c
+	}
+	c.Inc()
 }
 
 // noteAttemptMetrics records one finished attempt's outcome series.

@@ -11,6 +11,8 @@ import (
 	"microfaas/internal/power"
 	"microfaas/internal/powermgr"
 	"microfaas/internal/replay"
+	"microfaas/internal/telemetry"
+	"microfaas/internal/tsdb"
 )
 
 // PowerMgmt measures what the dynamic power manager buys over the static
@@ -69,6 +71,9 @@ type PowerMgmtArm struct {
 	// PWR_BUT presses. Per-job pays one per invocation; managed pays one
 	// per wake.
 	PowerOns int
+	// Alerts is the SLO alert timeline over the diurnal trace. Non-nil
+	// exactly when the run had SLO rules.
+	Alerts []telemetry.Event
 }
 
 // PowerMgmtConfig sizes the experiment.
@@ -85,6 +90,15 @@ type PowerMgmtConfig struct {
 	// Parallel bounds the worker pool (<=0 = GOMAXPROCS, 1 = serial). All
 	// levels × arms fan through it; output is identical at any value.
 	Parallel int
+	// SLO, when set, enables telemetry plus an embedded time-series
+	// store sampling on a fixed virtual-clock cadence (SLOInterval) and
+	// reports each arm's alert timeline across the diurnal trace. Nil
+	// keeps the run byte-identical to an unobserved one.
+	SLO []tsdb.Rule
+	// SLOInterval is the scrape cadence for SLO runs (default 5s; the
+	// unsharded sim has no aggregator tick to piggyback on, so scrapes
+	// are pre-scheduled across the trace).
+	SLOInterval time.Duration
 }
 
 // PowerMgmt runs the three-way power-policy comparison across the
@@ -130,9 +144,13 @@ func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
 			Invocations: len(sched),
 		}
 	}
+	sloEvery := cfg.SLOInterval
+	if sloEvery <= 0 {
+		sloEvery = 5 * time.Second
+	}
 	arms := []string{"per-job", "always-on", "managed"}
 	runs, err := RunParallel(Parallelism(cfg.Parallel), len(levels)*len(arms), func(i int) (PowerMgmtArm, error) {
-		return runPowerArm(arms[i%len(arms)], scheds[i/len(arms)], day, cfg.Seed, idle)
+		return runPowerArm(arms[i%len(arms)], scheds[i/len(arms)], day, cfg.Seed, idle, cfg.SLO, sloEvery)
 	})
 	if err != nil {
 		return PowerMgmtResult{}, err
@@ -152,7 +170,7 @@ func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
 
 // runPowerArm replays one trace into one power-policy arm and summarizes
 // its energy bill.
-func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int64, idle time.Duration) (PowerMgmtArm, error) {
+func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int64, idle time.Duration, slo []tsdb.Rule, sloEvery time.Duration) (PowerMgmtArm, error) {
 	cfg := cluster.SimConfig{Seed: seed}
 	switch arm {
 	case "always-on":
@@ -161,9 +179,26 @@ func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int6
 		cfg.Power = &powermgr.Policy{IdleTimeout: idle}
 		cfg.Policy = core.AssignEnergyAware
 	}
+	var store *tsdb.Store
+	if slo != nil {
+		cfg.Telemetry = telemetry.New()
+	}
 	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cfg)
 	if err != nil {
 		return PowerMgmtArm{}, err
+	}
+	if slo != nil {
+		store = tsdb.New(tsdb.Config{})
+		if err := store.SetRules(slo); err != nil {
+			return PowerMgmtArm{}, err
+		}
+		store.AddSource("", cfg.Telemetry.Registry())
+		// No aggregator tick to piggyback on in an unsharded sim:
+		// pre-schedule the scrape cadence across the whole trace.
+		for t := sloEvery; t <= day; t += sloEvery {
+			at := t
+			s.Engine.At(at, func() { store.Scrape(at) })
+		}
 	}
 	if _, err := replay.Feed(core.SimRuntime{Engine: s.Engine}, s.Orch, sched); err != nil {
 		return PowerMgmtArm{}, err
@@ -192,6 +227,12 @@ func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int6
 			out.PowerOns++
 		}
 	}
+	if store != nil {
+		out.Alerts = store.AlertHistory()
+		if out.Alerts == nil {
+			out.Alerts = []telemetry.Event{}
+		}
+	}
 	return out, nil
 }
 
@@ -214,6 +255,17 @@ func WritePowerMgmt(w io.Writer, r PowerMgmtResult) error {
 			if _, err := fmt.Fprintf(w, "  %-5.0f%% %-9s %10d %11.2f %10.3f %12s %9d %8s\n",
 				100*lv.Utilization, arm.Name, arm.Completed, arm.JoulesPer, arm.MeanPowerW,
 				arm.MeanLatency.Round(time.Millisecond), arm.PowerOns, savings); err != nil {
+				return err
+			}
+		}
+	}
+	for _, lv := range r.Levels {
+		for _, arm := range []PowerMgmtArm{lv.PerJob, lv.AlwaysOn, lv.Managed} {
+			if arm.Alerts == nil {
+				continue
+			}
+			name := fmt.Sprintf("%.0f%% %s", 100*lv.Utilization, arm.Name)
+			if err := WriteAlertTimeline(w, name, arm.Alerts); err != nil {
 				return err
 			}
 		}

@@ -11,6 +11,8 @@ import (
 	"microfaas/internal/core"
 	"microfaas/internal/model"
 	"microfaas/internal/shard"
+	"microfaas/internal/telemetry"
+	"microfaas/internal/tsdb"
 )
 
 // ShardFailover measures what dynamic shard membership costs and what
@@ -48,6 +50,11 @@ type ShardFailoverConfig struct {
 	// Parallel bounds the worker pool running arms across cores
 	// (<=0 = GOMAXPROCS, 1 = serial).
 	Parallel int
+	// SLO, when set, enables per-shard telemetry plus an embedded
+	// time-series store scraping on the aggregator tick, evaluates these
+	// rules on every scrape, and reports each arm's alert timeline. Nil
+	// keeps the run (and its output) byte-identical to an unobserved one.
+	SLO []tsdb.Rule
 }
 
 // ShardFailoverArm is one arm's aggregate result.
@@ -72,6 +79,9 @@ type ShardFailoverArm struct {
 	JoulesPerFunc float64
 	// MakespanS is the arm's virtual duration in seconds.
 	MakespanS float64
+	// Alerts is the SLO alert timeline (firing/resolved transitions in
+	// virtual-clock order). Non-nil exactly when the run had SLO rules.
+	Alerts []telemetry.Event
 }
 
 // ShardFailoverResult is the two-arm comparison.
@@ -151,12 +161,24 @@ func runShardFailoverArm(cfg ShardFailoverConfig, churn bool, victims []int, kil
 			OnDeath: func(int) { arm.Deaths++ },
 		}
 	}
-	s, err := cluster.NewShardedMicroFaaSSim(cfg.Shards, cfg.WorkersPerShard, cluster.SimConfig{
+	simCfg := cluster.SimConfig{
 		Seed:   seed,
 		Policy: core.AssignLeastLoaded,
-	}, scfg)
+	}
+	if cfg.SLO != nil {
+		simCfg.Telemetry = telemetry.New()
+	}
+	s, err := cluster.NewShardedMicroFaaSSim(cfg.Shards, cfg.WorkersPerShard, simCfg, scfg)
 	if err != nil {
 		return ShardFailoverArm{}, err
+	}
+	var store *tsdb.Store
+	if cfg.SLO != nil {
+		store = tsdb.New(tsdb.Config{})
+		if err := store.SetRules(cfg.SLO); err != nil {
+			return ShardFailoverArm{}, err
+		}
+		s.AttachTSDB(store)
 	}
 	fns := model.Functions()
 	settled := 0
@@ -178,6 +200,17 @@ func runShardFailoverArm(cfg ShardFailoverConfig, churn bool, victims []int, kil
 		// not one simultaneous blackout.
 		for i, si := range victims {
 			s.ScheduleKill(killAt+time.Duration(i)*shard.DefaultStealInterval, si)
+		}
+	}
+	if store != nil {
+		// Tick-hook scrapes stop with the ticks once the backlog drains;
+		// keep sampling past the horizon so the SLO engine sees the
+		// recovered windows and records the resolution (3× covers a
+		// saturated run's drain tail plus the longest demo window).
+		// Same-instant overlaps with tick scrapes are no-ops.
+		for t := horizon; t <= 3*horizon; t += 500 * time.Millisecond {
+			at := t
+			s.Engine.At(at, func() { store.Scrape(at) })
 		}
 	}
 	if err := s.Run(); err != nil {
@@ -216,6 +249,12 @@ func runShardFailoverArm(cfg ShardFailoverConfig, churn bool, victims []int, kil
 	if arm.PrePerMin > 0 {
 		arm.Recovery = arm.PostPerMin / arm.PrePerMin
 	}
+	if store != nil {
+		arm.Alerts = store.AlertHistory()
+		if arm.Alerts == nil {
+			arm.Alerts = []telemetry.Event{}
+		}
+	}
 	return arm, nil
 }
 
@@ -229,6 +268,34 @@ func WriteShardFailover(w io.Writer, r ShardFailoverResult) error {
 	for _, a := range r.Arms {
 		if _, err := fmt.Fprintf(w, "  %-9s %9d %5d %7d %9d %9.0f %9.0f %9.3f %9.2f %8.2f\n",
 			a.Name, a.Accepted, a.Lost, a.Deaths, a.Stolen, a.PrePerMin, a.PostPerMin, a.Recovery, a.P99S, a.JoulesPerFunc); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Arms {
+		if a.Alerts == nil {
+			continue
+		}
+		if err := WriteAlertTimeline(w, a.Name, a.Alerts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAlertTimeline prints one arm's SLO alert transitions in
+// virtual-clock order (or a "(none)" marker, so a run with rules but no
+// transitions is visibly distinct from a run without rules).
+func WriteAlertTimeline(w io.Writer, arm string, alerts []telemetry.Event) error {
+	if _, err := fmt.Fprintf(w, "  %s alert timeline:\n", arm); err != nil {
+		return err
+	}
+	if len(alerts) == 0 {
+		_, err := fmt.Fprintln(w, "    (none)")
+		return err
+	}
+	for _, ev := range alerts {
+		if _, err := fmt.Fprintf(w, "    t=%7.2fs %-14s %-20s %-5s %s\n",
+			ev.AtMs/1000, ev.Type, ev.Function, ev.Worker, ev.Detail); err != nil {
 			return err
 		}
 	}

@@ -14,7 +14,13 @@
 //	POST /power/cap        {"cap_w": N} adjusts the cluster power cap (0 removes it)
 //	GET  /healthz          liveness probe: mode, uptime, build version
 //	GET  /metrics          Prometheus text exposition (telemetry-enabled servers)
-//	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N)
+//	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N;
+//	                       sharded gateways merge every shard's ring and cursor with a
+//	                       comma-separated per-shard sequence vector)
+//	GET  /query            windowed time-series query (?metric=&op=&q=&window=&label=k=v
+//	                       &range=1; ?format=ndjson streams raw samples instead)
+//	GET  /slo              every SLO rule's fast/slow burn-rate page state
+//	GET  /alerts           currently-firing pages plus the alert transition history
 //	GET  /traces           per-invocation trace summaries (?job=N | ?slowest=N | ?limit=N;
 //	                       ?format=chrome|ndjson streams a raw export instead)
 //	GET  /traces/{id}      one trace's critical-path breakdown plus its raw spans
@@ -49,6 +55,7 @@ import (
 	"microfaas/internal/telemetry"
 	"microfaas/internal/trace"
 	"microfaas/internal/tracing"
+	"microfaas/internal/tsdb"
 	"microfaas/internal/version"
 	"microfaas/internal/workload"
 )
@@ -129,6 +136,9 @@ type Options struct {
 	// both routes answer 404. Usually the same tracer wired into the
 	// cluster behind the orchestrator.
 	Tracer *tracing.Tracer
+	// TSDB, when set, backs GET /query, GET /slo, and GET /alerts.
+	// Without it all three answer 404.
+	TSDB *tsdb.Store
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: the profiler exposes heap and goroutine internals, so it is
 	// strictly opt-in).
@@ -174,6 +184,7 @@ type Server struct {
 	shardID string
 	tel     *telemetry.Telemetry
 	tracer  *tracing.Tracer
+	tsdb    *tsdb.Store
 	pprof   bool
 	start   time.Time
 
@@ -238,6 +249,7 @@ func newServer(opts Options) *Server {
 		shardID: opts.ShardID,
 		tel:     opts.Telemetry,
 		tracer:  opts.Tracer,
+		tsdb:    opts.TSDB,
 		pprof:   opts.EnablePprof,
 		start:   time.Now(),
 		pending: make(map[int64]time.Time),
@@ -261,6 +273,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/traces/", s.handleTraceByID)
 	if s.pprof {
@@ -307,10 +322,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents serves the lifecycle-event ring. ?since=SEQ returns events
 // strictly newer than SEQ (default: everything retained); ?max=N caps the
-// page size (default 256, at most 4096).
+// page size (default 256, at most 4096). A gateway fronting a whole plane
+// merges every shard's ring instead (see handleShardedEvents) — there
+// ?since= is the comma-separated cursor the previous page returned.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	max := 256
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad max: "+v)
+			return
+		}
+		max = n
+	}
+	if max > 4096 {
+		max = 4096
+	}
+	if s.plane != nil {
+		s.handleShardedEvents(w, r, r.URL.Query().Get("since"), max)
 		return
 	}
 	if s.tel == nil {
@@ -325,18 +358,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		since = n
-	}
-	max := 256
-	if v := r.URL.Query().Get("max"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, "bad max: "+v)
-			return
-		}
-		max = n
-	}
-	if max > 4096 {
-		max = 4096
 	}
 	events, gap, last := s.tel.Events().Page(since, max)
 	if events == nil {

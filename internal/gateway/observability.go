@@ -1,0 +1,231 @@
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"microfaas/internal/telemetry"
+	"microfaas/internal/tsdb"
+)
+
+// QueryResponse is the GET /query reply: the evaluated query echoed
+// back plus one result per matching series (shard labels included —
+// the store scrapes every shard's registry, so a sharded gateway's
+// /query is already the merged cross-shard view).
+type QueryResponse struct {
+	Metric string              `json:"metric"`
+	Op     string              `json:"op"`
+	Series []tsdb.SeriesResult `json:"series"`
+}
+
+// AlertsResponse is the GET /alerts reply: the pages firing right now
+// plus the retained firing/resolved transition history (oldest first).
+type AlertsResponse struct {
+	Active  []tsdb.Alert      `json:"active"`
+	History []telemetry.Event `json:"history"`
+}
+
+// handleQuery serves GET /query against the embedded time-series
+// store. Parameters: metric (required), op (last|avg|min|max|increase|
+// rate|quantile, default last), q (quantile in [0,1]), window (Go
+// duration, default 1m), label=k=v (repeatable matcher), range=1
+// (include the window's points), format=ndjson (stream the matching
+// raw samples as NDJSON instead of evaluating the op).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.tsdb == nil {
+		writeError(w, http.StatusNotFound, "time-series store disabled on this gateway")
+		return
+	}
+	params := r.URL.Query()
+	q := tsdb.Query{
+		Metric: params.Get("metric"),
+		Op:     tsdb.Op(params.Get("op")),
+		Range:  params.Get("range") != "",
+	}
+	if v := params.Get("q"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad q: "+v)
+			return
+		}
+		q.Q = f
+	}
+	if v := params.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad window: "+v)
+			return
+		}
+		q.Window = d
+	}
+	for _, pair := range params["label"] {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			writeError(w, http.StatusBadRequest, "bad label matcher (want k=v): "+pair)
+			return
+		}
+		if q.Match == nil {
+			q.Match = map[string]string{}
+		}
+		q.Match[k] = v
+	}
+	if params.Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.tsdb.WriteNDJSON(w, q.Metric, q.Match, q.Window) //nolint:errcheck // peer gone: nothing to do
+		return
+	}
+	series, err := s.tsdb.Query(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	op := string(q.Op)
+	if op == "" {
+		op = string(tsdb.OpLast)
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Metric: q.Metric, Op: op, Series: series})
+}
+
+// handleSLO serves GET /slo: every configured objective's fast and slow
+// burn-rate pages as of the last scrape.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.tsdb == nil {
+		writeError(w, http.StatusNotFound, "time-series store disabled on this gateway")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tsdb.SLOStatus())
+}
+
+// handleAlerts serves GET /alerts: currently-firing pages plus the
+// retained transition history.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.tsdb == nil {
+		writeError(w, http.StatusNotFound, "time-series store disabled on this gateway")
+		return
+	}
+	resp := AlertsResponse{Active: s.tsdb.ActiveAlerts(), History: s.tsdb.AlertHistory()}
+	if resp.History == nil {
+		resp.History = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ShardEvent is one lifecycle event in the sharded /events reply,
+// tagged with the shard whose log it came from.
+type ShardEvent struct {
+	telemetry.Event
+	Shard string `json:"shard"`
+}
+
+// ShardedEventsResponse is the GET /events reply on a gateway fronting
+// a whole plane. Cursor is a comma-separated per-shard sequence vector
+// (ring order); pass it back as ?since= to poll incrementally — each
+// shard's event log numbers independently, so a single integer cannot
+// cursor the merged stream. Dropped sums every shard's ring-overwrite
+// gap past the cursor.
+type ShardedEventsResponse struct {
+	Events  []ShardEvent `json:"events"`
+	Cursor  string       `json:"cursor"`
+	Dropped int64        `json:"dropped"`
+}
+
+// handleShardedEvents merges every shard's event ring into one page:
+// per-shard Page() reads, then a deterministic merge ordered by
+// (timestamp, shard index, sequence). The returned cursor carries each
+// shard's last included sequence, so a truncated page resumes exactly
+// where it stopped.
+func (s *Server) handleShardedEvents(w http.ResponseWriter, r *http.Request, since string, max int) {
+	shards := s.plane.Shards()
+	cursors := make([]int64, len(shards))
+	for i := range cursors {
+		cursors[i] = -1
+	}
+	if since != "" {
+		parts := strings.Split(since, ",")
+		if len(parts) == 1 {
+			// A single integer (e.g. -1) applies to every shard.
+			n, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad since: "+since)
+				return
+			}
+			for i := range cursors {
+				cursors[i] = n
+			}
+		} else {
+			if len(parts) != len(shards) {
+				writeError(w, http.StatusBadRequest,
+					"bad since: cursor has "+strconv.Itoa(len(parts))+" fields, plane has "+strconv.Itoa(len(shards))+" shards")
+				return
+			}
+			for i, p := range parts {
+				n, err := strconv.ParseInt(p, 10, 64)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "bad since: "+since)
+					return
+				}
+				cursors[i] = n
+			}
+		}
+	}
+	labels := s.plane.Labels()
+	merged := []ShardEvent{}
+	var dropped int64
+	for si, o := range shards {
+		tel := o.Telemetry()
+		if tel == nil {
+			continue
+		}
+		events, gap, _ := tel.Events().Page(cursors[si], max)
+		dropped += gap
+		for _, ev := range events {
+			merged = append(merged, ShardEvent{Event: ev, Shard: labels[si]})
+		}
+	}
+	shardIdx := make(map[string]int, len(labels))
+	for i, l := range labels {
+		shardIdx[l] = i
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.AtMs != b.AtMs {
+			return a.AtMs < b.AtMs
+		}
+		if a.Shard != b.Shard {
+			return shardIdx[a.Shard] < shardIdx[b.Shard]
+		}
+		return a.Seq < b.Seq
+	})
+	if len(merged) > max {
+		merged = merged[:max]
+	}
+	for _, ev := range merged {
+		if si, ok := shardIdx[ev.Shard]; ok && ev.Seq > cursors[si] {
+			cursors[si] = ev.Seq
+		}
+	}
+	parts := make([]string, len(cursors))
+	for i, c := range cursors {
+		parts[i] = strconv.FormatInt(c, 10)
+	}
+	writeJSON(w, http.StatusOK, ShardedEventsResponse{
+		Events:  merged,
+		Cursor:  strings.Join(parts, ","),
+		Dropped: dropped,
+	})
+}

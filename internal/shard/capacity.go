@@ -16,9 +16,10 @@ import "microfaas/internal/core"
 // byte-identically.
 
 // armTick schedules the next aggregator tick unless one is pending, the
-// aggregator is disabled, or the plane is closed.
+// aggregator is disabled (no steal, no rebalance, no membership, and no
+// tick hook), or the plane is closed.
 func (p *Plane) armTick() {
-	if !p.cfg.Steal.Enabled && !p.cfg.Rebalance.Enabled && !p.cfg.Membership.Enabled {
+	if !p.cfg.Steal.Enabled && !p.cfg.Rebalance.Enabled && !p.cfg.Membership.Enabled && !p.hookSet.Load() {
 		return
 	}
 	p.mu.Lock()
@@ -42,6 +43,7 @@ func (p *Plane) tick() {
 	p.tickArmed = false
 	p.cancelTick = nil
 	p.ticks++
+	hook := p.tickHook
 	p.mu.Unlock()
 
 	if p.cfg.Membership.Enabled {
@@ -64,6 +66,11 @@ func (p *Plane) tick() {
 	}
 	if p.cfg.Rebalance.Enabled {
 		p.rebalanceTick(queued, totalQ)
+	}
+	// Scrape hook last, so the queue-depth gauges and steal counters this
+	// tick just updated are sampled fresh.
+	if hook != nil {
+		hook(p.runtime.Now())
 	}
 	// Re-arm only while jobs are in flight (the next Submit re-arms an
 	// idle plane — without this guard RunAll on a sim engine would never

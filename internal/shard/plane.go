@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microfaas/internal/core"
@@ -103,6 +104,27 @@ type Plane struct {
 	tickArmed   bool
 	cancelTick  func()
 	closed      bool
+
+	// tickHook runs at the end of every aggregator tick (the embedded
+	// time-series store's scrape cadence); hookSet mirrors it so the
+	// armTick fast path can check without taking mu.
+	tickHook func(time.Duration)
+	hookSet  atomic.Bool
+}
+
+// SetTickHook registers fn to run at the end of every capacity-
+// aggregator tick, passed the tick's clock offset — the sampling
+// cadence the embedded time-series store (internal/tsdb) scrapes on.
+// A hook arms the tick even when stealing, rebalancing, and membership
+// are all disabled, but re-arm semantics are unchanged: ticks only
+// self-schedule while work is in flight, so a hooked idle plane still
+// lets a discrete-event simulation run out of events and terminate.
+// Set the hook before submitting traffic; a nil fn clears it.
+func (p *Plane) SetTickHook(fn func(now time.Duration)) {
+	p.mu.Lock()
+	p.tickHook = fn
+	p.mu.Unlock()
+	p.hookSet.Store(fn != nil)
 }
 
 // ShardStatus is one shard's capacity snapshot, as served by the

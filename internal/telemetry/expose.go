@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,18 +31,7 @@ func (r *Registry) WritePrometheusLabeled(w io.Writer, labelName, labelValue str
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
-	for _, name := range names {
-		fams = append(fams, r.families[name])
-	}
-	r.mu.Unlock()
-	for _, f := range fams {
+	for _, f := range r.sortedFamilies() {
 		if err := f.write(w, labelName, labelValue); err != nil {
 			return err
 		}

@@ -73,6 +73,13 @@ func FuzzParseMetrics(f *testing.F) {
 	// A line over MaxLineBytes: must surface LineTooLongError with the
 	// preceding samples intact, never a silent whole-document failure.
 	f.Add("before_wall 1\nhuge{x=\"" + strings.Repeat("a", MaxLineBytes+1) + "\"} 2\n")
+	// Shard-labeled lines, as WritePrometheusLabeled emits them: the same
+	// series name split across shard label values, histogram buckets with
+	// the injected label next to le, and escapes inside label values.
+	f.Add("jobs_total{function=\"CascSHA\",result=\"ok\",shard=\"shard-00\"} 3\njobs_total{function=\"CascSHA\",result=\"ok\",shard=\"shard-01\"} 4\n")
+	f.Add("lat_seconds_bucket{mode=\"sim\",shard=\"shard-00\",le=\"0.5\"} 1\nlat_seconds_bucket{mode=\"sim\",shard=\"shard-00\",le=\"+Inf\"} 2\nlat_seconds_sum{mode=\"sim\",shard=\"shard-00\"} 0.7\nlat_seconds_count{mode=\"sim\",shard=\"shard-00\"} 2\n")
+	f.Add("esc{shard=\"sh\\\"ard\\\\00\\nline\"} 1\n")
+	f.Add("dup{a=\"x\",a=\"y\"} 1\n") // duplicate label key
 
 	f.Fuzz(func(t *testing.T, text string) {
 		ss, err := ParseText(strings.NewReader(text))

@@ -254,7 +254,7 @@ func (ss Samples) HistogramQuantile(name string, q float64, kv ...string) float6
 	if len(bounds) == 0 || total == 0 {
 		return 0
 	}
-	return quantileFromCumulative(bounds, counts, total, q)
+	return QuantileFromCumulative(bounds, counts, total, q)
 }
 
 func matchLabels(have map[string]string, kv []string) bool {

@@ -325,13 +325,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	h.child.mu.Lock()
 	defer h.child.mu.Unlock()
-	return quantileFromCumulative(h.child.bucketBounds, h.child.counts, h.child.count, q)
+	return QuantileFromCumulative(h.child.bucketBounds, h.child.counts, h.child.count, q)
 }
 
-// quantileFromCumulative resolves q over cumulative le-bucket counts.
-// Samples landing only in the +Inf bucket report the highest finite
-// bound (the same convention Prometheus's histogram_quantile uses).
-func quantileFromCumulative(bounds []float64, cumulative []uint64, total uint64, q float64) float64 {
+// QuantileFromCumulative resolves quantile q over cumulative le-bucket
+// counts: bounds are the finite bucket upper bounds, cumulative the
+// per-bucket cumulative counts (the +Inf bucket last), total the
+// observation count. Samples landing only in the +Inf bucket report
+// the highest finite bound (the same convention Prometheus's
+// histogram_quantile uses). Shared by Histogram.Quantile,
+// Samples.HistogramQuantile, and the tsdb quantile_over_time op.
+func QuantileFromCumulative(bounds []float64, cumulative []uint64, total uint64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}

@@ -229,3 +229,69 @@ func TestParseRoundTrip(t *testing.T) {
 		t.Fatalf("label values = %v", fns)
 	}
 }
+
+// TestLabeledExpositionRoundTrip closes the loop a sharded gateway
+// depends on: WritePrometheusLabeled injects a shard label into every
+// sample line — escapes and all — and ParseText recovers the exact
+// label set, so per-shard series stay distinct and aggregate with Sum.
+func TestLabeledExpositionRoundTrip(t *testing.T) {
+	// The injected value exercises every escape the text format defines.
+	shardValue := "sh\"ard\\00\nline"
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs", "function", "Casc SHA", "result", "ok").Add(3)
+	r.Counter("jobs_total", "jobs", "function", "Casc SHA", "result", "error").Add(1)
+	r.Histogram("lat_seconds", "", []float64{0.1, 1}, "mode", "sim").Observe(0.05)
+	r.GaugeFunc("watts", "", func() float64 { return 2.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheusLabeled(&b, "shard", shardValue); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("labeled exposition does not parse: %v\n%s", err, b.String())
+	}
+	for _, s := range ss {
+		if s.Labels["shard"] != shardValue {
+			t.Fatalf("sample %s lost the injected label: %v", s.Name, s.Labels)
+		}
+	}
+	// Original labels survive next to the injected one, on scalars and on
+	// every expanded histogram series.
+	if v, ok := ss.Value("jobs_total", "function", "Casc SHA", "result", "ok", "shard", shardValue); !ok || v != 3 {
+		t.Fatalf("ok counter = %v, %v", v, ok)
+	}
+	for _, name := range []string{"lat_seconds_bucket", "lat_seconds_sum", "lat_seconds_count"} {
+		found := false
+		for _, s := range ss {
+			if s.Name == name && s.Labels["mode"] == "sim" && s.Labels["shard"] == shardValue {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s missing mode+shard labels:\n%s", name, b.String())
+		}
+	}
+	if q := ss.HistogramQuantile("lat_seconds", 0.5, "shard", shardValue); q != 0.1 {
+		t.Fatalf("quantile through injected label = %v, want 0.1", q)
+	}
+
+	// Two shards' expositions concatenated — exactly what a sharded
+	// gateway's /metrics serves — keep same-named series distinct by
+	// shard and aggregate with Sum.
+	r2 := NewRegistry()
+	r2.Counter("jobs_total", "jobs", "function", "Casc SHA", "result", "ok").Add(5)
+	if err := r2.WritePrometheusLabeled(&b, "shard", "shard-01"); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v", err)
+	}
+	if got := merged.Sum("jobs_total", "function", "Casc SHA", "result", "ok"); got != 8 {
+		t.Fatalf("cross-shard Sum = %v, want 8", got)
+	}
+	if got := merged.Sum("jobs_total", "result", "ok", "shard", "shard-01"); got != 5 {
+		t.Fatalf("single-shard Sum = %v, want 5", got)
+	}
+}

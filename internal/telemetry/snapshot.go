@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// Snapshot renders every registered family as structured Samples — the
+// exact series WritePrometheusLabeled(w, extraName, extraValue) would
+// emit, without a text round-trip. Histogram children expand to their
+// _bucket (le-labelled, +Inf included), _sum, and _count series.
+// Families come out sorted by name and children in creation order, so
+// sample order is stable between scrapes — the property the embedded
+// time-series store's deterministic ingest relies on. Empty extraName
+// injects nothing. A nil registry returns nil.
+func (r *Registry) Snapshot(extraName, extraValue string) Samples {
+	if r == nil {
+		return nil
+	}
+	fams := r.sortedFamilies()
+	var out Samples
+	for _, f := range fams {
+		out = f.snapshot(out, extraName, extraValue)
+	}
+	return out
+}
+
+// sortedFamilies returns the registry's families sorted by name, the
+// shared ordering contract of exposition and snapshot.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	return fams
+}
+
+// snapshot appends the family's samples to out.
+func (f *family) snapshot(out Samples, extraName, extraValue string) Samples {
+	if f.fn != nil {
+		return append(out, Sample{Name: f.name, Labels: snapLabels(nil, nil, extraName, extraValue, ""), Value: f.fn()})
+	}
+	for _, c := range f.order {
+		if f.typ != TypeHistogram {
+			out = append(out, Sample{
+				Name:   f.name,
+				Labels: snapLabels(f.labels, c.labelValues, extraName, extraValue, ""),
+				Value:  math.Float64frombits(c.bits.Load()),
+			})
+			continue
+		}
+		c.mu.Lock()
+		counts := append([]uint64(nil), c.counts...)
+		sum, count := c.sum, c.count
+		c.mu.Unlock()
+		for i, bound := range c.bucketBounds {
+			out = append(out, Sample{
+				Name:   f.name + "_bucket",
+				Labels: snapLabels(f.labels, c.labelValues, extraName, extraValue, formatValue(bound)),
+				Value:  float64(counts[i]),
+			})
+		}
+		out = append(out, Sample{
+			Name:   f.name + "_bucket",
+			Labels: snapLabels(f.labels, c.labelValues, extraName, extraValue, "+Inf"),
+			Value:  float64(counts[len(counts)-1]),
+		})
+		out = append(out, Sample{
+			Name:   f.name + "_sum",
+			Labels: snapLabels(f.labels, c.labelValues, extraName, extraValue, ""),
+			Value:  sum,
+		})
+		out = append(out, Sample{
+			Name:   f.name + "_count",
+			Labels: snapLabels(f.labels, c.labelValues, extraName, extraValue, ""),
+			Value:  float64(count),
+		})
+	}
+	return out
+}
+
+// snapLabels builds a sample's label map; nil when there are no labels
+// at all (matching ParseText's shape for unlabelled lines is not needed —
+// ParseText returns an empty map — but nil keeps unlabelled snapshots
+// allocation-free).
+func snapLabels(names, values []string, extraName, extraValue, le string) map[string]string {
+	n := len(names)
+	if extraName != "" {
+		n++
+	}
+	if le != "" {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := range names {
+		m[names[i]] = values[i]
+	}
+	if extraName != "" {
+		m[extraName] = extraValue
+	}
+	if le != "" {
+		m["le"] = le
+	}
+	return m
+}

@@ -37,6 +37,19 @@ const (
 	EventSettle = "settle"
 )
 
+// Alert event types appended by the SLO engine (internal/tsdb) when a
+// burn-rate page transitions. They live in the store's own alert ring,
+// not the per-shard lifecycle rings, so alert history survives lifecycle
+// churn; the Function field carries the rule name and Detail the burn
+// numbers at the transition.
+const (
+	// EventAlertFiring: a burn-rate page crossed its threshold on both
+	// windows.
+	EventAlertFiring = "alert_firing"
+	// EventAlertResolved: a firing page dropped back below threshold.
+	EventAlertResolved = "alert_resolved"
+)
+
 // DefaultEventCapacity is the event ring's size when Config leaves it zero.
 const DefaultEventCapacity = 4096
 

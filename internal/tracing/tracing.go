@@ -119,6 +119,10 @@ const (
 	// shard (zero-length; the job's queue span keeps covering the whole
 	// wait, so phase latencies still telescope to end-to-end latency).
 	PhaseSteal Phase = "steal"
+	// PhaseAlert annotates an SLO burn-rate page transition (zero-length,
+	// recorded by internal/tsdb's SLO engine, not part of any invocation's
+	// lifecycle — alert traces carry the rule name as their function).
+	PhaseAlert Phase = "alert"
 )
 
 // PhaseOrder returns the canonical display order of the non-root phases.

@@ -1,0 +1,157 @@
+package tsdb
+
+import "time"
+
+// The arrival tracker's synthetic series and its source counter.
+const (
+	// MetricSubmittedByFunction is the per-function submission counter
+	// the orchestrator exports and the tracker differentiates.
+	MetricSubmittedByFunction = "microfaas_function_submitted_total"
+	// MetricArrivalRate is the tracker's instantaneous per-function
+	// arrival rate series (submissions per second over the last scrape
+	// interval), injected back into the store as a queryable series.
+	MetricArrivalRate = "microfaas_function_arrival_rate_per_s"
+	// MetricArrivalEWMA is the exponentially-smoothed arrival rate.
+	MetricArrivalEWMA = "microfaas_function_arrival_ewma_per_s"
+)
+
+// Arrival tracker defaults.
+const (
+	// DefaultEWMAAlpha is the smoothing factor when Config leaves it 0.
+	DefaultEWMAAlpha = 0.3
+	// DefaultArrivalWindow is the sliding window in scrapes when Config
+	// leaves it 0.
+	DefaultArrivalWindow = 20
+)
+
+// arrivalState is one function's rate history.
+type arrivalState struct {
+	function  string
+	lastTotal float64
+	seeded    bool
+	ewma      float64
+	window    []float64 // sliding-window ring of instantaneous rates
+	next, n   int
+}
+
+// arrivalTracker maintains EWMA + sliding-window per-function arrival
+// rates from the scraped submission counters — the explicit feed-in
+// for forecast-driven warm pools. It consumes no randomness and visits
+// functions in first-seen order, so its synthetic series are as
+// deterministic as the counters they derive from.
+type arrivalTracker struct {
+	alpha float64
+	wsize int
+	byFn  map[string]*arrivalState
+	order []*arrivalState
+}
+
+// newArrivalTracker applies defaults and builds the tracker.
+func newArrivalTracker(alpha float64, window int) *arrivalTracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	if window <= 0 {
+		window = DefaultArrivalWindow
+	}
+	return &arrivalTracker{alpha: alpha, wsize: window, byFn: map[string]*arrivalState{}}
+}
+
+// update differentiates this scrape's per-function submission totals
+// into rates and injects the rate and EWMA series. Called from Scrape
+// with s.mu held, after source ingest.
+func (a *arrivalTracker) update(s *Store, now, interval time.Duration) {
+	if a == nil {
+		return
+	}
+	ms, ok := s.metrics[MetricSubmittedByFunction]
+	if !ok {
+		return
+	}
+	// Sum the counter across shards per function, in series order (the
+	// registration order is deterministic, so so is ours).
+	totals := map[string]float64{}
+	var fns []string
+	for _, sr := range ms.order {
+		fn := sr.labels["function"]
+		if fn == "" {
+			continue
+		}
+		if _, seen := totals[fn]; !seen {
+			fns = append(fns, fn)
+		}
+		if w := sr.window(0); w.haveLast {
+			totals[fn] += w.last
+		}
+	}
+	for _, fn := range fns {
+		st, ok := a.byFn[fn]
+		if !ok {
+			st = &arrivalState{function: fn, window: make([]float64, a.wsize)}
+			a.byFn[fn] = st
+			a.order = append(a.order, st)
+		}
+		total := totals[fn]
+		if !st.seeded || interval <= 0 {
+			st.lastTotal = total
+			st.seeded = true
+			continue
+		}
+		delta := total - st.lastTotal
+		if delta < 0 {
+			delta = 0 // counter reset (shard restart)
+		}
+		st.lastTotal = total
+		rate := delta / interval.Seconds()
+		if st.n == 0 {
+			st.ewma = rate
+		} else {
+			st.ewma = a.alpha*rate + (1-a.alpha)*st.ewma
+		}
+		st.window[st.next] = rate
+		st.next = (st.next + 1) % a.wsize
+		if st.n < a.wsize {
+			st.n++
+		}
+		s.ingestLocked(now, MetricArrivalRate, map[string]string{"function": fn}, rate)
+		s.ingestLocked(now, MetricArrivalEWMA, map[string]string{"function": fn}, st.ewma)
+	}
+}
+
+// Forecast is one function's arrival-rate summary for warm-pool sizing.
+type Forecast struct {
+	// Function names the workload function.
+	Function string `json:"function"`
+	// EWMA is the exponentially-smoothed arrival rate (per second).
+	EWMA float64 `json:"ewma_per_s"`
+	// WindowMean and WindowMax summarize the sliding window of
+	// instantaneous rates.
+	WindowMean float64 `json:"window_mean_per_s"`
+	WindowMax  float64 `json:"window_max_per_s"`
+}
+
+// Forecasts returns every tracked function's arrival summary in
+// first-seen order — the warm-pool planner's input.
+func (s *Store) Forecasts() []Forecast {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Forecast, 0, len(s.arrival.order))
+	for _, st := range s.arrival.order {
+		f := Forecast{Function: st.function, EWMA: st.ewma}
+		for i := 0; i < st.n; i++ {
+			v := st.window[i]
+			f.WindowMean += v
+			if v > f.WindowMax {
+				f.WindowMax = v
+			}
+		}
+		if st.n > 0 {
+			f.WindowMean /= float64(st.n)
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package tsdb
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteNDJSON streams retained series as newline-delimited JSON for
+// offline analysis: one object per sample, shaped
+//
+//	{"metric":"…","labels":{…},"at_ms":…,"value":…}
+//
+// metric filters to one family ("" = everything); match filters series
+// by label pairs; window bounds the lookback from the last scrape
+// (<= 0 = all retained points). Metrics stream in first-seen order,
+// series within a metric likewise, points oldest first — fully
+// deterministic under a seed.
+func (s *Store) WriteNDJSON(w io.Writer, metric string, match map[string]string, window time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := time.Duration(0)
+	if window > 0 {
+		if from = s.lastAt - window; from < 0 {
+			from = 0
+		}
+	}
+	bw := bufio.NewWriter(w)
+	names := s.names
+	if metric != "" {
+		names = []string{metric}
+	}
+	for _, name := range names {
+		ms, ok := s.metrics[name]
+		if !ok {
+			continue
+		}
+		for _, sr := range ms.order {
+			if !matchesAll(sr.labels, match) {
+				continue
+			}
+			if err := writeSeriesNDJSON(bw, name, sr, from); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeriesNDJSON streams one series' windowed points.
+func writeSeriesNDJSON(w *bufio.Writer, name string, sr *series, from time.Duration) error {
+	prefix := `{"metric":` + jsonString(name) + `,"labels":{` + jsonLabels(sr.labels) + `},"at_ms":`
+	var err error
+	sr.raw.ascend(from, func(p Point) bool {
+		_, werr := w.WriteString(prefix +
+			jsonFloat(float64(p.At)/float64(time.Millisecond)) +
+			`,"value":` + jsonFloat(p.Value) + "}\n")
+		if werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// jsonLabels renders a label map as sorted JSON members (no braces).
+func jsonLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += jsonString(k) + ":" + jsonString(labels[k])
+	}
+	return out
+}
+
+// jsonString quotes s as a JSON string, escaping the characters the
+// exposition format can carry (quotes, backslashes, newlines); metric
+// and label names are already validated to need none of it.
+func jsonString(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			if c < 0x20 {
+				const hex = "0123456789abcdef"
+				out = append(out, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+			} else {
+				out = append(out, c)
+			}
+		}
+	}
+	return string(append(out, '"'))
+}

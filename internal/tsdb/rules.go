@@ -1,0 +1,36 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadRules reads an SLO rule file: a JSON array of Rule objects (see
+// examples/slo/rules.json). Every rule is validated; the first invalid
+// rule fails the whole load, so a typo cannot silently disable an
+// objective.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	return ParseRules(data)
+}
+
+// ParseRules parses and validates a rule file's contents.
+func ParseRules(data []byte) ([]Rule, error) {
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return nil, fmt.Errorf("tsdb: bad rule file: %w", err)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("tsdb: rule file is empty")
+	}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}

@@ -1,0 +1,377 @@
+// Package tsdb is the platform's embedded time-series store: a
+// dependency-free, fixed-memory recorder that scrapes telemetry
+// registries on the capacity-aggregator tick (virtual clock in sim
+// mode, wall clock in live mode) into per-series ring buffers with two
+// downsample tiers (raw → 10s → 1m), plus a small windowed query
+// engine (rate, increase, avg/min/max/last_over_time, histogram
+// quantile_over_time via bucket merge) over per-label-set series.
+//
+// On top of the store sit two consumers:
+//
+//   - an SLO engine (slo.go) evaluating declarative objectives —
+//     latency threshold, error ratio, J/function energy budget — as
+//     multi-window burn-rate alerts, with firing/resolved transitions
+//     recorded as telemetry events and tracing annotations;
+//   - an arrival-rate tracker (arrival.go) maintaining EWMA and
+//     sliding-window per-function submission rates as synthetic,
+//     queryable series — the feed-in for forecast-driven warm pools.
+//
+// Determinism: the store consumes no randomness and schedules no
+// events of its own — it samples whenever its owner's tick calls
+// Scrape, iterates sources in registration order and series in
+// first-seen order, and a nil *Store no-ops everywhere, so a seeded
+// simulation without a store is byte-identical to one that never
+// linked this package.
+package tsdb
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"microfaas/internal/telemetry"
+	"microfaas/internal/tracing"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultRawCapacity is the per-series raw ring size in points.
+	DefaultRawCapacity = 1024
+	// DefaultTierCapacity is the per-series per-tier ring size in buckets.
+	DefaultTierCapacity = 512
+	// DefaultTier1 is the first downsample resolution.
+	DefaultTier1 = 10 * time.Second
+	// DefaultTier2 is the second downsample resolution.
+	DefaultTier2 = time.Minute
+	// DefaultAlertCapacity bounds the alert-transition event ring.
+	DefaultAlertCapacity = 1024
+)
+
+// Config tunes a Store.
+type Config struct {
+	// RawCapacity bounds each series' raw ring (default
+	// DefaultRawCapacity points; the oldest points are overwritten).
+	RawCapacity int
+	// TierCapacity bounds each downsample tier's ring (default
+	// DefaultTierCapacity buckets per tier).
+	TierCapacity int
+	// Tier1 and Tier2 are the downsample resolutions (defaults 10s and
+	// 1m). Tier2 must be a coarser resolution than Tier1.
+	Tier1, Tier2 time.Duration
+	// EWMAAlpha is the arrival tracker's smoothing factor in (0,1]
+	// (default DefaultEWMAAlpha).
+	EWMAAlpha float64
+	// ArrivalWindow is the arrival tracker's sliding window, in scrapes
+	// (default DefaultArrivalWindow).
+	ArrivalWindow int
+	// AlertCapacity bounds the alert-transition ring (default
+	// DefaultAlertCapacity).
+	AlertCapacity int
+	// Tracer, when set, receives a one-span annotation trace per alert
+	// transition (phase "alert").
+	Tracer *tracing.Tracer
+}
+
+// Point is one raw sample: a cluster-clock offset and a value.
+type Point struct {
+	// At is the sample's cluster-clock offset.
+	At time.Duration
+	// Value is the sample value.
+	Value float64
+}
+
+// MarshalJSON renders the point as {"at_ms":…,"value":…}.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return []byte(`{"at_ms":` + strconv.FormatFloat(float64(p.At)/float64(time.Millisecond), 'g', -1, 64) +
+		`,"value":` + jsonFloat(p.Value) + `}`), nil
+}
+
+// Bucket is one downsampled aggregate over a tier's resolution window.
+type Bucket struct {
+	// Start is the bucket's window start (aligned to the resolution).
+	Start time.Duration
+	// Count is how many raw points the bucket aggregates.
+	Count int
+	// Sum, Min, Max aggregate the raw point values.
+	Sum, Min, Max float64
+	// First and Last are the earliest and latest raw values in the
+	// bucket — what rate/increase need once raw points have aged out.
+	First, Last float64
+	// FirstAt and LastAt stamp those two points.
+	FirstAt, LastAt time.Duration
+}
+
+// source is one scraped registry and the shard label its samples carry.
+type source struct {
+	shard string
+	reg   *telemetry.Registry
+}
+
+// series is one (metric, label set) stream: the raw ring plus its two
+// downsample tiers.
+type series struct {
+	labels map[string]string
+	raw    pointRing
+	t1, t2 bucketRing
+}
+
+// metricSeries indexes every series of one metric name, preserving
+// first-seen order for deterministic iteration.
+type metricSeries struct {
+	order []*series
+	byKey map[string]*series
+}
+
+// Store is the embedded time-series database. All methods are safe for
+// concurrent use, and every method no-ops on a nil *Store.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sources []source
+	metrics map[string]*metricSeries
+	names   []string // metric names, first-seen order
+	lastAt  time.Duration
+	scrapes int64
+
+	arrival *arrivalTracker
+	slo     *sloEngine
+	alerts  *telemetry.EventLog
+}
+
+// New builds a Store with the given tuning; zero fields take defaults.
+func New(cfg Config) *Store {
+	if cfg.RawCapacity <= 0 {
+		cfg.RawCapacity = DefaultRawCapacity
+	}
+	if cfg.TierCapacity <= 0 {
+		cfg.TierCapacity = DefaultTierCapacity
+	}
+	if cfg.Tier1 <= 0 {
+		cfg.Tier1 = DefaultTier1
+	}
+	if cfg.Tier2 <= cfg.Tier1 {
+		cfg.Tier2 = DefaultTier2
+		if cfg.Tier2 <= cfg.Tier1 {
+			cfg.Tier2 = 6 * cfg.Tier1
+		}
+	}
+	if cfg.AlertCapacity <= 0 {
+		cfg.AlertCapacity = DefaultAlertCapacity
+	}
+	s := &Store{
+		cfg:     cfg,
+		metrics: make(map[string]*metricSeries),
+		alerts:  telemetry.NewEventLog(cfg.AlertCapacity),
+	}
+	s.arrival = newArrivalTracker(cfg.EWMAAlpha, cfg.ArrivalWindow)
+	return s
+}
+
+// AddSource registers a registry to scrape. Samples from it carry
+// shard="label" when label is non-empty (matching the sharded gateway's
+// merged /metrics exposition); registries whose families already carry
+// their own shard labels — the plane registry — pass "". Sources are
+// scraped in registration order. Nil stores and registries no-op.
+func (s *Store) AddSource(label string, reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources = append(s.sources, source{shard: label, reg: reg})
+}
+
+// Scrape samples every source at cluster-clock offset now, feeds the
+// arrival tracker, and evaluates the SLO engine. The caller's tick —
+// the shard plane's capacity aggregator, an experiment's scheduled
+// sampler, or a live wall-clock ticker — provides the cadence; the
+// store itself never schedules anything. Nil stores no-op.
+func (s *Store) Scrape(now time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var interval time.Duration
+	if s.scrapes > 0 {
+		if now <= s.lastAt {
+			// Same-instant double sample (a scheduled scrape coinciding
+			// with a tick) adds nothing; a backwards clock would corrupt
+			// the rings' time order.
+			return
+		}
+		interval = now - s.lastAt
+	}
+	for _, src := range s.sources {
+		extra := ""
+		if src.shard != "" {
+			extra = "shard"
+		}
+		for _, smp := range src.reg.Snapshot(extra, src.shard) {
+			s.ingestLocked(now, smp.Name, smp.Labels, smp.Value)
+		}
+	}
+	s.arrival.update(s, now, interval)
+	s.slo.eval(s, now)
+	s.lastAt = now
+	s.scrapes++
+}
+
+// LastScrape returns the clock offset of the most recent scrape and how
+// many scrapes have run.
+func (s *Store) LastScrape() (time.Duration, int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAt, s.scrapes
+}
+
+// ingestLocked appends one sample to its series, creating the series on
+// first sight. Caller holds s.mu.
+func (s *Store) ingestLocked(now time.Duration, name string, labels map[string]string, value float64) {
+	ms, ok := s.metrics[name]
+	if !ok {
+		ms = &metricSeries{byKey: make(map[string]*series)}
+		s.metrics[name] = ms
+		s.names = append(s.names, name)
+	}
+	key := labelsKey(labels)
+	sr, ok := ms.byKey[key]
+	if !ok {
+		sr = &series{
+			labels: labels,
+			raw:    pointRing{buf: make([]Point, 0, s.cfg.RawCapacity), cap: s.cfg.RawCapacity},
+			t1:     bucketRing{res: s.cfg.Tier1, cap: s.cfg.TierCapacity},
+			t2:     bucketRing{res: s.cfg.Tier2, cap: s.cfg.TierCapacity},
+		}
+		ms.byKey[key] = sr
+		ms.order = append(ms.order, sr)
+	}
+	sr.raw.push(Point{At: now, Value: value})
+	sr.t1.push(now, value)
+	sr.t2.push(now, value)
+}
+
+// MetricNames returns every metric name the store has seen, in
+// first-seen order.
+func (s *Store) MetricNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.names...)
+}
+
+// SeriesCount returns the total number of distinct (metric, label set)
+// series retained.
+func (s *Store) SeriesCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ms := range s.metrics {
+		n += len(ms.order)
+	}
+	return n
+}
+
+// AlertLog returns the alert-transition event ring (never nil on a
+// non-nil store).
+func (s *Store) AlertLog() *telemetry.EventLog {
+	if s == nil {
+		return nil
+	}
+	return s.alerts
+}
+
+// AlertHistory returns every retained alert transition, oldest first.
+func (s *Store) AlertHistory() []telemetry.Event {
+	if s == nil {
+		return nil
+	}
+	return s.alerts.Since(-1, 0)
+}
+
+// Start begins wall-clock scraping: every interval, Scrape(now()) runs
+// until the returned stop function is called. Sim-mode owners never
+// call Start — their tick calls Scrape on the virtual clock instead.
+func (s *Store) Start(now func() time.Duration, interval time.Duration) (stop func()) {
+	if s == nil || now == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Scrape(now())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// labelsKey canonicalizes a label set into a map key: sorted
+// name=value pairs joined with \x00. Nil and empty maps share "".
+func labelsKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// jsonFloat renders a float for JSON output, spelling non-finite values
+// as quoted strings (encoding/json rejects bare Inf/NaN).
+func jsonFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return `"` + s + `"`
+	}
+	return s
+}
+
+// matchesAll reports whether every matcher pair is present in labels.
+func matchesAll(labels map[string]string, match map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fmtDur renders a duration compactly for human-readable surfaces.
+func fmtDur(d time.Duration) string {
+	return d.Truncate(time.Millisecond).String()
+}
