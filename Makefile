@@ -37,9 +37,9 @@ slolint:
 	$(GO) run ./cmd/slolint examples/slo/rules.json examples/slo/diurnal.json
 
 # `make bench` runs the full benchmark suite and records it as a JSON
-# baseline (BENCH_pr9.json) via cmd/benchjson. `make bench-smoke` is the
+# baseline (BENCH_pr10.json) via cmd/benchjson. `make bench-smoke` is the
 # CI variant: one iteration of everything, just proving the benchmarks run.
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
 .PHONY: bench
 bench:
@@ -54,14 +54,14 @@ bench-smoke:
 # `make bench-diff` re-runs the hot-path benchmarks and gates them against
 # the committed baseline: a >20% regression in ns/op or allocs/op fails
 # (cmd/benchjson -diff). CI runs this in the bench-smoke job.
-BENCH_BASELINE ?= BENCH_pr9.json
+BENCH_BASELINE ?= BENCH_pr10.json
 # ShardedRackScale and ShardFailover are gated on allocs/op only: one op
 # is a long deterministic simulation whose wall-clock tracks machine
 # load, not code.
-BENCH_GATED := BenchmarkLiveInvocation,BenchmarkSimulatorEventRate,BenchmarkRackScale10K,BenchmarkShardedRackScale:allocs/op,BenchmarkShardFailover:allocs/op,BenchmarkTSDBScrape:allocs/op
+BENCH_GATED := BenchmarkLiveInvocation,BenchmarkSimulatorEventRate,BenchmarkRackScale10K,BenchmarkShardedRackScale:allocs/op,BenchmarkShardFailover:allocs/op,BenchmarkTSDBScrape:allocs/op,BenchmarkForecastTick:allocs/op
 
 .PHONY: bench-diff
 bench-diff:
-	$(GO) test -bench '^(BenchmarkLiveInvocation|BenchmarkSimulatorEventRate|BenchmarkRackScale10K|BenchmarkShardedRackScale|BenchmarkShardFailover|BenchmarkTSDBScrape)$$' -benchmem -run '^$$' . | tee .bench-diff.out
+	$(GO) test -bench '^(BenchmarkLiveInvocation|BenchmarkSimulatorEventRate|BenchmarkRackScale10K|BenchmarkShardedRackScale|BenchmarkShardFailover|BenchmarkTSDBScrape|BenchmarkForecastTick)$$' -benchmem -run '^$$' . | tee .bench-diff.out
 	$(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE) -gate $(BENCH_GATED) < .bench-diff.out
 	rm -f .bench-diff.out

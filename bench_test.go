@@ -8,6 +8,7 @@ import (
 
 	"microfaas/internal/bootos"
 	"microfaas/internal/experiments"
+	"microfaas/internal/forecast"
 	"microfaas/internal/model"
 	"microfaas/internal/telemetry"
 	"microfaas/internal/tsdb"
@@ -492,4 +493,67 @@ func BenchmarkTSDBScrape(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(store.SeriesCount()), "series")
+}
+
+// BenchmarkForecastTick measures one predictor tick at the predictive
+// arm's cardinality: 16 functions' submission counters scraped into the
+// embedded store, then one Observe+Predict pass over all of them
+// (observe-only — actuation on top is a couple of mutex'd warm-pool
+// calls). The forecast controller runs this on every aggregator tick in
+// the sim and every scrape interval live, so it must stay cheap next to
+// the scrape itself.
+func BenchmarkForecastTick(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	subs := make([]*telemetry.Counter, 16)
+	for f := range subs {
+		subs[f] = reg.Counter(tsdb.MetricSubmittedByFunction, "Submitted.",
+			"function", fmt.Sprintf("fn-%02d", f))
+	}
+	store := tsdb.New(tsdb.Config{})
+	store.AddSource("", reg)
+	ctl, err := forecast.NewController(forecast.ControllerConfig{
+		Store:  store,
+		Policy: forecast.Policy{Tick: time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f, c := range subs {
+			c.Add(float64(1 + (i+f)%3))
+		}
+		store.Scrape(now)
+		ctl.Tick(now)
+		now += time.Second
+	}
+	b.StopTimer()
+	b.ReportMetric(ctl.Snapshot().ErrorRatio, "err-ratio")
+}
+
+// BenchmarkPredictivePower regenerates the four-arm power-management
+// comparison (per-job / always-on / reactive managed / predictive) over
+// the 2 h diurnal trace and reports the headline pair at each
+// utilization level: energy savings vs always-on and p99 latency, for
+// the predictive arm next to the reactive one. EXPERIMENTS.md records
+// these values; the acceptance bar is predictive ≥ reactive on both.
+func BenchmarkPredictivePower(b *testing.B) {
+	var res experiments.PowerMgmtResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		// Seed 1 matches the microfaas-sim CLI default, so the metrics
+		// line up with the EXPERIMENTS.md table.
+		res, err = experiments.PowerMgmt(experiments.PowerMgmtConfig{Predict: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, lv := range res.Levels {
+		u := int(lv.Utilization * 100)
+		b.ReportMetric(100*lv.SavingsPredictive, fmt.Sprintf("pred-save%d", u))
+		b.ReportMetric(100*lv.SavingsVsAlwaysOn, fmt.Sprintf("mgd-save%d", u))
+		b.ReportMetric(lv.Predictive.P99Latency.Seconds(), fmt.Sprintf("pred-p99s%d", u))
+		b.ReportMetric(lv.Managed.P99Latency.Seconds(), fmt.Sprintf("mgd-p99s%d", u))
+	}
 }

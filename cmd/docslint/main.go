@@ -36,6 +36,7 @@ var apiPackages = []string{
 	"internal/gpio",
 	"internal/power",
 	"internal/powermgr",
+	"internal/forecast",
 	"internal/tracing",
 	"internal/telemetry",
 }

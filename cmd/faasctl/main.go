@@ -20,6 +20,7 @@
 //	faasctl [-gateway host:port] alerts
 //	faasctl [-gateway host:port] power
 //	faasctl [-gateway host:port] power cap <watts>
+//	faasctl [-gateway host:port] forecast
 //
 // -gateway accepts a comma-separated address list; workers, top, and
 // shards aggregate across every listed gateway (one dashboard over a
@@ -48,7 +49,7 @@ func main() {
 	once := flag.Bool("once", false, "top/watch: render a single frame and exit (same as -iterations 1)")
 	jsonOut := flag.Bool("json", false, "top: emit one JSON object per frame instead of the table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|shards|top|watch|slo|alerts|power|trace|invoke <function> [args-json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] functions|workers|stats|shards|top|watch|slo|alerts|power|forecast|trace|invoke <function> [args-json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -178,6 +179,8 @@ func (c *client) run(args []string) error {
 		default:
 			return fmt.Errorf("usage: power | power cap <watts>")
 		}
+	case "forecast":
+		return c.forecastTable()
 	case "invoke":
 		if len(args) < 2 {
 			return fmt.Errorf("invoke requires a function name")

@@ -16,6 +16,12 @@
 //
 //	microfaas-live -power-idle 30s -power-cap 12 -policy energy-aware
 //
+// Predictive mode layers an arrival-rate forecaster on top of the power
+// manager, pre-warming workers ahead of forecast demand (serve mode;
+// inspect it with `faasctl forecast`):
+//
+//	microfaas-live -power-idle 30s -policy energy-aware -predict
+//
 // Serve mode scrapes cluster telemetry into an embedded time-series
 // store (backing /query, /slo, and /alerts plus `faasctl watch`) and can
 // evaluate SLO burn-rate rules against it:
@@ -37,6 +43,7 @@ import (
 
 	"microfaas/internal/cluster"
 	"microfaas/internal/core"
+	"microfaas/internal/forecast"
 	"microfaas/internal/gateway"
 	"microfaas/internal/power"
 	"microfaas/internal/powermgr"
@@ -69,6 +76,7 @@ func main() {
 	policyFlag := flag.String("policy", "", "assignment policy: round-robin, random, least-loaded, or energy-aware (default: platform default; energy-aware pairs with -power-idle)")
 	sloPath := flag.String("slo", "", "SLO burn-rate rules (JSON) evaluated on every scrape in serve mode")
 	scrapeEvery := flag.Duration("scrape-interval", time.Second, "telemetry scrape cadence for the embedded time-series store (serve mode)")
+	predict := flag.Bool("predict", false, "predictive power management: forecast arrival rates and steer the warm pool ahead of demand (serve mode; requires -power-idle)")
 	flag.Parse()
 
 	opts := cluster.LiveOptions{
@@ -101,6 +109,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microfaas-live: -power-cap and -power-minup require -power-idle")
 		os.Exit(2)
 	}
+	if *predict {
+		if opts.Power == nil {
+			fmt.Fprintln(os.Stderr, "microfaas-live: -predict requires -power-idle")
+			os.Exit(2)
+		}
+		// Forecast-driven floors make the reactive idle timeout a safety
+		// net rather than the only trim path; damp pre-sleep so a
+		// momentary forecast dip doesn't cycle nodes the next burst
+		// re-boots. These mirror the tuned predictive experiment arm.
+		opts.Power.PreSleepSlack = 1
+		opts.Power.PreSleepSlackFrac = 0.5
+		opts.Power.PreSleepMax = 1
+		opts.Power.PreSleepDebounce = 1
+	}
 	if *traceSample > 0 {
 		// Flag semantics: 0 disables tracing outright. Internally a zero
 		// SampleRate means "sample everything", so pass the rate through
@@ -119,13 +141,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout, *pprofFlag, slo, *scrapeEvery); err != nil {
+	if err := run(opts, *listen, *jobs, *replayPath, *speedup, *seed, *drainTimeout, *pprofFlag, slo, *scrapeEvery, *predict); err != nil {
 		fmt.Fprintln(os.Stderr, "microfaas-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration) error {
+func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, speedup float64, seed int64, drainTimeout time.Duration, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration, predict bool) error {
 	l, err := cluster.StartLive(opts)
 	if err != nil {
 		return err
@@ -140,7 +162,7 @@ func run(opts cluster.LiveOptions, listen string, jobs int, replayPath string, s
 	if jobs > 0 {
 		return loadMode(os.Stdout, l, jobs, seed)
 	}
-	return serveMode(l, listen, drainTimeout, opts.Tracer, pprofOn, slo, scrapeEvery)
+	return serveMode(l, listen, drainTimeout, opts.Tracer, pprofOn, slo, scrapeEvery, predict)
 }
 
 // replayMode replays a CSV trace against the live cluster, compressing
@@ -205,7 +227,7 @@ func (a *argFiller) Submit(function string, _ []byte) int64 {
 	return a.orch.Submit(function, args)
 }
 
-func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, tracer *tracing.Tracer, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration) error {
+func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, tracer *tracing.Tracer, pprofOn bool, slo []tsdb.Rule, scrapeEvery time.Duration, predict bool) error {
 	// Serve mode carries the embedded time-series store: it scrapes the
 	// cluster's registry on the wall clock (the sim scrapes on the
 	// aggregator tick instead) and backs /query, /slo, and /alerts.
@@ -216,6 +238,28 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, trace
 	store.AddSource("", l.Telemetry.Registry())
 	stopScrape := store.Start(l.Runtime.Now, scrapeEvery)
 	defer stopScrape()
+	var ctl *forecast.Controller
+	if predict {
+		// The predictor ticks on the scrape cadence so every tick sees a
+		// fresh arrival-rate sample; it steers the same power manager the
+		// reactive idle timeout owns.
+		var err error
+		ctl, err = forecast.NewController(forecast.ControllerConfig{
+			Store:   store,
+			Manager: l.PowerMgr,
+			Policy: forecast.Policy{
+				Tick:       scrapeEvery,
+				MaxWorkers: len(l.Workers),
+				Spare:      1,
+			},
+			Telemetry: l.Telemetry,
+		})
+		if err != nil {
+			return err
+		}
+		stopForecast := ctl.Start(l.Runtime, scrapeEvery)
+		defer stopForecast()
+	}
 	gw, err := gateway.NewWithOptions(l.Orch, gateway.Options{
 		Timeout:     5 * time.Minute,
 		Mode:        "live",
@@ -223,6 +267,7 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, trace
 		Tracer:      tracer,
 		EnablePprof: pprofOn,
 		TSDB:        store,
+		Forecast:    ctl,
 	})
 	if err != nil {
 		return err
@@ -243,6 +288,9 @@ func serveMode(l *cluster.Live, listen string, drainTimeout time.Duration, trace
 	}
 	if l.PowerMgr != nil {
 		fmt.Printf("  faasctl -gateway %s power\n", addr)
+	}
+	if ctl != nil {
+		fmt.Printf("  faasctl -gateway %s forecast\n", addr)
 	}
 	fmt.Printf("  curl http://%s/metrics\n", addr)
 	if tracer != nil {

@@ -49,6 +49,7 @@ type options struct {
 	tracePath string
 	asCSV     bool
 	slo       []tsdb.Rule
+	predict   bool
 }
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 	promPath := flag.String("prom", "", "write fig3 MicroFaaS metrics snapshot (Prometheus text format) to this path")
 	tracePath := flag.String("trace", "", "write fig3 MicroFaaS span dump (Chrome trace_event JSON) to this path")
 	sloPath := flag.String("slo", "", "SLO burn-rate rule file (JSON); shardfailover and powermgmt print alert timelines")
+	predict := flag.Bool("predict", false, "add the forecast-steered predictive arm to powermgmt")
 	format := flag.String("format", "text", "output format for fig3/fig4/fig5/loadsweep/keepwarm: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig1|table1|fig3|fig4|fig5|headline|table2|rackscale|rackscale10k|shardedrack|shardfailover|loadsweep|keepwarm|diurnal|powermgmt|sensitivity|bootimpact|ablations|report|all\n", os.Args[0])
@@ -76,7 +78,7 @@ func main() {
 	}
 	opts := options{n: *n, seed: *seed, parallel: *parallel, shards: *shards,
 		csvPath: *csvPath, promPath: *promPath,
-		tracePath: *tracePath, asCSV: *format == "csv"}
+		tracePath: *tracePath, asCSV: *format == "csv", predict: *predict}
 	if *sloPath != "" {
 		rules, err := tsdb.LoadRules(*sloPath)
 		if err != nil {
@@ -183,7 +185,7 @@ func run(out io.Writer, experiment string, opts options) error {
 		}
 		return experiments.WriteDiurnal(out, res)
 	case "powermgmt":
-		res, err := experiments.PowerMgmt(experiments.PowerMgmtConfig{Seed: seed, Parallel: par, SLO: opts.slo})
+		res, err := experiments.PowerMgmt(experiments.PowerMgmtConfig{Seed: seed, Parallel: par, SLO: opts.slo, Predict: opts.predict})
 		if err != nil {
 			return err
 		}

@@ -72,6 +72,12 @@ type LiveOptions struct {
 	// live clusters sit behind one shard.Plane.
 	ShardLabel string
 	JobIDBase  int64
+	// EnergyBudgets caps the listed functions' metered joules (requires
+	// Meter for anything to accrue); see core.Config.EnergyBudgets.
+	EnergyBudgets map[string]float64
+	// BudgetThrottle is the pre-queue hold served by submissions of
+	// budget-exhausted functions (zero = deprioritize only).
+	BudgetThrottle time.Duration
 }
 
 // Live is a running in-process MicroFaaS deployment: four real backing
@@ -205,6 +211,8 @@ func StartLive(opts LiveOptions) (*Live, error) {
 			Tracer:           opts.Tracer,
 			ShardLabel:       opts.ShardLabel,
 			JobIDBase:        opts.JobIDBase,
+			EnergyBudgets:    opts.EnergyBudgets,
+			BudgetThrottle:   opts.BudgetThrottle,
 		}
 		if opts.Power != nil {
 			nodes := make([]powermgr.Node, len(l.Workers))

@@ -184,3 +184,47 @@ func TestPowerPolicyRejectedOnConventionalSims(t *testing.T) {
 		t.Fatal("power policy combined with DisableReboot accepted")
 	}
 }
+
+// TestBudgetExhaustedFunctionStopsWakingNodes pins the energy-first
+// scheduling rule end to end: once a function spends its budget, the
+// energy-aware policy queues its work on already-powered hardware instead
+// of pulling more nodes out of power gating.
+func TestBudgetExhaustedFunctionStopsWakingNodes(t *testing.T) {
+	fn := model.Functions()[0].Name
+	run := func(budgets map[string]float64) *Sim {
+		s, err := NewMicroFaaSSim(2, SimConfig{
+			Seed:          3,
+			Policy:        core.AssignEnergyAware,
+			Power:         &powermgr.Policy{IdleTimeout: 10 * time.Minute},
+			EnergyBudgets: budgets,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One warm-up job wakes sbc-000 (and, with any budget present,
+		// exhausts it — a single ARM cycle burns a few joules).
+		s.Orch.Submit(fn, nil)
+		s.Engine.RunAll()
+		// Two concurrent jobs: the first lands on the idle powered node,
+		// the second must choose between waking sbc-001 and queueing.
+		s.Orch.Submit(fn, nil)
+		s.Orch.Submit(fn, nil)
+		s.Engine.RunAll()
+		if got := s.Orch.Collector().Len(); got != 3 {
+			t.Fatalf("completed %d of 3 jobs", got)
+		}
+		return s
+	}
+
+	free := run(nil)
+	if boots := free.GPIO.PowerOnCount("sbc-001"); boots == 0 {
+		t.Fatal("without budgets, concurrent load should wake the second node")
+	}
+	capped := run(map[string]float64{fn: 0.1})
+	if bs := capped.Orch.EnergyBudgets(); len(bs) != 1 || !bs[0].Exhausted {
+		t.Fatalf("budget not exhausted after warm-up: %+v", bs)
+	}
+	if boots := capped.GPIO.PowerOnCount("sbc-001"); boots != 0 {
+		t.Fatalf("exhausted function woke the second node %d times; want 0 (queue on powered hardware)", boots)
+	}
+}

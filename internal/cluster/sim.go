@@ -91,6 +91,14 @@ type SimConfig struct {
 	// and KeepWarm. Nil (the default) leaves seeded runs byte-identical
 	// to clusters built before the power manager existed.
 	Power *powermgr.Policy
+	// EnergyBudgets caps the listed functions' metered joules
+	// (core.Config.EnergyBudgets): exhausted functions are deprioritized
+	// by the energy-aware policy and throttled when BudgetThrottle is
+	// set. Nil disables budget accounting.
+	EnergyBudgets map[string]float64
+	// BudgetThrottle is the pre-queue hold served by submissions of
+	// budget-exhausted functions (zero = deprioritize only).
+	BudgetThrottle time.Duration
 }
 
 // coreConfig assembles the OP config shared by every sim constructor.
@@ -108,6 +116,8 @@ func (c SimConfig) coreConfig(engine *sim.Engine, workers []core.Worker) core.Co
 		BreakerProbe:     c.BreakerProbe,
 		Telemetry:        c.Telemetry,
 		Tracer:           c.Tracer,
+		EnergyBudgets:    c.EnergyBudgets,
+		BudgetThrottle:   c.BudgetThrottle,
 	}
 }
 

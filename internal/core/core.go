@@ -90,6 +90,11 @@ type Result struct {
 	StartedAt, FinishedAt time.Duration
 	// Boot/Overhead/Exec decompose the worker's cycle (Fig 3).
 	Boot, Overhead, Exec time.Duration
+
+	// Joules is the metered energy the attempt consumed on its worker
+	// (boot through power-down), zero when the worker has no meter. The
+	// orchestrator charges it against the function's energy budget.
+	Joules float64
 }
 
 // Worker is a single-tenant, run-to-completion worker node. RunJob carries
@@ -450,6 +455,20 @@ type Config struct {
 	// cluster's critical-path analysis shows which control plane owned
 	// each phase. Empty (the default) adds nothing.
 	ShardLabel string
+	// EnergyBudgets caps each listed function's metered joules
+	// (FaasMeter-style accounting: every attempt's worker-metered energy
+	// — including failed attempts — is charged to its function). A
+	// function that exhausts its budget is deprioritized by the
+	// energy-aware policy (no new node wakes on its behalf) and, when
+	// BudgetThrottle is set, has new submissions held before queueing.
+	// Nil or empty disables budget accounting entirely and leaves seeded
+	// runs byte-identical.
+	EnergyBudgets map[string]float64
+	// BudgetThrottle is how long a budget-exhausted function's new
+	// submissions are parked before they may enter a queue (each hold is
+	// recorded as a throttle span). Zero disables throttling: exhausted
+	// functions are then only deprioritized, never delayed.
+	BudgetThrottle time.Duration
 }
 
 // Orchestrator is the OP: per-worker job queues, random assignment,
@@ -486,7 +505,14 @@ type Orchestrator struct {
 	eligible  []*workerSlot
 	parole    paroleHeap
 	parked    map[int64]*parkedRetry
-	callbacks map[int64]func(Result)
+	// budgets holds per-function energy accounting (nil entries never
+	// exist; functions without a budget are simply absent). throttled
+	// parks budget-held submissions by job id, abandoned by Drain exactly
+	// like backoff-parked retries.
+	budgets        map[string]*fnBudget
+	budgetThrottle time.Duration
+	throttled      map[int64]*parkedThrottle
+	callbacks      map[int64]func(Result)
 	nextID    int64
 	nextIdx   int // next worker registration index (never reused)
 	rrNext    int // next round-robin index
@@ -564,6 +590,36 @@ type parkedRetry struct {
 	cancel   func()
 }
 
+// parkedThrottle is a submission serving its energy-budget hold before it
+// may enter a worker queue.
+type parkedThrottle struct {
+	job    Job
+	cancel func()
+}
+
+// fnBudget tracks one function's energy budget. spent accumulates every
+// attempt's metered joules (failures included — the energy was burned on
+// the function's behalf); exhausted latches once spent crosses limit and
+// only resets when the budget is raised or removed.
+type fnBudget struct {
+	limit     float64
+	spent     float64
+	exhausted bool
+}
+
+// BudgetStatus is one function's energy-budget accounting snapshot.
+type BudgetStatus struct {
+	// Function is the budgeted function's name.
+	Function string `json:"function"`
+	// LimitJoules is the configured cap.
+	LimitJoules float64 `json:"limit_joules"`
+	// SpentJoules is the metered energy charged so far (all attempts).
+	SpentJoules float64 `json:"spent_joules"`
+	// Exhausted reports whether spending has crossed the cap; while set,
+	// the function is deprioritized and (with BudgetThrottle) throttled.
+	Exhausted bool `json:"exhausted"`
+}
+
 // New builds an orchestrator over the given workers.
 func New(cfg Config) (*Orchestrator, error) {
 	if cfg.Runtime == nil {
@@ -606,6 +662,14 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.JobIDBase < 0 {
 		return nil, fmt.Errorf("core: negative JobIDBase %d", cfg.JobIDBase)
 	}
+	if cfg.BudgetThrottle < 0 {
+		return nil, fmt.Errorf("core: negative BudgetThrottle %v", cfg.BudgetThrottle)
+	}
+	for fn, j := range cfg.EnergyBudgets {
+		if j <= 0 {
+			return nil, fmt.Errorf("core: non-positive energy budget %g J for %q", j, fn)
+		}
+	}
 	o := &Orchestrator{
 		runtime:          cfg.Runtime,
 		collector:        coll,
@@ -624,6 +688,9 @@ func New(cfg Config) (*Orchestrator, error) {
 		byID:             make(map[string]*workerSlot, len(cfg.Workers)),
 		eligible:         make([]*workerSlot, 0, len(cfg.Workers)),
 		parked:           make(map[int64]*parkedRetry),
+		budgets:          make(map[string]*fnBudget, len(cfg.EnergyBudgets)),
+		budgetThrottle:   cfg.BudgetThrottle,
+		throttled:        make(map[int64]*parkedThrottle),
 		callbacks:        make(map[int64]func(Result)),
 		nextID:           cfg.JobIDBase,
 	}
@@ -639,6 +706,16 @@ func New(cfg Config) (*Orchestrator, error) {
 	}
 	o.nextIdx = len(cfg.Workers)
 	o.initTelemetry(cfg.Telemetry)
+	// Budgets seed in sorted order so their telemetry series appear in a
+	// deterministic first-seen order.
+	fns := make([]string, 0, len(cfg.EnergyBudgets))
+	for fn := range cfg.EnergyBudgets {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		o.setBudgetLocked(fn, cfg.EnergyBudgets[fn])
+	}
 	return o, nil
 }
 
@@ -731,12 +808,46 @@ func (o *Orchestrator) SubmitWithTimeout(function string, args []byte, timeout t
 		o.mu.Unlock()
 		return 0
 	}
-	id, run := o.enqueueLocked(o.pickWorkerLocked(), function, args, timeout, cb)
+	if o.budgetThrottle > 0 && o.exhaustedLocked(function) {
+		// Budget-exhausted: the job is accepted (id, trace, pending) but
+		// serves a throttle hold before it may enter any queue.
+		job := o.newJobLocked(function, args, timeout, cb)
+		o.m.budgetThrottled.Inc()
+		o.emit(telemetry.EventQueue, job, "", "budget-throttle")
+		p := &parkedThrottle{job: job}
+		o.throttled[job.ID] = p
+		p.cancel = o.runtime.After(o.budgetThrottle, func() { o.releaseThrottled(job.ID) })
+		o.mu.Unlock()
+		return job.ID
+	}
+	id, run := o.enqueueLocked(o.pickWorkerLocked(function), function, args, timeout, cb)
 	o.mu.Unlock()
 	if run != nil {
 		run.run()
 	}
 	return id
+}
+
+// releaseThrottled moves a budget-held submission onto a worker queue once
+// its hold elapses. A job abandoned by Drain is no longer parked and is
+// skipped.
+func (o *Orchestrator) releaseThrottled(id int64) {
+	o.mu.Lock()
+	p, ok := o.throttled[id]
+	if !ok {
+		o.mu.Unlock()
+		return
+	}
+	delete(o.throttled, id)
+	now := o.runtime.Now()
+	o.span(p.job, tracing.PhaseThrottle, "", p.job.SubmittedAt, now, "budget")
+	s := o.pickWorkerLocked(p.job.Function)
+	o.pushJobLocked(s, p.job, "budget-release")
+	run := o.maybeDispatchLocked(s)
+	o.mu.Unlock()
+	if run != nil {
+		run.run()
+	}
 }
 
 // addEligibleLocked appends a slot to the free-list. Caller holds o.mu.
@@ -792,8 +903,10 @@ func (o *Orchestrator) assignableLocked() []*workerSlot {
 }
 
 // pickWorkerLocked applies the assignment policy over breaker-eligible
-// workers. Caller holds o.mu.
-func (o *Orchestrator) pickWorkerLocked() *workerSlot {
+// workers. function feeds the energy-aware policy's budget deprioritization
+// (a budget-exhausted function never triggers a node wake); the other
+// policies ignore it. Caller holds o.mu.
+func (o *Orchestrator) pickWorkerLocked(function string) *workerSlot {
 	ws := o.assignableLocked()
 	switch o.policy {
 	case AssignRoundRobin:
@@ -815,10 +928,17 @@ func (o *Orchestrator) pickWorkerLocked() *workerSlot {
 		}
 		return best
 	case AssignEnergyAware:
-		return o.pickEnergyAwareLocked(ws)
+		return o.pickEnergyAwareLocked(ws, o.exhaustedLocked(function))
 	default: // AssignRandom, the paper's policy
 		return ws[o.rng.Intn(len(ws))]
 	}
+}
+
+// exhaustedLocked reports whether the function has a budget and has spent
+// it. Caller holds o.mu.
+func (o *Orchestrator) exhaustedLocked(function string) bool {
+	b, ok := o.budgets[function]
+	return ok && b.exhausted
 }
 
 // pickEnergyAwareLocked packs load onto powered nodes so the rest can stay
@@ -830,8 +950,11 @@ func (o *Orchestrator) pickWorkerLocked() *workerSlot {
 // feels it as queue wait). All ties break by registration order; the
 // policy draws no randomness, so its picks are independent of evaluation
 // order. Without a power manager every worker counts as powered and the
-// policy degrades to least-loaded. Caller holds o.mu.
-func (o *Orchestrator) pickEnergyAwareLocked(ws []*workerSlot) *workerSlot {
+// policy degrades to least-loaded. noWake flips the preference for a
+// budget-exhausted function: an already-powered worker (even a loaded one)
+// always beats waking a node, so exhausted functions stop pulling hardware
+// out of power gating. Caller holds o.mu.
+func (o *Orchestrator) pickEnergyAwareLocked(ws []*workerSlot, noWake bool) *workerSlot {
 	const maxInt = int(^uint(0) >> 1)
 	var idleUp, down, leastUp *workerSlot
 	leastLoad := maxInt
@@ -857,6 +980,8 @@ func (o *Orchestrator) pickEnergyAwareLocked(ws []*workerSlot) *workerSlot {
 	switch {
 	case idleUp != nil:
 		return idleUp
+	case noWake && leastUp != nil:
+		return leastUp
 	case down != nil && (leastUp == nil || o.pm.CanWake()):
 		return down
 	case leastUp != nil:
@@ -886,10 +1011,11 @@ func (o *Orchestrator) SubmitTo(workerID, function string, args []byte) (int64, 
 	return id, nil
 }
 
-// enqueueLocked appends the job and returns its id plus the dispatched
-// attempt to run once o.mu is released (nil when the worker is already
-// busy). Caller holds o.mu.
-func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, *inflight) {
+// newJobLocked accepts a submission: it allocates the job id, starts the
+// trace, bumps the submission metrics, registers the callback, and counts
+// the job pending — everything except placing the job on a queue (the
+// budget-throttle path defers that part). Caller holds o.mu.
+func (o *Orchestrator) newJobLocked(function string, args []byte, timeout time.Duration, cb func(Result)) Job {
 	o.nextID++
 	id := o.nextID
 	job := Job{ID: id, Function: function, Args: args, SubmittedAt: o.runtime.Now(), Timeout: timeout}
@@ -898,13 +1024,21 @@ func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte
 	o.m.submitted.Inc()
 	o.noteSubmittedLocked(function)
 	o.emit(telemetry.EventSubmit, job, "", "")
-	o.pushJobLocked(s, job, "")
 	if cb != nil {
 		o.callbacks[id] = cb
 	}
 	o.pending++
 	o.m.pending.Set(float64(o.pending))
-	return id, o.maybeDispatchLocked(s)
+	return job
+}
+
+// enqueueLocked appends the job and returns its id plus the dispatched
+// attempt to run once o.mu is released (nil when the worker is already
+// busy). Caller holds o.mu.
+func (o *Orchestrator) enqueueLocked(s *workerSlot, function string, args []byte, timeout time.Duration, cb func(Result)) (int64, *inflight) {
+	job := o.newJobLocked(function, args, timeout, cb)
+	o.pushJobLocked(s, job, "")
+	return job.ID, o.maybeDispatchLocked(s)
 }
 
 // pushJobLocked appends one attempt to a worker's queue, keeping the
@@ -1059,6 +1193,7 @@ func (o *Orchestrator) completed(fl *inflight, res Result) {
 		Err:       res.Err,
 	})
 	o.noteAttemptLocked(s, res.Err == "", false)
+	o.chargeEnergyLocked(job.Function, res.Joules)
 	s.busy = false
 	o.m.busy[s.id].Set(0)
 	if res.Err == "" {
@@ -1258,7 +1393,7 @@ func (o *Orchestrator) requeueParked(id int64) {
 	if failed, ok := o.byID[p.exclude]; ok {
 		s = o.pickRetryWorkerLocked(failed)
 	} else {
-		s = o.pickWorkerLocked()
+		s = o.pickWorkerLocked(p.job.Function)
 	}
 	o.pushJobLocked(s, p.job, "retry-backoff")
 	run := o.maybeDispatchLocked(s)
@@ -1487,6 +1622,11 @@ func (o *Orchestrator) Drain(ctx context.Context) []Job {
 		p.cancel()
 		abandoned = append(abandoned, p.job)
 		delete(o.parked, id)
+	}
+	for id, p := range o.throttled {
+		p.cancel()
+		abandoned = append(abandoned, p.job)
+		delete(o.throttled, id)
 	}
 	sort.Slice(abandoned, func(i, j int) bool { return abandoned[i].ID < abandoned[j].ID })
 	if o.tracer != nil {

@@ -100,7 +100,7 @@ func (o *Orchestrator) SubmitJob(job Job, cb func(Result)) (int64, error) {
 		o.mu.Unlock()
 		return 0, nil
 	}
-	s := o.pickWorkerLocked()
+	s := o.pickWorkerLocked(job.Function)
 	o.span(job, tracing.PhaseSteal, s.id, o.runtime.Now(), o.runtime.Now(), "migrated")
 	o.pushJobLocked(s, job, "stolen")
 	if cb != nil {

@@ -19,6 +19,11 @@ const (
 	metricInvocations = "microfaas_function_invocations_total"
 	metricLatency     = "microfaas_invocation_latency_seconds"
 	metricFnSubmitted = "microfaas_function_submitted_total"
+
+	metricBudgetLimit     = "microfaas_function_energy_budget_joules"
+	metricBudgetSpent     = "microfaas_function_budget_spent_joules"
+	metricBudgetExhausted = "microfaas_function_budget_exhausted"
+	metricBudgetThrottled = "microfaas_budget_throttled_total"
 )
 
 // orchMetrics holds the orchestrator's pre-created metric handles. Every
@@ -38,6 +43,12 @@ type orchMetrics struct {
 	busy       map[string]*telemetry.Gauge
 	attempts   map[string]map[string]*telemetry.Counter // worker → result
 	breakerTo  map[string]map[string]*telemetry.Counter // worker → state
+	// energy-budget series: one counter for throttle holds, and a gauge
+	// triple per budgeted function (filled as budgets are installed)
+	budgetThrottled *telemetry.Counter
+	budgetLimit     map[string]*telemetry.Gauge
+	budgetSpent     map[string]*telemetry.Gauge
+	budgetExhausted map[string]*telemetry.Gauge
 }
 
 // initTelemetryLocked pre-creates the orchestrator's metric families so
@@ -60,6 +71,11 @@ func (o *Orchestrator) initTelemetry(tel *telemetry.Telemetry) {
 		busy:        make(map[string]*telemetry.Gauge, len(o.slots)),
 		attempts:    make(map[string]map[string]*telemetry.Counter, len(o.slots)),
 		breakerTo:   make(map[string]map[string]*telemetry.Counter, len(o.slots)),
+		budgetThrottled: reg.Counter(metricBudgetThrottled,
+			"Submissions held before queueing because their function's energy budget was spent."),
+		budgetLimit:     make(map[string]*telemetry.Gauge),
+		budgetSpent:     make(map[string]*telemetry.Gauge),
+		budgetExhausted: make(map[string]*telemetry.Gauge),
 	}
 	for _, s := range o.slots {
 		o.initWorkerTelemetry(s.id)
@@ -114,6 +130,36 @@ func (o *Orchestrator) noteSubmittedLocked(function string) {
 		o.m.fnSubmitted[function] = c
 	}
 	c.Inc()
+}
+
+// noteBudgetLocked refreshes one function's budget gauge triple, creating
+// the series on the budget's first installation. Caller holds o.mu, which
+// serializes the lazy map fill.
+func (o *Orchestrator) noteBudgetLocked(function string, limit, spent float64, exhausted bool) {
+	if o.tel == nil {
+		return
+	}
+	lg, ok := o.m.budgetLimit[function]
+	if !ok {
+		reg := o.tel.Registry()
+		lg = reg.Gauge(metricBudgetLimit,
+			"Configured per-function energy cap (0 after budget removal).",
+			"function", function)
+		o.m.budgetLimit[function] = lg
+		o.m.budgetSpent[function] = reg.Gauge(metricBudgetSpent,
+			"Metered joules charged against the function's budget (all attempts).",
+			"function", function)
+		o.m.budgetExhausted[function] = reg.Gauge(metricBudgetExhausted,
+			"1 while the function's energy budget is spent (deprioritized/throttled).",
+			"function", function)
+	}
+	lg.Set(limit)
+	o.m.budgetSpent[function].Set(spent)
+	x := 0.0
+	if exhausted {
+		x = 1
+	}
+	o.m.budgetExhausted[function].Set(x)
 }
 
 // noteAttemptMetrics records one finished attempt's outcome series.

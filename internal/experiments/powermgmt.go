@@ -7,11 +7,13 @@ import (
 
 	"microfaas/internal/cluster"
 	"microfaas/internal/core"
+	"microfaas/internal/forecast"
 	"microfaas/internal/model"
 	"microfaas/internal/power"
 	"microfaas/internal/powermgr"
 	"microfaas/internal/replay"
 	"microfaas/internal/telemetry"
+	"microfaas/internal/trace"
 	"microfaas/internal/tsdb"
 )
 
@@ -23,7 +25,11 @@ import (
 //   - always-on: the conventional serverless stance — boot once, idle warm
 //     forever (the DisableReboot ablation);
 //   - managed: the power manager — wake-on-demand, idle power-down, and
-//     the energy-aware assignment policy packing load onto powered nodes.
+//     the energy-aware assignment policy packing load onto powered nodes;
+//   - predictive (optional, Predict): managed plus the forecast
+//     controller steering the manager's warm floor from the arrival-rate
+//     series — pre-waking ahead of the diurnal ramp, pre-sleeping surplus
+//     nodes ahead of the trough instead of waiting out the idle timeout.
 //
 // The headline number is J/function; the savings column is the managed
 // cluster's reduction versus always-on at the same load. The lower the
@@ -48,11 +54,27 @@ type PowerMgmtLevel struct {
 
 	PerJob, AlwaysOn, Managed PowerMgmtArm
 
+	// Predictive is the forecast-steered arm; its zero value (empty Name)
+	// means PowerMgmtConfig.Predict was off and the arm did not run.
+	Predictive PowerMgmtArm
+
 	// SavingsVsAlwaysOn is 1 − managed/always-on in J/function (the
 	// fraction of the always-on energy bill the manager reclaims);
 	// SavingsVsPerJob is the same against the per-job power cycle.
 	SavingsVsAlwaysOn float64
 	SavingsVsPerJob   float64
+	// SavingsPredictive is 1 − predictive/always-on in J/function (zero
+	// when the predictive arm did not run).
+	SavingsPredictive float64
+}
+
+// arms lists the level's populated arms in display order.
+func (lv PowerMgmtLevel) arms() []PowerMgmtArm {
+	out := []PowerMgmtArm{lv.PerJob, lv.AlwaysOn, lv.Managed}
+	if lv.Predictive.Name != "" {
+		out = append(out, lv.Predictive)
+	}
+	return out
 }
 
 // PowerMgmtArm is one cluster's replay of the level's trace.
@@ -65,8 +87,16 @@ type PowerMgmtArm struct {
 	JoulesPer  float64
 	MeanPowerW float64
 	// MeanLatency includes queueing (and, for managed, any wake boots the
-	// queue wait absorbed).
+	// queue wait absorbed); P99Latency is the same distribution's 99th
+	// percentile — the number wake-boot stalls show up in first.
 	MeanLatency time.Duration
+	P99Latency  time.Duration
+	// ForecastError is the controller's final smoothed sMAPE-style error
+	// in [0,2] (predictive arm only; see forecast.Predictor — halve it
+	// for a rough MAPE reading). Fallbacks counts predictive→reactive
+	// mode reversions over the trace.
+	ForecastError float64
+	Fallbacks     int
 	// PowerOns counts Off→powered transitions in the GPIO audit log —
 	// PWR_BUT presses. Per-job pays one per invocation; managed pays one
 	// per wake.
@@ -99,6 +129,10 @@ type PowerMgmtConfig struct {
 	// unsharded sim has no aggregator tick to piggyback on, so scrapes
 	// are pre-scheduled across the trace).
 	SLOInterval time.Duration
+	// Predict adds the fourth, forecast-steered arm to every level. Off
+	// (the default) keeps the three-arm run byte-identical to runs from
+	// before the predictor existed.
+	Predict bool
 }
 
 // PowerMgmt runs the three-way power-policy comparison across the
@@ -149,6 +183,9 @@ func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
 		sloEvery = 5 * time.Second
 	}
 	arms := []string{"per-job", "always-on", "managed"}
+	if cfg.Predict {
+		arms = append(arms, "predictive")
+	}
 	runs, err := RunParallel(Parallelism(cfg.Parallel), len(levels)*len(arms), func(i int) (PowerMgmtArm, error) {
 		return runPowerArm(arms[i%len(arms)], scheds[i/len(arms)], day, cfg.Seed, idle, cfg.SLO, sloEvery)
 	})
@@ -158,8 +195,14 @@ func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
 	for i := range levels {
 		lv := &res.Levels[i]
 		lv.PerJob, lv.AlwaysOn, lv.Managed = runs[i*len(arms)], runs[i*len(arms)+1], runs[i*len(arms)+2]
+		if cfg.Predict {
+			lv.Predictive = runs[i*len(arms)+3]
+		}
 		if lv.AlwaysOn.JoulesPer > 0 {
 			lv.SavingsVsAlwaysOn = 1 - lv.Managed.JoulesPer/lv.AlwaysOn.JoulesPer
+			if cfg.Predict {
+				lv.SavingsPredictive = 1 - lv.Predictive.JoulesPer/lv.AlwaysOn.JoulesPer
+			}
 		}
 		if lv.PerJob.JoulesPer > 0 {
 			lv.SavingsVsPerJob = 1 - lv.Managed.JoulesPer/lv.PerJob.JoulesPer
@@ -172,32 +215,72 @@ func PowerMgmt(cfg PowerMgmtConfig) (PowerMgmtResult, error) {
 // its energy bill.
 func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int64, idle time.Duration, slo []tsdb.Rule, sloEvery time.Duration) (PowerMgmtArm, error) {
 	cfg := cluster.SimConfig{Seed: seed}
+	predict := arm == "predictive"
 	switch arm {
 	case "always-on":
 		cfg.DisableReboot = true
-	case "managed":
+	case "managed", "predictive":
 		cfg.Power = &powermgr.Policy{IdleTimeout: idle}
+		if predict {
+			// Damp pre-sleep thrash: keep one node of slack above the
+			// forecast floor (plus half a node per floor level), trim at
+			// most one node per tick, and only after the surplus has
+			// persisted a tick — so a momentary forecast dip doesn't
+			// cycle nodes the next burst re-boots.
+			cfg.Power.PreSleepSlack = 1
+			cfg.Power.PreSleepSlackFrac = 0.5
+			cfg.Power.PreSleepMax = 1
+			cfg.Power.PreSleepDebounce = 1
+		}
 		cfg.Policy = core.AssignEnergyAware
 	}
 	var store *tsdb.Store
-	if slo != nil {
+	if slo != nil || predict {
+		// The predictive arm needs telemetry regardless of SLO rules: the
+		// store's arrival tracker is the forecaster's input signal.
 		cfg.Telemetry = telemetry.New()
 	}
 	s, err := cluster.NewMicroFaaSSim(model.SBCCount, cfg)
 	if err != nil {
 		return PowerMgmtArm{}, err
 	}
-	if slo != nil {
+	var ctl *forecast.Controller
+	if slo != nil || predict {
 		store = tsdb.New(tsdb.Config{})
-		if err := store.SetRules(slo); err != nil {
-			return PowerMgmtArm{}, err
+		if slo != nil {
+			if err := store.SetRules(slo); err != nil {
+				return PowerMgmtArm{}, err
+			}
 		}
 		store.AddSource("", cfg.Telemetry.Registry())
+		if predict {
+			ctl, err = forecast.NewController(forecast.ControllerConfig{
+				Store:   store,
+				Manager: s.PowerMgr,
+				Policy: forecast.Policy{
+					Tick:       sloEvery,
+					CycleTime:  model.MeanJobTime(model.ARM, model.DefaultWorkerLink(model.ARM)),
+					Period:     day,
+					MaxWorkers: model.SBCCount,
+					Spare:      1,
+				},
+				Telemetry: cfg.Telemetry,
+			})
+			if err != nil {
+				return PowerMgmtArm{}, err
+			}
+		}
 		// No aggregator tick to piggyback on in an unsharded sim:
-		// pre-schedule the scrape cadence across the whole trace.
+		// pre-schedule the scrape (and, for the predictive arm, the
+		// forecast-controller tick) cadence across the whole trace.
 		for t := sloEvery; t <= day; t += sloEvery {
 			at := t
-			s.Engine.At(at, func() { store.Scrape(at) })
+			s.Engine.At(at, func() {
+				store.Scrape(at)
+				if ctl != nil {
+					ctl.Tick(at)
+				}
+			})
 		}
 	}
 	if _, err := replay.Feed(core.SimRuntime{Engine: s.Engine}, s.Orch, sched); err != nil {
@@ -208,17 +291,25 @@ func runPowerArm(arm string, sched replay.Schedule, day time.Duration, seed int6
 
 	out := PowerMgmtArm{Name: arm}
 	var latSum time.Duration
+	var lats []time.Duration
 	for _, r := range s.Orch.Collector().Records() {
 		if r.Err != "" {
 			continue
 		}
 		out.Completed++
 		latSum += r.Latency()
+		lats = append(lats, r.Latency())
 	}
 	if out.Completed == 0 {
 		return PowerMgmtArm{}, fmt.Errorf("experiments: power-mgmt %s arm completed nothing", arm)
 	}
 	out.MeanLatency = latSum / time.Duration(out.Completed)
+	out.P99Latency = trace.Percentile(lats, 99)
+	if ctl != nil {
+		snap := ctl.Snapshot()
+		out.ForecastError = snap.ErrorRatio
+		out.Fallbacks = snap.Fallbacks
+	}
 	total := float64(s.Meter.TotalEnergy(s.Engine.Now()))
 	out.JoulesPer = total / float64(out.Completed)
 	out.MeanPowerW = total / s.Engine.Now().Seconds()
@@ -247,10 +338,13 @@ func WritePowerMgmt(w io.Writer, r PowerMgmtResult) error {
 		return err
 	}
 	for _, lv := range r.Levels {
-		for _, arm := range []PowerMgmtArm{lv.PerJob, lv.AlwaysOn, lv.Managed} {
+		for _, arm := range lv.arms() {
 			savings := ""
-			if arm.Name == "managed" {
+			switch arm.Name {
+			case "managed":
 				savings = fmt.Sprintf("%.1f%%", 100*lv.SavingsVsAlwaysOn)
+			case "predictive":
+				savings = fmt.Sprintf("%.1f%%", 100*lv.SavingsPredictive)
 			}
 			if _, err := fmt.Fprintf(w, "  %-5.0f%% %-9s %10d %11.2f %10.3f %12s %9d %8s\n",
 				100*lv.Utilization, arm.Name, arm.Completed, arm.JoulesPer, arm.MeanPowerW,
@@ -260,7 +354,20 @@ func WritePowerMgmt(w io.Writer, r PowerMgmtResult) error {
 		}
 	}
 	for _, lv := range r.Levels {
-		for _, arm := range []PowerMgmtArm{lv.PerJob, lv.AlwaysOn, lv.Managed} {
+		p := lv.Predictive
+		if p.Name == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w,
+			"  %.0f%% predictive: p99 %s vs managed %s, forecast error %.3f (~%.1f%% MAPE), fallbacks %d\n",
+			100*lv.Utilization, p.P99Latency.Round(time.Millisecond),
+			lv.Managed.P99Latency.Round(time.Millisecond),
+			p.ForecastError, 50*p.ForecastError, p.Fallbacks); err != nil {
+			return err
+		}
+	}
+	for _, lv := range r.Levels {
+		for _, arm := range lv.arms() {
 			if arm.Alerts == nil {
 				continue
 			}

@@ -53,6 +53,46 @@ func TestPowerMgmtDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestPowerMgmtPredictiveDeterministicAcrossParallelism pins the
+// four-arm predict-on run: the forecast controller's ticks, the tsdb
+// scrapes, and the pre-sleep machinery all ride the virtual clock, so
+// output is identical at any worker-pool size.
+func TestPowerMgmtPredictiveDeterministicAcrossParallelism(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		runTwiceAndCompare(t, "powermgmt-predict", func(p int) (PowerMgmtResult, error) {
+			cfg := shortPM(seed, p)
+			cfg.Predict = true
+			return PowerMgmt(cfg)
+		})
+	}
+}
+
+// TestPowerMgmtPredictiveArm checks the fourth arm runs the whole trace
+// and reports forecast accounting alongside its energy numbers.
+func TestPowerMgmtPredictiveArm(t *testing.T) {
+	cfg := shortPM(1, 0)
+	cfg.Predict = true
+	r, err := PowerMgmt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range r.Levels {
+		p := lv.Predictive
+		if p.Name != "predictive" {
+			t.Fatalf("util %.0f%%: predictive arm missing (%+v)", 100*lv.Utilization, p)
+		}
+		if p.Completed != lv.Invocations {
+			t.Errorf("util %.0f%%: predictive completed %d of %d", 100*lv.Utilization, p.Completed, lv.Invocations)
+		}
+		if lv.SavingsPredictive <= 0 {
+			t.Errorf("util %.0f%%: predictive savings %.3f, want > 0 vs always-on", 100*lv.Utilization, lv.SavingsPredictive)
+		}
+		if p.ForecastError < 0 || p.ForecastError > 2 {
+			t.Errorf("util %.0f%%: forecast error %.3f outside sMAPE range [0,2]", 100*lv.Utilization, p.ForecastError)
+		}
+	}
+}
+
 func TestWritePowerMgmt(t *testing.T) {
 	r, err := PowerMgmt(shortPM(detSeed, 0))
 	if err != nil {

@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"microfaas/internal/core"
+)
+
+// shardBudgets is one shard's energy-budget rows inside the sharded
+// GET /budgets reply.
+type shardBudgets struct {
+	Shard   string              `json:"shard"`
+	Budgets []core.BudgetStatus `json:"budgets"`
+}
+
+// handleForecast serves GET /forecast: the forecast controller's latest
+// snapshot — mode, smoothed error ratio, warm-pool target, and the
+// per-function rate/EWMA/ahead table. Clusters running without a
+// predictor (no Options.Forecast) answer 404.
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.forecast == nil {
+		writeError(w, http.StatusNotFound, "prediction disabled on this cluster")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.forecast.Snapshot())
+}
+
+// handleBudgets serves the per-function energy-budget config:
+//
+//	GET  /budgets  every budgeted function's limit/spent/exhausted rows
+//	POST /budgets  {"function": "...", "limit_j": N} sets or updates one
+//	               budget (N <= 0 removes it) and returns the fresh rows
+//
+// A sharded gateway returns per-shard rows and applies POSTs to every
+// shard (work stealing can land any function anywhere).
+func (s *Server) handleBudgets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var req struct {
+			Function string  `json:"function"`
+			LimitJ   float64 `json:"limit_j"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if req.Function == "" {
+			writeError(w, http.StatusBadRequest, "function name required")
+			return
+		}
+		if s.plane != nil {
+			for _, o := range s.plane.Shards() {
+				o.SetEnergyBudget(req.Function, req.LimitJ)
+			}
+		} else {
+			s.orch.SetEnergyBudget(req.Function, req.LimitJ)
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
+	if s.plane != nil {
+		labels := s.plane.Labels()
+		out := []shardBudgets{}
+		for si, o := range s.plane.Shards() {
+			out = append(out, shardBudgets{Shard: labels[si], Budgets: o.EnergyBudgets()})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.orch.EnergyBudgets())
+}

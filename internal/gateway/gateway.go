@@ -12,6 +12,10 @@
 //	GET  /stats            per-function runtime statistics and cluster totals
 //	GET  /power            power-manager snapshot: per-node power states, cap, pending wakes
 //	POST /power/cap        {"cap_w": N} adjusts the cluster power cap (0 removes it)
+//	GET  /forecast         prediction-controller snapshot: mode, error ratio, warm target,
+//	                       per-function rate/EWMA/ahead forecasts
+//	GET  /budgets          per-function energy budgets: limit, spent, exhausted
+//	POST /budgets          {"function": "...", "limit_j": N} sets/updates a budget (N <= 0 removes)
 //	GET  /healthz          liveness probe: mode, uptime, build version
 //	GET  /metrics          Prometheus text exposition (telemetry-enabled servers)
 //	GET  /events           ring-buffered invocation lifecycle events (?since=SEQ&max=N;
@@ -49,6 +53,7 @@ import (
 	"time"
 
 	"microfaas/internal/core"
+	"microfaas/internal/forecast"
 	"microfaas/internal/power"
 	"microfaas/internal/powermgr"
 	"microfaas/internal/shard"
@@ -147,6 +152,9 @@ type Options struct {
 	// the fronted orchestrator's core.Config.ShardLabel ("" when
 	// unsharded, or when the gateway fronts a whole plane).
 	ShardID string
+	// Forecast, when set, backs GET /forecast with the prediction
+	// controller's live snapshot. Without it the route answers 404.
+	Forecast *forecast.Controller
 }
 
 // HealthResponse is the GET /healthz reply. ShardID and ShardCount are
@@ -182,11 +190,12 @@ type Server struct {
 	timeout time.Duration
 	mode    string
 	shardID string
-	tel     *telemetry.Telemetry
-	tracer  *tracing.Tracer
-	tsdb    *tsdb.Store
-	pprof   bool
-	start   time.Time
+	tel      *telemetry.Telemetry
+	tracer   *tracing.Tracer
+	tsdb     *tsdb.Store
+	forecast *forecast.Controller
+	pprof    bool
+	start    time.Time
 
 	mu      sync.Mutex
 	http    *http.Server
@@ -244,17 +253,18 @@ func newServer(opts Options) *Server {
 		opts.Mode = "live"
 	}
 	return &Server{
-		timeout: opts.Timeout,
-		mode:    opts.Mode,
-		shardID: opts.ShardID,
-		tel:     opts.Telemetry,
-		tracer:  opts.Tracer,
-		tsdb:    opts.TSDB,
-		pprof:   opts.EnablePprof,
-		start:   time.Now(),
-		pending: make(map[int64]time.Time),
-		done:    make(map[int64]asyncEntry),
-		settled: make(map[int64]time.Time),
+		timeout:  opts.Timeout,
+		mode:     opts.Mode,
+		shardID:  opts.ShardID,
+		tel:      opts.Telemetry,
+		tracer:   opts.Tracer,
+		tsdb:     opts.TSDB,
+		forecast: opts.Forecast,
+		pprof:    opts.EnablePprof,
+		start:    time.Now(),
+		pending:  make(map[int64]time.Time),
+		done:     make(map[int64]asyncEntry),
+		settled:  make(map[int64]time.Time),
 	}
 }
 
@@ -268,6 +278,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/power", s.handlePower)
 	mux.HandleFunc("/power/cap", s.handlePowerCap)
+	mux.HandleFunc("/forecast", s.handleForecast)
+	mux.HandleFunc("/budgets", s.handleBudgets)
 	mux.HandleFunc("/shards", s.handleShards)
 	mux.HandleFunc("/shards/", s.handleShardOp)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -539,6 +539,7 @@ func (w *LiveWorker) invoke(job core.Job, done func(core.Result)) {
 			// Failed attempts are charged too: the joules were burned on
 			// this function's behalf even if the result was lost.
 			delta := w.cfg.Meter.Energy(w.cfg.ID, now) - energyStart
+			res.Joules = float64(delta)
 			w.m.energy(job.Function).Add(float64(delta))
 		}
 	}

@@ -301,7 +301,7 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 	// Per-function energy: snapshot the meter now, bank the delta when the
 	// job finishes. Only metered ARM workers attribute joules — an X86
 	// microVM is not a metered device, its host rack server is.
-	metered := w.cfg.Platform == model.ARM && w.cfg.Meter != nil && w.cfg.Telemetry != nil
+	metered := w.cfg.Platform == model.ARM && w.cfg.Meter != nil
 	var energyStart power.Joules
 	if metered {
 		energyStart = w.cfg.Meter.Energy(w.cfg.ID, started)
@@ -350,8 +350,11 @@ func (w *SimWorker) RunJob(job core.Job, done func(core.Result)) {
 		}
 		if metered {
 			// Crashed attempts are charged too: the joules were burned on
-			// this function's behalf even if the result was lost.
+			// this function's behalf even if the result was lost. The
+			// result carries the joules so the orchestrator can account
+			// them against the function's energy budget.
 			delta := w.cfg.Meter.Energy(w.cfg.ID, engine.Now()) - energyStart
+			res.Joules = float64(delta)
 			w.m.energy(job.Function).Add(float64(delta))
 		}
 		// The post-job power transition is instantaneous in the sim, so the

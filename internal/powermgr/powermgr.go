@@ -27,6 +27,13 @@
 //     how many nodes may be powered simultaneously (CapW / NodeW, both in
 //     watts). Wakes beyond the cap park in a FIFO queue — backpressure the
 //     submitting jobs feel as queue wait — and start as capacity frees.
+//   - Predictive warm floor (SetWarmTarget): a forecast controller
+//     (internal/forecast) may steer the manager ahead of demand —
+//     pre-waking nodes before a load ramp so jobs land on warm workers,
+//     and pre-sleeping idle surplus ahead of a trough instead of waiting
+//     out the idle timeout. Reactive wake-on-demand keeps working
+//     underneath; with no controller attached the manager behaves exactly
+//     as before this mechanism existed.
 //
 // The Manager is mode-agnostic: it talks to nodes through the Node
 // interface and tells time through Runtime, so the same code drives
@@ -38,6 +45,7 @@ package powermgr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -89,6 +97,27 @@ type Policy struct {
 	// NodeW is one node's budgeted worst-case draw in watts used for cap
 	// accounting (default: the paper SBC's busy draw, 1.96 W).
 	NodeW power.Watts
+	// PreSleepSlack widens the predictive pre-sleep band: SetWarmTarget
+	// trims idle surplus only while more than target+PreSleepSlack nodes
+	// are powered, keeping that many spares warm as burst headroom
+	// (default 0 — trim straight down to the floor).
+	PreSleepSlack int
+	// PreSleepMax bounds how many nodes one SetWarmTarget call may
+	// pre-sleep (0 = unlimited). A tick-driven forecast controller uses
+	// it to drain surplus gradually instead of mass-trimming on a
+	// momentary forecast dip it would re-wake a tick later.
+	PreSleepMax int
+	// PreSleepSlackFrac adds ceil(frac × target) nodes to PreSleepSlack,
+	// scaling the burst headroom with the floor itself: a two-node floor
+	// tolerates a one-node overshoot that a ten-node floor should shrug
+	// off several of (default 0 — fixed slack only).
+	PreSleepSlackFrac float64
+	// PreSleepDebounce is how many consecutive SetWarmTarget calls must
+	// observe surplus beyond the slack band before pre-sleep engages
+	// (default 0 — trim on the first). It distinguishes a genuine trough
+	// (surplus persists tick after tick, so trimming proceeds) from a
+	// momentary forecast dip (the streak resets before it ever trims).
+	PreSleepDebounce int
 }
 
 // Config assembles a Manager.
@@ -150,6 +179,10 @@ type managed struct {
 	pendingWake bool
 	// wakeCause is the cause string for a cap-parked wake.
 	wakeCause string
+	// prewarm marks an in-flight wake issued by SetWarmTarget rather
+	// than demand: the node comes up idle-warm instead of granted. A
+	// RequestUp arriving mid-boot converts the wake back to demand.
+	prewarm bool
 }
 
 // Manager drives idle power-down, wake-on-demand, and power capping over a
@@ -158,10 +191,14 @@ type managed struct {
 // orchestrator calls in while holding its own lock, and the manager
 // invokes orchestrator callbacks only after releasing its lock).
 type Manager struct {
-	rt          Runtime
-	idleTimeout time.Duration
-	minUp       time.Duration
-	nodeW       power.Watts
+	rt               Runtime
+	idleTimeout      time.Duration
+	minUp            time.Duration
+	nodeW            power.Watts
+	preSleepSlack    int
+	preSleepMax      int
+	preSleepFrac     float64
+	preSleepDebounce int
 
 	mu       sync.Mutex
 	nodes    map[string]*managed
@@ -170,6 +207,14 @@ type Manager struct {
 	powered  int        // nodes Up or Waking
 	waitq    []*managed // FIFO of cap-blocked wakes
 	draining bool
+	// target is the predictive warm floor set by SetWarmTarget: keep at
+	// least this many nodes powered and trim idle surplus above it.
+	// −1 (the initial value) disables predictive control entirely —
+	// pure reactive behavior, byte-identical to a pre-forecast build.
+	target int
+	// trimStreak counts consecutive SetWarmTarget calls that saw surplus
+	// beyond the slack band — the PreSleepDebounce persistence counter.
+	trimStreak int
 
 	m mgrMetrics
 }
@@ -183,7 +228,9 @@ func New(cfg Config) (*Manager, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("powermgr: at least one node is required")
 	}
-	if cfg.Policy.IdleTimeout < 0 || cfg.Policy.MinUp < 0 || cfg.Policy.CapW < 0 || cfg.Policy.NodeW < 0 {
+	if cfg.Policy.IdleTimeout < 0 || cfg.Policy.MinUp < 0 || cfg.Policy.CapW < 0 || cfg.Policy.NodeW < 0 ||
+		cfg.Policy.PreSleepSlack < 0 || cfg.Policy.PreSleepMax < 0 ||
+		cfg.Policy.PreSleepSlackFrac < 0 || cfg.Policy.PreSleepDebounce < 0 {
 		return nil, fmt.Errorf("powermgr: negative policy values")
 	}
 	idle := cfg.Policy.IdleTimeout
@@ -199,12 +246,17 @@ func New(cfg Config) (*Manager, error) {
 		nodeW = power.DefaultSBCModel().BusyW
 	}
 	m := &Manager{
-		rt:          cfg.Runtime,
-		idleTimeout: idle,
-		minUp:       minUp,
-		nodeW:       nodeW,
-		capW:        cfg.Policy.CapW,
-		nodes:       make(map[string]*managed, len(cfg.Nodes)),
+		rt:               cfg.Runtime,
+		idleTimeout:      idle,
+		minUp:            minUp,
+		nodeW:            nodeW,
+		preSleepSlack:    cfg.Policy.PreSleepSlack,
+		preSleepMax:      cfg.Policy.PreSleepMax,
+		preSleepFrac:     cfg.Policy.PreSleepSlackFrac,
+		preSleepDebounce: cfg.Policy.PreSleepDebounce,
+		capW:             cfg.Policy.CapW,
+		nodes:            make(map[string]*managed, len(cfg.Nodes)),
+		target:           -1,
 	}
 	for i, n := range cfg.Nodes {
 		if _, dup := m.nodes[n.ID()]; dup {
@@ -258,6 +310,7 @@ func (m *Manager) RequestUp(id, cause string, ready func()) bool {
 		m.mu.Unlock()
 		return true
 	case stateWaking:
+		n.prewarm = false // demand arrived mid-boot: grant on completion
 		if ready != nil {
 			n.readyCbs = append(n.readyCbs, ready)
 		}
@@ -265,6 +318,7 @@ func (m *Manager) RequestUp(id, cause string, ready func()) bool {
 		return false
 	}
 	// Down → wake, unless the cap binds.
+	n.prewarm = false
 	if ready != nil {
 		n.readyCbs = append(n.readyCbs, ready)
 	}
@@ -305,6 +359,7 @@ func (m *Manager) wakeComplete(n *managed) {
 	if m.draining {
 		n.state = stateDown
 		n.inUse = false
+		n.prewarm = false
 		n.readyCbs = nil
 		m.powered--
 		m.m.poweredGauge(n.node.ID()).Set(0)
@@ -315,9 +370,17 @@ func (m *Manager) wakeComplete(n *managed) {
 	}
 	n.state = stateUp
 	n.upAt = m.rt.Now()
-	n.inUse = true
 	cbs := n.readyCbs
 	n.readyCbs = nil
+	// A demand wake hands the node to the orchestrator; a predictive
+	// pre-warm has no waiter, so the node comes up idle-warm with the
+	// reactive idle countdown armed as a backstop should the forecast
+	// stop trimming.
+	n.inUse = !n.prewarm
+	if n.prewarm {
+		n.prewarm = false
+		m.armIdleLocked(n)
+	}
 	m.mu.Unlock()
 	// Callbacks run outside m.mu: they re-enter the orchestrator, whose
 	// lock must always be taken before (never after) the manager's.
@@ -342,6 +405,12 @@ func (m *Manager) NoteIdle(id string) {
 		m.powerDownLocked(n, "drain", "drain")
 		return
 	}
+	m.armIdleLocked(n)
+}
+
+// armIdleLocked (re)starts a node's idle power-down countdown, honoring
+// the MinUp hysteresis floor. Caller holds m.mu.
+func (m *Manager) armIdleLocked(n *managed) {
 	if n.cancelIdle != nil {
 		n.cancelIdle()
 	}
@@ -360,6 +429,12 @@ func (m *Manager) idleExpired(n *managed) {
 	defer m.mu.Unlock()
 	n.cancelIdle = nil
 	if n.state != stateUp || n.inUse {
+		return
+	}
+	if m.target >= 0 && m.powered <= m.target {
+		// The predictive warm floor holds the node: stay warm with no
+		// timer. The next SetWarmTarget tick trims it if the forecast
+		// drops, and any NoteIdle re-arms the countdown.
 		return
 	}
 	m.powerDownLocked(n, "idle timeout", "idle")
@@ -500,6 +575,104 @@ func (m *Manager) SetCapW(w power.Watts) error {
 	return nil
 }
 
+// SetWarmTarget sets the predictive warm floor: the manager immediately
+// pre-wakes powered-down nodes (in registration order, within the power
+// cap) until at least n are powered, and pre-sleeps surplus — idle
+// nodes beyond the floor are powered off now instead of waiting out the
+// idle timeout (tempered by the policy's PreSleepSlack headroom,
+// PreSleepMax per-call trim bound, and PreSleepDebounce persistence
+// gate). The floor also holds nodes warm when their idle timers fire.
+// n < 0 disables predictive control and returns the manager to pure
+// reactive behavior (already-warm nodes decay through the normal idle
+// countdown). The forecast controller calls this every tick; it is a
+// no-op while draining.
+func (m *Manager) SetWarmTarget(n int) { m.setWarm(n, true) }
+
+// SetWarmFloor is SetWarmTarget without the pre-sleep side: it raises,
+// holds, and (n < 0) disengages the warm floor identically, but never
+// powers nodes down. Surplus nodes still carrying their reactive idle
+// countdown decay through it; nodes the floor already held at expiry
+// stay warm until a later trimming tick (or disengage) reclaims them.
+// The forecast controller calls it while predicted demand is flat or
+// rising, reserving actual trimming for ticks whose forecast says a
+// trough is ahead.
+func (m *Manager) SetWarmFloor(n int) { m.setWarm(n, false) }
+
+// setWarm implements SetWarmTarget/SetWarmFloor; trim gates the
+// pre-sleep pass.
+func (m *Manager) setWarm(n int, trim bool) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.target = n
+	m.m.prewarmTarget.Set(float64(max(n, 0)))
+	if n < 0 {
+		// Disengage: nodes the floor was holding warm have no timer any
+		// more (idleExpired consumed it without powering down), so
+		// re-arm the reactive countdown on every idle node.
+		m.trimStreak = 0
+		for _, nd := range m.order {
+			if nd.state == stateUp && !nd.inUse && nd.cancelIdle == nil {
+				m.armIdleLocked(nd)
+			}
+		}
+		m.mu.Unlock()
+		return
+	}
+	// Pre-wake up to the floor, lowest index first, respecting the cap.
+	maxP := m.maxPoweredLocked()
+	for _, nd := range m.order {
+		if m.powered >= n || (maxP > 0 && m.powered >= maxP) {
+			break
+		}
+		if nd.state == stateDown && !nd.pendingWake {
+			nd.prewarm = true
+			m.startWakeLocked(nd, "prewarm")
+		}
+	}
+	// Pre-sleep the surplus, highest index first: idle, past the MinUp
+	// hysteresis, outside the PreSleepSlack band, and not holding the
+	// cluster below the floor. PreSleepMax rate-limits the trim per call;
+	// nodes it leaves powered keep their reactive idle countdown, so a
+	// genuine trough still drains them.
+	slack := m.preSleepSlack + int(math.Ceil(m.preSleepFrac*float64(n)))
+	if m.powered > n+slack {
+		m.trimStreak++
+	} else {
+		m.trimStreak = 0
+	}
+	if !trim || m.trimStreak <= m.preSleepDebounce {
+		m.mu.Unlock()
+		return
+	}
+	trimmed := 0
+	for i := len(m.order) - 1; i >= 0 && m.powered > n+slack; i-- {
+		nd := m.order[i]
+		if nd.state != stateUp || nd.inUse || m.rt.Now() < nd.upAt+m.minUp {
+			continue
+		}
+		if nd.cancelIdle != nil {
+			nd.cancelIdle()
+			nd.cancelIdle = nil
+		}
+		m.powerDownLocked(nd, "predictive trough", "predictive")
+		if trimmed++; m.preSleepMax > 0 && trimmed >= m.preSleepMax {
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// WarmTarget returns the active predictive warm floor (−1 when
+// predictive control is disabled).
+func (m *Manager) WarmTarget() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.target
+}
+
 // NodeStatus is one node's row in a Status snapshot.
 type NodeStatus struct {
 	// ID names the node (matches its core.Worker id).
@@ -531,6 +704,12 @@ type Status struct {
 	IdleTimeoutMs float64 `json:"idle_timeout_ms"`
 	// MinUpMs is the policy's minimum-up hysteresis in milliseconds.
 	MinUpMs float64 `json:"min_up_ms"`
+	// Predictive is true while a forecast controller is steering the
+	// manager through SetWarmTarget; WarmTarget is the active floor.
+	Predictive bool `json:"predictive,omitempty"`
+	// WarmTarget is the predictive warm floor in nodes (meaningful only
+	// while Predictive).
+	WarmTarget int `json:"warm_target,omitempty"`
 	// Draining is true once Drain has been called: no new wakes.
 	Draining bool `json:"draining,omitempty"`
 	// Nodes lists every managed node in registration order.
@@ -548,6 +727,8 @@ func (m *Manager) Snapshot() Status {
 		MaxPowered:    m.maxPoweredLocked(),
 		IdleTimeoutMs: float64(m.idleTimeout) / float64(time.Millisecond),
 		MinUpMs:       float64(m.minUp) / float64(time.Millisecond),
+		Predictive:    m.target >= 0,
+		WarmTarget:    max(m.target, 0),
 		Draining:      m.draining,
 	}
 	for _, n := range m.waitq {
@@ -564,6 +745,21 @@ func (m *Manager) Snapshot() Status {
 		})
 	}
 	return st
+}
+
+// Occupancy returns how many powered nodes the orchestrator currently
+// holds (granted work since their last idle notification) alongside the
+// powered total. busy == powered > 0 means the warm pool is saturated —
+// the forecast controller's trigger for spare-node headroom.
+func (m *Manager) Occupancy() (busy, powered int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.order {
+		if n.state != stateDown && n.inUse {
+			busy++
+		}
+	}
+	return busy, m.powered
 }
 
 // PoweredIDs returns the ids of powered (Up or Waking) nodes, sorted —

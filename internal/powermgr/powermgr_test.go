@@ -276,3 +276,216 @@ func TestNoteFaultPowerCycles(t *testing.T) {
 		t.Fatalf("state after rewake = %q, want on", got)
 	}
 }
+
+// TestSetWarmTargetStateMachine tables the predictive-mode transitions:
+// pre-wake up to the floor, demand conversion mid-boot, floor holding
+// idle timers, pre-sleep of surplus, MinUp protecting fresh nodes, and
+// the return to reactive decay when the controller disengages.
+func TestSetWarmTargetStateMachine(t *testing.T) {
+	const (
+		idle  = 4 * time.Second
+		minUp = 2 * time.Second
+	)
+	type step struct {
+		name string
+		run  func(r *rig)
+		// want maps node id → expected StateName after the step.
+		want map[string]string
+	}
+	steps := []step{
+		{
+			name: "pre-wake to floor 2",
+			run: func(r *rig) {
+				r.mgr.SetWarmTarget(2)
+				r.engine.RunAll() // boots complete
+			},
+			want: map[string]string{"a": "on", "b": "on", "c": "off"},
+		},
+		{
+			name: "floor holds idle timers",
+			run: func(r *rig) {
+				// Pre-warmed nodes carry a reactive idle countdown as a
+				// backstop, but the floor keeps them warm when it fires.
+				r.engine.RunAll()
+			},
+			want: map[string]string{"a": "on", "b": "on", "c": "off"},
+		},
+		{
+			name: "raise floor to 3",
+			run: func(r *rig) {
+				r.mgr.SetWarmTarget(3)
+				r.engine.RunAll()
+			},
+			want: map[string]string{"a": "on", "b": "on", "c": "on"},
+		},
+		{
+			name: "demand grant from warm pool is instant",
+			run: func(r *rig) {
+				if !r.mgr.RequestUp("a", "demand", nil) {
+					t.Fatal("RequestUp on a pre-warmed node returned false, want instant grant")
+				}
+			},
+			want: map[string]string{"a": "on", "b": "on", "c": "on"},
+		},
+		{
+			name: "pre-sleep surplus keeps in-use node",
+			run: func(r *rig) {
+				// Floor drops to 1 while a is granted: b and c (idle,
+				// past MinUp) pre-sleep immediately; a stays.
+				r.mgr.SetWarmTarget(1)
+			},
+			want: map[string]string{"a": "on", "b": "off", "c": "off"},
+		},
+		{
+			name: "MinUp protects a fresh pre-warm from the trim",
+			run: func(r *rig) {
+				r.mgr.SetWarmTarget(2) // re-wakes b
+				// Advance just past b's boot; MinUp is not yet met.
+				r.engine.Run(r.engine.Now() + bootTime)
+				r.mgr.SetWarmTarget(0) // trough: trim everything idle
+			},
+			// b survives the trim (fresh); a survives (in use).
+			want: map[string]string{"a": "on", "b": "on", "c": "off"},
+		},
+		{
+			name: "next tick trims once MinUp elapses",
+			run: func(r *rig) {
+				r.engine.Run(r.engine.Now() + minUp)
+				r.mgr.SetWarmTarget(0)
+			},
+			want: map[string]string{"a": "on", "b": "off", "c": "off"},
+		},
+		{
+			name: "disable returns to reactive decay",
+			run: func(r *rig) {
+				r.mgr.SetWarmTarget(-1)
+				r.mgr.NoteIdle("a") // orchestrator releases a
+				r.engine.RunAll()   // idle timeout fires, nothing holds it
+			},
+			want: map[string]string{"a": "off", "b": "off", "c": "off"},
+		},
+	}
+	r := newRig(t, 3, powermgr.Policy{IdleTimeout: idle, MinUp: minUp})
+	for _, st := range steps {
+		st.run(r)
+		for id, want := range st.want {
+			if got := r.mgr.StateName(id); got != want {
+				t.Fatalf("%s: node %s state = %q, want %q", st.name, id, got, want)
+			}
+		}
+	}
+	if s := r.mgr.Snapshot(); s.Predictive || s.WarmTarget != 0 {
+		t.Fatalf("after disable: snapshot predictive=%v target=%d, want off/0", s.Predictive, s.WarmTarget)
+	}
+}
+
+// TestSetWarmFloorNeverTrims pins the floor-only call: lowering the
+// floor pre-sleeps nothing. Nodes the floor held at their last idle
+// expiry stay warm (their countdown was consumed), while any node the
+// orchestrator releases afterwards decays through the normal reactive
+// timeout.
+func TestSetWarmFloorNeverTrims(t *testing.T) {
+	r := newRig(t, 3, powermgr.Policy{IdleTimeout: 4 * time.Second})
+	r.mgr.SetWarmTarget(3)
+	r.engine.RunAll() // boots complete; idle backstops fire and are held
+	if got := r.mgr.PoweredUp(); got != 3 {
+		t.Fatalf("powered = %d, want 3 pre-warmed", got)
+	}
+	r.mgr.SetWarmFloor(1)
+	r.engine.RunAll()
+	if got := r.mgr.PoweredUp(); got != 3 {
+		t.Fatalf("powered after SetWarmFloor(1) = %d, want 3 (floor never trims)", got)
+	}
+	// A demand grant + release re-arms one node's countdown; with the
+	// cluster above the floor, that node now decays reactively.
+	if !r.mgr.RequestUp("c", "demand", nil) {
+		t.Fatal("RequestUp on a warm node returned false")
+	}
+	r.mgr.NoteIdle("c")
+	r.engine.RunAll()
+	if got := r.mgr.PoweredUp(); got != 2 {
+		t.Fatalf("powered after release+timeout = %d, want 2", got)
+	}
+	if got := r.mgr.StateName("c"); got != "off" {
+		t.Fatalf("released node state = %q, want off", got)
+	}
+}
+
+// TestPreSleepSlackAndDebounce tables the trim dampers: surplus within
+// the slack band is never trimmed, a surplus beyond it must persist for
+// more than PreSleepDebounce consecutive calls, and PreSleepMax bounds
+// each call's trims.
+func TestPreSleepSlackAndDebounce(t *testing.T) {
+	r := newRig(t, 4, powermgr.Policy{
+		IdleTimeout:      time.Hour, // keep reactive decay out of the way
+		PreSleepSlack:    1,
+		PreSleepMax:      1,
+		PreSleepDebounce: 1,
+	})
+	r.mgr.SetWarmTarget(4)
+	r.engine.RunAll()
+	steps := []struct {
+		name string
+		want int // powered after one more SetWarmTarget(1)
+	}{
+		{"first surplus call only arms the debounce", 4},
+		{"second call trims, capped at PreSleepMax=1", 3},
+		{"third call trims the next one", 2},
+		{"at target+slack the trim disengages", 2},
+	}
+	for _, st := range steps {
+		r.mgr.SetWarmTarget(1)
+		r.engine.RunAll()
+		if got := r.mgr.PoweredUp(); got != st.want {
+			t.Fatalf("%s: powered = %d, want %d", st.name, got, st.want)
+		}
+	}
+}
+
+// TestPreSleepSlackFrac pins the target-scaled slack: ceil(frac×target)
+// joins the flat headroom before any trim fires.
+func TestPreSleepSlackFrac(t *testing.T) {
+	r := newRig(t, 6, powermgr.Policy{
+		IdleTimeout:       time.Hour,
+		PreSleepSlackFrac: 0.5,
+	})
+	r.mgr.SetWarmTarget(6)
+	r.engine.RunAll()
+	// slack = ceil(0.5×2) = 1 → trim down to target+1 = 3 in one call
+	// (PreSleepMax 0 = unbounded, PreSleepDebounce 0 = immediate).
+	r.mgr.SetWarmTarget(2)
+	if got := r.mgr.PoweredUp(); got != 3 {
+		t.Fatalf("powered = %d, want 3 (target 2 + ceil(0.5×2) slack)", got)
+	}
+}
+
+// TestOccupancy pins the saturation signal: granted nodes count as
+// busy until the orchestrator's idle note releases them.
+func TestOccupancy(t *testing.T) {
+	r := newRig(t, 2, powermgr.Policy{IdleTimeout: time.Hour})
+	r.mgr.SetWarmTarget(2)
+	r.engine.RunAll()
+	if busy, powered := r.mgr.Occupancy(); busy != 0 || powered != 2 {
+		t.Fatalf("idle occupancy = %d/%d, want 0/2", busy, powered)
+	}
+	r.mgr.RequestUp("a", "demand", nil)
+	if busy, powered := r.mgr.Occupancy(); busy != 1 || powered != 2 {
+		t.Fatalf("granted occupancy = %d/%d, want 1/2", busy, powered)
+	}
+	r.mgr.NoteIdle("a")
+	if busy, _ := r.mgr.Occupancy(); busy != 0 {
+		t.Fatalf("busy after NoteIdle = %d, want 0", busy)
+	}
+}
+
+// TestSetWarmTargetRespectsCap pins the cap interaction: the floor never
+// powers past CapW/NodeW.
+func TestSetWarmTargetRespectsCap(t *testing.T) {
+	nodeW := power.DefaultSBCModel().BusyW
+	r := newRig(t, 4, powermgr.Policy{IdleTimeout: time.Hour, CapW: 2 * nodeW, NodeW: nodeW})
+	r.mgr.SetWarmTarget(4)
+	r.engine.RunAll()
+	if got := r.mgr.PoweredUp(); got != 2 {
+		t.Fatalf("powered = %d, want 2 (cap binds the pre-wake)", got)
+	}
+}

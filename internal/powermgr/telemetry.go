@@ -17,16 +17,20 @@ const (
 	metricWakes         = "microfaas_power_wakes_total"
 	metricDowns         = "microfaas_power_downs_total"
 	metricCapDeferred   = "microfaas_power_cap_deferred_total"
+	// metricPrewarmTarget is the predictive warm floor last set through
+	// SetWarmTarget, in nodes (0 while predictive control is off).
+	metricPrewarmTarget = "microfaas_power_prewarm_target"
 )
 
 // mgrMetrics holds the manager's pre-created metric handles. Every handle
 // no-ops on nil and a nil map lookup yields a nil handle, so the zero
 // value is the disabled-instrumentation path.
 type mgrMetrics struct {
-	wakes       *telemetry.Counter
-	capDeferred *telemetry.Counter
-	downsBy     map[string]*telemetry.Counter // reason → counter
-	powered     map[string]*telemetry.Gauge   // worker id → 0/1
+	wakes         *telemetry.Counter
+	capDeferred   *telemetry.Counter
+	prewarmTarget *telemetry.Gauge
+	downsBy       map[string]*telemetry.Counter // reason → counter
+	powered       map[string]*telemetry.Gauge   // worker id → 0/1
 }
 
 // initTelemetry pre-creates the manager's metric families so every
@@ -48,10 +52,12 @@ func (m *Manager) initTelemetry(tel *telemetry.Telemetry) {
 			"Wake-on-demand power-ups issued by the power manager."),
 		capDeferred: reg.Counter(metricCapDeferred,
 			"Wakes parked in the FIFO because the power cap was binding."),
-		downsBy: make(map[string]*telemetry.Counter, 3),
+		prewarmTarget: reg.Gauge(metricPrewarmTarget,
+			"Predictive warm floor in nodes last set by the forecast controller (0 = predictive control off)."),
+		downsBy: make(map[string]*telemetry.Counter, 4),
 		powered: make(map[string]*telemetry.Gauge, len(m.order)),
 	}
-	for _, reason := range []string{"idle", "fault", "drain"} {
+	for _, reason := range []string{"idle", "fault", "drain", "predictive"} {
 		m.m.downsBy[reason] = reg.Counter(metricDowns,
 			"Power-downs issued by the power manager, by reason.", "reason", reason)
 	}

@@ -123,12 +123,16 @@ const (
 	// recorded by internal/tsdb's SLO engine, not part of any invocation's
 	// lifecycle — alert traces carry the rule name as their function).
 	PhaseAlert Phase = "alert"
+	// PhaseThrottle covers the hold a submission serves before entering a
+	// queue because its function's energy budget is exhausted.
+	PhaseThrottle Phase = "throttle"
 )
 
 // PhaseOrder returns the canonical display order of the non-root phases.
 func PhaseOrder() []Phase {
-	return []Phase{PhaseSubmit, PhaseQueue, PhaseDispatch, PhaseBoot,
-		PhaseExec, PhaseSettle, PhaseRetry, PhaseFault, PhaseSteal, PhaseReboot}
+	return []Phase{PhaseSubmit, PhaseThrottle, PhaseQueue, PhaseDispatch,
+		PhaseBoot, PhaseExec, PhaseSettle, PhaseRetry, PhaseFault, PhaseSteal,
+		PhaseReboot}
 }
 
 // Context is the propagated trace reference: which trace a span belongs

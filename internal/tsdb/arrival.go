@@ -13,6 +13,13 @@ const (
 	MetricArrivalRate = "microfaas_function_arrival_rate_per_s"
 	// MetricArrivalEWMA is the exponentially-smoothed arrival rate.
 	MetricArrivalEWMA = "microfaas_function_arrival_ewma_per_s"
+	// MetricArrivalWindowMean is the mean of the sliding window of
+	// instantaneous rates (per second) — the tracker's medium-term
+	// level estimate, exported so /query sees what the forecaster sees.
+	MetricArrivalWindowMean = "microfaas_function_arrival_window_mean_per_s"
+	// MetricArrivalWindowMax is the max of the same sliding window (per
+	// second) — the burst envelope a warm pool must absorb.
+	MetricArrivalWindowMax = "microfaas_function_arrival_window_max_per_s"
 )
 
 // Arrival tracker defaults.
@@ -30,8 +37,24 @@ type arrivalState struct {
 	lastTotal float64
 	seeded    bool
 	ewma      float64
+	lastRate  float64   // most recent instantaneous rate
 	window    []float64 // sliding-window ring of instantaneous rates
 	next, n   int
+}
+
+// windowStats summarizes the ring: mean and max over the filled part.
+func (st *arrivalState) windowStats() (mean, max float64) {
+	for i := 0; i < st.n; i++ {
+		v := st.window[i]
+		mean += v
+		if v > max {
+			max = v
+		}
+	}
+	if st.n > 0 {
+		mean /= float64(st.n)
+	}
+	return mean, max
 }
 
 // arrivalTracker maintains EWMA + sliding-window per-function arrival
@@ -108,13 +131,17 @@ func (a *arrivalTracker) update(s *Store, now, interval time.Duration) {
 		} else {
 			st.ewma = a.alpha*rate + (1-a.alpha)*st.ewma
 		}
+		st.lastRate = rate
 		st.window[st.next] = rate
 		st.next = (st.next + 1) % a.wsize
 		if st.n < a.wsize {
 			st.n++
 		}
+		mean, max := st.windowStats()
 		s.ingestLocked(now, MetricArrivalRate, map[string]string{"function": fn}, rate)
 		s.ingestLocked(now, MetricArrivalEWMA, map[string]string{"function": fn}, st.ewma)
+		s.ingestLocked(now, MetricArrivalWindowMean, map[string]string{"function": fn}, mean)
+		s.ingestLocked(now, MetricArrivalWindowMax, map[string]string{"function": fn}, max)
 	}
 }
 
@@ -122,6 +149,8 @@ func (a *arrivalTracker) update(s *Store, now, interval time.Duration) {
 type Forecast struct {
 	// Function names the workload function.
 	Function string `json:"function"`
+	// Rate is the most recent instantaneous arrival rate (per second).
+	Rate float64 `json:"rate_per_s"`
 	// EWMA is the exponentially-smoothed arrival rate (per second).
 	EWMA float64 `json:"ewma_per_s"`
 	// WindowMean and WindowMax summarize the sliding window of
@@ -140,17 +169,8 @@ func (s *Store) Forecasts() []Forecast {
 	defer s.mu.Unlock()
 	out := make([]Forecast, 0, len(s.arrival.order))
 	for _, st := range s.arrival.order {
-		f := Forecast{Function: st.function, EWMA: st.ewma}
-		for i := 0; i < st.n; i++ {
-			v := st.window[i]
-			f.WindowMean += v
-			if v > f.WindowMax {
-				f.WindowMax = v
-			}
-		}
-		if st.n > 0 {
-			f.WindowMean /= float64(st.n)
-		}
+		f := Forecast{Function: st.function, Rate: st.lastRate, EWMA: st.ewma}
+		f.WindowMean, f.WindowMax = st.windowStats()
 		out = append(out, f)
 	}
 	return out

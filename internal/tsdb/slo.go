@@ -247,6 +247,18 @@ func KnownMetrics() []string {
 		"microfaas_cluster_power_watts",
 		MetricArrivalRate,
 		MetricArrivalEWMA,
+		MetricArrivalWindowMean,
+		MetricArrivalWindowMax,
+		"microfaas_forecast_workers_target",
+		"microfaas_forecast_error_ratio",
+		"microfaas_forecast_predictive_mode",
+		"microfaas_forecast_fallbacks_total",
+		"microfaas_forecast_rate_ahead_per_s",
+		"microfaas_power_prewarm_target",
+		"microfaas_function_energy_budget_joules",
+		"microfaas_function_budget_spent_joules",
+		"microfaas_function_budget_exhausted",
+		"microfaas_budget_throttled_total",
 	}
 }
 
